@@ -1,0 +1,103 @@
+//! Ablations of the simulator's design choices (see DESIGN.md).
+//!
+//! The paper asserts that "batching of prefetch requests and disk head
+//! scheduling are crucial" (§1.4); Figure 6 and Table 5 quantify
+//! batching and CSCAN-vs-FCFS. This bench ablates the remaining load-
+//! bearing pieces of the substrate:
+//!
+//! 1. The drive's 128 KB readahead cache — how much of the sequential
+//!    traces' performance it provides.
+//! 2. The head-scheduling discipline, across all four implemented
+//!    disciplines (the paper compares only FCFS and CSCAN).
+//! 3. Fixed horizon's derivation of H — the paper picks H = 62 from the
+//!    ratio of a 15 ms disk access to a 243 us buffer consume; sweep the
+//!    neighborhood to show the choice is flat near the derived value.
+
+use parcache_bench::trace;
+use parcache_core::config::DiskModelKind;
+use parcache_core::policy::PolicyKind;
+use parcache_core::{simulate, SimConfig};
+use parcache_disk::sched::Discipline;
+
+fn readahead_ablation() {
+    println!("-- readahead cache on/off (elapsed, s; aggressive) --");
+    println!(
+        "{:<18} {:>6} {:>12} {:>12} {:>8}",
+        "trace", "disks", "readahead", "disabled", "cost"
+    );
+    for name in ["dinero", "synth", "cscope2", "postgres-select"] {
+        let t = trace(name);
+        for disks in [1usize, 4] {
+            let on = simulate(&t, PolicyKind::Aggressive, &SimConfig::for_trace(disks, &t));
+            let cfg_off = SimConfig::for_trace(disks, &t)
+                .with_disk_model(DiskModelKind::Hp97560NoReadahead);
+            let off = simulate(&t, PolicyKind::Aggressive, &cfg_off);
+            println!(
+                "{:<18} {:>6} {:>11.2}s {:>11.2}s {:>7.2}x",
+                name,
+                disks,
+                on.elapsed.as_secs_f64(),
+                off.elapsed.as_secs_f64(),
+                off.elapsed.as_secs_f64() / on.elapsed.as_secs_f64(),
+            );
+        }
+    }
+    println!();
+}
+
+fn scheduler_ablation() {
+    println!("-- head-scheduling discipline (elapsed, s; fixed horizon) --");
+    println!(
+        "{:<18} {:>6} {:>9} {:>9} {:>9} {:>9}",
+        "trace", "disks", "fcfs", "cscan", "scan", "sstf"
+    );
+    let disciplines = [
+        Discipline::Fcfs,
+        Discipline::Cscan,
+        Discipline::Scan { ascending: true },
+        Discipline::Sstf,
+    ];
+    for name in ["cscope2", "postgres-select", "glimpse"] {
+        let t = trace(name);
+        for disks in [1usize, 2, 4] {
+            print!("{name:<18} {disks:>6}");
+            for d in disciplines {
+                let cfg = SimConfig::for_trace(disks, &t).with_discipline(d);
+                let r = simulate(&t, PolicyKind::FixedHorizon, &cfg);
+                print!(" {:>9.2}", r.elapsed.as_secs_f64());
+            }
+            println!();
+        }
+    }
+    println!();
+}
+
+fn horizon_derivation() {
+    println!("-- fixed horizon H near the paper's derived 62 (elapsed, s) --");
+    let horizons = [31usize, 47, 62, 93, 124];
+    print!("{:<18} {:>6}", "trace", "disks");
+    for h in horizons {
+        print!(" {h:>9}");
+    }
+    println!();
+    for name in ["postgres-select", "cscope2"] {
+        let t = trace(name);
+        for disks in [1usize, 4] {
+            print!("{name:<18} {disks:>6}");
+            for h in horizons {
+                let cfg = SimConfig::for_trace(disks, &t).with_horizon(h);
+                let r = simulate(&t, PolicyKind::FixedHorizon, &cfg);
+                print!(" {:>9.2}", r.elapsed.as_secs_f64());
+            }
+            println!();
+        }
+    }
+    println!();
+}
+
+fn main() {
+    println!("== Ablations: substrate design choices ==");
+    readahead_ablation();
+    scheduler_ablation();
+    horizon_derivation();
+}

@@ -1,0 +1,25 @@
+//! Appendix A: baseline measurements — the full data behind the paper's
+//! evaluation. Every trace, every published array size, the four
+//! prefetching algorithms with the paper's default parameters (H = 62,
+//! Table 6 batch sizes, reverse aggressive tuned per configuration),
+//! side by side with the paper's elapsed times.
+
+use parcache_bench::{comparison, paper_cells, Algo};
+use parcache_trace::TRACE_NAMES;
+
+fn main() {
+    for name in TRACE_NAMES {
+        let disks = paper_cells(name).expect("every trace has paper cells");
+        print!(
+            "{}",
+            comparison(
+                &format!("Appendix A: {name}"),
+                name,
+                &Algo::APPENDIX_A,
+                disks,
+                |c| c,
+            )
+        );
+        println!();
+    }
+}

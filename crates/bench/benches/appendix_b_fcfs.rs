@@ -1,0 +1,28 @@
+//! Appendix B: baseline parameters with FCFS head scheduling instead of
+//! CSCAN.
+//!
+//! Paper highlights to compare against: with FCFS, cscope2's fixed
+//! horizon 1-disk elapsed rises from 72.9s to 75.4s and aggressive's
+//! from 56.1s to 58.2s; compute-bound cells are unchanged.
+
+use parcache_bench::{comparison_with, paper_cells, Algo};
+use parcache_disk::sched::Discipline;
+use parcache_trace::TRACE_NAMES;
+
+fn main() {
+    for name in TRACE_NAMES {
+        let disks = paper_cells(name).expect("every trace has paper cells");
+        print!(
+            "{}",
+            comparison_with(
+                &format!("Appendix B (FCFS): {name}"),
+                name,
+                &Algo::APPENDIX_A,
+                disks,
+                |c| c.with_discipline(Discipline::Fcfs),
+                false,
+            )
+        );
+        println!();
+    }
+}

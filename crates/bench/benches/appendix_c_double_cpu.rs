@@ -1,0 +1,26 @@
+//! Appendix C: a processor twice as fast (all compute times halved,
+//! fixed horizon's H doubled to 124), on the xds trace.
+//!
+//! Paper's finding: "faster processors are more dependent on I/O
+//! performance", so prefetching and parallel disks pay off more, and the
+//! fixed-horizon-vs-aggressive crossover moves to a larger number of
+//! disks. Paper reference (Table 29, elapsed): fixed horizon 63.7s at
+//! one disk falling to ~19-22s at 4-8 disks; aggressive 63.3s falling to
+//! ~17-18s.
+
+use parcache_bench::{comparison_on, trace, Algo, DISK_COUNTS};
+
+fn main() {
+    let t = trace("xds").with_double_speed_cpu();
+    print!(
+        "{}",
+        comparison_on(
+            "Appendix C: xds, double-speed CPU, H = 124",
+            &t,
+            &Algo::THREE,
+            &DISK_COUNTS,
+            |c| c.with_horizon(124),
+            false,
+        )
+    );
+}

@@ -1,0 +1,36 @@
+//! Appendix D: varying the cache size — 640 and 1920 blocks (5 MB and
+//! 15 MB) against the baseline 1280, on the traces the paper varies:
+//! glimpse, postgres-join, postgres-select, and xds.
+//!
+//! Paper's finding: a larger cache helps everyone; in I/O-bound cases it
+//! helps aggressive and reverse aggressive more (deeper prefetching), in
+//! compute-bound cases it slightly favors fixed horizon (aggressive's
+//! driver overhead grows). Paper reference (glimpse, fixed horizon, one
+//! disk): 122.9s at 640 blocks vs 100.3s at 1920.
+
+use parcache_bench::{comparison_with, Algo};
+
+const TRACES: [&str; 4] = ["glimpse", "postgres-join", "postgres-select", "xds"];
+const DISKS: [usize; 6] = [1, 2, 3, 4, 5, 6];
+
+fn main() {
+    for name in TRACES {
+        for cache in [640usize, 1920] {
+            print!(
+                "{}",
+                comparison_with(
+                    &format!("Appendix D: {name}, cache {cache} blocks"),
+                    name,
+                    &Algo::APPENDIX_A,
+                    &DISKS,
+                    |mut c| {
+                        c.cache_blocks = cache;
+                        c
+                    },
+                    false,
+                )
+            );
+            println!();
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Appendix E: aggressive's performance as a function of its batch size,
+//! across traces and array sizes.
+//!
+//! Paper's finding: larger batches first help (head scheduling) then
+//! hurt (out-of-order fetching, early replacement); the optimum shrinks
+//! with the number of disks and varies across traces.
+
+use parcache_bench::trace;
+use parcache_core::policy::PolicyKind;
+use parcache_core::{simulate, SimConfig};
+use parcache_trace::TRACE_NAMES;
+
+const BATCHES: [usize; 6] = [4, 8, 16, 40, 80, 160];
+const DISKS: [usize; 4] = [1, 2, 4, 6];
+
+fn main() {
+    println!("== Appendix E: aggressive vs batch size (elapsed, s) ==");
+    for name in TRACE_NAMES {
+        println!("-- {name} --");
+        print!("{:<6}", "disks");
+        for b in BATCHES {
+            print!(" {b:>8}");
+        }
+        println!();
+        let t = trace(name);
+        for d in DISKS {
+            print!("{d:<6}");
+            for b in BATCHES {
+                let cfg = SimConfig::for_trace(d, &t).with_batch_size(b);
+                let r = simulate(&t, PolicyKind::Aggressive, &cfg);
+                print!(" {:>8.2}", r.elapsed.as_secs_f64());
+            }
+            println!();
+        }
+        println!();
+    }
+}

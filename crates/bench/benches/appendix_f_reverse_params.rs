@@ -1,0 +1,40 @@
+//! Appendix F: reverse aggressive's elapsed time as a function of its
+//! fetch-time estimate F̂ and batch size.
+//!
+//! Paper's finding: a smaller F̂ (more aggressive schedule) and larger
+//! batch benefit I/O-bound configurations; a larger F̂ and smaller batch
+//! benefit compute-bound ones.
+
+use parcache_bench::trace;
+use parcache_core::policy::PolicyKind;
+use parcache_core::{simulate, SimConfig};
+
+const TRACES: [&str; 3] = ["cscope2", "postgres-select", "xds"];
+const FETCH_ESTIMATES: [u64; 6] = [4, 8, 16, 32, 64, 128];
+const BATCHES: [usize; 4] = [4, 16, 40, 160];
+const DISKS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    println!("== Appendix F: reverse aggressive vs (F-hat, batch) (elapsed, s) ==");
+    for name in TRACES {
+        let t = trace(name);
+        for d in DISKS {
+            println!("-- {name}, {d} disk(s) --");
+            print!("{:<8}", "F-hat");
+            for b in BATCHES {
+                print!(" {:>9}", format!("batch {b}"));
+            }
+            println!();
+            for f in FETCH_ESTIMATES {
+                print!("{f:<8}");
+                for b in BATCHES {
+                    let cfg = SimConfig::for_trace(d, &t).with_reverse_params(f, b);
+                    let r = simulate(&t, PolicyKind::ReverseAggressive, &cfg);
+                    print!(" {:>9.2}", r.elapsed.as_secs_f64());
+                }
+                println!();
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Appendix G: fixed horizon's performance as a function of the prefetch
+//! horizon H, on the traces the paper varies: dinero, cscope1, cscope2,
+//! and postgres-select.
+
+use parcache_bench::trace;
+use parcache_core::policy::PolicyKind;
+use parcache_core::{simulate, SimConfig};
+
+const TRACES: [&str; 4] = ["dinero", "cscope1", "cscope2", "postgres-select"];
+const HORIZONS: [usize; 8] = [16, 32, 64, 128, 256, 512, 1024, 2048];
+const DISKS: [usize; 4] = [1, 2, 4, 6];
+
+fn main() {
+    println!("== Appendix G: fixed horizon vs H (elapsed, s) ==");
+    for name in TRACES {
+        println!("-- {name} --");
+        print!("{:<6}", "disks");
+        for h in HORIZONS {
+            print!(" {h:>8}");
+        }
+        println!();
+        let t = trace(name);
+        for d in DISKS {
+            print!("{d:<6}");
+            for h in HORIZONS {
+                let cfg = SimConfig::for_trace(d, &t).with_horizon(h);
+                let r = simulate(&t, PolicyKind::FixedHorizon, &cfg);
+                print!(" {:>8.2}", r.elapsed.as_secs_f64());
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("paper (appendix G): dinero/cscope1 degrade with large H (early");
+    println!("replacement doubles dinero's fetches by H=512); cscope2 and");
+    println!("postgres-select first improve substantially with H.");
+}

@@ -1,0 +1,40 @@
+//! Appendix H: forestall with a static fetch-time overestimate F'
+//! instead of the dynamic 1x/4x rule, compared against the dynamic
+//! estimator.
+//!
+//! Paper's finding: the best static multiplier varies per trace (1 for
+//! dinero up to 60 for glimpse), but a single value of 30-60 is within
+//! ~7% of the dynamic estimator everywhere — "choosing the right
+//! parameters between workloads is more important than within one".
+
+use parcache_bench::trace;
+use parcache_core::policy::PolicyKind;
+use parcache_core::{simulate, SimConfig};
+use parcache_trace::TRACE_NAMES;
+
+const MULTIPLIERS: [f64; 6] = [2.0, 4.0, 8.0, 15.0, 30.0, 60.0];
+const DISKS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    println!("== Appendix H: forestall with static F' (elapsed, s) ==");
+    for name in TRACE_NAMES {
+        println!("-- {name} --");
+        print!("{:<6} {:>9}", "disks", "dynamic");
+        for m in MULTIPLIERS {
+            print!(" {:>9}", format!("F'={m}"));
+        }
+        println!();
+        let t = trace(name);
+        for d in DISKS {
+            let dynamic = simulate(&t, PolicyKind::Forestall, &SimConfig::for_trace(d, &t));
+            print!("{:<6} {:>9.2}", d, dynamic.elapsed.as_secs_f64());
+            for m in MULTIPLIERS {
+                let cfg = SimConfig::for_trace(d, &t).with_forestall_static_f(m);
+                let r = simulate(&t, PolicyKind::Forestall, &cfg);
+                print!(" {:>9.2}", r.elapsed.as_secs_f64());
+            }
+            println!();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,55 @@
+//! Extension (paper §6): the treatment of writes.
+//!
+//! The paper ignores writes, arguing write-behind masks update latency
+//! (§3); §6 names writes as future work. This bench adds a write-behind
+//! load — one flush of the just-updated block per N reads — and measures
+//! how the shared disk bandwidth squeezes each prefetching algorithm.
+//! The application never waits for a write, so compute-bound workloads
+//! should be untouched while I/O-bound ones pay for the stolen
+//! bandwidth — and the algorithms that keep disks busiest (aggressive)
+//! should feel it most.
+
+use parcache_bench::trace;
+use parcache_core::policy::PolicyKind;
+use parcache_core::{simulate, SimConfig};
+
+/// One write per N reads; `None` is the paper's read-only baseline.
+const PERIODS: [Option<usize>; 4] = [None, Some(8), Some(4), Some(2)];
+
+const POLICIES: [PolicyKind; 3] = [
+    PolicyKind::FixedHorizon,
+    PolicyKind::Aggressive,
+    PolicyKind::Forestall,
+];
+
+fn main() {
+    println!("== Extension: write-behind load (elapsed, s) ==");
+    for name in ["postgres-select", "cscope2", "postgres-join"] {
+        let t = trace(name);
+        for disks in [1usize, 4] {
+            println!("-- {name}, {disks} disk(s) --");
+            print!("{:<16}", "write period");
+            for p in PERIODS {
+                match p {
+                    None => print!(" {:>10}", "read-only"),
+                    Some(n) => print!(" {:>10}", format!("1/{n}")),
+                }
+            }
+            println!();
+            for kind in POLICIES {
+                print!("{:<16}", kind.name());
+                for p in PERIODS {
+                    let mut cfg = SimConfig::for_trace(disks, &t);
+                    cfg.write_behind_period = p;
+                    let r = simulate(&t, kind, &cfg);
+                    print!(" {:>10.2}", r.elapsed.as_secs_f64());
+                }
+                println!();
+            }
+            println!();
+        }
+    }
+    println!("expectation: the compute-bound postgres-join barely moves;");
+    println!("the I/O-bound traces slow as writes steal bandwidth, most at");
+    println!("one disk, and write-behind never adds synchronous stall.");
+}

@@ -1,0 +1,17 @@
+//! Figure 10: fixed horizon / aggressive / forestall on glimpse,
+//! 1-16 disks.
+
+use parcache_bench::{comparison, Algo, DISK_COUNTS};
+
+fn main() {
+    print!(
+        "{}",
+        comparison(
+            "Figure 10: glimpse with forestall",
+            "glimpse",
+            &Algo::PRACTICAL,
+            &DISK_COUNTS,
+            |c| c,
+        )
+    );
+}

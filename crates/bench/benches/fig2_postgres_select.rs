@@ -1,0 +1,21 @@
+//! Figure 2: elapsed-time breakdown on postgres-select, demand fetching
+//! vs fixed horizon vs aggressive vs reverse aggressive, 1-16 disks.
+//!
+//! Headline findings reproduced here: all prefetchers significantly beat
+//! optimal demand fetching, and I/O overhead drops near-linearly with
+//! disks until the application becomes compute-bound.
+
+use parcache_bench::{comparison, Algo, DISK_COUNTS};
+
+fn main() {
+    print!(
+        "{}",
+        comparison(
+            "Figure 2: postgres-select, demand vs prefetchers",
+            "postgres-select",
+            &Algo::FIGURE_2,
+            &DISK_COUNTS,
+            |c| c,
+        )
+    );
+}

@@ -1,0 +1,32 @@
+//! Figure 3: fixed horizon / aggressive / reverse aggressive on the
+//! synth (left) and cscope1 (right) traces, 1-4 disks.
+//!
+//! The synthetic trace shows the algorithms' fundamental differences in
+//! exaggerated form (§4.2): aggressive eliminates stall at 1 disk but
+//! wastes fetches at 3+ disks; fixed horizon is best once compute-bound.
+
+use parcache_bench::{comparison, Algo};
+
+fn main() {
+    print!(
+        "{}",
+        comparison(
+            "Figure 3 (left): synth",
+            "synth",
+            &Algo::THREE,
+            &[1, 2, 3, 4],
+            |c| c,
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        comparison(
+            "Figure 3 (right): cscope1",
+            "cscope1",
+            &Algo::THREE,
+            &[1, 2, 3, 4],
+            |c| c,
+        )
+    );
+}

@@ -1,0 +1,15 @@
+//! Figure 4: detailed breakdown on the I/O-bound ld trace, 1-16 disks.
+//!
+//! The paper's crossover narrative: from two to eight disks the more
+//! aggressive prefetchers out-stall fixed horizon; at ten disks fixed
+//! horizon catches aggressive, and beyond that its lower driver overhead
+//! wins.
+
+use parcache_bench::{comparison, Algo, DISK_COUNTS};
+
+fn main() {
+    print!(
+        "{}",
+        comparison("Figure 4: ld", "ld", &Algo::THREE, &DISK_COUNTS, |c| c)
+    );
+}

@@ -1,0 +1,21 @@
+//! Figure 5: cscope3, 1-8 disks — the reverse aggressive anomaly.
+//!
+//! cscope3's inter-reference compute times are bursty (runs near 1 ms
+//! interleaved with runs near 7 ms), so no single fetch-time estimate F̂
+//! suits the whole trace: reverse aggressive's offline schedule is much
+//! worse than aggressive at one disk (§4.3).
+
+use parcache_bench::{comparison, Algo};
+
+fn main() {
+    print!(
+        "{}",
+        comparison(
+            "Figure 5: cscope3 (bursty compute)",
+            "cscope3",
+            &Algo::THREE,
+            &[1, 2, 3, 4, 5, 6, 7, 8],
+            |c| c,
+        )
+    );
+}

@@ -1,0 +1,31 @@
+//! Figure 8: fixed horizon / aggressive / forestall on synth (left,
+//! 1-4 disks) and xds (right, 1-6 disks).
+//!
+//! Paper's finding: forestall "behaves exactly as expected" — as
+//! aggressive when I/O-bound, as fixed horizon when compute-bound.
+
+use parcache_bench::{comparison, Algo};
+
+fn main() {
+    print!(
+        "{}",
+        comparison(
+            "Figure 8 (left): synth with forestall",
+            "synth",
+            &Algo::PRACTICAL,
+            &[1, 2, 3, 4],
+            |c| c,
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        comparison(
+            "Figure 8 (right): xds with forestall",
+            "xds",
+            &Algo::PRACTICAL,
+            &[1, 2, 3, 4, 5, 6],
+            |c| c,
+        )
+    );
+}

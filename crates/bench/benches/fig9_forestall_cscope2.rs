@@ -1,0 +1,18 @@
+//! Figure 9: fixed horizon / aggressive / forestall on cscope2,
+//! 1-16 disks — forestall tracks the best of the other two across the
+//! whole range.
+
+use parcache_bench::{comparison, Algo, DISK_COUNTS};
+
+fn main() {
+    print!(
+        "{}",
+        comparison(
+            "Figure 9: cscope2 with forestall",
+            "cscope2",
+            &Algo::PRACTICAL,
+            &DISK_COUNTS,
+            |c| c,
+        )
+    );
+}

@@ -1,0 +1,56 @@
+//! Table 4: average disk utilization on postgres-select for demand
+//! fetching and the three prefetching algorithms, 1-16 disks.
+//!
+//! Paper's finding: aggressive loads the disks most, then reverse
+//! aggressive, then fixed horizon; demand least — and at very high
+//! parallelism reverse aggressive's offline schedule loads them even
+//! less than fixed horizon.
+
+use parcache_bench::{trace, Algo, DISK_COUNTS};
+use parcache_core::SimConfig;
+
+/// Paper Table 4 (utilization by disks x algorithm).
+#[rustfmt::skip]
+const PAPER: [(usize, f64, f64, f64, f64); 11] = [
+    (1,  0.81, 0.99, 0.99, 0.98),
+    (2,  0.55, 0.90, 0.92, 0.92),
+    (3,  0.27, 0.82, 0.87, 0.85),
+    (4,  0.20, 0.72, 0.81, 0.80),
+    (5,  0.16, 0.66, 0.70, 0.69),
+    (6,  0.13, 0.58, 0.63, 0.60),
+    (7,  0.12, 0.50, 0.62, 0.50),
+    (8,  0.10, 0.45, 0.56, 0.42),
+    (10, 0.08, 0.36, 0.43, 0.35),
+    (12, 0.07, 0.30, 0.36, 0.30),
+    (16, 0.05, 0.22, 0.28, 0.18),
+];
+
+fn main() {
+    println!("== Table 4: disk utilization on postgres-select ==");
+    println!(
+        "{:<6} {:>9} {:>9} {:>9} {:>9}   | paper: {:>6} {:>6} {:>6} {:>6}",
+        "disks", "demand", "fh", "agg", "revagg", "demand", "fh", "agg", "revagg"
+    );
+    let t = trace("postgres-select");
+    for (i, &d) in DISK_COUNTS.iter().enumerate() {
+        let cfg = SimConfig::for_trace(d, &t);
+        let util = |a: Algo| a.run(&t, &cfg).avg_disk_utilization;
+        let (pd, de, fh, ag, rv) = {
+            let p = PAPER[i];
+            (p.0, p.1, p.2, p.3, p.4)
+        };
+        assert_eq!(pd, d);
+        println!(
+            "{:<6} {:>9.2} {:>9.2} {:>9.2} {:>9.2}   |        {:>6.2} {:>6.2} {:>6.2} {:>6.2}",
+            d,
+            util(Algo::Demand),
+            util(Algo::FixedHorizon),
+            util(Algo::Aggressive),
+            util(Algo::TunedReverse),
+            de,
+            fh,
+            ag,
+            rv,
+        );
+    }
+}

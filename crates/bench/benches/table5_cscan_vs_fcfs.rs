@@ -1,0 +1,56 @@
+//! Table 5: percentage improvement of CSCAN over FCFS head scheduling on
+//! postgres-select, for the three prefetching algorithms, 1-16 disks.
+//!
+//! Paper's finding: CSCAN helps reverse aggressive most (up to 24%),
+//! fixed horizon least (up to 15%), and the benefit vanishes (or turns
+//! slightly negative, due to out-of-order fetching) once compute-bound.
+
+use parcache_bench::{trace, Algo, DISK_COUNTS};
+use parcache_core::SimConfig;
+use parcache_disk::sched::Discipline;
+
+/// Paper Table 5 (% improvement of CSCAN over FCFS).
+#[rustfmt::skip]
+const PAPER: [(usize, f64, f64, f64); 11] = [
+    (1,  14.9,  19.2,  24.0),
+    (2,   4.85, 11.3,  22.1),
+    (3,   2.59,  8.36, 19.9),
+    (4,   0.53,  3.59,  6.71),
+    (5,  -0.62, -0.77,  0.0),
+    (6,  -0.68, -0.31,  0.0),
+    (7,  -2.15, -0.45,  0.0),
+    (8,  -0.42, -0.17,  0.0),
+    (10, -0.05,  0.09,  0.0),
+    (12,  0.0,   0.11,  0.0),
+    (16,  0.0,   0.0,   0.0),
+];
+
+fn main() {
+    println!("== Table 5: CSCAN improvement over FCFS on postgres-select (%) ==");
+    println!(
+        "{:<6} {:>8} {:>8} {:>8}   | paper: {:>7} {:>7} {:>7}",
+        "disks", "fh", "agg", "revagg", "fh", "agg", "revagg"
+    );
+    let t = trace("postgres-select");
+    for (i, &d) in DISK_COUNTS.iter().enumerate() {
+        let improvement = |a: Algo| {
+            let cscan = SimConfig::for_trace(d, &t);
+            let fcfs = SimConfig::for_trace(d, &t).with_discipline(Discipline::Fcfs);
+            let c = a.run(&t, &cscan).elapsed.as_secs_f64();
+            let f = a.run(&t, &fcfs).elapsed.as_secs_f64();
+            (f - c) / f * 100.0
+        };
+        let p = PAPER[i];
+        assert_eq!(p.0, d);
+        println!(
+            "{:<6} {:>8.2} {:>8.2} {:>8.2}   |        {:>7.2} {:>7.2} {:>7.2}",
+            d,
+            improvement(Algo::FixedHorizon),
+            improvement(Algo::Aggressive),
+            improvement(Algo::TunedReverse),
+            p.1,
+            p.2,
+            p.3,
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Table 7: elapsed time of fixed horizon relative to aggressive
+//! (percentage difference) as a function of cache size and array size, on
+//! glimpse.
+//!
+//! Paper's finding: in I/O-bound cases a larger cache helps aggressive
+//! more (it prefetches deeper); in compute-bound cases aggressive's
+//! driver overhead grows with cache size, slightly favoring fixed
+//! horizon.
+
+use parcache_bench::{percent, trace, Algo};
+use parcache_core::SimConfig;
+
+/// Paper Table 7: FH vs aggressive (%) by cache size x disks.
+#[rustfmt::skip]
+const PAPER: [(usize, [f64; 5]); 3] = [
+    (640,  [ 6.0, 14.7, 24.8, 7.3, -2.6]),
+    (1280, [11.3, 20.2, 24.5, 5.7, -3.8]),
+    (1920, [13.8, 25.0, 21.7, 5.7, -3.8]),
+];
+
+const DISKS: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn main() {
+    println!("== Table 7: fixed horizon vs aggressive (%) on glimpse ==");
+    print!("{:<8}", "cache");
+    for d in DISKS {
+        print!(" {d:>8}");
+    }
+    println!("   | paper");
+    let t = trace("glimpse");
+    for (cache, paper_row) in PAPER {
+        print!("{cache:<8}");
+        for d in DISKS {
+            let mut cfg = SimConfig::for_trace(d, &t);
+            cfg.cache_blocks = cache;
+            let fh = Algo::FixedHorizon.run(&t, &cfg);
+            let agg = Algo::Aggressive.run(&t, &cfg);
+            print!(" {:>8.1}", percent(fh.elapsed, agg.elapsed));
+        }
+        print!("   |");
+        for p in paper_row {
+            print!(" {p:>6.1}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,23 @@
+//! Table 8: forestall's disk utilization on postgres-select — between
+//! aggressive's and fixed horizon's: aggressive-like when I/O-bound,
+//! fixed-horizon-like when compute-bound.
+
+use parcache_bench::{trace, Algo, DISK_COUNTS};
+use parcache_core::SimConfig;
+
+/// Paper Table 8.
+const PAPER: [f64; 11] = [0.99, 0.92, 0.87, 0.81, 0.68, 0.63, 0.62, 0.54, 0.39, 0.30, 0.32];
+
+fn main() {
+    println!("== Table 8: forestall disk utilization on postgres-select ==");
+    println!("{:<6} {:>10} {:>10}", "disks", "measured", "paper");
+    let t = trace("postgres-select");
+    for (i, &d) in DISK_COUNTS.iter().enumerate() {
+        let cfg = SimConfig::for_trace(d, &t);
+        let r = Algo::Forestall.run(&t, &cfg);
+        println!(
+            "{:<6} {:>10.2} {:>10.2}",
+            d, r.avg_disk_utilization, PAPER[i]
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Ad-hoc experiment runner.
+//!
+//! ```sh
+//! parcache-run <trace> [policy] [disks]
+//! parcache-run synth aggressive 1,2,3,4
+//! parcache-run postgres-select all 1,2,4,8,16
+//! parcache-run ./my-app.trace forestall 1,2,4   # your own trace file
+//! ```
+//!
+//! The trace argument is one of the paper's trace names, or a path to a
+//! trace file in the `parcache-trace` text format.
+
+use parcache_bench::{breakdown_table, run, trace, BreakdownRow, DISK_COUNTS};
+use parcache_core::policy::PolicyKind;
+use parcache_core::SimConfig;
+use std::time::Instant;
+
+fn parse_policies(arg: &str) -> Vec<PolicyKind> {
+    if arg == "all" {
+        return PolicyKind::ALL.to_vec();
+    }
+    PolicyKind::ALL
+        .into_iter()
+        .filter(|k| k.name() == arg)
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_name = args.first().map(String::as_str).unwrap_or("synth");
+    let policy_arg = args.get(1).map(String::as_str).unwrap_or("all");
+    let disks: Vec<usize> = match args.get(2) {
+        Some(s) => s
+            .split(',')
+            .map(|x| match x.parse::<usize>() {
+                Ok(d) if d > 0 => d,
+                _ => {
+                    eprintln!("bad disk count {x:?}: expected positive integers like 1,2,4");
+                    std::process::exit(1);
+                }
+            })
+            .collect(),
+        None => DISK_COUNTS.to_vec(),
+    };
+
+    let policies = parse_policies(policy_arg);
+    if policies.is_empty() {
+        eprintln!(
+            "unknown policy {policy_arg}; choose one of: all {}",
+            PolicyKind::ALL.map(|k| k.name()).join(" ")
+        );
+        std::process::exit(1);
+    }
+
+    // A path loads a user trace file; otherwise use the paper's traces.
+    let t = if trace_name.contains('/') || trace_name.contains('.') {
+        match parcache_trace::load(trace_name) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("failed to load {trace_name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else if parcache_trace::TRACE_NAMES.contains(&trace_name) {
+        trace(trace_name)
+    } else {
+        eprintln!(
+            "unknown trace {trace_name}; choose one of: {} — or pass a path to a trace file",
+            parcache_trace::TRACE_NAMES.join(" ")
+        );
+        std::process::exit(1);
+    };
+    let stats = t.stats();
+    println!(
+        "trace {trace_name}: {} reads, {} distinct, {:.1}s compute, cache {} blocks",
+        stats.reads,
+        stats.distinct_blocks,
+        stats.compute.as_secs_f64(),
+        t.cache_blocks
+    );
+
+    let mut rows = Vec::new();
+    let wall = Instant::now();
+    for &d in &disks {
+        let cfg = SimConfig::for_trace(d, &t);
+        for &kind in &policies {
+            rows.push(BreakdownRow::new(run(&t, kind, &cfg)));
+        }
+    }
+    println!("{}", breakdown_table(trace_name, &rows));
+    eprintln!("({} runs in {:.2?})", rows.len(), wall.elapsed());
+}

@@ -1,0 +1,200 @@
+//! Shared experiment drivers: algorithm selection (including the paper's
+//! per-configuration tuning of reverse aggressive) and measured-vs-paper
+//! comparison tables.
+
+use crate::paper::paper_elapsed;
+use crate::runner::{best_reverse, trace};
+use parcache_core::engine::Report;
+use parcache_core::policy::PolicyKind;
+use parcache_core::SimConfig;
+use parcache_trace::Trace;
+use std::fmt::Write as _;
+
+/// An algorithm as run in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Demand fetching with optimal replacement.
+    Demand,
+    /// Fixed horizon with the configured H.
+    FixedHorizon,
+    /// Aggressive with the configured batch size.
+    Aggressive,
+    /// Reverse aggressive with F̂ and batch tuned per configuration, as
+    /// in appendix A.
+    TunedReverse,
+    /// Forestall with dynamic F estimation.
+    Forestall,
+}
+
+impl Algo {
+    /// The four prefetching algorithms of appendix A, in table order.
+    pub const APPENDIX_A: [Algo; 4] = [
+        Algo::FixedHorizon,
+        Algo::Aggressive,
+        Algo::TunedReverse,
+        Algo::Forestall,
+    ];
+
+    /// Figure 2's four algorithms (demand baseline + three prefetchers).
+    pub const FIGURE_2: [Algo; 4] = [
+        Algo::Demand,
+        Algo::FixedHorizon,
+        Algo::Aggressive,
+        Algo::TunedReverse,
+    ];
+
+    /// Figures 3-5's three algorithms.
+    pub const THREE: [Algo; 3] = [Algo::FixedHorizon, Algo::Aggressive, Algo::TunedReverse];
+
+    /// Figures 8-10's three practical algorithms.
+    pub const PRACTICAL: [Algo; 3] = [Algo::FixedHorizon, Algo::Aggressive, Algo::Forestall];
+
+    /// Runs the algorithm.
+    pub fn run(&self, t: &Trace, cfg: &SimConfig) -> Report {
+        match self {
+            Algo::Demand => parcache_core::simulate(t, PolicyKind::Demand, cfg),
+            Algo::FixedHorizon => parcache_core::simulate(t, PolicyKind::FixedHorizon, cfg),
+            Algo::Aggressive => parcache_core::simulate(t, PolicyKind::Aggressive, cfg),
+            Algo::TunedReverse => best_reverse(t, cfg),
+            Algo::Forestall => parcache_core::simulate(t, PolicyKind::Forestall, cfg),
+        }
+    }
+
+    /// Display name (matches the policies' own names).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Demand => "demand",
+            Algo::FixedHorizon => "fixed-horizon",
+            Algo::Aggressive => "aggressive",
+            Algo::TunedReverse => "reverse-aggressive",
+            Algo::Forestall => "forestall",
+        }
+    }
+}
+
+/// Appends one comparison row: measured breakdown plus the paper's
+/// elapsed time for the same cell, when published and applicable.
+fn push_row(out: &mut String, r: &Report, with_paper: bool) {
+    let paper = if with_paper {
+        paper_elapsed(&r.trace, &r.policy, r.disks)
+    } else {
+        None
+    };
+    let (paper_s, delta) = match paper {
+        Some(p) => (
+            format!("{p:>10.3}"),
+            format!("{:>+7.1}%", (r.elapsed.as_secs_f64() - p) / p * 100.0),
+        ),
+        None => ("         -".to_string(), "       -".to_string()),
+    };
+    let _ = writeln!(
+        out,
+        "{:<6} {:<20} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>10.3} {paper_s} {delta} {:>9.3} {:>6.2}",
+        r.disks,
+        r.policy,
+        r.fetches,
+        r.compute.as_secs_f64(),
+        r.driver.as_secs_f64(),
+        r.stall.as_secs_f64(),
+        r.elapsed.as_secs_f64(),
+        r.avg_fetch_time.as_millis_f64(),
+        r.avg_disk_utilization,
+    );
+}
+
+/// Header line matching [`push_row`].
+fn header(out: &mut String) {
+    let _ = writeln!(
+        out,
+        "{:<6} {:<20} {:>8} {:>9} {:>9} {:>9} {:>10} {:>10} {:>8} {:>9} {:>6}",
+        "disks",
+        "policy",
+        "fetches",
+        "compute",
+        "driver",
+        "stall",
+        "elapsed",
+        "paper",
+        "delta",
+        "fetch(ms)",
+        "util"
+    );
+}
+
+/// Runs `algos` on `trace_name` for each array size and formats a
+/// measured-vs-paper comparison table. `modify` adjusts the default
+/// configuration (identity for baseline experiments).
+pub fn comparison(
+    title: &str,
+    trace_name: &str,
+    algos: &[Algo],
+    disks: &[usize],
+    modify: impl Fn(SimConfig) -> SimConfig,
+) -> String {
+    comparison_with(title, trace_name, algos, disks, modify, true)
+}
+
+/// Like [`comparison`], with explicit control over the paper column —
+/// pass `false` when the configuration differs from the paper's baseline
+/// (appendix B-H sweeps), so baseline numbers are not shown against
+/// non-baseline runs.
+pub fn comparison_with(
+    title: &str,
+    trace_name: &str,
+    algos: &[Algo],
+    disks: &[usize],
+    modify: impl Fn(SimConfig) -> SimConfig,
+    with_paper: bool,
+) -> String {
+    let t = trace(trace_name);
+    comparison_on(title, &t, algos, disks, modify, with_paper)
+}
+
+/// Like [`comparison_with`], on an explicit trace (e.g. the double-speed
+/// CPU variant).
+pub fn comparison_on(
+    title: &str,
+    t: &Trace,
+    algos: &[Algo],
+    disks: &[usize],
+    modify: impl Fn(SimConfig) -> SimConfig,
+    with_paper: bool,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(out, "trace: {}", t.name);
+    header(&mut out);
+    for &d in disks {
+        let cfg = modify(SimConfig::for_trace(d, t));
+        for a in algos {
+            let r = a.run(t, &cfg);
+            push_row(&mut out, &r, with_paper);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_prints_paper_columns() {
+        let s = comparison(
+            "t",
+            "postgres-select",
+            &[Algo::FixedHorizon],
+            &[1],
+            |c| c,
+        );
+        assert!(s.contains("fixed-horizon"));
+        // The paper's 45.390 should appear in the paper column.
+        assert!(s.contains("45.390"), "{s}");
+    }
+
+    #[test]
+    fn algo_names_match_policy_names() {
+        assert_eq!(Algo::Demand.name(), PolicyKind::Demand.name());
+        assert_eq!(Algo::TunedReverse.name(), PolicyKind::ReverseAggressive.name());
+    }
+}

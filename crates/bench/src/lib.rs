@@ -1,0 +1,22 @@
+//! Experiment harness reproducing every table and figure of Kimbrel et
+//! al., *A Trace-Driven Comparison of Algorithms for Parallel Prefetching
+//! and Caching* (OSDI 1996).
+//!
+//! Each table/figure has a bench target in `benches/` (`harness = false`)
+//! that prints the paper's rows; this library holds the shared runner,
+//! parameter grids, and formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paper;
+pub mod report;
+pub mod runner;
+
+pub use experiments::{comparison, comparison_on, comparison_with, Algo};
+pub use paper::{paper_cells, paper_elapsed};
+pub use report::{breakdown_table, percent, BreakdownRow};
+pub use runner::{
+    best_reverse, paper_disk_counts, run, trace, DISK_COUNTS, SEED,
+};

@@ -1,0 +1,152 @@
+//! The paper's published results (appendix A, Tables 9-18): elapsed
+//! times in seconds for the four prefetching algorithms on every trace
+//! and array size. Benches print these next to measured values so the
+//! reproduction's fidelity is visible in every report, and
+//! `EXPERIMENTS.md` is generated from the same numbers.
+
+/// Disk counts for the 11-column appendix tables.
+const DISKS_11: [usize; 11] = [1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16];
+/// Disk counts for the 6-column appendix tables.
+const DISKS_6: [usize; 6] = [1, 2, 3, 4, 5, 6];
+/// Disk counts for the synth table.
+const DISKS_4: [usize; 4] = [1, 2, 3, 4];
+
+struct PaperTable {
+    trace: &'static str,
+    disks: &'static [usize],
+    fixed_horizon: &'static [f64],
+    aggressive: &'static [f64],
+    reverse: &'static [f64],
+    forestall: &'static [f64],
+}
+
+#[rustfmt::skip]
+const TABLES: [PaperTable; 10] = [
+    PaperTable {
+        trace: "dinero", disks: &DISKS_6,
+        fixed_horizon: &[105.951, 105.933, 105.933, 105.933, 105.933, 105.933],
+        aggressive: &[108.089, 107.944, 107.950, 107.946, 107.944, 107.947],
+        reverse: &[105.927, 105.941, 105.972, 105.970, 106.010, 106.060],
+        forestall: &[106.060, 105.915, 105.915, 105.915, 105.915, 105.916],
+    },
+    PaperTable {
+        trace: "cscope1", disks: &DISKS_6,
+        fixed_horizon: &[30.542, 27.424, 27.424, 27.424, 27.424, 27.424],
+        aggressive: &[29.311, 29.219, 29.270, 29.273, 29.245, 29.223],
+        reverse: &[28.921, 27.453, 27.465, 27.498, 27.515, 27.515],
+        forestall: &[28.805, 27.419, 27.411, 27.411, 27.411, 27.412],
+    },
+    PaperTable {
+        trace: "cscope2", disks: &DISKS_11,
+        fixed_horizon: &[72.894, 62.353, 54.708, 49.132, 46.013, 43.997, 42.580, 41.439, 41.108, 40.463, 40.225],
+        aggressive: &[56.126, 46.002, 43.011, 41.587, 42.259, 42.617, 42.903, 42.977, 42.924, 42.661, 42.440],
+        reverse: &[58.255, 46.826, 41.506, 40.254, 40.176, 40.158, 40.163, 40.176, 40.180, 40.214, 40.236],
+        forestall: &[56.126, 46.020, 42.516, 40.729, 40.967, 40.804, 40.787, 40.712, 40.657, 40.537, 40.347],
+    },
+    PaperTable {
+        trace: "cscope3", disks: &DISKS_11,
+        fixed_horizon: &[108.429, 92.876, 87.016, 82.931, 81.639, 80.732, 80.191, 80.134, 80.122, 79.984, 79.984],
+        aggressive: &[94.090, 83.749, 82.710, 82.523, 82.957, 83.142, 83.048, 82.898, 82.564, 82.373, 82.258],
+        reverse: &[104.065, 84.039, 81.011, 80.524, 80.047, 80.032, 80.038, 80.051, 80.065, 80.094, 80.111],
+        forestall: &[94.401, 83.521, 81.849, 81.137, 81.163, 81.041, 81.024, 80.904, 80.767, 80.626, 80.369],
+    },
+    PaperTable {
+        trace: "glimpse", disks: &DISKS_11,
+        fixed_horizon: &[107.582, 73.009, 62.017, 55.992, 52.344, 49.849, 47.665, 46.732, 44.772, 43.367, 42.685],
+        aggressive: &[96.641, 60.740, 48.744, 44.987, 43.996, 43.439, 43.928, 44.221, 44.726, 44.482, 44.374],
+        reverse: &[94.083, 58.234, 47.502, 43.282, 42.526, 42.118, 42.055, 42.080, 42.096, 42.133, 42.205],
+        forestall: &[96.907, 60.858, 48.769, 45.075, 43.630, 42.284, 42.273, 42.272, 42.284, 42.262, 42.187],
+    },
+    PaperTable {
+        trace: "ld", disks: &DISKS_11,
+        fixed_horizon: &[24.898, 16.914, 14.313, 12.660, 11.703, 11.182, 10.829, 10.658, 10.216, 10.033, 9.886],
+        aggressive: &[24.900, 15.985, 13.166, 11.768, 10.399, 10.182, 10.055, 10.063, 10.215, 10.308, 10.490],
+        reverse: &[24.347, 15.921, 12.999, 11.525, 10.624, 10.301, 9.927, 9.816, 9.676, 9.683, 9.677],
+        forestall: &[24.900, 15.985, 13.166, 11.768, 10.399, 10.182, 10.055, 10.077, 10.118, 10.065, 9.738],
+    },
+    PaperTable {
+        trace: "postgres-join", disks: &DISKS_6,
+        fixed_horizon: &[85.867, 81.184, 81.161, 81.161, 81.161, 81.161],
+        aggressive: &[85.559, 82.286, 82.586, 82.294, 82.239, 82.176],
+        reverse: &[84.984, 81.163, 81.164, 81.169, 81.170, 81.175],
+        forestall: &[85.557, 81.472, 81.438, 81.144, 81.143, 81.145],
+    },
+    PaperTable {
+        trace: "postgres-select", disks: &DISKS_11,
+        fixed_horizon: &[45.390, 25.667, 18.963, 16.174, 14.422, 13.601, 13.496, 13.093, 13.054, 13.038, 13.038],
+        aggressive: &[43.711, 23.792, 16.537, 13.864, 13.121, 13.137, 13.391, 13.455, 13.434, 13.405, 13.343],
+        reverse: &[41.987, 21.492, 15.797, 13.158, 13.032, 13.033, 13.034, 13.039, 13.036, 13.039, 13.042],
+        forestall: &[43.711, 23.811, 16.537, 13.864, 13.020, 13.131, 13.376, 13.384, 13.182, 13.021, 13.020],
+    },
+    PaperTable {
+        trace: "xds", disks: &DISKS_6,
+        fixed_horizon: &[65.611, 37.993, 36.248, 34.167, 33.503, 33.123],
+        aggressive: &[63.708, 34.305, 33.716, 35.123, 34.368, 35.241],
+        reverse: &[64.180, 33.348, 33.570, 33.125, 33.042, 33.105],
+        forestall: &[63.708, 33.880, 33.711, 33.933, 34.153, 33.650],
+    },
+    PaperTable {
+        trace: "synth", disks: &DISKS_4,
+        fixed_horizon: &[201.439, 130.900, 118.856, 118.856],
+        aggressive: &[155.846, 121.740, 150.368, 150.145],
+        reverse: &[161.088, 123.621, 118.824, 118.945],
+        forestall: &[155.846, 120.538, 119.791, 118.856],
+    },
+];
+
+/// The paper's elapsed time (seconds) for `policy` on `trace` with
+/// `disks` drives, if the appendix reports that cell.
+pub fn paper_elapsed(trace: &str, policy: &str, disks: usize) -> Option<f64> {
+    let table = TABLES.iter().find(|t| t.trace == trace)?;
+    let col = table.disks.iter().position(|&d| d == disks)?;
+    let series = match policy {
+        "fixed-horizon" => table.fixed_horizon,
+        "aggressive" => table.aggressive,
+        "reverse-aggressive" => table.reverse,
+        "forestall" => table.forestall,
+        _ => return None,
+    };
+    series.get(col).copied()
+}
+
+/// All (trace, disks) cells the paper reports, for sweep drivers.
+pub fn paper_cells(trace: &str) -> Option<&'static [usize]> {
+    TABLES.iter().find(|t| t.trace == trace).map(|t| t.disks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_known_cells() {
+        assert_eq!(paper_elapsed("synth", "fixed-horizon", 1), Some(201.439));
+        assert_eq!(paper_elapsed("cscope2", "forestall", 16), Some(40.347));
+        assert_eq!(paper_elapsed("ld", "reverse-aggressive", 10), Some(9.676));
+    }
+
+    #[test]
+    fn missing_cells_are_none() {
+        assert_eq!(paper_elapsed("synth", "fixed-horizon", 16), None);
+        assert_eq!(paper_elapsed("nope", "aggressive", 1), None);
+        assert_eq!(paper_elapsed("synth", "demand", 1), None);
+    }
+
+    #[test]
+    fn every_table_is_rectangular() {
+        for t in &TABLES {
+            let n = t.disks.len();
+            assert_eq!(t.fixed_horizon.len(), n, "{}", t.trace);
+            assert_eq!(t.aggressive.len(), n, "{}", t.trace);
+            assert_eq!(t.reverse.len(), n, "{}", t.trace);
+            assert_eq!(t.forestall.len(), n, "{}", t.trace);
+        }
+    }
+
+    #[test]
+    fn covers_all_ten_traces() {
+        for name in parcache_trace::TRACE_NAMES {
+            assert!(paper_cells(name).is_some(), "{name} missing");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Table formatting in the shape of the paper's figures and appendices.
+
+use parcache_core::engine::Report;
+use parcache_types::Nanos;
+
+/// One row of a breakdown table (one policy at one array size).
+#[derive(Debug, Clone)]
+pub struct BreakdownRow {
+    /// Array size.
+    pub disks: usize,
+    /// Policy name.
+    pub policy: String,
+    /// The run's report.
+    pub report: Report,
+}
+
+impl BreakdownRow {
+    /// Builds a row from a report.
+    pub fn new(report: Report) -> BreakdownRow {
+        BreakdownRow {
+            disks: report.disks,
+            policy: report.policy.clone(),
+            report,
+        }
+    }
+}
+
+/// Percentage difference of `a` relative to `b`: `(a - b) / b * 100`.
+pub fn percent(a: Nanos, b: Nanos) -> f64 {
+    if b == Nanos::ZERO {
+        return 0.0;
+    }
+    (a.as_nanos() as f64 - b.as_nanos() as f64) / b.as_nanos() as f64 * 100.0
+}
+
+/// Formats rows in the style of the appendix tables: per disk count and
+/// policy, the fetches, driver time, stall time, elapsed time, average
+/// fetch time, and average disk utilization.
+pub fn breakdown_table(title: &str, rows: &[BreakdownRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<6} {:<20} {:>8} {:>12} {:>12} {:>12} {:>12} {:>6}",
+        "disks", "policy", "fetches", "driver(s)", "stall(s)", "elapsed(s)", "avg fetch", "util"
+    );
+    for row in rows {
+        let r = &row.report;
+        let _ = writeln!(
+            out,
+            "{:<6} {:<20} {:>8} {:>12.4} {:>12.3} {:>12.3} {:>10.3}ms {:>6.2}",
+            row.disks,
+            row.policy,
+            r.fetches,
+            r.driver.as_secs_f64(),
+            r.stall.as_secs_f64(),
+            r.elapsed.as_secs_f64(),
+            r.avg_fetch_time.as_millis_f64(),
+            r.avg_disk_utilization,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcache_core::policy::PolicyKind;
+    use parcache_core::SimConfig;
+
+    #[test]
+    fn percent_matches_definition() {
+        assert_eq!(percent(Nanos(110), Nanos(100)), 10.0);
+        assert_eq!(percent(Nanos(90), Nanos(100)), -10.0);
+        assert_eq!(percent(Nanos(50), Nanos::ZERO), 0.0);
+    }
+
+    #[test]
+    fn breakdown_table_contains_all_rows() {
+        let t = parcache_trace::synth::synth_trace(2, 50, 3);
+        let cfg = SimConfig::for_trace(1, &t);
+        let r = parcache_core::simulate(&t, PolicyKind::Demand, &cfg);
+        let rows = vec![BreakdownRow::new(r)];
+        let s = breakdown_table("test", &rows);
+        assert!(s.contains("== test =="));
+        assert!(s.contains("demand"));
+        assert!(s.lines().count() >= 3);
+    }
+}

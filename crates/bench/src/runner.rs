@@ -1,0 +1,95 @@
+//! Shared experiment runner: trace cache, disk-count grid, reverse
+//! aggressive parameter search.
+
+use parcache_core::engine::{simulate, Report};
+use parcache_core::policy::PolicyKind;
+use parcache_core::SimConfig;
+use parcache_trace::Trace;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// The seed used for every published experiment, so all tables and
+/// figures run against identical traces.
+pub const SEED: u64 = 1996;
+
+/// The paper's array sizes: 1-8, 10, 12, 16.
+pub const DISK_COUNTS: [usize; 11] = [1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16];
+
+/// The paper's array sizes (function form for iterator chains).
+pub fn paper_disk_counts() -> impl Iterator<Item = usize> {
+    DISK_COUNTS.into_iter()
+}
+
+/// Returns the named trace, generated once per process and cached.
+pub fn trace(name: &str) -> Trace {
+    static CACHE: OnceLock<Mutex<HashMap<String, Trace>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("trace cache poisoned");
+    map.entry(name.to_string())
+        .or_insert_with(|| {
+            parcache_trace::trace_by_name(name, SEED)
+                .unwrap_or_else(|| panic!("unknown trace {name}"))
+        })
+        .clone()
+}
+
+/// Runs one simulation.
+pub fn run(trace: &Trace, kind: PolicyKind, config: &SimConfig) -> Report {
+    simulate(trace, kind, config)
+}
+
+/// Reverse aggressive with per-configuration tuning, as the paper does:
+/// "reverse aggressive's fetch time estimate F̂ and batch size are chosen
+/// to minimize its elapsed time" (appendix A). Searches a small grid and
+/// returns the best run.
+pub fn best_reverse(trace: &Trace, base: &SimConfig) -> Report {
+    let fetch_estimates = [1u64, 4, 16, 64];
+    let batches = [4usize, 40];
+    let mut best: Option<Report> = None;
+    for f in fetch_estimates {
+        for b in batches {
+            let cfg = base.clone().with_reverse_params(f, b);
+            let r = simulate(trace, PolicyKind::ReverseAggressive, &cfg);
+            if best.as_ref().is_none_or(|cur| r.elapsed < cur.elapsed) {
+                best = Some(r);
+            }
+        }
+    }
+    best.expect("non-empty parameter grid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_cache_returns_consistent_traces() {
+        let a = trace("synth");
+        let b = trace("synth");
+        assert_eq!(a, b);
+        assert_eq!(a.stats().reads, 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown trace")]
+    fn unknown_trace_panics() {
+        trace("nope");
+    }
+
+    #[test]
+    fn disk_counts_match_paper() {
+        assert_eq!(DISK_COUNTS.len(), 11);
+        assert_eq!(DISK_COUNTS[0], 1);
+        assert_eq!(DISK_COUNTS[10], 16);
+        assert_eq!(paper_disk_counts().count(), 11);
+    }
+
+    #[test]
+    fn best_reverse_is_no_worse_than_default() {
+        let t = parcache_trace::synth::synth_trace(3, 200, 7);
+        let cfg = SimConfig::for_trace(2, &t);
+        let default = run(&t, PolicyKind::ReverseAggressive, &cfg);
+        let tuned = best_reverse(&t, &cfg);
+        assert!(tuned.elapsed <= default.elapsed);
+    }
+}

@@ -1,0 +1,204 @@
+//! The forestall algorithm (§5) — the paper's new hybrid.
+//!
+//! Forestall behaves like fixed horizon when there is no danger of
+//! stalling (late fetches, best replacements) and like aggressive when
+//! stalls loom. For each disk it estimates F' — an overestimate of the
+//! ratio of fetch time to inter-reference compute time — and predicts a
+//! stall whenever the i-th missing block on the disk sits within `i * F'`
+//! references of the cursor (`iF' > d_i`): the disk cannot fetch i blocks
+//! in less time than the application takes to reach them. When a stall is
+//! predicted on a free disk, forestall prefetches there in batches exactly
+//! as aggressive does; independently, fixed horizon's rule issues any
+//! fetch whose block is within H references.
+//!
+//! F is estimated per disk from the most recent 100 fetch times and the
+//! most recent 100 compute times; the overestimate is F' = F for disks
+//! averaging under 5 ms per access (sequential, readahead-served loads)
+//! and F' = 4F otherwise, per §5's "practical considerations". A static
+//! multiplier can be configured instead (appendix H).
+
+use crate::algs::aggressive::fill_free_disk_batches;
+use crate::algs::fixed_horizon::FixedHorizon;
+use crate::engine::Ctx;
+use crate::policy::Policy;
+use parcache_types::{DiskId, Nanos};
+
+/// Disks averaging under this per-access time use the low F' multiplier.
+const FAST_DISK_THRESHOLD: Nanos = Nanos::from_millis(5);
+
+/// Lookahead for stall prediction: `2K` references (§5).
+const LOOKAHEAD_CACHES: usize = 2;
+
+/// Fallback F when a disk has no fetch history yet: a conservative
+/// average response time, as used to derive the prefetch horizon (§2.6).
+const DEFAULT_FETCH: Nanos = Nanos::from_millis(15);
+
+/// The forestall policy.
+#[derive(Debug)]
+pub struct Forestall {
+    batch_size: usize,
+    horizon_rule: FixedHorizon,
+    /// Static F' multiplier; `None` selects the dynamic 1x/4x rule.
+    static_multiplier: Option<f64>,
+}
+
+impl Forestall {
+    /// Creates the policy from the run configuration.
+    pub fn new(config: &crate::config::SimConfig) -> Forestall {
+        Forestall {
+            batch_size: config.batch_size,
+            horizon_rule: FixedHorizon::new(config.horizon),
+            static_multiplier: config.forestall_static_f,
+        }
+    }
+
+    /// The overestimated fetch/compute ratio F' for `disk`.
+    fn f_prime(&self, ctx: &Ctx<'_>, disk: usize) -> f64 {
+        let avg_fetch = ctx.history.avg_fetch(disk).unwrap_or(DEFAULT_FETCH);
+        let f = ctx.history.fetch_compute_ratio(disk).unwrap_or_else(|| {
+            let c = ctx
+                .history
+                .avg_compute()
+                .unwrap_or(Nanos::from_millis(1))
+                .as_nanos()
+                .max(1) as f64;
+            avg_fetch.as_nanos() as f64 / c
+        });
+        let multiplier = self.static_multiplier.unwrap_or({
+            if avg_fetch < FAST_DISK_THRESHOLD {
+                1.0
+            } else {
+                4.0
+            }
+        });
+        (f * multiplier).max(1.0)
+    }
+
+    /// True when, at the current cache state, the application will surely
+    /// stall on some missing block of `disk`: exists i with `i * F' >= d_i`.
+    fn stall_predicted(&self, ctx: &Ctx<'_>, disk: usize) -> bool {
+        let f_prime = self.f_prime(ctx, disk);
+        let cursor = ctx.cursor;
+        let window_end = cursor.saturating_add(LOOKAHEAD_CACHES * ctx.cache.capacity());
+        let mut i = 0u64;
+        for pos in ctx.missing.missing_on_disk_in_window(disk, cursor, window_end) {
+            i += 1;
+            let distance = (pos - cursor) as f64;
+            if i as f64 * f_prime >= distance {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Policy for Forestall {
+    fn name(&self) -> &'static str {
+        "forestall"
+    }
+
+    fn decide(&mut self, ctx: &mut Ctx<'_>) {
+        // Aggressive-style batches on every free disk that would stall.
+        for d in 0..ctx.config.disks {
+            if ctx.array.is_free(DiskId(d)) && self.stall_predicted(ctx, d) {
+                fill_free_disk_batches(ctx, self.batch_size, Some(d));
+            }
+        }
+        // Fixed horizon's rule: never let a block inside H go unfetched
+        // (guards against CSCAN reordering stalls, §5).
+        self.horizon_rule.decide(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DiskModelKind, SimConfig};
+    use crate::engine::simulate_with;
+    use crate::policy::PolicyKind;
+    use parcache_trace::{Request, Trace};
+    use parcache_types::{BlockId, Nanos};
+
+    fn trace_of(blocks: &[u64], compute_ms: u64, cache: usize) -> Trace {
+        Trace::new(
+            "t",
+            blocks
+                .iter()
+                .map(|&b| Request {
+                    block: BlockId(b),
+                    compute: Nanos::from_millis(compute_ms),
+                })
+                .collect(),
+            cache,
+        )
+    }
+
+    fn cfg(disks: usize, cache: usize, fetch_ms: u64) -> SimConfig {
+        let mut c = SimConfig::new(disks, cache);
+        c.disk_model = DiskModelKind::Uniform(Nanos::from_millis(fetch_ms));
+        c.driver_overhead = Nanos::ZERO;
+        c.horizon = 4;
+        c.batch_size = 4;
+        c
+    }
+
+    #[test]
+    fn io_bound_behaves_like_aggressive() {
+        // Compute 1ms, fetch 8ms: heavily I/O bound. Forestall should
+        // keep the disk busy like aggressive, not idle like fixed horizon.
+        let blocks: Vec<u64> = (0..40).collect();
+        let t = trace_of(&blocks, 1, 16);
+        let c = cfg(1, 16, 8);
+        let agg = crate::engine::simulate(&t, PolicyKind::Aggressive, &c);
+        let mut p = Forestall::new(&c);
+        let f = simulate_with(&t, &mut p, &c);
+        // Within 5% of aggressive's elapsed time.
+        let ratio = f.elapsed.as_nanos() as f64 / agg.elapsed.as_nanos() as f64;
+        assert!(ratio < 1.05, "forestall {} vs aggressive {}", f.elapsed, agg.elapsed);
+    }
+
+    #[test]
+    fn compute_bound_behaves_like_fixed_horizon() {
+        // Compute 20ms, fetch 2ms: compute-bound with a hot re-reference
+        // pattern. Forestall should not fetch more than fixed horizon.
+        let mut blocks: Vec<u64> = Vec::new();
+        for _ in 0..10 {
+            blocks.extend(0..6u64);
+        }
+        let t = trace_of(&blocks, 20, 4);
+        let c = cfg(1, 4, 2);
+        let fh = crate::engine::simulate(&t, PolicyKind::FixedHorizon, &c);
+        let mut p = Forestall::new(&c);
+        let f = simulate_with(&t, &mut p, &c);
+        assert!(
+            f.fetches <= fh.fetches + 2,
+            "forestall fetched {} vs fixed horizon {}",
+            f.fetches,
+            fh.fetches
+        );
+        assert!(f.elapsed <= fh.elapsed + Nanos::from_millis(2));
+    }
+
+    #[test]
+    fn static_multiplier_is_respected() {
+        let blocks: Vec<u64> = (0..20).collect();
+        let t = trace_of(&blocks, 1, 8);
+        let mut c = cfg(1, 8, 8);
+        c.forestall_static_f = Some(8.0);
+        let mut p = Forestall::new(&c);
+        assert_eq!(p.static_multiplier, Some(8.0));
+        let r = simulate_with(&t, &mut p, &c);
+        assert_eq!(r.fetches, 20);
+    }
+
+    #[test]
+    fn serves_all_references() {
+        let blocks: Vec<u64> = (0..50).map(|i| i % 10).collect();
+        let t = trace_of(&blocks, 2, 4);
+        let c = cfg(2, 4, 5);
+        let mut p = Forestall::new(&c);
+        let r = simulate_with(&t, &mut p, &c);
+        assert_eq!(r.elapsed, r.compute + r.driver + r.stall);
+        assert!(r.fetches >= 10);
+    }
+}

@@ -1,0 +1,586 @@
+//! The reverse aggressive algorithm (§2.5, §2.7).
+//!
+//! Reverse aggressive is offline: before the run it constructs a complete
+//! prefetching schedule, then replays it against the real disk model.
+//!
+//! **Reverse pass.** Assuming a fixed fetch-time/compute-time ratio F̂, it
+//! simulates the batched aggressive algorithm over the *reversed* request
+//! sequence in the uniform fetch-time model: whenever a disk is free, it
+//! fetches the first missing block on that disk, evicting the resident
+//! block not needed for the longest time, provided the eviction's next
+//! request falls after the fetched block's (do no harm), in batches.
+//!
+//! **Transformation.** Each reverse *eviction* of block E at reverse
+//! cursor c becomes a forward *fetch* of E, ordered by the forward
+//! request index it serves (E's most recent reverse use before c maps to
+//! E's next forward use after the fetch point). Each reverse *fetch* of
+//! block B serving its use at reverse position r becomes a forward
+//! *eviction* of B with release time `n - r` — one past B's last forward
+//! use before it is refetched. Blocks still resident at the end of the
+//! reverse pass become cold-start forward fetches keyed by their first
+//! forward use. Fetches are sorted by request index, evictions by release
+//! point, and matched in order (the first K fetches fill cold frames).
+//!
+//! **Forward replay.** Whenever a disk D is free, the first up to
+//! batch-size released pairs whose fetch block lives on D are issued
+//! (§2.7). Demand misses consume the block's scheduled pair early; stale
+//! evictions are repaired with the current furthest-future resident.
+
+use crate::cache::{Cache, MissingTracker};
+use crate::config::SimConfig;
+use crate::engine::Ctx;
+use crate::oracle::{Oracle, NEVER};
+use crate::policy::{demand_fetch, Policy};
+use parcache_disk::Layout;
+use parcache_trace::Trace;
+use parcache_types::{BlockId, DiskId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// One scheduled forward fetch/eviction pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pair {
+    /// The block to fetch.
+    pub block: BlockId,
+    /// Forward position of the fetched block's next use (ordering key).
+    pub key: usize,
+    /// The block to evict, if the schedule calls for one.
+    pub evict: Option<BlockId>,
+    /// Earliest cursor position at which the eviction may happen.
+    pub release: usize,
+}
+
+/// An event recorded during the reverse pass.
+#[derive(Debug, Clone, Copy)]
+struct RevEvent {
+    /// Block fetched in the reverse world.
+    fetched: BlockId,
+    /// Block evicted in the reverse world, if any.
+    evicted: Option<BlockId>,
+    /// Reverse cursor at issue time.
+    cursor: usize,
+    /// Reverse position of the use this fetch serves.
+    target: usize,
+}
+
+/// Outcome of attempting to issue a scheduled pair.
+enum IssueOutcome {
+    /// A fetch went out.
+    Issued,
+    /// The pair was obsolete (block already resident or in flight).
+    Skipped,
+    /// No frame could be freed; the pair stays pending.
+    Blocked,
+}
+
+/// The reverse aggressive policy.
+pub struct ReverseAggressive {
+    /// Pairs sorted by `key`.
+    schedule: Vec<Pair>,
+    consumed: Vec<bool>,
+    /// Pending pair indexes per disk, in key order.
+    per_disk: Vec<VecDeque<usize>>,
+    /// Pending pair indexes per block (for demand misses).
+    by_block: HashMap<BlockId, VecDeque<usize>>,
+    batch_size: usize,
+}
+
+impl ReverseAggressive {
+    /// Builds the offline schedule for `trace` under `config`.
+    ///
+    /// The fetch-time estimate F̂ is `config.reverse_fetch_estimate`
+    /// compute-steps per fetch; the batch size is
+    /// `config.reverse_batch_size`.
+    pub fn new(trace: &Trace, config: &SimConfig) -> ReverseAggressive {
+        let layout = Layout::striped(config.disks);
+        let schedule = build_schedule(
+            trace,
+            layout,
+            config.cache_blocks,
+            config.reverse_fetch_estimate,
+            config.reverse_batch_size,
+            &config.hints,
+        );
+        let mut per_disk: Vec<VecDeque<usize>> = vec![VecDeque::new(); config.disks];
+        let mut by_block: HashMap<BlockId, VecDeque<usize>> = HashMap::new();
+        for (i, p) in schedule.iter().enumerate() {
+            per_disk[layout.disk_of(p.block).index()].push_back(i);
+            by_block.entry(p.block).or_default().push_back(i);
+        }
+        ReverseAggressive {
+            consumed: vec![false; schedule.len()],
+            schedule,
+            per_disk,
+            by_block,
+            batch_size: config.reverse_batch_size,
+        }
+    }
+
+    /// The constructed schedule (diagnostics, tests).
+    pub fn schedule(&self) -> &[Pair] {
+        &self.schedule
+    }
+
+    /// Attempts to issue pair `i`, repairing a stale eviction.
+    fn issue_pair(&mut self, ctx: &mut Ctx<'_>, i: usize) -> IssueOutcome {
+        let pair = self.schedule[i];
+        if ctx.cache.resident(pair.block) || ctx.cache.inflight(pair.block) {
+            self.consumed[i] = true; // already handled (e.g. demand fetch)
+            return IssueOutcome::Skipped;
+        }
+        // Resolve the eviction: prefer the scheduled victim, fall back to
+        // a free frame or the current furthest-future resident.
+        let evict = match pair.evict {
+            Some(e) if ctx.cache.resident(e) && Some(e) != ctx.cache.pinned() => Some(e),
+            _ if ctx.cache.has_free_frame() => None,
+            _ => match ctx.cache.furthest_resident(ctx.cursor, ctx.oracle) {
+                Some((victim, _)) => Some(victim),
+                // Every frame is in flight; keep the pair for later.
+                None => return IssueOutcome::Blocked,
+            },
+        };
+        self.consumed[i] = true;
+        ctx.issue_fetch(pair.block, evict);
+        IssueOutcome::Issued
+    }
+}
+
+impl Policy for ReverseAggressive {
+    fn name(&self) -> &'static str {
+        "reverse-aggressive"
+    }
+
+    fn decide(&mut self, ctx: &mut Ctx<'_>) {
+        for d in 0..ctx.config.disks {
+            if !ctx.array.is_free(DiskId(d)) {
+                continue;
+            }
+            let mut issued = 0;
+            // Scan this disk's pending pairs in key order, issuing the
+            // released ones. Releases are near-sorted by construction, so
+            // stop at the first pair released well in the future.
+            let mut requeue: Vec<usize> = Vec::new();
+            while issued < self.batch_size {
+                let Some(i) = self.per_disk[d].pop_front() else {
+                    break;
+                };
+                if self.consumed[i] {
+                    continue;
+                }
+                if self.schedule[i].release > ctx.cursor {
+                    requeue.push(i);
+                    // Unreleased; deeper pairs release even later in the
+                    // common case. Probe a bounded window then stop.
+                    if requeue.len() > 2 * self.batch_size {
+                        break;
+                    }
+                    continue;
+                }
+                match self.issue_pair(ctx, i) {
+                    IssueOutcome::Issued => issued += 1,
+                    IssueOutcome::Skipped => {}
+                    IssueOutcome::Blocked => {
+                        requeue.push(i);
+                        break;
+                    }
+                }
+            }
+            // Put unreleased pairs back, preserving order.
+            for &i in requeue.iter().rev() {
+                self.per_disk[d].push_front(i);
+            }
+        }
+    }
+
+    fn on_miss(&mut self, ctx: &mut Ctx<'_>, block: BlockId) {
+        // Consume the block's next scheduled pair, if any, then fetch.
+        if let Some(queue) = self.by_block.get_mut(&block) {
+            while let Some(i) = queue.pop_front() {
+                if !self.consumed[i] {
+                    self.consumed[i] = true;
+                    break;
+                }
+            }
+        }
+        demand_fetch(ctx, block);
+    }
+}
+
+/// Runs the reverse pass and transforms it into the forward schedule.
+fn build_schedule(
+    trace: &Trace,
+    layout: Layout,
+    cache_blocks: usize,
+    fetch_estimate: u64,
+    batch_size: usize,
+    hints: &crate::hints::HintSpec,
+) -> Vec<Pair> {
+    let n = trace.requests.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // The offline pass only knows the disclosed references: reverse the
+    // sequence, keeping only hinted positions (reverse index j maps to
+    // forward index n-1-j).
+    let mask = hints.mask(n);
+    let entries: Vec<(usize, BlockId)> = (0..n)
+        .filter(|&j| mask[n - 1 - j])
+        .map(|j| (j, trace.requests[n - 1 - j].block))
+        .collect();
+    let rev_oracle = Oracle::from_positions(n, entries, layout);
+    let (events, final_cache) = reverse_pass(&rev_oracle, cache_blocks, fetch_estimate, batch_size);
+
+    // Transform reverse events into forward fetches and evictions.
+    let mut fetches: Vec<(usize, BlockId)> = Vec::new(); // (key, block)
+    let mut evictions: Vec<(usize, BlockId)> = Vec::new(); // (release, block)
+    for e in &events {
+        // Reverse fetch of `fetched` serving reverse position `target`
+        // -> forward eviction with release one past the corresponding
+        // forward use.
+        let release = n - e.target.min(n - 1);
+        evictions.push((release, e.fetched));
+        if let Some(ev) = e.evicted {
+            // Reverse eviction -> forward fetch keyed by the evicted
+            // block's most recent reverse use before the eviction point,
+            // which is its next forward use after the fetch.
+            if let Some(last_use) = last_occurrence_before(&rev_oracle, ev, e.cursor) {
+                fetches.push((n - 1 - last_use, ev));
+            }
+            // No prior reverse use: the fetch would serve no forward
+            // reference — drop it (reverse prefetch waste).
+        }
+    }
+    // Blocks resident at reverse end: cold-start forward fetches.
+    for b in final_cache {
+        let first = rev_oracle.next_occurrence(b, 0);
+        if first != NEVER {
+            // Last reverse occurrence = first forward occurrence.
+            let last = last_occurrence_before(&rev_oracle, b, rev_oracle.len())
+                .expect("resident block was referenced");
+            fetches.push((n - 1 - last, b));
+        }
+    }
+
+    fetches.sort_unstable();
+    evictions.sort_unstable();
+
+    // Match fetches to evictions in order; the first `cache_blocks`
+    // fetches fill cold frames. Surplus evictions are dropped.
+    let mut pairs: Vec<Pair> = Vec::with_capacity(fetches.len());
+    let mut ev_iter = evictions.into_iter();
+    for (i, (key, block)) in fetches.into_iter().enumerate() {
+        let (evict, release) = if i < cache_blocks {
+            (None, 0)
+        } else {
+            match ev_iter.next() {
+                Some((release, e)) => (Some(e), release),
+                None => (None, 0),
+            }
+        };
+        pairs.push(Pair {
+            block,
+            key,
+            evict,
+            release,
+        });
+    }
+    pairs
+}
+
+/// The last position `< before` at which `block` is referenced.
+fn last_occurrence_before(oracle: &Oracle, block: BlockId, before: usize) -> Option<usize> {
+    // Scan via next_occurrence ranges: binary search on the occurrence
+    // list through the oracle's public API.
+    let first = oracle.next_occurrence(block, 0);
+    if first == NEVER || first >= before {
+        return None;
+    }
+    // Exponential + binary search over occurrence positions.
+    let mut lo = first; // known occurrence < before
+    loop {
+        let next = oracle.next_occurrence(block, lo + 1);
+        if next == NEVER || next >= before {
+            return Some(lo);
+        }
+        lo = next;
+    }
+}
+
+/// Simulates batched aggressive over the reversed sequence in the uniform
+/// fetch-time model. Returns the issue events and the final cache
+/// contents.
+fn reverse_pass(
+    oracle: &Oracle,
+    cache_blocks: usize,
+    fetch_time: u64,
+    batch_size: usize,
+) -> (Vec<RevEvent>, Vec<BlockId>) {
+    let n = oracle.len();
+    let disks = oracle.layout().disks();
+    let mut cache = Cache::new(cache_blocks);
+    let mut missing = MissingTracker::new(oracle);
+    let mut events: Vec<RevEvent> = Vec::new();
+
+    let mut time: u64 = 0;
+    let mut cursor: usize = 0;
+    let mut busy_until: Vec<u64> = vec![0; disks];
+    // Pending completions: (time, block), min-heap.
+    let mut completions: BinaryHeap<Reverse<(u64, BlockId)>> = BinaryHeap::new();
+    let mut completion_of: HashMap<BlockId, u64> = HashMap::new();
+
+    // Applies all completions due by `time`.
+    let advance = |time: u64,
+                   completions: &mut BinaryHeap<Reverse<(u64, BlockId)>>,
+                   completion_of: &mut HashMap<BlockId, u64>,
+                   cache: &mut Cache,
+                   cursor: usize| {
+        while let Some(&Reverse((t, b))) = completions.peek() {
+            if t > time {
+                break;
+            }
+            completions.pop();
+            completion_of.remove(&b);
+            cache.complete_fetch(b, cursor, oracle);
+        }
+    };
+
+    // Fills batches on free disks, aggressive-style.
+    #[allow(clippy::too_many_arguments)]
+    fn decide(
+        oracle: &Oracle,
+        cache: &mut Cache,
+        missing: &mut MissingTracker,
+        events: &mut Vec<RevEvent>,
+        busy_until: &mut [u64],
+        completions: &mut BinaryHeap<Reverse<(u64, BlockId)>>,
+        completion_of: &mut HashMap<BlockId, u64>,
+        time: u64,
+        cursor: usize,
+        fetch_time: u64,
+        batch_size: usize,
+    ) {
+        let disks = busy_until.len();
+        let mut budget: Vec<usize> = busy_until
+            .iter()
+            .map(|&u| if u <= time { batch_size } else { 0 })
+            .collect();
+        let mut from: Vec<usize> = vec![cursor; disks];
+        loop {
+            let mut best: Option<(usize, usize)> = None;
+            for d in 0..disks {
+                if budget[d] == 0 {
+                    continue;
+                }
+                if let Some(p) = missing.first_missing_on_disk(d, from[d]) {
+                    if best.is_none_or(|(bp, _)| p < bp) {
+                        best = Some((p, d));
+                    }
+                }
+            }
+            let Some((pos, disk)) = best else { return };
+            let block = oracle.block_at(pos);
+            let evict = if cache.has_free_frame() {
+                None
+            } else {
+                match cache.furthest_resident(cursor, oracle) {
+                    Some((victim, key)) if key > pos => Some(victim),
+                    _ => return, // do no harm: stop entirely
+                }
+            };
+            cache.start_fetch(block, evict);
+            missing.on_fetch_issued(block, cursor, oracle);
+            if let Some(e) = evict {
+                missing.on_evicted(e, cursor, oracle);
+            }
+            let done = busy_until[disk].max(time) + fetch_time;
+            busy_until[disk] = done;
+            completions.push(Reverse((done, block)));
+            completion_of.insert(block, done);
+            events.push(RevEvent {
+                fetched: block,
+                evicted: evict,
+                cursor,
+                target: pos,
+            });
+            budget[disk] -= 1;
+            from[disk] = pos + 1;
+        }
+    }
+
+    for i in 0..n {
+        // Undisclosed references are invisible to the offline planner:
+        // they cost their compute step but trigger nothing.
+        if oracle.block_at(i) == crate::oracle::UNKNOWN_BLOCK {
+            cursor = i + 1;
+            time += 1;
+            continue;
+        }
+        advance(time, &mut completions, &mut completion_of, &mut cache, cursor);
+        decide(
+            oracle,
+            &mut cache,
+            &mut missing,
+            &mut events,
+            &mut busy_until,
+            &mut completions,
+            &mut completion_of,
+            time,
+            cursor,
+            fetch_time,
+            batch_size,
+        );
+        let b = oracle.block_at(i);
+        if !cache.resident(b) {
+            if !cache.inflight(b) {
+                // Demand fetch with the best possible eviction.
+                let evict = if cache.has_free_frame() {
+                    None
+                } else {
+                    cache
+                        .furthest_resident(cursor, oracle)
+                        .map(|(victim, _)| victim)
+                };
+                let disk = oracle.disk_of(b).index();
+                cache.start_fetch(b, evict);
+                missing.on_fetch_issued(b, cursor, oracle);
+                if let Some(e) = evict {
+                    missing.on_evicted(e, cursor, oracle);
+                }
+                let done = busy_until[disk].max(time) + fetch_time;
+                busy_until[disk] = done;
+                completions.push(Reverse((done, b)));
+                completion_of.insert(b, done);
+                events.push(RevEvent {
+                    fetched: b,
+                    evicted: evict,
+                    cursor,
+                    target: i,
+                });
+            }
+            let arrival = completion_of
+                .get(&b)
+                .copied()
+                .expect("stalled block has a pending fetch");
+            time = time.max(arrival);
+            advance(time, &mut completions, &mut completion_of, &mut cache, cursor);
+        }
+        cache.on_reference(b, i, oracle);
+        cursor = i + 1;
+        time += 1;
+    }
+
+    let final_cache: Vec<BlockId> = cache.resident_blocks().collect();
+    (events, final_cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiskModelKind;
+    use crate::engine::{simulate, simulate_with};
+    use crate::policy::PolicyKind;
+    use parcache_trace::Request;
+    use parcache_types::Nanos;
+
+    fn trace_of(blocks: &[u64], cache: usize) -> Trace {
+        Trace::new(
+            "t",
+            blocks
+                .iter()
+                .map(|&b| Request {
+                    block: BlockId(b),
+                    compute: Nanos::from_millis(1),
+                })
+                .collect(),
+            cache,
+        )
+    }
+
+    fn cfg(disks: usize, cache: usize, fetch_ms: u64) -> SimConfig {
+        let mut c = SimConfig::new(disks, cache);
+        c.disk_model = DiskModelKind::Uniform(Nanos::from_millis(fetch_ms));
+        c.driver_overhead = Nanos::ZERO;
+        c.reverse_fetch_estimate = fetch_ms;
+        c.reverse_batch_size = 4;
+        c
+    }
+
+    #[test]
+    fn schedule_covers_every_distinct_block() {
+        let blocks: Vec<u64> = (0..20).chain(0..20).collect();
+        let t = trace_of(&blocks, 8);
+        let c = cfg(2, 8, 3);
+        let p = ReverseAggressive::new(&t, &c);
+        let scheduled: std::collections::HashSet<BlockId> =
+            p.schedule().iter().map(|q| q.block).collect();
+        for b in 0..20u64 {
+            assert!(scheduled.contains(&BlockId(b)), "block {b} unscheduled");
+        }
+    }
+
+    #[test]
+    fn schedule_keys_are_sorted() {
+        let blocks: Vec<u64> = (0..30).chain((0..30).rev()).collect();
+        let t = trace_of(&blocks, 10);
+        let c = cfg(3, 10, 4);
+        let p = ReverseAggressive::new(&t, &c);
+        let keys: Vec<usize> = p.schedule().iter().map(|q| q.key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn replay_serves_everything() {
+        let blocks: Vec<u64> = (0..40).map(|i| (i * 7) % 15).collect();
+        let t = trace_of(&blocks, 6);
+        let c = cfg(2, 6, 5);
+        let mut p = ReverseAggressive::new(&t, &c);
+        let r = simulate_with(&t, &mut p, &c);
+        assert_eq!(r.elapsed, r.compute + r.driver + r.stall);
+        assert!(r.fetches >= 15, "fetches {}", r.fetches);
+    }
+
+    #[test]
+    fn competitive_with_aggressive_on_balanced_load() {
+        // On a balanced striped sequential load, reverse aggressive should
+        // be in the same league as aggressive (paper: never much better,
+        // rarely much worse).
+        let blocks: Vec<u64> = (0..60).collect();
+        let t = trace_of(&blocks, 16);
+        let c = cfg(2, 16, 4);
+        let agg = simulate(&t, PolicyKind::Aggressive, &c);
+        let rev = simulate(&t, PolicyKind::ReverseAggressive, &c);
+        let ratio = rev.elapsed.as_nanos() as f64 / agg.elapsed.as_nanos() as f64;
+        assert!(ratio < 1.3, "reverse {} vs aggressive {}", rev.elapsed, agg.elapsed);
+    }
+
+    #[test]
+    fn beats_demand_fetching() {
+        let blocks: Vec<u64> = (0..50).collect();
+        let t = trace_of(&blocks, 10);
+        let c = cfg(2, 10, 6);
+        let demand = simulate(&t, PolicyKind::Demand, &c);
+        let rev = simulate(&t, PolicyKind::ReverseAggressive, &c);
+        assert!(rev.elapsed < demand.elapsed);
+    }
+
+    #[test]
+    fn last_occurrence_before_works() {
+        let t = trace_of(&[1, 2, 1, 3, 1], 4);
+        let o = Oracle::new(&t, Layout::striped(1));
+        assert_eq!(last_occurrence_before(&o, BlockId(1), 5), Some(4));
+        assert_eq!(last_occurrence_before(&o, BlockId(1), 4), Some(2));
+        assert_eq!(last_occurrence_before(&o, BlockId(1), 1), Some(0));
+        assert_eq!(last_occurrence_before(&o, BlockId(1), 0), None);
+        assert_eq!(last_occurrence_before(&o, BlockId(9), 5), None);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_schedule() {
+        let t = trace_of(&[], 4);
+        let c = cfg(1, 4, 2);
+        let p = ReverseAggressive::new(&t, &c);
+        assert!(p.schedule().is_empty());
+    }
+}

@@ -1,0 +1,457 @@
+//! The block cache: residency, in-flight frame reservation, and
+//! furthest-next-reference (Belady) eviction.
+//!
+//! §2.1 semantics: the cache holds `K` frames. Issuing a fetch reserves a
+//! frame immediately — the evicted block becomes unavailable at issue time
+//! and the incoming block becomes available at completion; neither is
+//! accessible in between. `resident + in-flight <= K` always.
+
+use crate::oracle::{Oracle, NEVER};
+use parcache_types::BlockId;
+use std::collections::{BinaryHeap, HashSet};
+
+/// The cache state.
+#[derive(Debug)]
+pub struct Cache {
+    capacity: usize,
+    resident: HashSet<BlockId>,
+    inflight: HashSet<BlockId>,
+    /// Lazy max-heap over resident blocks keyed by next-reference
+    /// position. Entries go stale as the cursor advances or blocks are
+    /// evicted; they are validated against the oracle when popped.
+    belady: BinaryHeap<(usize, BlockId)>,
+    /// The block the application is about to reference, exempt from
+    /// eviction. Without this, a block demand-fetched for an
+    /// *undisclosed* reference (whose policy-visible next use is NEVER)
+    /// would be evicted the instant it arrived, re-demanded, and the
+    /// simulation would livelock — a real OS never evicts a page with an
+    /// outstanding demand on it.
+    pinned: Option<BlockId>,
+    /// Under incomplete hints, value blocks with no *disclosed* future by
+    /// LRU recency (`last use + capacity`) instead of "never used again",
+    /// the way TIP2 values unhinted pages. Off in the fully-hinted
+    /// setting, where absence of a future reference is exact knowledge.
+    lru_estimate: bool,
+    /// Most recent reference (or fetch) position per block, for the LRU
+    /// estimate. Only maintained when `lru_estimate` is on.
+    last_use: std::collections::HashMap<BlockId, usize>,
+}
+
+impl Cache {
+    /// Creates an empty cache of `capacity` frames.
+    pub fn new(capacity: usize) -> Cache {
+        assert!(capacity > 0, "cache must hold at least one block");
+        Cache {
+            capacity,
+            resident: HashSet::new(),
+            inflight: HashSet::new(),
+            belady: BinaryHeap::new(),
+            pinned: None,
+            lru_estimate: false,
+            last_use: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Enables LRU valuation of blocks with no disclosed future (used by
+    /// the engine for incomplete-hint runs).
+    pub fn enable_lru_estimate(&mut self) {
+        self.lru_estimate = true;
+    }
+
+    /// The Belady key of `block` for an event at position `pos`: its next
+    /// disclosed occurrence, or — under the LRU estimate — its last use
+    /// plus the cache capacity.
+    fn key_for(&self, block: BlockId, pos: usize, oracle: &Oracle) -> usize {
+        let next = oracle.next_occurrence(block, pos);
+        if next != NEVER || !self.lru_estimate {
+            return next;
+        }
+        self.last_use
+            .get(&block)
+            .map(|&lu| lu.saturating_add(self.capacity))
+            .unwrap_or(NEVER)
+    }
+
+    /// Pins `block` against eviction (the engine pins the current
+    /// reference); `None` unpins.
+    pub fn pin(&mut self, block: Option<BlockId>) {
+        self.pinned = block;
+    }
+
+    /// The currently pinned block, if any.
+    pub fn pinned(&self) -> Option<BlockId> {
+        self.pinned
+    }
+
+    /// Frame count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True when `block` is available in the cache.
+    pub fn resident(&self, block: BlockId) -> bool {
+        self.resident.contains(&block)
+    }
+
+    /// True when a fetch of `block` has been issued but not completed.
+    pub fn inflight(&self, block: BlockId) -> bool {
+        self.inflight.contains(&block)
+    }
+
+    /// Number of resident blocks.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Number of in-flight fetches.
+    pub fn inflight_count(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// True when a fetch can be issued without evicting anything.
+    pub fn has_free_frame(&self) -> bool {
+        self.resident.len() + self.inflight.len() < self.capacity
+    }
+
+    /// Begins a fetch of `block`, evicting `evict` if given.
+    ///
+    /// # Panics
+    ///
+    /// Panics on violated invariants: fetching a resident or in-flight
+    /// block, evicting a non-resident block, or fetching without a frame.
+    pub fn start_fetch(&mut self, block: BlockId, evict: Option<BlockId>) {
+        assert!(!self.resident(block), "fetching resident {block}");
+        assert!(!self.inflight(block), "duplicate fetch of {block}");
+        if let Some(e) = evict {
+            assert!(Some(e) != self.pinned, "evicting pinned {e}");
+            assert!(self.resident.remove(&e), "evicting non-resident {e}");
+            // The heap entry for `e` goes stale and is skipped on pop.
+        } else {
+            assert!(
+                self.resident.len() + self.inflight.len() < self.capacity,
+                "no free frame and no eviction"
+            );
+        }
+        self.inflight.insert(block);
+    }
+
+    /// Completes the fetch of `block` at cursor position `cursor`: the
+    /// block becomes resident and enters the Belady heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no fetch of `block` was in flight.
+    pub fn complete_fetch(&mut self, block: BlockId, cursor: usize, oracle: &Oracle) {
+        assert!(self.inflight.remove(&block), "completing unfetched {block}");
+        self.resident.insert(block);
+        if self.lru_estimate {
+            self.last_use.entry(block).or_insert(cursor);
+        }
+        self.belady.push((self.key_for(block, cursor, oracle), block));
+    }
+
+    /// Records that the application consumed `block` at position `pos`:
+    /// refreshes its Belady key to the next occurrence after `pos`.
+    pub fn on_reference(&mut self, block: BlockId, pos: usize, oracle: &Oracle) {
+        debug_assert!(self.resident(block), "consumed non-resident {block}");
+        if self.lru_estimate {
+            self.last_use.insert(block, pos + 1);
+        }
+        self.belady.push((self.key_for(block, pos + 1, oracle), block));
+    }
+
+    /// The evictable resident block whose next reference (at or after
+    /// `cursor`) is furthest in the future, with that position ([`NEVER`]
+    /// if it is never referenced again). `None` when nothing evictable is
+    /// resident. The pinned block is never returned.
+    ///
+    /// Lazily repairs stale heap entries; amortized cost is logarithmic.
+    pub fn furthest_resident(&mut self, cursor: usize, oracle: &Oracle) -> Option<(BlockId, usize)> {
+        let mut stash: Option<(usize, BlockId)> = None;
+        let mut found = None;
+        while let Some((key, block)) = self.belady.pop() {
+            if !self.resident(block) {
+                continue; // evicted since this entry was pushed
+            }
+            let actual = self.key_for(block, cursor, oracle);
+            if actual != key {
+                self.belady.push((actual, block));
+                continue;
+            }
+            if Some(block) == self.pinned {
+                // Valid entry, but exempt: set it aside and keep looking.
+                stash = Some((key, block));
+                continue;
+            }
+            self.belady.push((key, block));
+            found = Some((block, key));
+            break;
+        }
+        if let Some(entry) = stash {
+            self.belady.push(entry);
+        }
+        found
+    }
+
+    /// Iterates over resident blocks (unordered).
+    pub fn resident_blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.resident.iter().copied()
+    }
+}
+
+/// Dynamic index of *missing* blocks' next occurrences.
+///
+/// For every block that is neither resident nor in flight, the tracker
+/// holds the position of its next reference, globally and per disk. This
+/// is what lets every policy find "the first missing block (on disk D)"
+/// in logarithmic time instead of scanning the future.
+#[derive(Debug)]
+pub struct MissingTracker {
+    /// Next-occurrence positions of missing blocks, global.
+    global: std::collections::BTreeSet<usize>,
+    /// The same positions partitioned by disk.
+    per_disk: Vec<std::collections::BTreeSet<usize>>,
+}
+
+impl MissingTracker {
+    /// Builds the tracker for a cold cache: every distinct block is
+    /// missing at its first occurrence.
+    pub fn new(oracle: &Oracle) -> MissingTracker {
+        let mut t = MissingTracker {
+            global: Default::default(),
+            per_disk: vec![Default::default(); oracle.layout().disks()],
+        };
+        for (block, pos) in oracle.first_occurrences() {
+            t.insert(block, pos, oracle);
+        }
+        t
+    }
+
+    fn insert(&mut self, block: BlockId, pos: usize, oracle: &Oracle) {
+        if pos == NEVER {
+            return;
+        }
+        debug_assert_eq!(oracle.block_at(pos), block);
+        self.global.insert(pos);
+        self.per_disk[oracle.disk_of(block).index()].insert(pos);
+    }
+
+    /// A fetch of `block` was issued: it is no longer missing.
+    pub fn on_fetch_issued(&mut self, block: BlockId, cursor: usize, oracle: &Oracle) {
+        let pos = oracle.next_occurrence(block, cursor);
+        if pos == NEVER {
+            return;
+        }
+        self.global.remove(&pos);
+        self.per_disk[oracle.disk_of(block).index()].remove(&pos);
+    }
+
+    /// `block` was evicted at cursor position `cursor`: it is missing
+    /// again from its next reference on.
+    pub fn on_evicted(&mut self, block: BlockId, cursor: usize, oracle: &Oracle) {
+        let pos = oracle.next_occurrence(block, cursor);
+        self.insert(block, pos, oracle);
+    }
+
+    /// The first position `>= from` whose block is missing, globally.
+    pub fn first_missing(&self, from: usize) -> Option<usize> {
+        self.global.range(from..).next().copied()
+    }
+
+    /// The first position `>= from` whose block is missing and lives on
+    /// `disk`.
+    pub fn first_missing_on_disk(&self, disk: usize, from: usize) -> Option<usize> {
+        self.per_disk[disk].range(from..).next().copied()
+    }
+
+    /// Positions of missing blocks in `[from, to)`, globally, ascending.
+    pub fn missing_in_window(&self, from: usize, to: usize) -> impl Iterator<Item = usize> + '_ {
+        self.global.range(from..to).copied()
+    }
+
+    /// Positions of missing blocks in `[from, to)` on `disk`, ascending.
+    pub fn missing_on_disk_in_window(
+        &self,
+        disk: usize,
+        from: usize,
+        to: usize,
+    ) -> impl Iterator<Item = usize> + '_ {
+        self.per_disk[disk].range(from..to).copied()
+    }
+
+    /// Total missing-block entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.global.len()
+    }
+
+    /// True when nothing is missing.
+    pub fn is_empty(&self) -> bool {
+        self.global.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcache_disk::layout::Layout;
+    use parcache_trace::{Request, Trace};
+    use parcache_types::Nanos;
+
+    fn oracle_of(blocks: &[u64], disks: usize) -> Oracle {
+        let t = Trace::new(
+            "t",
+            blocks
+                .iter()
+                .map(|&b| Request {
+                    block: BlockId(b),
+                    compute: Nanos::from_millis(1),
+                })
+                .collect(),
+            4,
+        );
+        Oracle::new(&t, Layout::striped(disks))
+    }
+
+    #[test]
+    fn fetch_lifecycle() {
+        let o = oracle_of(&[1, 2, 1], 1);
+        let mut c = Cache::new(2);
+        assert!(c.has_free_frame());
+        c.start_fetch(BlockId(1), None);
+        assert!(c.inflight(BlockId(1)));
+        assert!(!c.resident(BlockId(1)));
+        c.complete_fetch(BlockId(1), 0, &o);
+        assert!(c.resident(BlockId(1)));
+        assert!(!c.inflight(BlockId(1)));
+        assert_eq!(c.resident_count(), 1);
+    }
+
+    #[test]
+    fn frames_are_reserved_at_issue() {
+        let o = oracle_of(&[1, 2, 3], 1);
+        let mut c = Cache::new(2);
+        c.start_fetch(BlockId(1), None);
+        c.start_fetch(BlockId(2), None);
+        assert!(!c.has_free_frame());
+        c.complete_fetch(BlockId(1), 0, &o);
+        c.complete_fetch(BlockId(2), 0, &o);
+        // Full cache: must evict to fetch.
+        c.start_fetch(BlockId(3), Some(BlockId(1)));
+        assert!(!c.resident(BlockId(1)));
+        assert_eq!(c.resident_count() + c.inflight_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no free frame")]
+    fn overcommit_panics() {
+        let mut c = Cache::new(1);
+        c.start_fetch(BlockId(1), None);
+        c.start_fetch(BlockId(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate fetch")]
+    fn duplicate_fetch_panics() {
+        let mut c = Cache::new(2);
+        c.start_fetch(BlockId(1), None);
+        c.start_fetch(BlockId(1), None);
+    }
+
+    #[test]
+    fn belady_picks_furthest() {
+        // Sequence: 1 2 3 1 2 3 ... block 9 never referenced.
+        let o = oracle_of(&[1, 2, 3, 1, 2, 3], 1);
+        let mut c = Cache::new(4);
+        for b in [1u64, 2, 3, 9] {
+            c.start_fetch(BlockId(b), None);
+            c.complete_fetch(BlockId(b), 0, &o);
+        }
+        // Block 9 is never referenced: furthest.
+        let (b, key) = c.furthest_resident(0, &o).unwrap();
+        assert_eq!(b, BlockId(9));
+        assert_eq!(key, NEVER);
+        c.start_fetch(BlockId(42), Some(BlockId(9)));
+        // Now block 3 (next ref at 2) is furthest among 1(0), 2(1), 3(2).
+        let (b, key) = c.furthest_resident(0, &o).unwrap();
+        assert_eq!((b, key), (BlockId(3), 2));
+    }
+
+    #[test]
+    fn belady_keys_refresh_as_cursor_advances() {
+        let o = oracle_of(&[1, 2, 1, 2], 1);
+        let mut c = Cache::new(2);
+        for b in [1u64, 2] {
+            c.start_fetch(BlockId(b), None);
+            c.complete_fetch(BlockId(b), 0, &o);
+        }
+        // At cursor 0: block 2 next at 1... block 1 at 0; furthest is 2.
+        assert_eq!(c.furthest_resident(0, &o).unwrap().0, BlockId(2));
+        // Consume positions 0 and 1; at cursor 2, next refs are 1->2, 2->3.
+        c.on_reference(BlockId(1), 0, &o);
+        c.on_reference(BlockId(2), 1, &o);
+        assert_eq!(c.furthest_resident(2, &o).unwrap(), (BlockId(2), 3));
+        // At cursor 4 both are NEVER; either may win but the key is NEVER.
+        assert_eq!(c.furthest_resident(4, &o).unwrap().1, NEVER);
+    }
+
+    #[test]
+    fn empty_cache_has_no_furthest() {
+        let o = oracle_of(&[1], 1);
+        let mut c = Cache::new(2);
+        assert_eq!(c.furthest_resident(0, &o), None);
+    }
+
+    #[test]
+    fn tracker_initializes_with_first_occurrences() {
+        let o = oracle_of(&[5, 6, 5, 7], 2);
+        let t = MissingTracker::new(&o);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.first_missing(0), Some(0));
+        assert_eq!(t.first_missing(1), Some(1));
+        assert_eq!(t.first_missing(2), Some(3)); // 5 registered at 0 only
+    }
+
+    #[test]
+    fn tracker_fetch_and_evict_cycle() {
+        let o = oracle_of(&[5, 6, 5, 7], 1);
+        let mut t = MissingTracker::new(&o);
+        t.on_fetch_issued(BlockId(5), 0, &o);
+        assert_eq!(t.first_missing(0), Some(1)); // block 6
+        // Evict 5 at cursor 1: re-registered at its next ref, position 2.
+        t.on_evicted(BlockId(5), 1, &o);
+        assert_eq!(t.first_missing(0), Some(1));
+        assert_eq!(t.first_missing(2), Some(2));
+    }
+
+    #[test]
+    fn tracker_per_disk_views() {
+        // Striped over 2 disks: blocks 0,2 on disk 0; 1,3 on disk 1.
+        let o = oracle_of(&[0, 1, 2, 3], 2);
+        let t = MissingTracker::new(&o);
+        assert_eq!(t.first_missing_on_disk(0, 0), Some(0));
+        assert_eq!(t.first_missing_on_disk(1, 0), Some(1));
+        assert_eq!(t.first_missing_on_disk(0, 1), Some(2));
+        let w: Vec<usize> = t.missing_on_disk_in_window(1, 0, 4).collect();
+        assert_eq!(w, vec![1, 3]);
+    }
+
+    #[test]
+    fn tracker_ignores_never_referenced_evictions() {
+        let o = oracle_of(&[1, 2], 1);
+        let mut t = MissingTracker::new(&o);
+        t.on_fetch_issued(BlockId(1), 0, &o);
+        t.on_fetch_issued(BlockId(2), 0, &o);
+        assert!(t.is_empty());
+        // Evicting block 1 at cursor 2 (past its last reference): no entry.
+        t.on_evicted(BlockId(1), 2, &o);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn window_queries() {
+        let o = oracle_of(&[0, 1, 2, 3, 4], 1);
+        let t = MissingTracker::new(&o);
+        let w: Vec<usize> = t.missing_in_window(1, 4).collect();
+        assert_eq!(w, vec![1, 2, 3]);
+    }
+}

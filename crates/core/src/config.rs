@@ -1,0 +1,219 @@
+//! Simulation configuration: the paper's fixed parameters and knobs.
+
+use parcache_disk::sched::Discipline;
+use parcache_trace::Trace;
+use parcache_types::Nanos;
+
+/// Which drive model the array uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskModelKind {
+    /// The detailed HP 97560 model (the paper's UW simulator).
+    Hp97560,
+    /// The HP 97560 with its readahead cache disabled (ablation).
+    Hp97560NoReadahead,
+    /// The coarse Lightning-like model (the CMU cross-validation analog).
+    Coarse,
+    /// The uniform fetch-time model of the theoretical framework, with the
+    /// given constant access time.
+    Uniform(Nanos),
+}
+
+/// The paper's default aggressive/forestall batch sizes by array size
+/// (Table 6): 80, 40, 40, 16, 16, 8, 8, then 4 beyond seven disks.
+pub fn default_batch_size(disks: usize) -> usize {
+    match disks {
+        0 => panic!("an array needs at least one disk"),
+        1 => 80,
+        2 | 3 => 40,
+        4 | 5 => 16,
+        6 | 7 => 8,
+        _ => 4,
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of drives in the array.
+    pub disks: usize,
+    /// Cache capacity in 8 KB blocks.
+    pub cache_blocks: usize,
+    /// Head-scheduling discipline (the paper defaults to CSCAN).
+    pub discipline: Discipline,
+    /// Drive model.
+    pub disk_model: DiskModelKind,
+    /// CPU overhead charged per disk I/O (0.5 ms on the DECstation).
+    pub driver_overhead: Nanos,
+    /// Fixed horizon's prefetch horizon H (the paper uses 62; 124 for the
+    /// double-speed-CPU experiment).
+    pub horizon: usize,
+    /// Batch size for aggressive and forestall.
+    pub batch_size: usize,
+    /// Reverse aggressive's fixed fetch-time estimate F̂, expressed as a
+    /// multiple of the trace's mean inter-reference compute time.
+    pub reverse_fetch_estimate: u64,
+    /// Reverse aggressive's batch size (reverse pass and forward replay).
+    pub reverse_batch_size: usize,
+    /// Forestall's static overestimate F' = `forestall_static_f * F`; when
+    /// `None` the dynamic rule of §5 is used (F' = F for fast disks, 4F
+    /// for slow ones).
+    pub forestall_static_f: Option<f64>,
+    /// How much of the access sequence the application disclosed (the
+    /// paper's main setting is full disclosure; see `crate::hints`).
+    pub hints: crate::hints::HintSpec,
+    /// Write-behind load (the §6 writes extension): one flush of the
+    /// just-consumed block every `n` reads; `None` (the paper's setting)
+    /// means a read-only run.
+    pub write_behind_period: Option<usize>,
+}
+
+impl SimConfig {
+    /// A configuration with the paper's defaults for a given array size
+    /// and cache capacity.
+    pub fn new(disks: usize, cache_blocks: usize) -> SimConfig {
+        assert!(disks > 0, "an array needs at least one disk");
+        assert!(cache_blocks > 0, "cache must hold at least one block");
+        SimConfig {
+            disks,
+            cache_blocks,
+            discipline: Discipline::Cscan,
+            disk_model: DiskModelKind::Hp97560,
+            driver_overhead: Nanos::from_micros(500),
+            horizon: 62,
+            batch_size: default_batch_size(disks),
+            reverse_fetch_estimate: 16,
+            reverse_batch_size: default_batch_size(disks),
+            forestall_static_f: None,
+            hints: crate::hints::HintSpec::Full,
+            write_behind_period: None,
+        }
+    }
+
+    /// A configuration using the trace's paper-specified cache size.
+    pub fn for_trace(disks: usize, trace: &Trace) -> SimConfig {
+        SimConfig::new(disks, trace.cache_blocks)
+    }
+
+    /// Replaces the cache size with the trace's paper default.
+    pub fn with_trace_defaults(mut self, trace: &Trace) -> SimConfig {
+        self.cache_blocks = trace.cache_blocks;
+        self
+    }
+
+    /// Sets the head-scheduling discipline.
+    pub fn with_discipline(mut self, discipline: Discipline) -> SimConfig {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Sets the drive model.
+    pub fn with_disk_model(mut self, model: DiskModelKind) -> SimConfig {
+        self.disk_model = model;
+        self
+    }
+
+    /// Sets fixed horizon's H.
+    pub fn with_horizon(mut self, horizon: usize) -> SimConfig {
+        assert!(horizon > 0, "the horizon must be positive");
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets aggressive/forestall's batch size.
+    pub fn with_batch_size(mut self, batch: usize) -> SimConfig {
+        assert!(batch > 0, "the batch size must be positive");
+        self.batch_size = batch;
+        self
+    }
+
+    /// Sets reverse aggressive's parameters.
+    pub fn with_reverse_params(mut self, fetch_estimate: u64, batch: usize) -> SimConfig {
+        assert!(fetch_estimate > 0 && batch > 0);
+        self.reverse_fetch_estimate = fetch_estimate;
+        self.reverse_batch_size = batch;
+        self
+    }
+
+    /// Sets forestall's static F' multiplier (disables dynamic estimation).
+    pub fn with_forestall_static_f(mut self, f: f64) -> SimConfig {
+        assert!(f > 0.0);
+        self.forestall_static_f = Some(f);
+        self
+    }
+
+    /// Sets the hint disclosure (defaults to full disclosure).
+    pub fn with_hints(mut self, hints: crate::hints::HintSpec) -> SimConfig {
+        self.hints = hints;
+        self
+    }
+
+    /// Enables write-behind: one flush per `period` reads.
+    pub fn with_write_behind(mut self, period: usize) -> SimConfig {
+        assert!(period > 0, "the write period must be positive");
+        self.write_behind_period = Some(period);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_table_matches_table_6() {
+        let expected = [
+            (1, 80),
+            (2, 40),
+            (3, 40),
+            (4, 16),
+            (5, 16),
+            (6, 8),
+            (7, 8),
+            (8, 4),
+            (10, 4),
+            (12, 4),
+            (16, 4),
+        ];
+        for (d, b) in expected {
+            assert_eq!(default_batch_size(d), b, "{d} disks");
+        }
+    }
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let c = SimConfig::new(3, 1280);
+        assert_eq!(c.horizon, 62);
+        assert_eq!(c.driver_overhead, Nanos::from_micros(500));
+        assert_eq!(c.batch_size, 40);
+        assert_eq!(c.discipline, Discipline::Cscan);
+        assert_eq!(c.disk_model, DiskModelKind::Hp97560);
+        assert!(c.forestall_static_f.is_none());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = SimConfig::new(1, 512)
+            .with_horizon(124)
+            .with_batch_size(160)
+            .with_discipline(Discipline::Fcfs)
+            .with_reverse_params(32, 8)
+            .with_forestall_static_f(4.0);
+        assert_eq!(c.horizon, 124);
+        assert_eq!(c.batch_size, 160);
+        assert_eq!(c.discipline, Discipline::Fcfs);
+        assert_eq!((c.reverse_fetch_estimate, c.reverse_batch_size), (32, 8));
+        assert_eq!(c.forestall_static_f, Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disk")]
+    fn zero_disks_rejected() {
+        SimConfig::new(0, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_cache_rejected() {
+        SimConfig::new(1, 0);
+    }
+}

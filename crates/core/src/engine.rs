@@ -1,0 +1,597 @@
+//! The event-driven execution engine.
+//!
+//! The engine replays a trace against a disk array under one policy and
+//! accounts elapsed time exactly as the paper's figures do: elapsed =
+//! application compute + driver overhead + I/O stall.
+//!
+//! Timing model (§2.1, §2.6):
+//!
+//! * The application alternates compute and references; compute times come
+//!   from the trace.
+//! * Each issued I/O charges 0.5 ms of driver overhead to the CPU — it is
+//!   inserted into the application's CPU timeline and delays subsequent
+//!   references.
+//! * A reference to a resident block is free (its cost is inside the
+//!   traced compute times); a reference to a missing block stalls until
+//!   the block arrives.
+//! * Issuing a fetch reserves a cache frame immediately: the eviction
+//!   victim becomes unavailable at issue time.
+//!
+//! Policies run at every decision point: simulation start, each
+//! consumption, each fetch completion, and demand misses.
+
+use crate::cache::{Cache, MissingTracker};
+use crate::config::{DiskModelKind, SimConfig};
+use crate::oracle::Oracle;
+use crate::policy::{Policy, PolicyKind};
+use parcache_disk::coarse::CoarseDisk;
+use parcache_disk::disk::DiskStats;
+use parcache_disk::hp97560::Hp97560;
+use parcache_disk::model::DiskModel;
+use parcache_disk::uniform::UniformDisk;
+use parcache_disk::{DiskArray, Layout};
+use parcache_trace::Trace;
+use parcache_types::{BlockId, Nanos};
+use std::collections::VecDeque;
+
+/// How many recent observations forestall's estimator keeps (§5: "the
+/// most recent 100 disk access times and the most recent 100
+/// interreference CPU times").
+const HISTORY: usize = 100;
+
+/// Recent fetch-time and compute-time observations, for forestall.
+#[derive(Debug)]
+pub struct FetchHistory {
+    per_disk_fetch: Vec<VecDeque<Nanos>>,
+    compute: VecDeque<Nanos>,
+}
+
+impl FetchHistory {
+    fn new(disks: usize) -> FetchHistory {
+        FetchHistory {
+            per_disk_fetch: vec![VecDeque::with_capacity(HISTORY); disks],
+            compute: VecDeque::with_capacity(HISTORY),
+        }
+    }
+
+    fn push_fetch(&mut self, disk: usize, t: Nanos) {
+        let q = &mut self.per_disk_fetch[disk];
+        if q.len() == HISTORY {
+            q.pop_front();
+        }
+        q.push_back(t);
+    }
+
+    fn push_compute(&mut self, t: Nanos) {
+        if self.compute.len() == HISTORY {
+            self.compute.pop_front();
+        }
+        self.compute.push_back(t);
+    }
+
+    /// Mean of the recent fetch times on `disk`, or `None` with no history.
+    pub fn avg_fetch(&self, disk: usize) -> Option<Nanos> {
+        let q = &self.per_disk_fetch[disk];
+        if q.is_empty() {
+            return None;
+        }
+        Some(q.iter().copied().sum::<Nanos>() / q.len() as u64)
+    }
+
+    /// Mean of the recent inter-reference compute times, or `None`.
+    pub fn avg_compute(&self) -> Option<Nanos> {
+        if self.compute.is_empty() {
+            return None;
+        }
+        Some(self.compute.iter().copied().sum::<Nanos>() / self.compute.len() as u64)
+    }
+
+    /// The ratio of recent fetch-time sum to recent compute-time sum on
+    /// `disk` — forestall's dynamic F — or `None` without history.
+    pub fn fetch_compute_ratio(&self, disk: usize) -> Option<f64> {
+        let fetch_sum: Nanos = self.per_disk_fetch[disk].iter().copied().sum();
+        let compute_sum: Nanos = self.compute.iter().copied().sum();
+        if self.per_disk_fetch[disk].is_empty() || compute_sum == Nanos::ZERO {
+            return None;
+        }
+        // Normalize: both windows may hold fewer than HISTORY entries.
+        let f_avg = fetch_sum.as_nanos() as f64 / self.per_disk_fetch[disk].len() as f64;
+        let c_avg = compute_sum.as_nanos() as f64 / self.compute.len() as f64;
+        Some(f_avg / c_avg)
+    }
+}
+
+/// The mutable view a policy gets at a decision point.
+pub struct Ctx<'a> {
+    /// Current simulated time.
+    pub now: Nanos,
+    /// Index of the next unconsumed reference.
+    pub cursor: usize,
+    /// Full-knowledge oracle over the trace.
+    pub oracle: &'a Oracle,
+    /// Cache state.
+    pub cache: &'a mut Cache,
+    /// Index of missing blocks' next occurrences.
+    pub missing: &'a mut MissingTracker,
+    /// The disk array (free/busy queries).
+    pub array: &'a mut DiskArray,
+    /// The run configuration.
+    pub config: &'a SimConfig,
+    /// Recent fetch/compute observations (forestall's estimator).
+    pub history: &'a FetchHistory,
+    cpu_done: &'a mut Nanos,
+    driver_time: &'a mut Nanos,
+    fetches: &'a mut u64,
+}
+
+impl Ctx<'_> {
+    /// Issues a fetch of `block`, evicting `evict` (required when the
+    /// cache has no free frame). Charges driver overhead to the CPU
+    /// timeline and enqueues the request on the block's disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics on cache-invariant violations (fetching a resident block,
+    /// evicting a non-resident block, overcommitting frames).
+    pub fn issue_fetch(&mut self, block: BlockId, evict: Option<BlockId>) {
+        self.cache.start_fetch(block, evict);
+        self.missing.on_fetch_issued(block, self.cursor, self.oracle);
+        if let Some(e) = evict {
+            self.missing.on_evicted(e, self.cursor, self.oracle);
+        }
+        *self.driver_time += self.config.driver_overhead;
+        *self.cpu_done = (*self.cpu_done).max(self.now) + self.config.driver_overhead;
+        *self.fetches += 1;
+        self.array.enqueue(self.now, block);
+    }
+
+    /// Total references in the trace.
+    pub fn sequence_len(&self) -> usize {
+        self.oracle.len()
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Trace name.
+    pub trace: String,
+    /// Policy name.
+    pub policy: String,
+    /// Array size.
+    pub disks: usize,
+    /// Total elapsed time (always `compute + driver + stall`).
+    pub elapsed: Nanos,
+    /// Application compute time (fixed by the trace).
+    pub compute: Nanos,
+    /// Driver overhead (0.5 ms per issued I/O).
+    pub driver: Nanos,
+    /// I/O stall time.
+    pub stall: Nanos,
+    /// Fetches issued.
+    pub fetches: u64,
+    /// Write-behind flushes issued (0 in the paper's read-only setting).
+    pub writes: u64,
+    /// Mean disk service time per request (includes write-behind
+    /// flushes when the writes extension is enabled).
+    pub avg_fetch_time: Nanos,
+    /// Mean per-disk utilization (busy / elapsed, averaged over disks).
+    pub avg_disk_utilization: f64,
+    /// Per-disk statistics.
+    pub per_disk: Vec<DiskStats>,
+}
+
+impl Report {
+    /// Elapsed time in seconds (the paper's reporting unit).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+
+    /// Column names for [`to_csv_row`](Report::to_csv_row).
+    pub fn csv_header() -> &'static str {
+        "trace,policy,disks,elapsed_s,compute_s,driver_s,stall_s,fetches,writes,avg_fetch_ms,avg_disk_utilization"
+    }
+
+    /// This report as one CSV row (matching [`csv_header`]), for piping
+    /// sweeps into external analysis tools.
+    ///
+    /// [`csv_header`]: Report::csv_header
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{:.6},{:.6},{:.6},{:.6},{},{},{:.4},{:.4}",
+            self.trace,
+            self.policy,
+            self.disks,
+            self.elapsed.as_secs_f64(),
+            self.compute.as_secs_f64(),
+            self.driver.as_secs_f64(),
+            self.stall.as_secs_f64(),
+            self.fetches,
+            self.writes,
+            self.avg_fetch_time.as_millis_f64(),
+            self.avg_disk_utilization,
+        )
+    }
+}
+
+/// Builds the drive-model factory for a configuration.
+fn model_factory(kind: DiskModelKind) -> Box<dyn FnMut() -> Box<dyn DiskModel>> {
+    match kind {
+        DiskModelKind::Hp97560 => Box::new(|| Box::new(Hp97560::new())),
+        DiskModelKind::Hp97560NoReadahead => {
+            Box::new(|| Box::new(Hp97560::without_readahead()))
+        }
+        DiskModelKind::Coarse => Box::new(|| Box::new(CoarseDisk::new())),
+        DiskModelKind::Uniform(f) => Box::new(move || Box::new(UniformDisk::new(f))),
+    }
+}
+
+/// Runs `trace` under `policy` and `config`; convenience wrapper that
+/// builds the policy from its kind.
+pub fn simulate(trace: &Trace, policy: PolicyKind, config: &SimConfig) -> Report {
+    let mut p = policy.build(trace, config);
+    simulate_with(trace, p.as_mut(), config)
+}
+
+/// Runs `trace` under an already-constructed policy.
+pub fn simulate_with(trace: &Trace, policy: &mut dyn Policy, config: &SimConfig) -> Report {
+    Engine::new(trace, config).run(policy)
+}
+
+struct Engine<'t> {
+    trace: &'t Trace,
+    config: &'t SimConfig,
+    oracle: Oracle,
+    cache: Cache,
+    missing: MissingTracker,
+    array: DiskArray,
+    history: FetchHistory,
+    now: Nanos,
+    cursor: usize,
+    cpu_done: Nanos,
+    driver_time: Nanos,
+    fetches: u64,
+    writes: u64,
+}
+
+impl<'t> Engine<'t> {
+    fn new(trace: &'t Trace, config: &'t SimConfig) -> Engine<'t> {
+        let layout = Layout::striped(config.disks);
+        // Policies only know what the application disclosed: under
+        // incomplete hints their oracle indexes the hinted subsequence.
+        let oracle = match config.hints {
+            crate::hints::HintSpec::Full => Oracle::new(trace, layout),
+            ref spec => {
+                let mask = spec.mask(trace.requests.len());
+                crate::hints::hinted_oracle(trace, layout, &mask)
+            }
+        };
+        let missing = MissingTracker::new(&oracle);
+        let array = DiskArray::new(config.disks, config.discipline, model_factory(config.disk_model));
+        let mut cache = Cache::new(config.cache_blocks);
+        if config.hints.nominal_fraction() < 1.0 {
+            // Value blocks with no disclosed future by LRU recency, as
+            // TIP2 does for unhinted pages.
+            cache.enable_lru_estimate();
+        }
+        Engine {
+            trace,
+            config,
+            oracle,
+            cache,
+            missing,
+            array,
+            history: FetchHistory::new(config.disks),
+            now: Nanos::ZERO,
+            cursor: 0,
+            cpu_done: Nanos::ZERO,
+            driver_time: Nanos::ZERO,
+            fetches: 0,
+            writes: 0,
+        }
+    }
+
+    /// Lets the policy act at the current instant.
+    fn decide(&mut self, policy: &mut dyn Policy) {
+        let mut ctx = Ctx {
+            now: self.now,
+            cursor: self.cursor,
+            oracle: &self.oracle,
+            cache: &mut self.cache,
+            missing: &mut self.missing,
+            array: &mut self.array,
+            config: self.config,
+            history: &self.history,
+            cpu_done: &mut self.cpu_done,
+            driver_time: &mut self.driver_time,
+            fetches: &mut self.fetches,
+        };
+        policy.decide(&mut ctx);
+    }
+
+    /// Asks the policy to handle a demand miss.
+    fn miss(&mut self, policy: &mut dyn Policy, block: BlockId) {
+        let mut ctx = Ctx {
+            now: self.now,
+            cursor: self.cursor,
+            oracle: &self.oracle,
+            cache: &mut self.cache,
+            missing: &mut self.missing,
+            array: &mut self.array,
+            config: self.config,
+            history: &self.history,
+            cpu_done: &mut self.cpu_done,
+            driver_time: &mut self.driver_time,
+            fetches: &mut self.fetches,
+        };
+        policy.on_miss(&mut ctx, block);
+    }
+
+    /// Processes the earliest pending disk completion (which must exist),
+    /// advancing `now` to it.
+    fn pop_completion(&mut self, policy: &mut dyn Policy) {
+        let (t, d) = self
+            .array
+            .next_event()
+            .expect("waiting with no pending I/O — policy deadlock");
+        debug_assert!(t >= self.now);
+        self.now = t;
+        let done = self.array.complete(t, d);
+        match done.kind {
+            parcache_disk::disk::ReqKind::Read => {
+                self.history.push_fetch(d.index(), done.service);
+                self.cache.complete_fetch(done.block, self.cursor, &self.oracle);
+            }
+            // A finished write frees disk bandwidth but changes nothing
+            // in the cache: the block stayed available throughout.
+            parcache_disk::disk::ReqKind::Write => {}
+        }
+        self.decide(policy);
+    }
+
+    /// Advances to `cpu_done`, processing any completions on the way.
+    /// Completions may add driver work, pushing `cpu_done` out further.
+    fn advance_cpu(&mut self, policy: &mut dyn Policy) {
+        while let Some((t, _)) = self.array.next_event() {
+            if t > self.cpu_done {
+                break;
+            }
+            self.pop_completion(policy);
+        }
+        self.now = self.cpu_done;
+    }
+
+    fn run(&mut self, policy: &mut dyn Policy) -> Report {
+        // Initial decision point: prefetching can begin at time zero.
+        self.decide(policy);
+
+        for i in 0..self.trace.requests.len() {
+            let req = self.trace.requests[i];
+            // The block about to be referenced may not be evicted (see
+            // Cache::pin); critical under incomplete hints.
+            self.cache.pin(Some(req.block));
+            // The application computes before the reference.
+            self.history.push_compute(req.compute);
+            self.cpu_done = self.cpu_done.max(self.now) + req.compute;
+            self.advance_cpu(policy);
+
+            // The reference: stall until the block is available and the
+            // CPU backlog (driver work issued meanwhile) has drained.
+            loop {
+                if self.cache.resident(req.block) {
+                    if self.now < self.cpu_done {
+                        self.advance_cpu(policy);
+                        continue;
+                    }
+                    break;
+                }
+                if !self.cache.inflight(req.block) {
+                    self.miss(policy, req.block);
+                }
+                self.pop_completion(policy);
+            }
+
+            // Consume. The reference is satisfied, so the pin lifts: the
+            // just-used block is an ordinary eviction candidate again.
+            self.cache.pin(None);
+            self.cache.on_reference(req.block, i, &self.oracle);
+            self.cursor = i + 1;
+            // Write-behind extension: periodically flush the block the
+            // application just updated. The app does not wait for it, but
+            // it consumes disk bandwidth and driver CPU.
+            if let Some(period) = self.config.write_behind_period {
+                if (i + 1) % period == 0 {
+                    self.writes += 1;
+                    self.driver_time += self.config.driver_overhead;
+                    self.cpu_done = self.cpu_done.max(self.now) + self.config.driver_overhead;
+                    self.array.enqueue_write(self.now, req.block);
+                }
+            }
+            self.decide(policy);
+        }
+
+        let elapsed = self.now;
+        let compute: Nanos = self.trace.requests.iter().map(|r| r.compute).sum();
+        let stall = elapsed - compute - self.driver_time;
+        Report {
+            trace: self.trace.name.clone(),
+            policy: policy.name().to_string(),
+            disks: self.config.disks,
+            elapsed,
+            compute,
+            driver: self.driver_time,
+            stall,
+            fetches: self.fetches,
+            writes: self.writes,
+            avg_fetch_time: self.array.avg_fetch_time(),
+            avg_disk_utilization: self.array.avg_utilization(elapsed),
+            per_disk: self.array.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcache_trace::Request;
+
+    fn unit_trace(blocks: &[u64], compute_ms: u64) -> Trace {
+        Trace::new(
+            "unit",
+            blocks
+                .iter()
+                .map(|&b| Request {
+                    block: BlockId(b),
+                    compute: Nanos::from_millis(compute_ms),
+                })
+                .collect(),
+            4,
+        )
+    }
+
+    fn theory_config(disks: usize, cache: usize, fetch_ms: u64) -> SimConfig {
+        let mut c = SimConfig::new(disks, cache);
+        c.disk_model = DiskModelKind::Uniform(Nanos::from_millis(fetch_ms));
+        c.driver_overhead = Nanos::ZERO;
+        c
+    }
+
+    #[test]
+    fn demand_fetch_timing_matches_theory() {
+        // One block, compute 1ms, fetch 5ms: elapsed = 1 (compute) + 5
+        // (demand stall) = 6ms.
+        let t = unit_trace(&[0], 1);
+        let cfg = theory_config(1, 4, 5);
+        let r = simulate(&t, PolicyKind::Demand, &cfg);
+        assert_eq!(r.elapsed, Nanos::from_millis(6));
+        assert_eq!(r.compute, Nanos::from_millis(1));
+        assert_eq!(r.stall, Nanos::from_millis(5));
+        assert_eq!(r.fetches, 1);
+    }
+
+    #[test]
+    fn cache_hit_costs_nothing_extra() {
+        let t = unit_trace(&[0, 0, 0], 2);
+        let cfg = theory_config(1, 4, 5);
+        let r = simulate(&t, PolicyKind::Demand, &cfg);
+        // One fetch (5ms stall) + 3 x 2ms compute.
+        assert_eq!(r.elapsed, Nanos::from_millis(11));
+        assert_eq!(r.fetches, 1);
+    }
+
+    #[test]
+    fn breakdown_always_sums_to_elapsed() {
+        let t = unit_trace(&[0, 1, 2, 3, 0, 1, 2, 3], 1);
+        for kind in PolicyKind::ALL {
+            let mut cfg = theory_config(2, 3, 4);
+            cfg.driver_overhead = Nanos::from_micros(500);
+            let r = simulate(&t, kind, &cfg);
+            assert_eq!(
+                r.elapsed,
+                r.compute + r.driver + r.stall,
+                "{kind} breakdown broken"
+            );
+            assert_eq!(r.compute, Nanos::from_millis(8), "{kind}");
+        }
+    }
+
+    #[test]
+    fn driver_overhead_is_charged_per_fetch() {
+        let t = unit_trace(&[0, 1], 1);
+        let mut cfg = theory_config(1, 4, 5);
+        cfg.driver_overhead = Nanos::from_millis(1);
+        let r = simulate(&t, PolicyKind::Demand, &cfg);
+        assert_eq!(r.fetches, 2);
+        assert_eq!(r.driver, Nanos::from_millis(2));
+        assert_eq!(r.elapsed, r.compute + r.driver + r.stall);
+    }
+
+    #[test]
+    fn prefetching_beats_demand_on_sequential_io_bound_work() {
+        // 32 distinct blocks on 2 disks, tiny compute: demand stalls on
+        // every block; any prefetcher overlaps fetches with stalls.
+        let blocks: Vec<u64> = (0..32).collect();
+        let t = unit_trace(&blocks, 1);
+        let cfg = theory_config(2, 8, 10);
+        let demand = simulate(&t, PolicyKind::Demand, &cfg);
+        for kind in PolicyKind::PREFETCHING {
+            let r = simulate(&t, kind, &cfg);
+            assert!(
+                r.elapsed < demand.elapsed,
+                "{kind}: {} !< {}",
+                r.elapsed,
+                demand.elapsed
+            );
+        }
+    }
+
+    #[test]
+    fn all_policies_serve_every_reference() {
+        let blocks: Vec<u64> = (0..40).map(|i| i % 10).collect();
+        let t = unit_trace(&blocks, 1);
+        for kind in PolicyKind::ALL {
+            let cfg = theory_config(3, 4, 7);
+            let r = simulate(&t, kind, &cfg);
+            assert!(r.elapsed >= r.compute, "{kind}");
+            assert!(r.fetches >= 10, "{kind} fetched {} < distinct", r.fetches);
+        }
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let t = unit_trace(&[0, 1], 4);
+        let r = simulate(&t, PolicyKind::Demand, &theory_config(1, 4, 2));
+        let header_cols = Report::csv_header().split(',').count();
+        let row = r.to_csv_row();
+        assert_eq!(row.split(',').count(), header_cols);
+        assert!(row.starts_with("unit,demand,1,"));
+    }
+
+    #[test]
+    fn fetch_history_window_and_ratio() {
+        let mut h = FetchHistory::new(2);
+        assert_eq!(h.avg_fetch(0), None);
+        assert_eq!(h.avg_compute(), None);
+        assert_eq!(h.fetch_compute_ratio(0), None);
+        for _ in 0..150 {
+            h.push_fetch(0, Nanos::from_millis(10));
+            h.push_compute(Nanos::from_millis(2));
+        }
+        // Window capped at 100; averages are exact.
+        assert_eq!(h.avg_fetch(0), Some(Nanos::from_millis(10)));
+        assert_eq!(h.avg_compute(), Some(Nanos::from_millis(2)));
+        let f = h.fetch_compute_ratio(0).unwrap();
+        assert!((f - 5.0).abs() < 1e-9, "{f}");
+        // Disk 1 has no history.
+        assert_eq!(h.avg_fetch(1), None);
+        assert_eq!(h.fetch_compute_ratio(1), None);
+    }
+
+    #[test]
+    fn unhinted_references_become_demand_misses() {
+        use crate::hints::HintSpec;
+        let t = unit_trace(&[0, 1, 2, 3], 8);
+        let mut cfg = theory_config(1, 8, 4);
+        cfg.hints = HintSpec::None;
+        for kind in PolicyKind::ALL {
+            let r = simulate(&t, kind, &cfg);
+            // Nothing disclosed: no prefetching possible, every block
+            // demand-missed with a full F=4 stall.
+            assert_eq!(r.fetches, 4, "{kind}");
+            assert_eq!(r.stall, Nanos::from_millis(16), "{kind}");
+        }
+    }
+
+    #[test]
+    fn write_behind_consumes_bandwidth_without_stalling_directly() {
+        let t = unit_trace(&[0, 0, 0, 0, 0, 0, 0, 0], 4);
+        let mut cfg = theory_config(1, 4, 3);
+        cfg.write_behind_period = Some(2);
+        let r = simulate(&t, PolicyKind::Demand, &cfg);
+        assert_eq!(r.writes, 4);
+        assert_eq!(r.fetches, 1);
+        // All-hit trace: the single cold miss stalls (3ms); the four
+        // writes proceed in the background and add no stall.
+        assert_eq!(r.stall, Nanos::from_millis(3));
+    }
+}

@@ -1,0 +1,283 @@
+//! Incomplete hints: the paper's §6 extension.
+//!
+//! The main study assumes the application discloses its *entire* access
+//! sequence. Real hinting applications disclose some or all of it
+//! (TIP2 explicitly handles partially-hinting processes), and the paper
+//! conjectures that fixed horizon — which loads the disks and cache the
+//! least — should degrade most gracefully as hints disappear.
+//!
+//! This module models incomplete disclosure as a *hint mask* over the
+//! request sequence: policies see only the hinted references (their
+//! oracle, Belady keys, and missing-block index are all built from the
+//! disclosed subsequence), while the application of course still issues
+//! every request. Unhinted references surface as ordinary demand misses.
+
+use crate::oracle::Oracle;
+use parcache_disk::Layout;
+use parcache_trace::Trace;
+use parcache_types::BlockId;
+
+/// Which references of a trace are disclosed to the policy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HintSpec {
+    /// Everything is disclosed (the paper's main setting).
+    Full,
+    /// Each reference is independently disclosed with this probability
+    /// (deterministic given the seed). This is the *adversarial* model:
+    /// scattering unhinted references through hinted ones poisons the
+    /// policy's knowledge maximally, because almost every block retains
+    /// some disclosed future reference while losing others.
+    Fraction {
+        /// Probability that a reference is hinted, in `[0, 1]`.
+        fraction: f64,
+        /// Sampling seed.
+        seed: u64,
+    },
+    /// Disclosure alternates between hinted and unhinted *runs* of
+    /// references — how real applications hint (whole files, loops, or
+    /// phases at a time; cf. TIP's per-file hints). Run lengths are
+    /// geometric.
+    Segments {
+        /// Long-run fraction of references disclosed, in `(0, 1)`.
+        fraction: f64,
+        /// Mean length of a hinted run, in references.
+        mean_run: usize,
+        /// Sampling seed.
+        seed: u64,
+    },
+    /// Nothing is disclosed: every policy degenerates to demand fetching
+    /// (with no future knowledge, even replacement turns blind).
+    None,
+}
+
+impl HintSpec {
+    /// Materializes the per-reference mask for a trace of length `n`.
+    pub fn mask(&self, n: usize) -> Vec<bool> {
+        match *self {
+            HintSpec::Full => vec![true; n],
+            HintSpec::None => vec![false; n],
+            HintSpec::Fraction { fraction, seed } => {
+                assert!(
+                    (0.0..=1.0).contains(&fraction),
+                    "hint fraction must be a probability"
+                );
+                let mut rng = SplitMix::new(seed);
+                (0..n).map(|_| rng.next_f64() <= fraction).collect()
+            }
+            HintSpec::Segments {
+                fraction,
+                mean_run,
+                seed,
+            } => {
+                assert!(
+                    (0.0..1.0).contains(&fraction) && fraction > 0.0,
+                    "segment fraction must be strictly between 0 and 1"
+                );
+                assert!(mean_run > 0, "mean run must be positive");
+                let mut rng = SplitMix::new(seed);
+                let hinted_mean = mean_run as f64;
+                let unhinted_mean = hinted_mean * (1.0 - fraction) / fraction;
+                let mut mask = Vec::with_capacity(n);
+                let mut hinted = rng.next_f64() <= fraction;
+                while mask.len() < n {
+                    let mean = if hinted { hinted_mean } else { unhinted_mean };
+                    let u = rng.next_f64().max(f64::MIN_POSITIVE);
+                    let run = (-mean * u.ln()).ceil().max(1.0) as usize;
+                    for _ in 0..run.min(n - mask.len()) {
+                        mask.push(hinted);
+                    }
+                    hinted = !hinted;
+                }
+                mask
+            }
+        }
+    }
+
+    /// The fraction of references disclosed (1.0 for `Full`).
+    pub fn nominal_fraction(&self) -> f64 {
+        match *self {
+            HintSpec::Full => 1.0,
+            HintSpec::None => 0.0,
+            HintSpec::Fraction { fraction, .. } => fraction,
+            HintSpec::Segments { fraction, .. } => fraction,
+        }
+    }
+}
+
+/// SplitMix64: a tiny deterministic generator so this module needs no
+/// dependencies.
+struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    fn new(seed: u64) -> SplitMix {
+        SplitMix {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Builds the policy-visible oracle for a trace under a hint mask: only
+/// hinted references are indexed. Positions keep their original indices,
+/// so cursor arithmetic is unchanged; `next_occurrence` means "next
+/// *disclosed* occurrence".
+pub fn hinted_oracle(trace: &Trace, layout: Layout, mask: &[bool]) -> Oracle {
+    assert_eq!(mask.len(), trace.requests.len(), "mask length mismatch");
+    let masked: Vec<(usize, BlockId)> = trace
+        .requests
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| mask[i])
+        .map(|(i, r)| (i, r.block))
+        .collect();
+    Oracle::from_positions(trace.requests.len(), masked, layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::NEVER;
+    use parcache_trace::Request;
+    use parcache_types::Nanos;
+
+    fn trace_of(blocks: &[u64]) -> Trace {
+        Trace::new(
+            "t",
+            blocks
+                .iter()
+                .map(|&b| Request {
+                    block: BlockId(b),
+                    compute: Nanos::from_millis(1),
+                })
+                .collect(),
+            4,
+        )
+    }
+
+    #[test]
+    fn full_and_none_masks() {
+        assert_eq!(HintSpec::Full.mask(3), vec![true, true, true]);
+        assert_eq!(HintSpec::None.mask(2), vec![false, false]);
+        assert_eq!(HintSpec::Full.nominal_fraction(), 1.0);
+        assert_eq!(HintSpec::None.nominal_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fraction_mask_is_deterministic_and_calibrated() {
+        let spec = HintSpec::Fraction {
+            fraction: 0.5,
+            seed: 42,
+        };
+        let a = spec.mask(10_000);
+        let b = spec.mask(10_000);
+        assert_eq!(a, b);
+        let hinted = a.iter().filter(|&&h| h).count();
+        assert!((4_500..5_500).contains(&hinted), "{hinted} of 10000");
+        assert_eq!(spec.nominal_fraction(), 0.5);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = HintSpec::Fraction {
+            fraction: 0.5,
+            seed: 1,
+        }
+        .mask(100);
+        let b = HintSpec::Fraction {
+            fraction: 0.5,
+            seed: 2,
+        }
+        .mask(100);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let all = HintSpec::Fraction {
+            fraction: 1.0,
+            seed: 3,
+        }
+        .mask(500);
+        assert!(all.iter().all(|&h| h));
+        let none = HintSpec::Fraction {
+            fraction: 0.0,
+            seed: 3,
+        }
+        .mask(500);
+        assert!(none.iter().all(|&h| !h));
+    }
+
+    #[test]
+    fn segments_produce_runs_with_the_right_fraction() {
+        let spec = HintSpec::Segments {
+            fraction: 0.5,
+            mean_run: 100,
+            seed: 5,
+        };
+        let mask = spec.mask(50_000);
+        assert_eq!(mask, spec.mask(50_000));
+        let hinted = mask.iter().filter(|&&h| h).count();
+        assert!(
+            (20_000..30_000).contains(&hinted),
+            "{hinted} hinted of 50000"
+        );
+        // Runs, not confetti: far fewer transitions than a Bernoulli mask.
+        let transitions = mask.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(transitions < 2_000, "{transitions} transitions");
+        assert_eq!(spec.nominal_fraction(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly between")]
+    fn segments_reject_degenerate_fraction() {
+        HintSpec::Segments {
+            fraction: 1.0,
+            mean_run: 10,
+            seed: 0,
+        }
+        .mask(5);
+    }
+
+    #[test]
+    fn hinted_oracle_sees_only_disclosed_references() {
+        let t = trace_of(&[1, 2, 1, 2, 1]);
+        let mask = vec![true, false, false, true, true];
+        let o = hinted_oracle(&t, Layout::striped(1), &mask);
+        assert_eq!(o.len(), 5); // positions keep original indices
+        // Block 2's only hinted occurrence is position 3.
+        assert_eq!(o.next_occurrence(BlockId(2), 0), 3);
+        assert_eq!(o.next_occurrence(BlockId(2), 4), NEVER);
+        // Block 1 hinted at 0 and 4; position 2 is undisclosed.
+        assert_eq!(o.next_occurrence(BlockId(1), 1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn mask_length_mismatch_panics() {
+        let t = trace_of(&[1]);
+        hinted_oracle(&t, Layout::striped(1), &[true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_fraction_panics() {
+        HintSpec::Fraction {
+            fraction: 1.5,
+            seed: 0,
+        }
+        .mask(1);
+    }
+}

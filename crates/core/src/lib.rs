@@ -1,0 +1,38 @@
+//! Integrated parallel prefetching and caching: algorithms and engine.
+//!
+//! This crate is the primary contribution of the reproduction: the five
+//! policies of Kimbrel et al. (OSDI 1996) — demand fetching with optimal
+//! replacement, fixed horizon, aggressive, reverse aggressive, and
+//! forestall — together with the event-driven engine that replays traces
+//! against a disk array and accounts elapsed time as compute + driver
+//! overhead + stall.
+//!
+//! # Structure
+//!
+//! * [`oracle`] — full-advance-knowledge queries (next reference of a
+//!   block, per-disk future positions).
+//! * [`cache`] — the block cache with Belady eviction and the dynamic
+//!   missing-block index.
+//! * [`engine`] — the event loop, timing model, and [`engine::Report`].
+//! * [`policy`] / [`algs`] — the policy interface and the five algorithms.
+//! * [`theory`] — helpers for the paper's uniform fetch-time theoretical
+//!   model (§2.1), in which compute steps are unit time.
+//! * [`hints`] — incomplete disclosure (the §6 extension): policies see
+//!   only a hinted subsequence.
+//! * [`config`] — run parameters with the paper's defaults.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algs;
+pub mod cache;
+pub mod config;
+pub mod engine;
+pub mod hints;
+pub mod oracle;
+pub mod policy;
+pub mod theory;
+
+pub use config::SimConfig;
+pub use engine::{simulate, simulate_with, Report};
+pub use policy::{Policy, PolicyKind};

@@ -1,0 +1,222 @@
+//! The next-reference oracle.
+//!
+//! All four prefetching algorithms assume full advance knowledge of the
+//! request sequence (§1). The oracle answers the two queries they need in
+//! logarithmic time: *when is block B next referenced at or after position
+//! p?* (for Belady replacement and the do-no-harm rule), and *which
+//! positions reference blocks on disk D?* (for per-disk prefetch
+//! candidates).
+
+use parcache_disk::layout::Layout;
+use parcache_trace::Trace;
+use parcache_types::{BlockId, DiskId};
+use std::collections::HashMap;
+
+/// Sentinel position for "never referenced again" — compares greater than
+/// every real position, which is exactly what Belady comparisons want.
+pub const NEVER: usize = usize::MAX;
+
+/// Reserved block id returned by [`Oracle::block_at`] for undisclosed
+/// positions (see [`Oracle::from_positions`]). Never equals a real block.
+pub const UNKNOWN_BLOCK: BlockId = BlockId(u64::MAX);
+
+/// Precomputed full-knowledge index of one trace under one disk layout.
+#[derive(Debug)]
+pub struct Oracle {
+    /// The reference sequence, by position.
+    sequence: Vec<BlockId>,
+    /// Every position at which each block is referenced, ascending.
+    occurrences: HashMap<BlockId, Vec<usize>>,
+    /// Positions whose block lives on each disk, ascending.
+    disk_positions: Vec<Vec<usize>>,
+    /// Disk of each block (cached from the layout).
+    layout: Layout,
+}
+
+impl Oracle {
+    /// Builds the oracle for `trace` under `layout`.
+    pub fn new(trace: &Trace, layout: Layout) -> Oracle {
+        let sequence: Vec<BlockId> = trace.requests.iter().map(|r| r.block).collect();
+        Oracle::from_sequence(sequence, layout)
+    }
+
+    /// Builds the oracle from a bare block sequence (used by the reverse
+    /// aggressive pass, which indexes the *reversed* sequence).
+    pub fn from_sequence(sequence: Vec<BlockId>, layout: Layout) -> Oracle {
+        let entries: Vec<(usize, BlockId)> = sequence.iter().copied().enumerate().collect();
+        Oracle::from_positions(sequence.len(), entries, layout)
+    }
+
+    /// Builds the oracle from explicit `(position, block)` entries over a
+    /// sequence of length `len`. Positions absent from `entries` are
+    /// *undisclosed*: they have no occurrences and [`block_at`] returns a
+    /// reserved unknown block for them. This is how incomplete hints
+    /// (`crate::hints`) restrict a policy's knowledge.
+    ///
+    /// [`block_at`]: Oracle::block_at
+    pub fn from_positions(
+        len: usize,
+        entries: Vec<(usize, BlockId)>,
+        layout: Layout,
+    ) -> Oracle {
+        let mut sequence = vec![UNKNOWN_BLOCK; len];
+        let mut occurrences: HashMap<BlockId, Vec<usize>> = HashMap::new();
+        let mut disk_positions: Vec<Vec<usize>> = vec![Vec::new(); layout.disks()];
+        for &(pos, block) in &entries {
+            assert!(pos < len, "entry position {pos} out of range");
+            sequence[pos] = block;
+            occurrences.entry(block).or_default().push(pos);
+            disk_positions[layout.disk_of(block).index()].push(pos);
+        }
+        for occ in occurrences.values_mut() {
+            occ.sort_unstable();
+        }
+        for dp in &mut disk_positions {
+            dp.sort_unstable();
+        }
+        Oracle {
+            sequence,
+            occurrences,
+            disk_positions,
+            layout,
+        }
+    }
+
+    /// Number of references in the sequence.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// True for an empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+
+    /// The block referenced at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn block_at(&self, pos: usize) -> BlockId {
+        self.sequence[pos]
+    }
+
+    /// The layout used to build this oracle.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// The disk holding `block`.
+    pub fn disk_of(&self, block: BlockId) -> DiskId {
+        self.layout.disk_of(block)
+    }
+
+    /// The first position `>= at` referencing `block`, or [`NEVER`].
+    ///
+    /// Blocks that never appear in the trace return [`NEVER`].
+    pub fn next_occurrence(&self, block: BlockId, at: usize) -> usize {
+        match self.occurrences.get(&block) {
+            None => NEVER,
+            Some(occ) => {
+                let i = occ.partition_point(|&p| p < at);
+                occ.get(i).copied().unwrap_or(NEVER)
+            }
+        }
+    }
+
+    /// All positions referencing blocks on `disk`, ascending.
+    pub fn positions_on_disk(&self, disk: DiskId) -> &[usize] {
+        &self.disk_positions[disk.index()]
+    }
+
+    /// The distinct *disclosed* blocks of the sequence, in
+    /// first-appearance order. Undisclosed positions are skipped.
+    pub fn distinct_blocks(&self) -> Vec<BlockId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for &b in &self.sequence {
+            if b != UNKNOWN_BLOCK && seen.insert(b) {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// First occurrence position of every distinct block.
+    pub fn first_occurrences(&self) -> Vec<(BlockId, usize)> {
+        self.distinct_blocks()
+            .into_iter()
+            .map(|b| (b, self.next_occurrence(b, 0)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcache_trace::Request;
+    use parcache_types::Nanos;
+
+    fn trace_of(blocks: &[u64]) -> Trace {
+        Trace::new(
+            "t",
+            blocks
+                .iter()
+                .map(|&b| Request {
+                    block: BlockId(b),
+                    compute: Nanos::from_millis(1),
+                })
+                .collect(),
+            4,
+        )
+    }
+
+    #[test]
+    fn next_occurrence_binary_search() {
+        let t = trace_of(&[1, 2, 1, 3, 1]);
+        let o = Oracle::new(&t, Layout::striped(1));
+        assert_eq!(o.next_occurrence(BlockId(1), 0), 0);
+        assert_eq!(o.next_occurrence(BlockId(1), 1), 2);
+        assert_eq!(o.next_occurrence(BlockId(1), 3), 4);
+        assert_eq!(o.next_occurrence(BlockId(1), 5), NEVER);
+        assert_eq!(o.next_occurrence(BlockId(3), 0), 3);
+        assert_eq!(o.next_occurrence(BlockId(99), 0), NEVER);
+    }
+
+    #[test]
+    fn disk_positions_follow_striping() {
+        let t = trace_of(&[0, 1, 2, 3, 4, 5]);
+        let o = Oracle::new(&t, Layout::striped(2));
+        // Even blocks on disk 0 sit at positions 0, 2, 4.
+        assert_eq!(o.positions_on_disk(DiskId(0)), &[0, 2, 4]);
+        assert_eq!(o.positions_on_disk(DiskId(1)), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn distinct_blocks_in_first_appearance_order() {
+        let t = trace_of(&[5, 3, 5, 7, 3]);
+        let o = Oracle::new(&t, Layout::striped(1));
+        assert_eq!(
+            o.distinct_blocks(),
+            vec![BlockId(5), BlockId(3), BlockId(7)]
+        );
+        assert_eq!(
+            o.first_occurrences(),
+            vec![(BlockId(5), 0), (BlockId(3), 1), (BlockId(7), 3)]
+        );
+    }
+
+    #[test]
+    fn block_at_and_len() {
+        let t = trace_of(&[9, 8]);
+        let o = Oracle::new(&t, Layout::striped(1));
+        assert_eq!(o.len(), 2);
+        assert!(!o.is_empty());
+        assert_eq!(o.block_at(1), BlockId(8));
+    }
+
+    #[test]
+    fn never_sentinel_orders_after_everything() {
+        const { assert!(NEVER > 1_000_000_000) };
+    }
+}

@@ -1,0 +1,237 @@
+//! An array of independently accessible drives.
+//!
+//! Fetches on different disks execute concurrently; fetches to a single
+//! disk are serialized (§2.1). The array owns the striping layout and
+//! routes each logical block to its drive.
+
+use crate::disk::{Completed, Disk, DiskStats};
+use crate::layout::Layout;
+use crate::model::DiskModel;
+use crate::sched::Discipline;
+use parcache_types::{BlockId, DiskId, Nanos};
+
+/// A striped array of drives.
+pub struct DiskArray {
+    disks: Vec<Disk>,
+    layout: Layout,
+}
+
+impl DiskArray {
+    /// Builds an array of `n` drives, each constructed by `make_model`,
+    /// all using `discipline` for head scheduling.
+    pub fn new(
+        n: usize,
+        discipline: Discipline,
+        mut make_model: impl FnMut() -> Box<dyn DiskModel>,
+    ) -> DiskArray {
+        assert!(n > 0, "an array needs at least one disk");
+        DiskArray {
+            disks: (0..n).map(|_| Disk::new(make_model(), discipline)).collect(),
+            layout: Layout::striped(n),
+        }
+    }
+
+    /// Number of drives.
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Always false: arrays have at least one drive.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The striping layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// The drive holding `block`.
+    pub fn disk_of(&self, block: BlockId) -> DiskId {
+        self.layout.disk_of(block)
+    }
+
+    /// Whether the given drive is free (idle with an empty queue).
+    pub fn is_free(&self, disk: DiskId) -> bool {
+        self.disks[disk.index()].is_free()
+    }
+
+    /// Queue length plus in-service count for the given drive.
+    pub fn load(&self, disk: DiskId) -> usize {
+        self.disks[disk.index()].load()
+    }
+
+    /// Drives that are currently free, in index order.
+    pub fn free_disks(&self) -> Vec<DiskId> {
+        self.disks
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_free())
+            .map(|(i, _)| DiskId(i))
+            .collect()
+    }
+
+    /// Enqueues a fetch of `block` on its drive at time `now`.
+    pub fn enqueue(&mut self, now: Nanos, block: BlockId) {
+        let disk = self.disk_of(block);
+        let span = self.layout.span_of(block);
+        self.disks[disk.index()].enqueue(now, block, span);
+    }
+
+    /// Enqueues a write-behind flush of `block` on its drive.
+    pub fn enqueue_write(&mut self, now: Nanos, block: BlockId) {
+        let disk = self.disk_of(block);
+        let span = self.layout.span_of(block);
+        self.disks[disk.index()].enqueue_write(now, block, span);
+    }
+
+    /// The earliest pending completion across all drives.
+    pub fn next_event(&self) -> Option<(Nanos, DiskId)> {
+        self.disks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.next_completion().map(|t| (t, DiskId(i))))
+            .min()
+    }
+
+    /// Completes the in-service request on `disk` (which must complete at
+    /// exactly `now`); returns the finished fetch.
+    pub fn complete(&mut self, now: Nanos, disk: DiskId) -> Completed {
+        self.disks[disk.index()].complete(now)
+    }
+
+    /// Per-drive statistics.
+    pub fn stats(&self) -> Vec<DiskStats> {
+        self.disks.iter().map(|d| d.stats()).collect()
+    }
+
+    /// Total fetches served across all drives.
+    pub fn total_served(&self) -> u64 {
+        self.disks.iter().map(|d| d.stats().served).sum()
+    }
+
+    /// Mean service (fetch) time across all drives.
+    pub fn avg_fetch_time(&self) -> Nanos {
+        let served = self.total_served();
+        if served == 0 {
+            return Nanos::ZERO;
+        }
+        let total: Nanos = self.disks.iter().map(|d| d.stats().total_service).sum();
+        total / served
+    }
+
+    /// Mean per-disk utilization over `elapsed`: busy time / elapsed,
+    /// averaged across drives (the paper's Tables 4 and 8 metric).
+    pub fn avg_utilization(&self, elapsed: Nanos) -> f64 {
+        if elapsed == Nanos::ZERO {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .disks
+            .iter()
+            .map(|d| d.stats().busy.as_nanos() as f64 / elapsed.as_nanos() as f64)
+            .sum();
+        sum / self.disks.len() as f64
+    }
+
+    /// Blocks outstanding (queued or in service) on any drive.
+    pub fn outstanding(&self) -> Vec<BlockId> {
+        self.disks.iter().flat_map(|d| d.outstanding()).collect()
+    }
+
+    /// Resets all drives (queues, stats, and model state).
+    pub fn reset(&mut self) {
+        for d in &mut self.disks {
+            d.reset();
+        }
+    }
+}
+
+impl std::fmt::Debug for DiskArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskArray")
+            .field("disks", &self.disks.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::UniformDisk;
+
+    fn uniform_array(n: usize, ms: u64) -> DiskArray {
+        DiskArray::new(n, Discipline::Fcfs, move || {
+            Box::new(UniformDisk::new(Nanos::from_millis(ms)))
+        })
+    }
+
+    #[test]
+    fn parallel_fetches_on_different_disks() {
+        let mut a = uniform_array(2, 10);
+        // Blocks 0 and 1 stripe to different disks: both complete at t=10ms.
+        a.enqueue(Nanos::ZERO, BlockId(0));
+        a.enqueue(Nanos::ZERO, BlockId(1));
+        let (t1, d1) = a.next_event().unwrap();
+        assert_eq!(t1, Nanos::from_millis(10));
+        a.complete(t1, d1);
+        let (t2, d2) = a.next_event().unwrap();
+        assert_eq!(t2, Nanos::from_millis(10));
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn same_disk_serializes() {
+        let mut a = uniform_array(2, 10);
+        // Blocks 0 and 2 both live on disk 0.
+        a.enqueue(Nanos::ZERO, BlockId(0));
+        a.enqueue(Nanos::ZERO, BlockId(2));
+        let (t1, d1) = a.complete_next();
+        assert_eq!((t1, d1.index()), (Nanos::from_millis(10), 0));
+        let (t2, _) = a.complete_next();
+        assert_eq!(t2, Nanos::from_millis(20));
+    }
+
+    impl DiskArray {
+        /// Test helper: pop the next completion.
+        fn complete_next(&mut self) -> (Nanos, DiskId) {
+            let (t, d) = self.next_event().unwrap();
+            self.complete(t, d);
+            (t, d)
+        }
+    }
+
+    #[test]
+    fn free_disks_reflect_state() {
+        let mut a = uniform_array(3, 10);
+        assert_eq!(a.free_disks().len(), 3);
+        a.enqueue(Nanos::ZERO, BlockId(1));
+        let free = a.free_disks();
+        assert_eq!(free.len(), 2);
+        assert!(!a.is_free(DiskId(1)));
+        assert_eq!(a.load(DiskId(1)), 1);
+    }
+
+    #[test]
+    fn utilization_and_fetch_time() {
+        let mut a = uniform_array(2, 10);
+        a.enqueue(Nanos::ZERO, BlockId(0));
+        let (t, d) = a.next_event().unwrap();
+        a.complete(t, d);
+        // One disk busy 10ms of a 20ms run, the other idle: 25% average.
+        let u = a.avg_utilization(Nanos::from_millis(20));
+        assert!((u - 0.25).abs() < 1e-9);
+        assert_eq!(a.avg_fetch_time(), Nanos::from_millis(10));
+        assert_eq!(a.total_served(), 1);
+    }
+
+    #[test]
+    fn outstanding_lists_queued_blocks() {
+        let mut a = uniform_array(2, 10);
+        a.enqueue(Nanos::ZERO, BlockId(0));
+        a.enqueue(Nanos::ZERO, BlockId(2));
+        let out = a.outstanding();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&BlockId(0)) && out.contains(&BlockId(2)));
+    }
+}

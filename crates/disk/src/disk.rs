@@ -1,0 +1,336 @@
+//! A single drive: service-time model + request queue + head scheduler.
+//!
+//! Fetches to one disk are serialized (§2.1); the drive serves one request
+//! at a time, choosing the next per its [`Discipline`] whenever it becomes
+//! idle and the queue is non-empty.
+
+use crate::geometry::SectorSpan;
+use crate::model::DiskModel;
+use crate::sched::Discipline;
+use parcache_types::{BlockId, Nanos};
+
+/// Whether a request reads or writes the media. The paper's evaluation is
+/// read-only (§3); writes exist for the write-behind extension (§6) and
+/// are serviced with identical mechanics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// A (pre)fetch.
+    Read,
+    /// A write-behind flush.
+    Write,
+}
+
+/// A queued request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pending {
+    /// The logical block involved (opaque to the drive; carried so the
+    /// caller can tell which request completed).
+    pub block: BlockId,
+    /// The physical sectors accessed.
+    pub span: SectorSpan,
+    /// When the request entered the queue.
+    pub enqueued: Nanos,
+    /// Global arrival sequence number (FCFS key, tie-breaker elsewhere).
+    pub seq: u64,
+    /// Read or write.
+    pub kind: ReqKind,
+}
+
+/// A request currently being serviced.
+#[derive(Debug, Clone, Copy)]
+struct InService {
+    request: Pending,
+    completes: Nanos,
+    started: Nanos,
+}
+
+/// A finished request, as reported by [`Disk::complete`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completed {
+    /// The block involved.
+    pub block: BlockId,
+    /// Pure service time (completion minus service start).
+    pub service: Nanos,
+    /// Response time (completion minus enqueue).
+    pub response: Nanos,
+    /// Read or write.
+    pub kind: ReqKind,
+}
+
+/// Aggregate per-drive statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DiskStats {
+    /// Requests fully serviced.
+    pub served: u64,
+    /// Total time the drive spent servicing requests.
+    pub busy: Nanos,
+    /// Sum of response times (completion minus enqueue), for averages.
+    pub total_response: Nanos,
+    /// Sum of pure service times (completion minus service start).
+    pub total_service: Nanos,
+}
+
+impl DiskStats {
+    /// Mean response time (queueing + service) per request.
+    pub fn avg_response(&self) -> Nanos {
+        if self.served == 0 {
+            Nanos::ZERO
+        } else {
+            self.total_response / self.served
+        }
+    }
+
+    /// Mean pure service time per request.
+    pub fn avg_service(&self) -> Nanos {
+        if self.served == 0 {
+            Nanos::ZERO
+        } else {
+            self.total_service / self.served
+        }
+    }
+}
+
+/// One drive of the array.
+pub struct Disk {
+    model: Box<dyn DiskModel>,
+    discipline: Discipline,
+    queue: Vec<Pending>,
+    in_service: Option<InService>,
+    next_seq: u64,
+    stats: DiskStats,
+}
+
+impl Disk {
+    /// Creates a drive from a model and a scheduling discipline.
+    pub fn new(model: Box<dyn DiskModel>, discipline: Discipline) -> Disk {
+        Disk {
+            model,
+            discipline,
+            queue: Vec::new(),
+            in_service: None,
+            next_seq: 0,
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// True when the drive is idle *and* has nothing queued — the "disk is
+    /// free" condition the aggressive family of algorithms keys on.
+    pub fn is_free(&self) -> bool {
+        self.in_service.is_none() && self.queue.is_empty()
+    }
+
+    /// True when the drive is neither serving nor holding any request.
+    pub fn is_idle(&self) -> bool {
+        self.in_service.is_none()
+    }
+
+    /// Number of requests waiting or in service.
+    pub fn load(&self) -> usize {
+        self.queue.len() + usize::from(self.in_service.is_some())
+    }
+
+    /// Enqueues a read of `span` for logical `block` at time `now`, then
+    /// starts it immediately if the drive is idle.
+    pub fn enqueue(&mut self, now: Nanos, block: BlockId, span: SectorSpan) {
+        self.enqueue_kind(now, block, span, ReqKind::Read);
+    }
+
+    /// Enqueues a write-behind flush of `span` for logical `block`.
+    pub fn enqueue_write(&mut self, now: Nanos, block: BlockId, span: SectorSpan) {
+        self.enqueue_kind(now, block, span, ReqKind::Write);
+    }
+
+    fn enqueue_kind(&mut self, now: Nanos, block: BlockId, span: SectorSpan, kind: ReqKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Pending {
+            block,
+            span,
+            enqueued: now,
+            seq,
+            kind,
+        });
+        self.maybe_start(now);
+    }
+
+    /// If idle and work is queued, picks the next request per the
+    /// discipline and begins servicing it.
+    pub fn maybe_start(&mut self, now: Nanos) {
+        if self.in_service.is_some() || self.queue.is_empty() {
+            return;
+        }
+        let cylinders: Vec<u64> = self
+            .queue
+            .iter()
+            .map(|p| self.model.cylinder_of(p.span.start))
+            .collect();
+        let head = self.model.head_cylinder();
+        let idx = self
+            .discipline
+            .select(&self.queue, &cylinders, head)
+            .expect("non-empty queue must select a request");
+        let request = self.queue.swap_remove(idx);
+        let completes = self.model.service(now, &request.span);
+        self.in_service = Some(InService {
+            request,
+            completes,
+            started: now,
+        });
+    }
+
+    /// The completion time of the request in service, if any.
+    pub fn next_completion(&self) -> Option<Nanos> {
+        self.in_service.as_ref().map(|s| s.completes)
+    }
+
+    /// Completes the in-service request (which must complete at exactly
+    /// `now`), records statistics, starts the next queued request, and
+    /// returns the finished fetch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no request is in service or if `now` is not its
+    /// completion time — either indicates a broken event loop.
+    pub fn complete(&mut self, now: Nanos) -> Completed {
+        let s = self.in_service.take().expect("complete() with no request in service");
+        assert_eq!(s.completes, now, "completion processed at the wrong time");
+        let done = Completed {
+            block: s.request.block,
+            service: s.completes - s.started,
+            response: s.completes - s.request.enqueued,
+            kind: s.request.kind,
+        };
+        self.stats.served += 1;
+        self.stats.busy += done.service;
+        self.stats.total_service += done.service;
+        self.stats.total_response += done.response;
+        self.maybe_start(now);
+        done
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// The scheduling discipline in use.
+    pub fn discipline(&self) -> Discipline {
+        self.discipline
+    }
+
+    /// Blocks currently queued or in service (the drive's outstanding set).
+    pub fn outstanding(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.queue
+            .iter()
+            .map(|p| p.block)
+            .chain(self.in_service.iter().map(|s| s.request.block))
+    }
+
+    /// Clears queue, in-service state, statistics, and the drive model.
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        self.in_service = None;
+        self.next_seq = 0;
+        self.stats = DiskStats::default();
+        self.model.reset();
+    }
+}
+
+impl std::fmt::Debug for Disk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Disk")
+            .field("model", &self.model.name())
+            .field("discipline", &self.discipline.name())
+            .field("queued", &self.queue.len())
+            .field("in_service", &self.in_service.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::UniformDisk;
+
+    fn uniform_disk(ms: u64) -> Disk {
+        Disk::new(
+            Box::new(UniformDisk::new(Nanos::from_millis(ms))),
+            Discipline::Fcfs,
+        )
+    }
+
+    #[test]
+    fn serializes_requests() {
+        let mut d = uniform_disk(10);
+        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 });
+        d.enqueue(Nanos::ZERO, BlockId(2), SectorSpan { start: 16, len: 16 });
+        assert_eq!(d.next_completion(), Some(Nanos::from_millis(10)));
+        let first = d.complete(Nanos::from_millis(10));
+        assert_eq!(first.block, BlockId(1));
+        assert_eq!(first.service, Nanos::from_millis(10));
+        // Second request starts only after the first completes.
+        assert_eq!(d.next_completion(), Some(Nanos::from_millis(20)));
+        let second = d.complete(Nanos::from_millis(20));
+        assert_eq!(second.block, BlockId(2));
+        // It waited 10ms in queue: response is 20ms.
+        assert_eq!(second.response, Nanos::from_millis(20));
+        assert!(d.is_free());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = uniform_disk(5);
+        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 });
+        d.enqueue(Nanos::ZERO, BlockId(2), SectorSpan { start: 16, len: 16 });
+        d.complete(Nanos::from_millis(5));
+        d.complete(Nanos::from_millis(10));
+        let s = d.stats();
+        assert_eq!(s.served, 2);
+        assert_eq!(s.busy, Nanos::from_millis(10));
+        assert_eq!(s.avg_service(), Nanos::from_millis(5));
+        // Responses: 5ms and 10ms -> average 7.5ms.
+        assert_eq!(s.avg_response(), Nanos(7_500_000));
+    }
+
+    #[test]
+    fn load_and_outstanding() {
+        let mut d = uniform_disk(5);
+        assert_eq!(d.load(), 0);
+        d.enqueue(Nanos::ZERO, BlockId(9), SectorSpan { start: 0, len: 16 });
+        d.enqueue(Nanos::ZERO, BlockId(8), SectorSpan { start: 16, len: 16 });
+        assert_eq!(d.load(), 2);
+        let out: Vec<BlockId> = d.outstanding().collect();
+        assert!(out.contains(&BlockId(9)) && out.contains(&BlockId(8)));
+        assert!(!d.is_free());
+        assert!(!d.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong time")]
+    fn completing_at_wrong_time_panics() {
+        let mut d = uniform_disk(5);
+        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 });
+        d.complete(Nanos::from_millis(99));
+    }
+
+    #[test]
+    fn writes_share_the_queue_and_report_their_kind() {
+        let mut d = uniform_disk(5);
+        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 });
+        d.enqueue_write(Nanos::ZERO, BlockId(2), SectorSpan { start: 16, len: 16 });
+        let first = d.complete(Nanos::from_millis(5));
+        assert_eq!((first.block, first.kind), (BlockId(1), ReqKind::Read));
+        let second = d.complete(Nanos::from_millis(10));
+        assert_eq!((second.block, second.kind), (BlockId(2), ReqKind::Write));
+        assert_eq!(d.stats().served, 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut d = uniform_disk(5);
+        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 });
+        d.reset();
+        assert!(d.is_free());
+        assert_eq!(d.stats(), DiskStats::default());
+    }
+}

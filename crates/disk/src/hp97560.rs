@@ -1,0 +1,400 @@
+//! A detailed service-time model of the HP 97560 disk drive.
+//!
+//! This reproduces, in Rust, the behavior the paper obtains from the Kotz
+//! et al. simulator (itself based on Ruemmler & Wilkes): the Table 1
+//! geometry, the published seek curve, rotational-position tracking on the
+//! absolute simulation clock, sector-granularity media transfer, a 10 MB/s
+//! SCSI bus, and a 128 KB readahead cache that keeps reading sequentially
+//! past each mechanical access.
+//!
+//! Approximations relative to a cycle-accurate drive model, all documented
+//! here because they bound what conclusions the simulator supports:
+//!
+//! * Tracks are angularly aligned and track skew is ideal: a multi-track
+//!   media transfer pays a fixed head-switch (and cylinder-switch) penalty
+//!   instead of re-synchronizing rotation.
+//! * The readahead fill never stalls on a full buffer; instead the *hit
+//!   window* is bounded to the buffer capacity ahead of the last consumed
+//!   sector.
+//! * Bus transfer overlaps media transfer on mechanical reads (the bus is
+//!   4x faster than the media), so mechanical completion time is the media
+//!   completion time.
+//!
+//! The tests validate the model against the figures the paper itself
+//! quotes: ~22.8 ms average for random 8 KB accesses, 3-4 ms for sequential
+//! runs, and a 7.24 ms maximum seek within a 100-cylinder group.
+
+use crate::geometry::{DiskGeometry, SectorSpan};
+use crate::model::DiskModel;
+use crate::seek::SeekCurve;
+use parcache_types::Nanos;
+
+/// Time to read one sector off the media.
+///
+/// 4002 rpm gives a 14.99 ms rotation; with 72 sectors per track each
+/// sector takes ~208.2 us under the head.
+const SECTOR_TIME: Nanos = Nanos(208_229);
+
+/// One full platter rotation (72 sector times, kept exactly consistent with
+/// [`SECTOR_TIME`] so rotational arithmetic never drifts).
+const ROTATION: Nanos = Nanos(SECTOR_TIME.0 * 72);
+
+/// Fixed per-request controller/command overhead on the drive.
+const CONTROLLER_OVERHEAD: Nanos = Nanos::from_micros(500);
+
+/// Time to switch heads at a track boundary during a contiguous transfer.
+const HEAD_SWITCH: Nanos = Nanos::from_micros(1_000);
+
+/// Time to step to the adjacent cylinder during a contiguous transfer.
+const CYLINDER_SWITCH: Nanos = Nanos::from_micros(2_000);
+
+/// SCSI-II bus transfer time per sector: 512 bytes at 10 MB/s.
+const BUS_SECTOR_TIME: Nanos = Nanos(51_200);
+
+/// Readahead cache capacity in sectors (128 KB of 512-byte sectors).
+const READAHEAD_SECTORS: u64 = 256;
+
+/// Sequential readahead state: after a mechanical read the drive keeps
+/// reading forward into its buffer until the end of the cylinder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Readahead {
+    /// Sector where the current fill run began (end of the mechanical read).
+    origin: u64,
+    /// Time the fill run began.
+    origin_time: Nanos,
+    /// Oldest still-buffered sector; earlier sectors have been discarded.
+    consumed_to: u64,
+}
+
+impl Readahead {
+    /// The furthest sector (exclusive) buffered by time `now`, honoring the
+    /// media rate, the buffer capacity, and the cylinder-end stop.
+    fn frontier(&self, now: Nanos, geometry: &DiskGeometry) -> u64 {
+        let elapsed = now - self.origin_time;
+        let filled = elapsed.as_nanos() / SECTOR_TIME.as_nanos();
+        let by_rate = self.origin + filled;
+        let by_capacity = self.consumed_to + READAHEAD_SECTORS;
+        let by_cylinder = geometry.next_cylinder_start(self.origin);
+        by_rate.min(by_capacity).min(by_cylinder)
+    }
+
+    /// The latest sector (exclusive) this fill run can ever deliver.
+    fn limit(&self, geometry: &DiskGeometry) -> u64 {
+        let by_capacity = self.consumed_to + READAHEAD_SECTORS;
+        let by_cylinder = geometry.next_cylinder_start(self.origin);
+        by_capacity.min(by_cylinder)
+    }
+
+    /// When sector `upto` (exclusive) will have been buffered.
+    fn available_at(&self, upto: u64) -> Nanos {
+        self.origin_time + SECTOR_TIME * (upto - self.origin)
+    }
+}
+
+/// The HP 97560 drive model.
+#[derive(Debug, Clone)]
+pub struct Hp97560 {
+    geometry: DiskGeometry,
+    seek: SeekCurve,
+    head_cylinder: u64,
+    readahead: Option<Readahead>,
+    readahead_enabled: bool,
+    stats: ModelStats,
+}
+
+/// Internal service-mix counters, exposed for tests and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Requests served entirely from the readahead buffer.
+    pub buffer_hits: u64,
+    /// Requests that waited for the in-progress readahead fill.
+    pub buffer_waits: u64,
+    /// Requests that required a mechanical (seek + rotate) access.
+    pub mechanical: u64,
+}
+
+impl Default for Hp97560 {
+    fn default() -> Hp97560 {
+        Hp97560::new()
+    }
+}
+
+impl Hp97560 {
+    /// Creates a drive with the paper's Table 1 geometry, head at cylinder 0.
+    pub fn new() -> Hp97560 {
+        Hp97560 {
+            geometry: DiskGeometry::HP97560,
+            seek: SeekCurve::HP97560,
+            head_cylinder: 0,
+            readahead: None,
+            readahead_enabled: true,
+            stats: ModelStats::default(),
+        }
+    }
+
+    /// Creates a drive with the readahead cache disabled — every access
+    /// is mechanical. Ablation: quantifies how much of the drive's
+    /// sequential performance the 128 KB cache provides.
+    pub fn without_readahead() -> Hp97560 {
+        Hp97560 {
+            readahead_enabled: false,
+            ..Hp97560::new()
+        }
+    }
+
+    /// The drive geometry.
+    pub fn geometry(&self) -> &DiskGeometry {
+        &self.geometry
+    }
+
+    /// Service-mix counters accumulated since construction or [`reset`].
+    ///
+    /// [`reset`]: DiskModel::reset
+    pub fn stats(&self) -> ModelStats {
+        self.stats
+    }
+
+    /// Completion time of a full mechanical access started at `now`:
+    /// controller overhead, seek, rotational latency, then media transfer
+    /// with track/cylinder switch penalties. Pure — state is committed by
+    /// the caller once the mechanical path is chosen.
+    fn mechanical_completion(&self, now: Nanos, span: &SectorSpan) -> Nanos {
+        let target_cyl = self.geometry.cylinder_of(span.start);
+        let distance = target_cyl.abs_diff(self.head_cylinder);
+        let after_seek = now + CONTROLLER_OVERHEAD + self.seek.seek_time(distance);
+
+        // Rotational latency: wait for the target sector's angular position.
+        let target_angle = SECTOR_TIME * self.geometry.rotational_index(span.start);
+        let current_angle = Nanos(after_seek.as_nanos() % ROTATION.as_nanos());
+        let rot_wait = Nanos((target_angle + ROTATION - current_angle).as_nanos() % ROTATION.as_nanos());
+
+        let media = SECTOR_TIME * span.len
+            + HEAD_SWITCH * self.geometry.track_crossings(span)
+            + CYLINDER_SWITCH * self.geometry.cylinder_crossings(span);
+        after_seek + rot_wait + media
+    }
+
+    /// Commits a mechanical access ending at `done`.
+    fn commit_mechanical(&mut self, span: &SectorSpan, done: Nanos) {
+        self.stats.mechanical += 1;
+        self.head_cylinder = self.geometry.cylinder_of(span.end() - 1);
+        self.readahead = self.readahead_enabled.then_some(Readahead {
+            origin: span.end(),
+            origin_time: done,
+            consumed_to: span.end(),
+        });
+    }
+}
+
+impl DiskModel for Hp97560 {
+    fn service(&mut self, now: Nanos, span: &SectorSpan) -> Nanos {
+        if span.len == 0 {
+            return now;
+        }
+        let mech_done = self.mechanical_completion(now, span);
+        if let Some(ra) = self.readahead {
+            let within = span.start >= ra.consumed_to && span.end() <= ra.limit(&self.geometry);
+            if within {
+                let frontier = ra.frontier(now, &self.geometry);
+                let (hit, data_ready) = if span.end() <= frontier {
+                    (true, now)
+                } else {
+                    (false, ra.available_at(span.end()))
+                };
+                let done = data_ready.max(now + CONTROLLER_OVERHEAD) + BUS_SECTOR_TIME * span.len;
+                // Firmware aborts the readahead when seeking is faster
+                // than waiting for the fill to reach the data.
+                if done <= mech_done {
+                    if hit {
+                        self.stats.buffer_hits += 1;
+                    } else {
+                        self.stats.buffer_waits += 1;
+                    }
+                    self.head_cylinder = self.geometry.cylinder_of(span.end() - 1);
+                    self.readahead = Some(Readahead {
+                        consumed_to: span.end(),
+                        ..ra
+                    });
+                    return done;
+                }
+            }
+        }
+        self.commit_mechanical(span, mech_done);
+        mech_done
+    }
+
+    fn cylinder_of(&self, sector: u64) -> u64 {
+        self.geometry.cylinder_of(sector)
+    }
+
+    fn head_cylinder(&self) -> u64 {
+        self.head_cylinder
+    }
+
+    fn reset(&mut self) {
+        self.head_cylinder = 0;
+        self.readahead = None;
+        self.stats = ModelStats::default();
+    }
+
+    fn name(&self) -> &'static str {
+        "hp97560"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn block_span(disk_block: u64) -> SectorSpan {
+        SectorSpan::for_block(disk_block)
+    }
+
+    #[test]
+    fn random_access_average_matches_table_1() {
+        // Table 1: average 8 KB access time 22.8 ms. Our model should land
+        // in the same neighborhood for uniformly random block reads.
+        let mut d = Hp97560::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let cap = d.geometry().capacity_blocks();
+        let mut now = Nanos::ZERO;
+        let mut total = Nanos::ZERO;
+        let n = 2000;
+        for _ in 0..n {
+            let b = rng.gen_range(0..cap);
+            let done = d.service(now, &block_span(b));
+            total += done - now;
+            now = done;
+        }
+        let avg_ms = total.as_millis_f64() / n as f64;
+        assert!(
+            (18.0..28.0).contains(&avg_ms),
+            "random average {avg_ms:.2} ms outside expected band"
+        );
+    }
+
+    #[test]
+    fn sequential_access_is_fast() {
+        // Back-to-back sequential blocks should stream at roughly media
+        // rate (~3.3 ms per 8 KB block), the regime the paper reports as
+        // 3-4 ms response times on sequential traces.
+        let mut d = Hp97560::new();
+        let mut now = Nanos::ZERO;
+        // Prime: first access is mechanical.
+        now = d.service(now, &block_span(0));
+        let mut total = Nanos::ZERO;
+        let n = 80; // stays within the first cylinder (85 blocks).
+        for b in 1..=n {
+            let done = d.service(now, &block_span(b));
+            total += done - now;
+            now = done;
+        }
+        let avg_ms = total.as_millis_f64() / n as f64;
+        assert!(
+            (2.5..4.5).contains(&avg_ms),
+            "sequential average {avg_ms:.2} ms outside expected band"
+        );
+    }
+
+    #[test]
+    fn idle_disk_fills_readahead_and_serves_from_buffer() {
+        let mut d = Hp97560::new();
+        let done = d.service(Nanos::ZERO, &block_span(0));
+        // Leave the disk idle long enough to fill the readahead buffer,
+        // then read the next block: it should be served at bus speed.
+        let later = done + Nanos::from_millis(100);
+        let done2 = d.service(later, &block_span(1));
+        let service = done2 - later;
+        let expect = CONTROLLER_OVERHEAD + BUS_SECTOR_TIME * 16;
+        assert_eq!(service, expect, "buffered read took {service}");
+        assert_eq!(d.stats().buffer_hits, 1);
+    }
+
+    #[test]
+    fn backward_access_is_mechanical() {
+        let mut d = Hp97560::new();
+        let t1 = d.service(Nanos::ZERO, &block_span(100));
+        let t2 = d.service(t1, &block_span(99));
+        assert_eq!(d.stats().mechanical, 2);
+        // A mechanical access includes at least the media transfer.
+        assert!(t2 - t1 >= SECTOR_TIME * 16);
+    }
+
+    #[test]
+    fn readahead_stops_at_cylinder_boundary() {
+        let mut d = Hp97560::new();
+        // Block 84 occupies sectors 1344..1360; cylinder 0 ends at 1368, so
+        // block 85 (sectors 1360..1376) straddles the boundary and can never
+        // be served by a fill run that began in cylinder 0.
+        let done = d.service(Nanos::ZERO, &block_span(84));
+        let later = done + Nanos::from_millis(200);
+        d.service(later, &block_span(85));
+        assert_eq!(d.stats().mechanical, 2);
+    }
+
+    #[test]
+    fn service_is_monotone_in_time() {
+        let mut d = Hp97560::new();
+        let done = d.service(Nanos::from_millis(5), &block_span(1000));
+        assert!(done > Nanos::from_millis(5));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut d = Hp97560::new();
+        d.service(Nanos::ZERO, &block_span(50_000));
+        assert_ne!(d.head_cylinder(), 0);
+        d.reset();
+        assert_eq!(d.head_cylinder(), 0);
+        assert_eq!(d.stats(), ModelStats::default());
+    }
+
+    #[test]
+    fn rotational_wait_is_bounded_by_one_rotation() {
+        let mut d = Hp97560::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let cap = d.geometry().capacity_blocks();
+        let mut now = Nanos::ZERO;
+        for _ in 0..500 {
+            let b = rng.gen_range(0..cap);
+            let span = block_span(b);
+            let done = d.service(now, &span);
+            let dist = d
+                .geometry()
+                .cylinder_of(span.start)
+                .abs_diff(d.head_cylinder());
+            let _ = dist;
+            let upper = CONTROLLER_OVERHEAD
+                + SeekCurve::HP97560.seek_time(1961)
+                + ROTATION
+                + SECTOR_TIME * 16
+                + HEAD_SWITCH
+                + CYLINDER_SWITCH;
+            assert!(done - now <= upper, "service exceeded physical bound");
+            now = done;
+        }
+    }
+
+    #[test]
+    fn disabled_readahead_makes_everything_mechanical() {
+        let mut d = Hp97560::without_readahead();
+        let mut now = Nanos::ZERO;
+        for b in 0..20 {
+            now = d.service(now, &block_span(b));
+        }
+        let s = d.stats();
+        assert_eq!(s.mechanical, 20);
+        assert_eq!(s.buffer_hits + s.buffer_waits, 0);
+    }
+
+    #[test]
+    fn repeated_same_block_is_not_a_buffer_hit() {
+        // The buffer only holds data *ahead* of the last access.
+        let mut d = Hp97560::new();
+        let t1 = d.service(Nanos::ZERO, &block_span(10));
+        d.service(t1 + Nanos::from_millis(50), &block_span(10));
+        assert_eq!(d.stats().mechanical, 2);
+    }
+}

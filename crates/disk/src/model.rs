@@ -1,0 +1,44 @@
+//! The disk-model abstraction.
+//!
+//! A disk model answers one question: if a read of a given sector span is
+//! started at a given time, when does it complete? Models are stateful —
+//! the answer depends on head position, rotational phase, and readahead
+//! buffer contents — and the state is updated by each call.
+
+use crate::geometry::SectorSpan;
+use parcache_types::Nanos;
+
+/// A stateful single-drive service-time model.
+pub trait DiskModel {
+    /// Services a read of `span` beginning at time `now`.
+    ///
+    /// Returns the completion time (`>= now`) and updates internal state
+    /// (head position, rotational phase, readahead buffer).
+    fn service(&mut self, now: Nanos, span: &SectorSpan) -> Nanos;
+
+    /// The cylinder containing `sector`, used by position-aware schedulers.
+    fn cylinder_of(&self, sector: u64) -> u64;
+
+    /// The cylinder currently under the head.
+    fn head_cylinder(&self) -> u64;
+
+    /// Restores the model to its initial state.
+    fn reset(&mut self);
+
+    /// A short human-readable name (for reports).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::UniformDisk;
+
+    #[test]
+    fn trait_object_is_usable() {
+        let mut m: Box<dyn DiskModel> = Box::new(UniformDisk::new(Nanos::from_millis(5)));
+        let done = m.service(Nanos::from_millis(1), &SectorSpan { start: 0, len: 16 });
+        assert_eq!(done, Nanos::from_millis(6));
+        assert_eq!(m.name(), "uniform");
+    }
+}

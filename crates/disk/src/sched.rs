@@ -1,0 +1,196 @@
+//! Disk-head scheduling disciplines.
+//!
+//! The paper's results use CSCAN (chosen over SCAN because the HP 97560's
+//! readahead buffer favors always scanning in the read direction) and
+//! compare against FCFS in §4.4 / Table 5. SCAN and SSTF are provided as
+//! natural extensions.
+
+use crate::disk::Pending;
+
+/// A head-scheduling discipline: picks which queued request to serve next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// First-come first-served: strict arrival order.
+    Fcfs,
+    /// Circular SCAN: serve requests in increasing cylinder order from the
+    /// current head position, wrapping around to the lowest cylinder.
+    Cscan,
+    /// Elevator SCAN: sweep up, then down. The current sweep direction is
+    /// part of the discipline state.
+    Scan {
+        /// Whether the head is currently sweeping toward higher cylinders.
+        ascending: bool,
+    },
+    /// Shortest seek time first: nearest cylinder next.
+    Sstf,
+}
+
+impl Discipline {
+    /// Selects the index of the next request to serve from `queue`.
+    ///
+    /// `cylinders[i]` must be the target cylinder of `queue[i]`, and
+    /// `head` the cylinder currently under the head. Returns `None` for an
+    /// empty queue. Ties are broken by arrival order (`seq`), which keeps
+    /// every discipline deterministic and starvation-free for CSCAN.
+    pub fn select(&mut self, queue: &[Pending], cylinders: &[u64], head: u64) -> Option<usize> {
+        if queue.is_empty() {
+            return None;
+        }
+        debug_assert_eq!(queue.len(), cylinders.len());
+        match *self {
+            Discipline::Fcfs => queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, p)| (p.seq, *i))
+                .map(|(i, _)| i),
+            Discipline::Cscan => {
+                // Candidates at or ahead of the head, else wrap to lowest.
+                let ahead = best_by(queue, cylinders, |c| c >= head);
+                ahead.or_else(|| best_by(queue, cylinders, |_| true))
+            }
+            Discipline::Scan { ref mut ascending } => {
+                let pick = if *ascending {
+                    best_by(queue, cylinders, |c| c >= head)
+                } else {
+                    best_desc_by(queue, cylinders, |c| c <= head)
+                };
+                match pick {
+                    Some(i) => Some(i),
+                    None => {
+                        *ascending = !*ascending;
+                        if *ascending {
+                            best_by(queue, cylinders, |_| true)
+                        } else {
+                            best_desc_by(queue, cylinders, |_| true)
+                        }
+                    }
+                }
+            }
+            Discipline::Sstf => queue
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, p)| (cylinders[i].abs_diff(head), p.seq))
+                .map(|(i, _)| i),
+        }
+    }
+
+    /// A short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Discipline::Fcfs => "fcfs",
+            Discipline::Cscan => "cscan",
+            Discipline::Scan { .. } => "scan",
+            Discipline::Sstf => "sstf",
+        }
+    }
+}
+
+/// Lowest-cylinder candidate satisfying `pred`, ties by arrival.
+fn best_by(queue: &[Pending], cylinders: &[u64], pred: impl Fn(u64) -> bool) -> Option<usize> {
+    queue
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| pred(cylinders[i]))
+        .min_by_key(|&(i, p)| (cylinders[i], p.seq))
+        .map(|(i, _)| i)
+}
+
+/// Highest-cylinder candidate satisfying `pred`, ties by arrival.
+fn best_desc_by(queue: &[Pending], cylinders: &[u64], pred: impl Fn(u64) -> bool) -> Option<usize> {
+    queue
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| pred(cylinders[i]))
+        .max_by_key(|&(i, p)| (cylinders[i], u64::MAX - p.seq))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::SectorSpan;
+    use parcache_types::{BlockId, Nanos};
+
+    fn pending(seq: u64, sector: u64) -> Pending {
+        Pending {
+            block: BlockId(seq),
+            span: SectorSpan {
+                start: sector,
+                len: 16,
+            },
+            enqueued: Nanos::ZERO,
+            seq,
+            kind: crate::disk::ReqKind::Read,
+        }
+    }
+
+    fn queue_with_cyls(cyls: &[u64]) -> (Vec<Pending>, Vec<u64>) {
+        let q: Vec<Pending> = cyls
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| pending(i as u64, c * 1368))
+            .collect();
+        (q, cyls.to_vec())
+    }
+
+    #[test]
+    fn fcfs_is_arrival_order() {
+        let (q, c) = queue_with_cyls(&[500, 10, 300]);
+        let mut d = Discipline::Fcfs;
+        assert_eq!(d.select(&q, &c, 0), Some(0));
+    }
+
+    #[test]
+    fn cscan_serves_ahead_of_head_first() {
+        let (q, c) = queue_with_cyls(&[500, 10, 300]);
+        let mut d = Discipline::Cscan;
+        // Head at 100: candidates ahead are 300 and 500 -> pick 300.
+        assert_eq!(d.select(&q, &c, 100), Some(2));
+    }
+
+    #[test]
+    fn cscan_wraps_to_lowest() {
+        let (q, c) = queue_with_cyls(&[500, 10, 300]);
+        let mut d = Discipline::Cscan;
+        // Head at 600: nothing ahead -> wrap to cylinder 10.
+        assert_eq!(d.select(&q, &c, 600), Some(1));
+    }
+
+    #[test]
+    fn scan_reverses_at_the_edge() {
+        let (q, c) = queue_with_cyls(&[500, 10]);
+        let mut d = Discipline::Scan { ascending: true };
+        assert_eq!(d.select(&q, &c, 600), Some(0)); // reverses, picks 500
+        assert!(matches!(d, Discipline::Scan { ascending: false }));
+    }
+
+    #[test]
+    fn sstf_picks_nearest() {
+        let (q, c) = queue_with_cyls(&[500, 10, 300]);
+        let mut d = Discipline::Sstf;
+        assert_eq!(d.select(&q, &c, 280), Some(2));
+        assert_eq!(d.select(&q, &c, 40), Some(1));
+    }
+
+    #[test]
+    fn empty_queue_selects_nothing() {
+        let mut d = Discipline::Cscan;
+        assert_eq!(d.select(&[], &[], 0), None);
+    }
+
+    #[test]
+    fn cscan_ties_break_by_arrival() {
+        let q = vec![pending(5, 1368), pending(2, 1368)];
+        let c = vec![1, 1];
+        let mut d = Discipline::Cscan;
+        assert_eq!(d.select(&q, &c, 0), Some(1));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Discipline::Fcfs.name(), "fcfs");
+        assert_eq!(Discipline::Cscan.name(), "cscan");
+        assert_eq!(Discipline::Scan { ascending: true }.name(), "scan");
+        assert_eq!(Discipline::Sstf.name(), "sstf");
+    }
+}

@@ -1,0 +1,94 @@
+//! Seek-time curves.
+//!
+//! The HP 97560 seek curve follows Ruemmler & Wilkes, *An Introduction to
+//! Disk Drive Modelling* (IEEE Computer, 1994): a square-root region for
+//! short seeks dominated by acceleration, and a linear region for long
+//! seeks dominated by coast time. The paper validates this implicitly: it
+//! states the maximum seek within a 100-cylinder group is 7.24 ms, which is
+//! exactly `3.24 + 0.400 * sqrt(100)`.
+
+use parcache_types::Nanos;
+
+/// A piecewise seek-time curve: `a + b*sqrt(d)` below the breakpoint,
+/// `c + e*d` at or above it, and zero for `d == 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeekCurve {
+    /// Constant term of the square-root region, in milliseconds.
+    pub sqrt_base_ms: f64,
+    /// Coefficient of `sqrt(distance)` in the square-root region.
+    pub sqrt_coeff_ms: f64,
+    /// Constant term of the linear region, in milliseconds.
+    pub lin_base_ms: f64,
+    /// Coefficient of `distance` in the linear region.
+    pub lin_coeff_ms: f64,
+    /// Seek distance (in cylinders) at which the linear region begins.
+    pub breakpoint: u64,
+}
+
+impl SeekCurve {
+    /// The HP 97560 curve (Ruemmler & Wilkes 1994).
+    pub const HP97560: SeekCurve = SeekCurve {
+        sqrt_base_ms: 3.24,
+        sqrt_coeff_ms: 0.400,
+        lin_base_ms: 8.00,
+        lin_coeff_ms: 0.008,
+        breakpoint: 383,
+    };
+
+    /// Seek time for a head movement of `distance` cylinders.
+    pub fn seek_time(&self, distance: u64) -> Nanos {
+        if distance == 0 {
+            return Nanos::ZERO;
+        }
+        let ms = if distance < self.breakpoint {
+            self.sqrt_base_ms + self.sqrt_coeff_ms * (distance as f64).sqrt()
+        } else {
+            self.lin_base_ms + self.lin_coeff_ms * distance as f64
+        };
+        Nanos::from_millis_f64(ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_is_free() {
+        assert_eq!(SeekCurve::HP97560.seek_time(0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn hundred_cylinder_seek_matches_paper() {
+        // The paper: "The maximum seek time within a group of 100 cylinders
+        // is 7.24ms."
+        let t = SeekCurve::HP97560.seek_time(100);
+        assert!((t.as_millis_f64() - 7.24).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    fn single_cylinder_seek() {
+        let t = SeekCurve::HP97560.seek_time(1);
+        assert!((t.as_millis_f64() - 3.64).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    fn long_seeks_use_linear_region() {
+        let t = SeekCurve::HP97560.seek_time(1000);
+        assert!((t.as_millis_f64() - 16.0).abs() < 1e-9, "got {t}");
+        // Full-stroke seek on 1962 cylinders.
+        let full = SeekCurve::HP97560.seek_time(1961);
+        assert!((full.as_millis_f64() - 23.688).abs() < 1e-9, "got {full}");
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let c = SeekCurve::HP97560;
+        let mut prev = Nanos::ZERO;
+        for d in 0..1962 {
+            let t = c.seek_time(d);
+            assert!(t >= prev, "seek curve decreased at distance {d}");
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The `postgres-join` and `postgres-select` traces: relational queries.
+//!
+//! §3.1, from the Wisconsin Benchmark:
+//!
+//! * postgres-join — an index nested-loop join of an indexed 32 MB
+//!   relation with a non-indexed 3.2 MB relation; "the index blocks are
+//!   accessed much more frequently than the data blocks." 8896 reads,
+//!   3793 distinct, 79.2 s compute (8.9 ms mean — compute-bound).
+//! * postgres-select — an indexed selection of 2% of the tuples of the
+//!   32 MB relation, reading qualifying blocks in index-key order, which
+//!   is physically scattered. 5044 reads, 3085 distinct, 11.5 s compute
+//!   (2.3 ms mean — I/O-bound).
+//!
+//! **Paper erratum.** Table 3 lists the compute totals the other way
+//! around (join 11.5 s, select 79.2 s), but the paper's own appendix
+//! tables and figures are unambiguous: postgres-join's elapsed time is
+//! ~85 s with negligible stall (compute ≈ 79.2 s) and postgres-select's
+//! is ~45 s at one disk with ~32 s of stall (compute ≈ 11.5 s); Figure 2
+//! and Tables 4/8 show postgres-select as I/O-bound. We follow the
+//! appendix, since those are the behaviors the reproduction targets.
+
+use super::assemble;
+use crate::calibrate::calibrate_counts;
+use crate::compute::ComputeDist;
+use crate::placement::GroupPlacer;
+use crate::Trace;
+use parcache_types::Nanos;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// postgres-join Table 3 targets.
+pub const JOIN_READS: usize = 8_896;
+/// Distinct blocks of postgres-join.
+pub const JOIN_DISTINCT: usize = 3_793;
+/// postgres-join total compute: 79.2 s (see the module-level erratum).
+pub const JOIN_COMPUTE: Nanos = Nanos(79_200_000_000);
+
+/// postgres-select Table 3 targets.
+pub const SELECT_READS: usize = 5_044;
+/// Distinct blocks of postgres-select.
+pub const SELECT_DISTINCT: usize = 3_085;
+/// postgres-select total compute: 11.5 s (see the module-level erratum).
+pub const SELECT_COMPUTE: Nanos = Nanos(11_500_000_000);
+
+/// Generates the postgres-join trace.
+///
+/// Layout: a B-tree index file (100 blocks, hot), the outer relation's
+/// data file (3283 blocks), and the inner 3.2 MB relation (410 blocks).
+/// The query scans the inner relation sequentially; after each inner
+/// block it performs a run of index probes, each probe reading one index
+/// block (root-heavy) and one outer data block.
+pub fn postgres_join(seed: u64) -> Trace {
+    const INDEX: u64 = 100;
+    const INNER: u64 = 410;
+    let outer: u64 = JOIN_DISTINCT as u64 - INDEX - INNER; // 3283
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut placer = GroupPlacer::new(seed ^ 0x5EED);
+    let index_file = placer.place(INDEX);
+    let outer_file = placer.place(outer);
+    let inner_file = placer.place(INNER);
+
+    // Probe targets: every outer block once (shuffled), with extra
+    // re-probes of *recently touched* blocks interleaved — duplicate join
+    // keys land near each other in the index scan, so re-probes are
+    // temporally local and hit the cache (the paper's join fetches barely
+    // exceed its distinct count).
+    let probes = (JOIN_READS - INNER as usize - INDEX as usize) / 2; // 4193
+    let mut fresh: Vec<u64> = (0..outer).collect();
+    fresh.shuffle(&mut rng);
+    let extras = probes - fresh.len();
+    let step = fresh.len() / extras + 1;
+    let mut outer_targets: Vec<u64> = Vec::with_capacity(probes);
+    for (i, &t) in fresh.iter().enumerate() {
+        outer_targets.push(t);
+        if i % step == step - 1 {
+            // Re-probe one of the last few targets.
+            let back = rng.gen_range(1..=8.min(outer_targets.len()));
+            outer_targets.push(outer_targets[outer_targets.len() - back]);
+        }
+    }
+    while outer_targets.len() < probes {
+        let back = rng.gen_range(1..=32.min(outer_targets.len()));
+        outer_targets.push(outer_targets[outer_targets.len() - back]);
+    }
+    outer_targets.truncate(probes);
+
+    let mut blocks = Vec::with_capacity(JOIN_READS);
+    // Initial index scan (covers all index blocks).
+    for off in 0..INDEX {
+        blocks.push(index_file.block(off));
+    }
+    // Interleave the inner scan with probe runs.
+    let mut probe_iter = outer_targets.into_iter();
+    let per_inner = probes / INNER as usize;
+    let mut extra = probes % INNER as usize;
+    for inner_off in 0..INNER {
+        blocks.push(inner_file.block(inner_off));
+        let mut run = per_inner;
+        if extra > 0 {
+            run += 1;
+            extra -= 1;
+        }
+        for _ in 0..run {
+            let target = probe_iter.next().expect("probe budget matches");
+            // Root-heavy index access: low offsets are much hotter.
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let idx = ((u * u * u) * INDEX as f64) as u64;
+            blocks.push(index_file.block(idx.min(INDEX - 1)));
+            blocks.push(outer_file.block(target));
+        }
+    }
+    calibrate_counts(&mut blocks, JOIN_READS, JOIN_DISTINCT, || {
+        unreachable!("index scan + probe cover everything")
+    });
+
+    assemble(
+        "postgres-join",
+        blocks,
+        ComputeDist::Jittered {
+            mean_ms: JOIN_COMPUTE.as_millis_f64() / JOIN_READS as f64,
+            jitter_frac: 0.3,
+        },
+        JOIN_COMPUTE,
+        1280,
+        seed,
+    )
+}
+
+/// Generates the postgres-select trace.
+///
+/// Layout: an 85-block index and the full 32 MB relation (4096 blocks).
+/// The indexed selection walks the index leaves in key order, reading
+/// each qualifying tuple's data block; keys are uncorrelated with
+/// physical placement, so the 3000 distinct data blocks touched arrive
+/// in scattered order — which is what gives the trace its ~15 ms average
+/// fetch times on one disk.
+pub fn postgres_select(seed: u64) -> Trace {
+    const INDEX: u64 = 85;
+    const RELATION: u64 = 4096; // 32 MB of 8 KB blocks
+    let data: u64 = SELECT_DISTINCT as u64 - INDEX; // 3000 touched
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut placer = GroupPlacer::new(seed ^ 0x5EED);
+    let index_file = placer.place(INDEX);
+    // The relation spans an entire cylinder-group-sized region.
+    let data_file = placer.place(RELATION);
+
+    // The selection touches 3000 of the 4096 blocks, in key (random)
+    // order.
+    let mut touched: Vec<u64> = (0..RELATION).collect();
+    touched.shuffle(&mut rng);
+    touched.truncate(data as usize);
+
+    let mut blocks = Vec::with_capacity(SELECT_READS);
+    let index_rereads = SELECT_READS - INDEX as usize - data as usize; // 1959
+    let mut leaf_budget = index_rereads;
+    // Initial root-to-leaf descent: read the whole index once.
+    for off in 0..INDEX {
+        blocks.push(index_file.block(off));
+    }
+    let mut leaf = 0u64;
+    for (d, &target) in touched.iter().enumerate() {
+        // Periodically advance to the next index leaf.
+        if leaf_budget > 0 && (d as u64).is_multiple_of((data / index_rereads as u64 + 1).max(1)) {
+            blocks.push(index_file.block(leaf % INDEX));
+            leaf += 1;
+            leaf_budget -= 1;
+        }
+        blocks.push(data_file.block(target));
+    }
+    // Any remaining leaf budget: trailing index re-reads.
+    for _ in 0..leaf_budget {
+        blocks.push(index_file.block(leaf % INDEX));
+        leaf += 1;
+    }
+    calibrate_counts(&mut blocks, SELECT_READS, SELECT_DISTINCT, || {
+        unreachable!("index + data scans cover everything")
+    });
+
+    assemble(
+        "postgres-select",
+        blocks,
+        ComputeDist::Jittered {
+            mean_ms: SELECT_COMPUTE.as_millis_f64() / SELECT_READS as f64,
+            jitter_frac: 0.3,
+        },
+        SELECT_COMPUTE,
+        1280,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcache_types::BlockId;
+    use std::collections::HashMap;
+
+    #[test]
+    fn join_matches_table_3() {
+        let s = postgres_join(1).stats();
+        assert_eq!(
+            (s.reads, s.distinct_blocks, s.compute),
+            (JOIN_READS, JOIN_DISTINCT, JOIN_COMPUTE)
+        );
+    }
+
+    #[test]
+    fn select_matches_table_3() {
+        let s = postgres_select(1).stats();
+        assert_eq!(
+            (s.reads, s.distinct_blocks, s.compute),
+            (SELECT_READS, SELECT_DISTINCT, SELECT_COMPUTE)
+        );
+    }
+
+    #[test]
+    fn join_index_blocks_are_much_hotter_than_data() {
+        let t = postgres_join(1);
+        let mut counts: HashMap<BlockId, usize> = HashMap::new();
+        for r in &t.requests {
+            *counts.entry(r.block).or_default() += 1;
+        }
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // The hottest blocks (index root region) dwarf the median.
+        assert!(freqs[0] >= 50, "hottest block only {}", freqs[0]);
+        assert!(freqs[freqs.len() / 2] <= 2);
+    }
+
+    #[test]
+    fn select_is_io_bound_join_is_compute_bound() {
+        // Per the appendix tables (see the module-level erratum): select
+        // averages ~2.3 ms of compute per read, join ~8.9 ms.
+        let select = postgres_select(1).mean_compute().as_millis_f64();
+        let join = postgres_join(1).mean_compute().as_millis_f64();
+        assert!((2.0..2.6).contains(&select), "select mean {select}");
+        assert!((8.0..9.8).contains(&join), "join mean {join}");
+    }
+
+    #[test]
+    fn select_data_reads_are_scattered() {
+        let t = postgres_select(1);
+        // Data blocks are each read exactly once (the index blocks are the
+        // repeated ones). The selection follows key order, which is
+        // uncorrelated with physical placement: once-read blocks must NOT
+        // arrive in anything close to ascending order.
+        let mut counts: HashMap<BlockId, usize> = HashMap::new();
+        for r in &t.requests {
+            *counts.entry(r.block).or_default() += 1;
+        }
+        let singles: Vec<u64> = t
+            .requests
+            .iter()
+            .map(|r| r.block)
+            .filter(|b| counts[b] == 1)
+            .map(|b| b.raw())
+            .collect();
+        assert!(singles.len() >= 2_900, "{} single-read blocks", singles.len());
+        let ascending = singles.windows(2).filter(|w| w[1] > w[0]).count();
+        let frac = ascending as f64 / (singles.len() - 1) as f64;
+        assert!(
+            (0.4..0.6).contains(&frac),
+            "ascending fraction {frac} — not scattered"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(postgres_join(7), postgres_join(7));
+        assert_eq!(postgres_select(7), postgres_select(7));
+    }
+}

@@ -1,0 +1,180 @@
+//! Exact calibration of generated reference streams to Table 3.
+//!
+//! Generators build a structurally faithful reference stream first, then
+//! this pass pins the stream to the paper's exact read count and distinct
+//! block count: appending fresh never-seen blocks to raise the distinct
+//! count, appending re-references to raise the read count, or trimming
+//! re-references from the tail to lower it — always preserving every
+//! block's first appearance so the distinct count is never disturbed.
+
+use parcache_types::BlockId;
+use std::collections::HashSet;
+
+/// Adjusts `blocks` to exactly `target_reads` references over exactly
+/// `target_distinct` distinct blocks.
+///
+/// `fresh` must yield blocks that have never appeared in the stream (e.g.
+/// from a reserved file extent); it is called once per missing distinct
+/// block.
+///
+/// # Panics
+///
+/// Panics if the stream already has more than `target_distinct` distinct
+/// blocks, if a "fresh" block was actually seen before, or if the stream
+/// cannot be trimmed to `target_reads` without dropping a first appearance.
+/// All three indicate a bug in the calling generator.
+pub fn calibrate_counts(
+    blocks: &mut Vec<BlockId>,
+    target_reads: usize,
+    target_distinct: usize,
+    mut fresh: impl FnMut() -> BlockId,
+) {
+    let mut seen: HashSet<BlockId> = blocks.iter().copied().collect();
+    assert!(
+        seen.len() <= target_distinct,
+        "generator produced {} distinct blocks, target {}",
+        seen.len(),
+        target_distinct
+    );
+
+    // Raise the distinct count with fresh blocks.
+    while seen.len() < target_distinct {
+        let b = fresh();
+        assert!(seen.insert(b), "fresh() returned an already-seen block {b}");
+        blocks.push(b);
+    }
+
+    match blocks.len().cmp(&target_reads) {
+        std::cmp::Ordering::Less => {
+            // Append re-references, cycling deterministically over the
+            // distinct blocks in first-appearance order.
+            let order: Vec<BlockId> = first_appearances(blocks);
+            let mut i = 0;
+            while blocks.len() < target_reads {
+                blocks.push(order[i % order.len()]);
+                i += 1;
+            }
+        }
+        std::cmp::Ordering::Greater => {
+            // Trim re-references from the tail backwards.
+            let mut counts = std::collections::HashMap::new();
+            for b in blocks.iter() {
+                *counts.entry(*b).or_insert(0u32) += 1;
+            }
+            let mut excess = blocks.len() - target_reads;
+            let mut keep = vec![true; blocks.len()];
+            for (i, b) in blocks.iter().enumerate().rev() {
+                if excess == 0 {
+                    break;
+                }
+                let c = counts.get_mut(b).expect("counted above");
+                if *c > 1 {
+                    *c -= 1;
+                    keep[i] = false;
+                    excess -= 1;
+                }
+            }
+            assert_eq!(
+                excess, 0,
+                "cannot trim to {target_reads} reads without losing distinct blocks"
+            );
+            let mut it = keep.iter();
+            blocks.retain(|_| *it.next().expect("keep mask matches length"));
+        }
+        std::cmp::Ordering::Equal => {}
+    }
+
+    debug_assert_eq!(blocks.len(), target_reads);
+    debug_assert_eq!(
+        blocks.iter().copied().collect::<HashSet<_>>().len(),
+        target_distinct
+    );
+}
+
+/// The distinct blocks of `blocks`, in order of first appearance.
+fn first_appearances(blocks: &[BlockId]) -> Vec<BlockId> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for &b in blocks {
+        if seen.insert(b) {
+            out.push(b);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u64]) -> Vec<BlockId> {
+        xs.iter().map(|&x| BlockId(x)).collect()
+    }
+
+    fn distinct(blocks: &[BlockId]) -> usize {
+        blocks.iter().copied().collect::<HashSet<_>>().len()
+    }
+
+    #[test]
+    fn already_exact_is_untouched() {
+        let mut b = ids(&[1, 2, 1, 3]);
+        let orig = b.clone();
+        calibrate_counts(&mut b, 4, 3, || unreachable!());
+        assert_eq!(b, orig);
+    }
+
+    #[test]
+    fn appends_fresh_blocks_for_distinct() {
+        let mut b = ids(&[1, 2]);
+        let mut next = 100;
+        calibrate_counts(&mut b, 5, 4, || {
+            next += 1;
+            BlockId(next)
+        });
+        assert_eq!(b.len(), 5);
+        assert_eq!(distinct(&b), 4);
+    }
+
+    #[test]
+    fn pads_reads_with_rereferences() {
+        let mut b = ids(&[1, 2, 3]);
+        calibrate_counts(&mut b, 7, 3, || unreachable!());
+        assert_eq!(b.len(), 7);
+        assert_eq!(distinct(&b), 3);
+        // Padding cycles first appearances: 1, 2, 3, 1.
+        assert_eq!(&b[3..], &ids(&[1, 2, 3, 1])[..]);
+    }
+
+    #[test]
+    fn trims_rereferences_from_tail() {
+        let mut b = ids(&[1, 2, 1, 3, 2, 1]);
+        calibrate_counts(&mut b, 4, 3, || unreachable!());
+        assert_eq!(b.len(), 4);
+        assert_eq!(distinct(&b), 3);
+        // First appearances survive.
+        assert_eq!(b[0], BlockId(1));
+        assert_eq!(b[1], BlockId(2));
+        assert_eq!(b[3], BlockId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct blocks")]
+    fn too_many_distinct_panics() {
+        let mut b = ids(&[1, 2, 3, 4]);
+        calibrate_counts(&mut b, 4, 2, || unreachable!());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot trim")]
+    fn untrimmable_stream_panics() {
+        let mut b = ids(&[1, 2, 3]);
+        calibrate_counts(&mut b, 2, 3, || unreachable!());
+    }
+
+    #[test]
+    fn trim_keeps_order_of_survivors() {
+        let mut b = ids(&[5, 6, 5, 6, 5, 6, 7]);
+        calibrate_counts(&mut b, 4, 3, || unreachable!());
+        assert_eq!(b, ids(&[5, 6, 5, 7]));
+    }
+}

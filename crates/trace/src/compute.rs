@@ -1,0 +1,229 @@
+//! Inter-reference compute-time generators.
+//!
+//! Traces record the measured CPU time between consecutive reads. The
+//! generators here reproduce the distributions §3.1 and §4.3 describe —
+//! roughly constant times with jitter, exponential (Poisson-process) times
+//! for synth, and cscope3's bursty alternation between ~1 ms and ~7 ms runs
+//! — and a calibration pass pins each trace's *total* compute time to the
+//! paper's Table 3 value exactly.
+
+use parcache_types::Nanos;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A compute-time distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ComputeDist {
+    /// Uniform jitter of +/- `jitter_frac` around `mean_ms`.
+    Jittered {
+        /// Mean compute time, milliseconds.
+        mean_ms: f64,
+        /// Fractional half-width of the uniform jitter (0.2 = +/-20%).
+        jitter_frac: f64,
+    },
+    /// Exponentially distributed with the given mean (a Poisson process).
+    Exponential {
+        /// Mean compute time, milliseconds.
+        mean_ms: f64,
+    },
+    /// Alternating runs of short and long compute times; run lengths are
+    /// geometric with the given means. Models cscope3's burstiness ("runs
+    /// of compute times near 1ms are interspersed with runs of times
+    /// around 7ms", §4.3). Asymmetric run lengths set the short/long mix.
+    Bursty {
+        /// Compute time during short runs, milliseconds.
+        short_ms: f64,
+        /// Compute time during long runs, milliseconds.
+        long_ms: f64,
+        /// Mean length of short runs, in references.
+        mean_run_short: f64,
+        /// Mean length of long runs, in references.
+        mean_run_long: f64,
+    },
+}
+
+/// Stateful sampler for a [`ComputeDist`].
+#[derive(Debug)]
+pub struct ComputeSampler {
+    dist: ComputeDist,
+    /// For `Bursty`: whether the current run is the long phase, and how
+    /// many samples remain in it.
+    burst_long: bool,
+    burst_left: u64,
+}
+
+impl ComputeSampler {
+    /// Creates a sampler.
+    pub fn new(dist: ComputeDist) -> ComputeSampler {
+        ComputeSampler {
+            dist,
+            burst_long: false,
+            burst_left: 0,
+        }
+    }
+
+    /// Draws the next compute time.
+    pub fn sample(&mut self, rng: &mut StdRng) -> Nanos {
+        match self.dist {
+            ComputeDist::Jittered { mean_ms, jitter_frac } => {
+                let f = 1.0 + rng.gen_range(-jitter_frac..=jitter_frac);
+                Nanos::from_millis_f64(mean_ms * f)
+            }
+            ComputeDist::Exponential { mean_ms } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                Nanos::from_millis_f64(-mean_ms * u.ln())
+            }
+            ComputeDist::Bursty {
+                short_ms,
+                long_ms,
+                mean_run_short,
+                mean_run_long,
+            } => {
+                if self.burst_left == 0 {
+                    self.burst_long = !self.burst_long;
+                    let mean_run = if self.burst_long {
+                        mean_run_long
+                    } else {
+                        mean_run_short
+                    };
+                    // Geometric run length with the given mean, at least 1.
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    self.burst_left = (-mean_run * u.ln()).ceil().max(1.0) as u64;
+                }
+                self.burst_left -= 1;
+                let ms = if self.burst_long { long_ms } else { short_ms };
+                // Small jitter keeps event times from colliding exactly.
+                let f = 1.0 + rng.gen_range(-0.05..=0.05);
+                Nanos::from_millis_f64(ms * f)
+            }
+        }
+    }
+}
+
+/// Rescales `times` so they sum to exactly `target`.
+///
+/// Multiplies every entry by `target / current_total`, then corrects
+/// rounding residue on the final entry, so the total is *exact*. This is
+/// how each generated trace pins its total compute to Table 3.
+pub fn calibrate_total(times: &mut [Nanos], target: Nanos) {
+    if times.is_empty() {
+        return;
+    }
+    let current: u128 = times.iter().map(|t| t.as_nanos() as u128).sum();
+    match std::num::NonZeroU128::new(current) {
+        None => {
+            // Degenerate: spread evenly.
+            let per = target.as_nanos() / times.len() as u64;
+            for t in times.iter_mut() {
+                *t = Nanos(per);
+            }
+        }
+        Some(current) => {
+            let target_n = target.as_nanos() as u128;
+            for t in times.iter_mut() {
+                *t = Nanos((t.as_nanos() as u128 * target_n / current) as u64);
+            }
+        }
+    }
+    let sum: u128 = times.iter().map(|t| t.as_nanos() as u128).sum();
+    let diff = target.as_nanos() as i128 - sum as i128;
+    let last = times.last_mut().expect("non-empty checked above");
+    let fixed = last.as_nanos() as i128 + diff;
+    assert!(fixed >= 0, "calibration residue exceeded the final entry");
+    *last = Nanos(fixed as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn draw(dist: ComputeDist, n: usize, seed: u64) -> Vec<Nanos> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = ComputeSampler::new(dist);
+        (0..n).map(|_| s.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn jittered_stays_in_band() {
+        let xs = draw(
+            ComputeDist::Jittered {
+                mean_ms: 10.0,
+                jitter_frac: 0.2,
+            },
+            1000,
+            1,
+        );
+        for x in &xs {
+            let ms = x.as_millis_f64();
+            assert!((8.0..=12.0).contains(&ms), "{ms}");
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let xs = draw(ComputeDist::Exponential { mean_ms: 1.0 }, 20_000, 2);
+        let mean =
+            xs.iter().map(|x| x.as_millis_f64()).sum::<f64>() / xs.len() as f64;
+        assert!((0.95..1.05).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn bursty_alternates_levels() {
+        let xs = draw(
+            ComputeDist::Bursty {
+                short_ms: 1.0,
+                long_ms: 7.0,
+                mean_run_short: 30.0,
+                mean_run_long: 30.0,
+            },
+            5000,
+            3,
+        );
+        let short = xs.iter().filter(|x| x.as_millis_f64() < 2.0).count();
+        let long = xs.iter().filter(|x| x.as_millis_f64() > 6.0).count();
+        assert_eq!(short + long, xs.len(), "values fell between levels");
+        assert!(short > 1000 && long > 1000, "short={short} long={long}");
+        // And it must actually be bursty: adjacent values usually equal-level.
+        let mut switches = 0;
+        for w in xs.windows(2) {
+            let a = w[0].as_millis_f64() > 4.0;
+            let b = w[1].as_millis_f64() > 4.0;
+            if a != b {
+                switches += 1;
+            }
+        }
+        assert!(switches < xs.len() / 10, "{switches} switches in {}", xs.len());
+    }
+
+    #[test]
+    fn calibrate_hits_target_exactly() {
+        let mut xs = draw(ComputeDist::Exponential { mean_ms: 2.0 }, 997, 4);
+        let target = Nanos::from_secs(5);
+        calibrate_total(&mut xs, target);
+        let total: Nanos = xs.iter().copied().sum();
+        assert_eq!(total, target);
+    }
+
+    #[test]
+    fn calibrate_handles_all_zero_input() {
+        let mut xs = vec![Nanos::ZERO; 10];
+        calibrate_total(&mut xs, Nanos::from_millis(10));
+        let total: Nanos = xs.iter().copied().sum();
+        assert_eq!(total, Nanos::from_millis(10));
+    }
+
+    #[test]
+    fn calibrate_empty_is_noop() {
+        let mut xs: Vec<Nanos> = vec![];
+        calibrate_total(&mut xs, Nanos::from_secs(1));
+        assert!(xs.is_empty());
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = draw(ComputeDist::Exponential { mean_ms: 1.0 }, 100, 9);
+        let b = draw(ComputeDist::Exponential { mean_ms: 1.0 }, 100, 9);
+        assert_eq!(a, b);
+    }
+}

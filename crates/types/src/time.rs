@@ -1,0 +1,201 @@
+//! Simulated time.
+//!
+//! All simulation in `parcache` runs on an integer nanosecond clock so that
+//! results are exactly reproducible across platforms. [`Nanos`] is both a
+//! point in time and a duration; arithmetic saturates on underflow rather
+//! than panicking so stall computations (`arrival - ready`) are safe to
+//! write directly.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, or a duration, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// The zero time.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// The largest representable time; useful as an "infinitely far" sentinel.
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Creates a time from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a time from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a time from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Creates a time from fractional milliseconds, rounding to the nearest
+    /// nanosecond.
+    ///
+    /// Negative and non-finite inputs are clamped to zero: all simulated
+    /// durations are non-negative by construction.
+    #[inline]
+    pub fn from_millis_f64(ms: f64) -> Nanos {
+        if !ms.is_finite() || ms <= 0.0 {
+            return Nanos::ZERO;
+        }
+        Nanos((ms * 1_000_000.0).round() as u64)
+    }
+
+    /// Returns this time as fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns this time as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Returns the raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: returns zero instead of wrapping.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: Nanos) -> Option<Nanos> {
+        self.0.checked_add(rhs.0).map(Nanos)
+    }
+
+    /// Returns the larger of two times.
+    #[inline]
+    pub fn max(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.max(rhs.0))
+    }
+
+    /// Returns the smaller of two times.
+    #[inline]
+    pub fn min(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.min(rhs.0))
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    /// Saturating: simulation code frequently computes `later - earlier`
+    /// where the operands may coincide; going below zero is never meaningful.
+    #[inline]
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Nanos {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Nanos {
+    /// Formats as milliseconds with three decimal places, the natural unit
+    /// of the paper's disk-time discussion.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Nanos::from_millis(3).as_millis_f64(), 3.0);
+        assert_eq!(Nanos::from_secs(2), Nanos(2_000_000_000));
+        assert_eq!(Nanos::from_micros(5), Nanos(5_000));
+        assert_eq!(Nanos::from_millis_f64(1.5), Nanos(1_500_000));
+    }
+
+    #[test]
+    fn from_millis_f64_clamps_bad_inputs() {
+        assert_eq!(Nanos::from_millis_f64(-1.0), Nanos::ZERO);
+        assert_eq!(Nanos::from_millis_f64(f64::NAN), Nanos::ZERO);
+        assert_eq!(Nanos::from_millis_f64(f64::INFINITY), Nanos::ZERO);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        assert_eq!(Nanos(5) - Nanos(10), Nanos::ZERO);
+        assert_eq!(Nanos(10) - Nanos(4), Nanos(6));
+        let mut t = Nanos(3);
+        t -= Nanos(9);
+        assert_eq!(t, Nanos::ZERO);
+    }
+
+    #[test]
+    fn min_max_and_sum() {
+        assert_eq!(Nanos(3).max(Nanos(7)), Nanos(7));
+        assert_eq!(Nanos(3).min(Nanos(7)), Nanos(3));
+        let total: Nanos = [Nanos(1), Nanos(2), Nanos(3)].into_iter().sum();
+        assert_eq!(total, Nanos(6));
+    }
+
+    #[test]
+    fn display_is_milliseconds() {
+        assert_eq!(Nanos::from_millis(15).to_string(), "15.000ms");
+        assert_eq!(Nanos(1_500_000).to_string(), "1.500ms");
+    }
+}

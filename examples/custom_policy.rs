@@ -1,0 +1,100 @@
+//! Extending the simulator: plug in your own prefetching policy.
+//!
+//! ```sh
+//! cargo run --release --example custom_policy
+//! ```
+//!
+//! Implements a naive "readahead-N" policy — on every consumption,
+//! prefetch the next N *sequential* block numbers, LRU-free, the way a
+//! classic file system readahead works — and races it against the
+//! paper's hint-based policies. The point of the exercise: sequential
+//! readahead only wins on sequential traces, which is exactly the
+//! limitation (§1.5) that motivated hint-based prefetching.
+
+use parcache::core::engine::{simulate_with, Ctx};
+use parcache::core::policy::{demand_fetch, Policy};
+use parcache::prelude::*;
+
+/// Prefetch the next `depth` sequential blocks after every reference.
+struct ReadaheadN {
+    depth: u64,
+    last_consumed: Option<BlockId>,
+}
+
+impl ReadaheadN {
+    fn new(depth: u64) -> ReadaheadN {
+        ReadaheadN {
+            depth,
+            last_consumed: None,
+        }
+    }
+}
+
+impl Policy for ReadaheadN {
+    fn name(&self) -> &'static str {
+        "readahead-n"
+    }
+
+    fn decide(&mut self, ctx: &mut Ctx<'_>) {
+        // Observe what was just consumed (the reference before the cursor).
+        if ctx.cursor == 0 {
+            return;
+        }
+        let current = ctx.oracle.block_at(ctx.cursor - 1);
+        if self.last_consumed == Some(current) {
+            return;
+        }
+        self.last_consumed = Some(current);
+        // Prefetch sequentially following blocks, while frames are free or
+        // an eviction is available.
+        for step in 1..=self.depth {
+            let candidate = BlockId(current.raw() + step);
+            if ctx.cache.resident(candidate) || ctx.cache.inflight(candidate) {
+                continue;
+            }
+            if ctx.cache.has_free_frame() {
+                ctx.issue_fetch(candidate, None);
+            } else {
+                let cursor = ctx.cursor;
+                match ctx.cache.furthest_resident(cursor, ctx.oracle) {
+                    Some((victim, _)) => ctx.issue_fetch(candidate, Some(victim)),
+                    None => break,
+                }
+            }
+        }
+    }
+
+    fn on_miss(&mut self, ctx: &mut Ctx<'_>, block: BlockId) {
+        demand_fetch(ctx, block);
+    }
+}
+
+fn race(trace: &Trace) {
+    let config = SimConfig::for_trace(2, trace);
+    let mut readahead = ReadaheadN::new(8);
+    let custom = simulate_with(trace, &mut readahead, &config);
+    let fh = simulate(trace, PolicyKind::FixedHorizon, &config);
+    let forestall = simulate(trace, PolicyKind::Forestall, &config);
+    println!(
+        "{:<18} {:>12} {:>12} {:>12}",
+        trace.name, "readahead-8", "fixed-horizon", "forestall"
+    );
+    println!(
+        "{:<18} {:>11.2}s {:>11.2}s {:>11.2}s   ({} vs {} vs {} fetches)",
+        "",
+        custom.elapsed.as_secs_f64(),
+        fh.elapsed.as_secs_f64(),
+        forestall.elapsed.as_secs_f64(),
+        custom.fetches,
+        fh.fetches,
+        forestall.fetches,
+    );
+    println!();
+}
+
+fn main() {
+    // Sequential workload: readahead's home turf.
+    race(&parcache::trace::synth::synth_trace(10, 2000, 7));
+    // Scattered index-order reads: readahead prefetches garbage.
+    race(&parcache::trace::trace_by_name("postgres-select", 1996).expect("known"));
+}

@@ -1,0 +1,61 @@
+//! How much disclosure does prefetching need?
+//!
+//! ```sh
+//! cargo run --release --example hinting_quality
+//! ```
+//!
+//! The paper assumes the application discloses its entire access
+//! sequence. Real applications hint what they can — whole files, phases,
+//! or nothing. This example sweeps disclosure under the realistic
+//! segment model and the adversarial random model, and prints a CSV you
+//! can pipe into any plotting tool:
+//!
+//! ```sh
+//! cargo run --release --example hinting_quality > hints.csv
+//! ```
+
+use parcache::core::engine::Report;
+use parcache::core::hints::HintSpec;
+use parcache::prelude::*;
+
+fn main() {
+    let trace = parcache::trace::trace_by_name("cscope2", 1996).expect("known trace");
+    println!("{},hint_model,hint_fraction", Report::csv_header());
+
+    for kind in [
+        PolicyKind::Demand,
+        PolicyKind::FixedHorizon,
+        PolicyKind::Aggressive,
+        PolicyKind::Forestall,
+    ] {
+        for percent in [0u32, 25, 50, 75, 100] {
+            let fraction = f64::from(percent) / 100.0;
+            for model in ["segments", "random"] {
+                let hints = match (percent, model) {
+                    (0, _) => HintSpec::None,
+                    (100, _) => HintSpec::Full,
+                    (_, "segments") => HintSpec::Segments {
+                        fraction,
+                        mean_run: 200,
+                        seed: 42,
+                    },
+                    _ => HintSpec::Fraction {
+                        fraction,
+                        seed: 42,
+                    },
+                };
+                let config = SimConfig::for_trace(2, &trace).with_hints(hints);
+                let report = simulate(&trace, kind, &config);
+                println!("{},{model},{fraction:.2}", report.to_csv_row());
+            }
+        }
+    }
+
+    eprintln!();
+    eprintln!("reading the output: under *segment* disclosure (how apps");
+    eprintln!("actually hint), elapsed time falls steadily as disclosure");
+    eprintln!("grows. Under *random* disclosure, the aggressive policies");
+    eprintln!("can do worse than no hints at all — partial knowledge");
+    eprintln!("misidentifies eviction victims. Fixed horizon, which trusts");
+    eprintln!("hints the least, degrades the most gracefully either way.");
+}

@@ -1,0 +1,46 @@
+//! Quickstart: simulate the paper's algorithms on one trace.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates the postgres-select trace (the workload of the paper's
+//! Figure 2), runs all five policies across a few array sizes, and prints
+//! the elapsed-time breakdown the paper's figures plot.
+
+use parcache::prelude::*;
+
+fn main() {
+    let trace = parcache::trace::trace_by_name("postgres-select", 1996).expect("known trace");
+    let stats = trace.stats();
+    println!(
+        "trace {}: {} reads, {} distinct blocks, {:.1}s compute\n",
+        trace.name,
+        stats.reads,
+        stats.distinct_blocks,
+        stats.compute.as_secs_f64()
+    );
+
+    println!(
+        "{:<6} {:<20} {:>10} {:>10} {:>10} {:>10} {:>8} {:>6}",
+        "disks", "policy", "elapsed", "compute", "driver", "stall", "fetches", "util"
+    );
+    for disks in [1usize, 2, 4, 8] {
+        let config = SimConfig::for_trace(disks, &trace);
+        for kind in PolicyKind::ALL {
+            let r = simulate(&trace, kind, &config);
+            println!(
+                "{:<6} {:<20} {:>9.3}s {:>9.3}s {:>9.3}s {:>9.3}s {:>8} {:>6.2}",
+                disks,
+                kind.name(),
+                r.elapsed.as_secs_f64(),
+                r.compute.as_secs_f64(),
+                r.driver.as_secs_f64(),
+                r.stall.as_secs_f64(),
+                r.fetches,
+                r.avg_disk_utilization,
+            );
+        }
+        println!();
+    }
+}

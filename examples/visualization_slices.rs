@@ -1,0 +1,51 @@
+//! Visualization scenario: scaling a 3-D slice viewer.
+//!
+//! ```sh
+//! cargo run --release --example visualization_slices
+//! ```
+//!
+//! Uses the paper's xds workload (XDataSlice cutting planes through a
+//! 64 MB volume) to show two effects the paper highlights: near-linear
+//! stall reduction with added disks until the application turns
+//! compute-bound, and how a 2x faster CPU pushes that crossover out —
+//! faster processors need more spindles.
+
+use parcache::prelude::*;
+
+fn speedup_curve(trace: &Trace, horizon: usize) {
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>8}",
+        "disks", "elapsed", "stall", "speedup", "util"
+    );
+    let base = {
+        let config = SimConfig::for_trace(1, trace).with_horizon(horizon);
+        simulate(trace, PolicyKind::Forestall, &config)
+    };
+    for disks in [1usize, 2, 3, 4, 6, 8] {
+        let config = SimConfig::for_trace(disks, trace).with_horizon(horizon);
+        let r = simulate(trace, PolicyKind::Forestall, &config);
+        println!(
+            "{:<6} {:>9.2}s {:>9.2}s {:>9.2}x {:>8.2}",
+            disks,
+            r.elapsed.as_secs_f64(),
+            r.stall.as_secs_f64(),
+            base.elapsed.as_secs_f64() / r.elapsed.as_secs_f64(),
+            r.avg_disk_utilization,
+        );
+    }
+}
+
+fn main() {
+    let trace = parcache::trace::trace_by_name("xds", 1996).expect("known trace");
+    println!("== xds under forestall ==");
+    speedup_curve(&trace, 62);
+
+    println!();
+    println!("== same application on a 2x faster CPU (H doubled to 124) ==");
+    let fast = trace.with_double_speed_cpu();
+    speedup_curve(&fast, 124);
+
+    println!();
+    println!("note how the faster CPU deepens the I/O-bound region: the");
+    println!("elapsed-time floor halves but more disks are needed to reach it.");
+}

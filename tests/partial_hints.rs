@@ -1,0 +1,145 @@
+//! Integration tests for the incomplete-hints extension (paper §6).
+//!
+//! Two disclosure models behave very differently, and both behaviors are
+//! asserted here:
+//!
+//! * **Segment disclosure** (realistic — apps hint whole files or phases)
+//!   degrades smoothly: elapsed time interpolates between the fully
+//!   hinted and unhinted runs.
+//! * **Per-reference random disclosure** (adversarial) can be *worse
+//!   than no hints at all*: nearly every block keeps some disclosed
+//!   future reference while losing others, so informed replacement makes
+//!   confidently wrong evictions and aggressive prefetching churns.
+//!   This is exactly why TIP2 pairs hints with cost-benefit buffer
+//!   control; the paper's conjecture that fixed horizon degrades most
+//!   gracefully holds in both models.
+
+use parcache::core::hints::HintSpec;
+use parcache::prelude::*;
+use parcache_bench::trace;
+
+fn segments(disks: usize, t: &Trace, f: f64) -> SimConfig {
+    SimConfig::for_trace(disks, t).with_hints(HintSpec::Segments {
+        fraction: f,
+        mean_run: 200,
+        seed: 11,
+    })
+}
+
+fn bernoulli(disks: usize, t: &Trace, f: f64) -> SimConfig {
+    SimConfig::for_trace(disks, t).with_hints(HintSpec::Fraction {
+        fraction: f,
+        seed: 11,
+    })
+}
+
+/// Everything still works with no hints at all: the prefetchers
+/// degenerate to demand fetching with LRU-style replacement.
+#[test]
+fn unhinted_run_completes_and_never_prefetches() {
+    let t = trace("postgres-select");
+    let cfg = SimConfig::for_trace(2, &t).with_hints(HintSpec::None);
+    let demand = simulate(&t, PolicyKind::Demand, &cfg);
+    for kind in PolicyKind::ALL {
+        let r = simulate(&t, kind, &cfg);
+        assert_eq!(r.elapsed, r.compute + r.driver + r.stall, "{kind}");
+        assert!(r.stall > Nanos::ZERO, "{kind}");
+        // With nothing disclosed every policy is demand fetching.
+        assert_eq!(r.fetches, demand.fetches, "{kind}");
+        assert_eq!(r.elapsed, demand.elapsed, "{kind}");
+    }
+}
+
+/// Segment disclosure interpolates for the conservative fixed horizon:
+/// more hints, less elapsed time. (The deeper-prefetching policies do
+/// *not* interpolate — see the poisoned-hints test below — which is the
+/// point of TIP2's cost-benefit control.)
+#[test]
+fn segment_hints_degrade_smoothly_for_fixed_horizon() {
+    let t = trace("cscope2");
+    let kind = PolicyKind::FixedHorizon;
+    let full = simulate(&t, kind, &SimConfig::for_trace(2, &t));
+    let half = simulate(&t, kind, &segments(2, &t, 0.5));
+    let none = simulate(&t, kind, &SimConfig::for_trace(2, &t).with_hints(HintSpec::None));
+    assert!(
+        full.elapsed < none.elapsed,
+        "full {} !< none {}",
+        full.elapsed,
+        none.elapsed
+    );
+    // Half disclosure lands between the extremes, with slack for
+    // boundary effects at segment edges.
+    assert!(
+        half.elapsed.as_secs_f64() <= none.elapsed.as_secs_f64() * 1.10,
+        "half {} vs none {}",
+        half.elapsed,
+        none.elapsed
+    );
+    assert!(
+        half.elapsed.as_secs_f64() >= full.elapsed.as_secs_f64() * 0.98,
+        "half {} vs full {}",
+        half.elapsed,
+        full.elapsed
+    );
+}
+
+/// The adversarial per-reference model really is poisonous: for the
+/// trusting aggressive policy, half-random hints are *worse* than no
+/// hints — the finding that motivates cost-benefit hint control.
+#[test]
+fn random_partial_hints_can_be_worse_than_none() {
+    let t = trace("cscope2");
+    let half = simulate(&t, PolicyKind::Aggressive, &bernoulli(2, &t, 0.5));
+    let none = simulate(
+        &t,
+        PolicyKind::Aggressive,
+        &SimConfig::for_trace(2, &t).with_hints(HintSpec::None),
+    );
+    assert!(
+        half.elapsed > none.elapsed,
+        "expected poisoned hints to hurt: half {} vs none {}",
+        half.elapsed,
+        none.elapsed
+    );
+}
+
+/// A fully-hinted `Fraction` mask is identical to `Full`.
+#[test]
+fn fraction_one_equals_full() {
+    let t = trace("ld");
+    let full = simulate(&t, PolicyKind::Forestall, &SimConfig::for_trace(2, &t));
+    let frac = simulate(&t, PolicyKind::Forestall, &bernoulli(2, &t, 1.0));
+    assert_eq!(full.elapsed, frac.elapsed);
+    assert_eq!(full.fetches, frac.fetches);
+}
+
+/// Hinted runs are deterministic in the hint seed.
+#[test]
+fn hint_sampling_is_deterministic() {
+    let t = trace("ld");
+    let a = simulate(&t, PolicyKind::Aggressive, &bernoulli(2, &t, 0.5));
+    let b = simulate(&t, PolicyKind::Aggressive, &bernoulli(2, &t, 0.5));
+    assert_eq!(a, b);
+    let c = simulate(&t, PolicyKind::Aggressive, &segments(2, &t, 0.5));
+    let d = simulate(&t, PolicyKind::Aggressive, &segments(2, &t, 0.5));
+    assert_eq!(c, d);
+}
+
+/// The paper's conjecture: fixed horizon is least affected by missing
+/// hints — its relative slowdown under adversarial half-disclosure is no
+/// worse than aggressive's.
+#[test]
+fn fixed_horizon_degrades_most_gracefully() {
+    let t = trace("cscope2");
+    let slowdown = |kind: PolicyKind| {
+        let full = simulate(&t, kind, &SimConfig::for_trace(2, &t)).elapsed.as_secs_f64();
+        let half = simulate(&t, kind, &bernoulli(2, &t, 0.5)).elapsed.as_secs_f64();
+        half / full
+    };
+    let fh = slowdown(PolicyKind::FixedHorizon);
+    let agg = slowdown(PolicyKind::Aggressive);
+    assert!(
+        fh < agg,
+        "fixed horizon slowdown {fh:.2}x vs aggressive {agg:.2}x"
+    );
+}

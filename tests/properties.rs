@@ -1,0 +1,212 @@
+//! Property-based tests over randomly generated workloads: the engine's
+//! accounting and caching invariants must hold for *any* trace, policy,
+//! and configuration, not just the paper's workloads.
+
+use parcache::core::config::DiskModelKind;
+use parcache::prelude::*;
+use parcache::trace::Request;
+use proptest::prelude::*;
+
+/// A random small workload: block ids bounded so re-references are
+/// common, compute times in a realistic range.
+fn arb_trace(max_len: usize, block_space: u64) -> impl Strategy<Value = Trace> {
+    prop::collection::vec(
+        (0..block_space, 100u64..20_000u64),
+        1..max_len,
+    )
+    .prop_map(|pairs| {
+        let requests = pairs
+            .into_iter()
+            .map(|(b, us)| Request {
+                block: BlockId(b),
+                compute: Nanos::from_micros(us),
+            })
+            .collect();
+        Trace::new("prop", requests, 8)
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = PolicyKind> {
+    prop::sample::select(PolicyKind::ALL.to_vec())
+}
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (1usize..5, 2usize..16, 1u64..30, prop::bool::ANY).prop_map(
+        |(disks, cache, fetch_ms, detailed)| {
+            let mut c = SimConfig::new(disks, cache);
+            if detailed {
+                c.disk_model = DiskModelKind::Hp97560;
+            } else {
+                c.disk_model = DiskModelKind::Uniform(Nanos::from_millis(fetch_ms));
+            }
+            c.horizon = 8;
+            c.batch_size = 4;
+            c.reverse_fetch_estimate = fetch_ms.max(2);
+            c.reverse_batch_size = 4;
+            c
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// elapsed = compute + driver + stall, for every policy on every
+    /// workload and configuration.
+    #[test]
+    fn breakdown_identity(
+        trace in arb_trace(120, 40),
+        kind in arb_policy(),
+        config in arb_config(),
+    ) {
+        let r = simulate(&trace, kind, &config);
+        prop_assert_eq!(r.elapsed, r.compute + r.driver + r.stall);
+        prop_assert_eq!(r.compute, trace.stats().compute);
+    }
+
+    /// Fetch-count bounds: at least the number of distinct blocks (cold
+    /// cache), and driver time is exactly overhead x fetches.
+    #[test]
+    fn fetch_count_bounds(
+        trace in arb_trace(100, 30),
+        kind in arb_policy(),
+        config in arb_config(),
+    ) {
+        let r = simulate(&trace, kind, &config);
+        let distinct = trace.stats().distinct_blocks as u64;
+        prop_assert!(r.fetches >= distinct, "{} < {}", r.fetches, distinct);
+        prop_assert_eq!(r.driver, config.driver_overhead * r.fetches);
+    }
+
+    /// Demand fetching never prefetches: its fetch count equals the miss
+    /// count of an independently computed Belady (OPT) replacement
+    /// simulation.
+    #[test]
+    fn demand_fetches_match_independent_belady(
+        trace in arb_trace(150, 25),
+        cache in 2usize..12,
+    ) {
+        let mut config = SimConfig::new(2, cache);
+        config.disk_model = DiskModelKind::Uniform(Nanos::from_millis(3));
+        let r = simulate(&trace, PolicyKind::Demand, &config);
+        prop_assert_eq!(r.fetches, belady_misses(&trace, cache));
+    }
+
+    /// In the uniform model with no driver overhead, demand fetching's
+    /// elapsed time is exactly compute + misses x fetch_time: every miss
+    /// stalls for one full fetch.
+    #[test]
+    fn demand_elapsed_is_exact_in_uniform_model(
+        trace in arb_trace(100, 20),
+        cache in 2usize..10,
+        fetch_ms in 1u64..20,
+    ) {
+        let mut config = SimConfig::new(3, cache);
+        config.disk_model = DiskModelKind::Uniform(Nanos::from_millis(fetch_ms));
+        config.driver_overhead = Nanos::ZERO;
+        let r = simulate(&trace, PolicyKind::Demand, &config);
+        let expected = trace.stats().compute
+            + Nanos::from_millis(fetch_ms) * belady_misses(&trace, cache);
+        prop_assert_eq!(r.elapsed, expected);
+    }
+
+    /// Belady is monotone in cache size, so demand's fetch count never
+    /// increases when the cache grows.
+    #[test]
+    fn demand_fetches_monotone_in_cache_size(
+        trace in arb_trace(120, 25),
+        cache in 2usize..10,
+    ) {
+        let run = |k: usize| {
+            let mut config = SimConfig::new(1, k);
+            config.disk_model = DiskModelKind::Uniform(Nanos::from_millis(2));
+            simulate(&trace, PolicyKind::Demand, &config).fetches
+        };
+        prop_assert!(run(cache * 2) <= run(cache));
+    }
+
+    /// Simulation is a pure function of (trace, policy, config).
+    #[test]
+    fn simulation_is_deterministic(
+        trace in arb_trace(80, 20),
+        kind in arb_policy(),
+        config in arb_config(),
+    ) {
+        let a = simulate(&trace, kind, &config);
+        let b = simulate(&trace, kind, &config);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Per-disk utilization is a valid fraction and the average matches
+    /// the per-disk stats.
+    #[test]
+    fn utilization_is_consistent(
+        trace in arb_trace(100, 30),
+        kind in arb_policy(),
+        config in arb_config(),
+    ) {
+        let r = simulate(&trace, kind, &config);
+        prop_assert!(r.avg_disk_utilization >= 0.0);
+        prop_assert!(r.avg_disk_utilization <= 1.0 + 1e-9);
+        if r.elapsed > Nanos::ZERO {
+            let mean = r
+                .per_disk
+                .iter()
+                .map(|d| d.busy.as_nanos() as f64 / r.elapsed.as_nanos() as f64)
+                .sum::<f64>()
+                / r.per_disk.len() as f64;
+            prop_assert!((mean - r.avg_disk_utilization).abs() < 1e-9);
+        }
+    }
+
+    /// Total fetches reported equal the sum of per-disk served counts.
+    #[test]
+    fn per_disk_stats_sum_to_totals(
+        trace in arb_trace(100, 30),
+        kind in arb_policy(),
+        config in arb_config(),
+    ) {
+        let r = simulate(&trace, kind, &config);
+        let served: u64 = r.per_disk.iter().map(|d| d.served).sum();
+        prop_assert_eq!(served, r.fetches);
+    }
+}
+
+/// Independent Belady (OPT) miss counter: no prefetching, evict the
+/// resident block whose next use is furthest away.
+fn belady_misses(trace: &Trace, cache: usize) -> u64 {
+    use std::collections::{HashMap, HashSet};
+    let seq: Vec<BlockId> = trace.requests.iter().map(|r| r.block).collect();
+    // Next-use index for each position.
+    let mut next_use = vec![usize::MAX; seq.len()];
+    let mut last: HashMap<BlockId, usize> = HashMap::new();
+    for (i, &b) in seq.iter().enumerate().rev() {
+        next_use[i] = last.get(&b).copied().unwrap_or(usize::MAX);
+        last.insert(b, i);
+    }
+    let mut resident: HashSet<BlockId> = HashSet::new();
+    let mut misses = 0u64;
+    for (i, &b) in seq.iter().enumerate() {
+        if resident.contains(&b) {
+            continue;
+        }
+        misses += 1;
+        if resident.len() == cache {
+            // Evict the resident block with the furthest next use.
+            let victim = *resident
+                .iter()
+                .max_by_key(|&&r| {
+                    // Next use of r strictly after i.
+                    seq[i..]
+                        .iter()
+                        .position(|&x| x == r)
+                        .map(|p| p + i)
+                        .unwrap_or(usize::MAX)
+                })
+                .expect("cache non-empty");
+            resident.remove(&victim);
+        }
+        resident.insert(b);
+    }
+    misses
+}

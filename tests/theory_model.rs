@@ -1,0 +1,151 @@
+//! Integration tests in the paper's theoretical model (§2.1): unit
+//! compute time, uniform fetch time F, no driver overhead. The clean
+//! model makes elapsed times exactly countable, so the algorithms'
+//! §2 claims can be checked as arithmetic.
+
+use parcache::core::theory::{elapsed_units, theory_config, unit_trace};
+use parcache::prelude::*;
+
+/// A hit costs one unit: an all-hits trace takes exactly n units after
+/// the cold fetch.
+#[test]
+fn hits_cost_one_unit() {
+    let t = unit_trace(&[5, 5, 5, 5, 5, 5], 4);
+    let c = theory_config(1, 4, 3);
+    let r = simulate(&t, PolicyKind::Demand, &c);
+    // 6 references + one cold miss of F=3.
+    assert_eq!(elapsed_units(&r), 9);
+}
+
+/// Demand fetching stalls F on every miss: elapsed = n + F * misses,
+/// where the miss count is Belady-optimal (two cyclic passes over 8
+/// blocks with a 4-block cache miss 8 cold + 4 capacity = 12 times).
+#[test]
+fn demand_elapsed_counts_misses_exactly() {
+    let seq: Vec<u64> = (0..8).chain(0..8).collect();
+    let t = unit_trace(&seq, 4);
+    let c = theory_config(2, 4, 5);
+    let r = simulate(&t, PolicyKind::Demand, &c);
+    assert_eq!(r.fetches, 12);
+    assert_eq!(elapsed_units(&r), 16 + 5 * 12);
+}
+
+/// §2.3: with enough parallelism, fixed horizon eliminates all stall
+/// except the unavoidable cold start.
+#[test]
+fn fixed_horizon_near_optimal_with_ample_disks() {
+    let seq: Vec<u64> = (0..24).collect();
+    let t = unit_trace(&seq, 12);
+    // 6 disks, F = 4 <= horizon: each fetch goes to an idle disk.
+    let c = theory_config(6, 12, 4);
+    let r = simulate(&t, PolicyKind::FixedHorizon, &c);
+    // Lower bound: 24 compute + 4 cold stall. Allow a couple of units of
+    // slack for the first-horizon ramp.
+    assert!(elapsed_units(&r) <= 30, "{} units", elapsed_units(&r));
+    assert_eq!(r.fetches, 24);
+}
+
+/// §2.3's caveat: fixed horizon never looks beyond H. When misses are
+/// separated by runs of cached references, it lets the disk idle and
+/// stalls; aggressive keeps the disk busy far ahead.
+#[test]
+fn fixed_horizon_stalls_where_aggressive_prefetches() {
+    // Three hot (cached) references between each fresh block: misses are
+    // 4 references apart, the fetch takes 6 units, and the horizon is
+    // only 2 — fixed horizon starts each fetch 2 units early and stalls
+    // 4; aggressive pipelines the whole miss stream.
+    let mut seq: Vec<u64> = Vec::new();
+    for i in 0..15u64 {
+        seq.extend([100, 101, 102, i]);
+    }
+    let t = unit_trace(&seq, 8);
+    let mut c = theory_config(1, 8, 6);
+    c.horizon = 2;
+    let fh = simulate(&t, PolicyKind::FixedHorizon, &c);
+    let agg = simulate(&t, PolicyKind::Aggressive, &c);
+    assert!(
+        agg.elapsed < fh.elapsed,
+        "aggressive {} !< fixed horizon {}",
+        agg.elapsed,
+        fh.elapsed
+    );
+    assert!(fh.stall > agg.stall);
+}
+
+/// §2.4, do no harm: on a cyclic re-reference pattern that fits the
+/// cache, aggressive must not displace useful blocks — its fetch count
+/// stays at the distinct count.
+#[test]
+fn aggressive_does_no_harm_on_cached_loop() {
+    let seq: Vec<u64> = (0..6).cycle().take(60).collect();
+    let t = unit_trace(&seq, 6);
+    let c = theory_config(2, 6, 3);
+    let r = simulate(&t, PolicyKind::Aggressive, &c);
+    assert_eq!(r.fetches, 6, "refetched a cached loop");
+}
+
+/// §2.5: on the Figure 1 style unbalanced layout (one disk holds most of
+/// the data), reverse aggressive's offline schedule is at least as good
+/// as the online algorithms.
+#[test]
+fn reverse_aggressive_handles_unbalanced_layouts() {
+    // Disk 0 holds the even blocks (heavily used), disk 1 the odd ones
+    // (rarely used): sequential scan of evens with occasional odds.
+    let mut seq: Vec<u64> = Vec::new();
+    for i in 0..40u64 {
+        seq.push(i * 2); // disk 0
+        if i % 8 == 0 {
+            seq.push(i * 2 + 1); // disk 1
+        }
+    }
+    let t = unit_trace(&seq, 10);
+    let c = theory_config(2, 10, 4);
+    let rev = simulate(&t, PolicyKind::ReverseAggressive, &c);
+    let agg = simulate(&t, PolicyKind::Aggressive, &c);
+    let fh = simulate(&t, PolicyKind::FixedHorizon, &c);
+    let best = agg.elapsed.min(fh.elapsed);
+    assert!(
+        rev.elapsed.as_nanos() as f64 <= best.as_nanos() as f64 * 1.15,
+        "reverse {} vs best online {}",
+        rev.elapsed,
+        best
+    );
+}
+
+/// Theorem 1 sanity: aggressive is never worse than d x demand (a very
+/// loose corollary of its competitive bound).
+#[test]
+fn aggressive_within_theorem_bound_of_demand() {
+    for disks in [1usize, 2, 3] {
+        let seq: Vec<u64> = (0..50).map(|i| (i * 13) % 20).collect();
+        let t = unit_trace(&seq, 8);
+        let c = theory_config(disks, 8, 4);
+        let agg = simulate(&t, PolicyKind::Aggressive, &c);
+        let demand = simulate(&t, PolicyKind::Demand, &c);
+        assert!(
+            agg.elapsed <= demand.elapsed * disks as u64 + Nanos::from_millis(8),
+            "disks {disks}"
+        );
+    }
+}
+
+/// Forestall in the theoretical model: matches aggressive when the fetch
+/// time dwarfs compute, and fixed horizon's fetch count when compute
+/// dwarfs the fetch time.
+#[test]
+fn forestall_interpolates_in_theory() {
+    let seq: Vec<u64> = (0..40).collect();
+    let t = unit_trace(&seq, 20);
+
+    // I/O bound: F = 8.
+    let c = theory_config(1, 20, 8);
+    let agg = simulate(&t, PolicyKind::Aggressive, &c);
+    let f = simulate(&t, PolicyKind::Forestall, &c);
+    assert!(f.elapsed.as_nanos() as f64 <= agg.elapsed.as_nanos() as f64 * 1.1);
+
+    // Compute bound: F = 1, plenty of disks.
+    let c = theory_config(4, 20, 1);
+    let fh = simulate(&t, PolicyKind::FixedHorizon, &c);
+    let f = simulate(&t, PolicyKind::Forestall, &c);
+    assert!(f.fetches <= fh.fetches + 2);
+}

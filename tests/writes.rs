@@ -1,0 +1,66 @@
+//! Integration tests for the write-behind extension (paper §6).
+
+use parcache::prelude::*;
+use parcache_bench::trace;
+
+fn with_writes(disks: usize, t: &Trace, period: usize) -> SimConfig {
+    SimConfig::for_trace(disks, t).with_write_behind(period)
+}
+
+/// Write counts follow the configured period exactly.
+#[test]
+fn write_counts_match_the_period() {
+    let t = trace("postgres-select");
+    let r = simulate(&t, PolicyKind::FixedHorizon, &with_writes(2, &t, 4));
+    assert_eq!(r.writes, (t.len() / 4) as u64);
+    let read_only = simulate(&t, PolicyKind::FixedHorizon, &SimConfig::for_trace(2, &t));
+    assert_eq!(read_only.writes, 0);
+}
+
+/// The accounting identity still holds, and writes add driver time.
+#[test]
+fn writes_charge_driver_overhead() {
+    let t = trace("ld");
+    let base = simulate(&t, PolicyKind::Aggressive, &SimConfig::for_trace(2, &t));
+    let w = simulate(&t, PolicyKind::Aggressive, &with_writes(2, &t, 4));
+    assert_eq!(w.elapsed, w.compute + w.driver + w.stall);
+    // Same number of fetches, plus one write per 4 reads of driver time.
+    let expected_extra = Nanos::from_micros(500) * w.writes;
+    assert!(w.driver >= base.driver + expected_extra - Nanos::from_millis(2));
+}
+
+/// Write-behind never stalls a compute-bound application: postgres-join
+/// barely moves even under a heavy write load.
+#[test]
+fn compute_bound_workloads_absorb_writes() {
+    let t = trace("postgres-join");
+    let base = simulate(&t, PolicyKind::Forestall, &SimConfig::for_trace(2, &t));
+    let w = simulate(&t, PolicyKind::Forestall, &with_writes(2, &t, 2));
+    let slowdown = w.elapsed.as_secs_f64() / base.elapsed.as_secs_f64();
+    // Driver overhead for ~4.4k writes adds ~2.2s on ~81s: under 6%.
+    assert!(slowdown < 1.06, "slowdown {slowdown:.3}");
+}
+
+/// On an I/O-bound trace at one disk, writes steal real bandwidth.
+#[test]
+fn io_bound_workloads_pay_for_writes() {
+    let t = trace("postgres-select");
+    let base = simulate(&t, PolicyKind::Aggressive, &SimConfig::for_trace(1, &t));
+    let w = simulate(&t, PolicyKind::Aggressive, &with_writes(1, &t, 2));
+    assert!(
+        w.elapsed.as_secs_f64() > base.elapsed.as_secs_f64() * 1.10,
+        "writes stole no bandwidth: {} vs {}",
+        w.elapsed,
+        base.elapsed
+    );
+}
+
+/// Writes never change cache contents: fetch counts match the read-only
+/// run for the late-fetching policy.
+#[test]
+fn writes_do_not_perturb_the_cache() {
+    let t = trace("cscope1");
+    let base = simulate(&t, PolicyKind::FixedHorizon, &SimConfig::for_trace(2, &t));
+    let w = simulate(&t, PolicyKind::FixedHorizon, &with_writes(2, &t, 8));
+    assert_eq!(base.fetches, w.fetches);
+}
