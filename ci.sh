@@ -1,0 +1,25 @@
+#!/bin/sh
+# Offline CI gauntlet: format, lint, build, test.
+#
+# The workspace has zero external dependencies, so every step works
+# without network access.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo test --workspace -q =="
+cargo test --workspace -q
+
+echo "CI OK"

@@ -29,8 +29,8 @@ fn readahead_ablation() {
         let t = trace(name);
         for disks in [1usize, 4] {
             let on = simulate(&t, PolicyKind::Aggressive, &SimConfig::for_trace(disks, &t));
-            let cfg_off = SimConfig::for_trace(disks, &t)
-                .with_disk_model(DiskModelKind::Hp97560NoReadahead);
+            let cfg_off =
+                SimConfig::for_trace(disks, &t).with_disk_model(DiskModelKind::Hp97560NoReadahead);
             let off = simulate(&t, PolicyKind::Aggressive, &cfg_off);
             println!(
                 "{:<18} {:>6} {:>11.2}s {:>11.2}s {:>7.2}x",

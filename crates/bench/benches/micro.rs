@@ -1,8 +1,11 @@
-//! Criterion micro-benchmarks for the simulator's building blocks:
-//! drive-model service computation, oracle queries, cache operations, and
-//! end-to-end engine throughput.
+//! Micro-benchmarks for the simulator's building blocks: drive-model
+//! service computation, oracle queries, cache operations, and end-to-end
+//! engine throughput.
+//!
+//! Uses a minimal self-contained timing harness (median of several timed
+//! repetitions) so the workspace carries no external bench dependencies
+//! and builds offline. Run with `cargo bench --bench micro`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use parcache_core::cache::Cache;
 use parcache_core::oracle::Oracle;
 use parcache_core::policy::PolicyKind;
@@ -11,85 +14,95 @@ use parcache_disk::geometry::SectorSpan;
 use parcache_disk::model::DiskModel;
 use parcache_disk::{Hp97560, Layout};
 use parcache_trace::synth::synth_trace;
+use parcache_types::rng::Rng;
 use parcache_types::{BlockId, Nanos};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_disk_model(c: &mut Criterion) {
-    c.bench_function("hp97560_random_service", |b| {
-        let mut rng = StdRng::seed_from_u64(1);
-        let blocks: Vec<u64> = (0..1024).map(|_| rng.gen_range(0..160_000)).collect();
-        b.iter_batched(
-            Hp97560::new,
-            |mut disk| {
-                let mut now = Nanos::ZERO;
-                for &blk in &blocks {
-                    now = disk.service(now, &SectorSpan::for_block(blk));
-                }
-                black_box(now)
-            },
-            BatchSize::SmallInput,
-        );
+/// Times `f` repeatedly and prints the median per-iteration cost.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm up, then collect enough samples for a stable median.
+    for _ in 0..3 {
+        f();
+    }
+    let mut samples: Vec<Duration> = Vec::with_capacity(15);
+    for _ in 0..15 {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed());
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<44} {median:>12.2?} / iter (median of {})",
+        samples.len()
+    );
+}
+
+fn bench_disk_model() {
+    let mut rng = Rng::seed_from_u64(1);
+    let blocks: Vec<u64> = (0..1024).map(|_| rng.gen_range(0..160_000u64)).collect();
+    bench("hp97560_random_service (1024 accesses)", || {
+        let mut disk = Hp97560::new();
+        let mut now = Nanos::ZERO;
+        for &blk in &blocks {
+            now = disk.service(now, &SectorSpan::for_block(blk));
+        }
+        black_box(now);
     });
 }
 
-fn bench_oracle(c: &mut Criterion) {
+fn bench_oracle() {
     let t = synth_trace(10, 2000, 3);
     let oracle = Oracle::new(&t, Layout::striped(4));
-    c.bench_function("oracle_next_occurrence", |b| {
-        let mut rng = StdRng::seed_from_u64(2);
-        b.iter(|| {
-            let blk = BlockId(rng.gen_range(0..2000));
-            let at = rng.gen_range(0..20_000);
-            black_box(oracle.next_occurrence(blk, at))
-        });
+    let mut rng = Rng::seed_from_u64(2);
+    let queries: Vec<(BlockId, usize)> = (0..4096)
+        .map(|_| {
+            (
+                BlockId(rng.gen_range(0..2000u64)),
+                rng.gen_range(0..20_000usize),
+            )
+        })
+        .collect();
+    bench("oracle_next_occurrence (4096 queries)", || {
+        for &(blk, at) in &queries {
+            black_box(oracle.next_occurrence(blk, at));
+        }
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache() {
     let t = synth_trace(10, 2000, 3);
     let oracle = Oracle::new(&t, Layout::striped(1));
-    c.bench_function("cache_fetch_evict_cycle", |b| {
-        b.iter_batched(
-            || {
-                let mut cache = Cache::new(512);
-                for blk in 0..512u64 {
-                    cache.start_fetch(BlockId(blk), None);
-                    cache.complete_fetch(BlockId(blk), 0, &oracle);
-                }
-                cache
-            },
-            |mut cache| {
-                for blk in 512..1024u64 {
-                    let (victim, _) = cache.furthest_resident(0, &oracle).expect("resident");
-                    cache.start_fetch(BlockId(blk), Some(victim));
-                    cache.complete_fetch(BlockId(blk), 0, &oracle);
-                }
-                black_box(cache.resident_count())
-            },
-            BatchSize::SmallInput,
-        );
+    bench("cache_fetch_evict_cycle (512 evictions)", || {
+        let mut cache = Cache::new(512);
+        for blk in 0..512u64 {
+            cache.start_fetch(BlockId(blk), None);
+            cache.complete_fetch(BlockId(blk), 0, &oracle);
+        }
+        for blk in 512..1024u64 {
+            let (victim, _) = cache.furthest_resident(0, &oracle).expect("resident");
+            cache.start_fetch(BlockId(blk), Some(victim));
+            cache.complete_fetch(BlockId(blk), 0, &oracle);
+        }
+        black_box(cache.resident_count());
     });
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn bench_engine() {
     let t = synth_trace(5, 1000, 4);
-    c.bench_function("engine_aggressive_5k_refs", |b| {
-        let cfg = SimConfig::for_trace(2, &t);
-        b.iter(|| black_box(simulate(&t, PolicyKind::Aggressive, &cfg)));
+    let cfg = SimConfig::for_trace(2, &t);
+    bench("engine_aggressive_5k_refs", || {
+        black_box(simulate(&t, PolicyKind::Aggressive, &cfg));
     });
-    c.bench_function("engine_reverse_build_and_run_5k_refs", |b| {
-        let cfg = SimConfig::for_trace(2, &t);
-        b.iter(|| black_box(simulate(&t, PolicyKind::ReverseAggressive, &cfg)));
+    bench("engine_reverse_build_and_run_5k_refs", || {
+        black_box(simulate(&t, PolicyKind::ReverseAggressive, &cfg));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_disk_model,
-    bench_oracle,
-    bench_cache,
-    bench_engine
-);
-criterion_main!(benches);
+fn main() {
+    bench_disk_model();
+    bench_oracle();
+    bench_cache();
+    bench_engine();
+}

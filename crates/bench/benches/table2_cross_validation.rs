@@ -25,10 +25,14 @@ fn main() {
                 let coarse_cfg =
                     SimConfig::for_trace(disks, &t).with_disk_model(DiskModelKind::Coarse);
                 let a = algo.run(&t, &detailed_cfg).elapsed.as_secs_f64();
-                let b = run(&t, match algo {
-                    Algo::FixedHorizon => parcache_core::PolicyKind::FixedHorizon,
-                    _ => parcache_core::PolicyKind::Aggressive,
-                }, &coarse_cfg)
+                let b = run(
+                    &t,
+                    match algo {
+                        Algo::FixedHorizon => parcache_core::PolicyKind::FixedHorizon,
+                        _ => parcache_core::PolicyKind::Aggressive,
+                    },
+                    &coarse_cfg,
+                )
                 .elapsed
                 .as_secs_f64();
                 println!(

@@ -6,7 +6,9 @@ use parcache_bench::{trace, Algo, DISK_COUNTS};
 use parcache_core::SimConfig;
 
 /// Paper Table 8.
-const PAPER: [f64; 11] = [0.99, 0.92, 0.87, 0.81, 0.68, 0.63, 0.62, 0.54, 0.39, 0.30, 0.32];
+const PAPER: [f64; 11] = [
+    0.99, 0.92, 0.87, 0.81, 0.68, 0.63, 0.62, 0.54, 0.39, 0.30, 0.32,
+];
 
 fn main() {
     println!("== Table 8: forestall disk utilization on postgres-select ==");

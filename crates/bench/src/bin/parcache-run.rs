@@ -1,18 +1,36 @@
 //! Ad-hoc experiment runner.
 //!
 //! ```sh
-//! parcache-run <trace> [policy] [disks]
+//! parcache-run <trace> [policy] [disks] [--json] [--events <path>] [--hist]
 //! parcache-run synth aggressive 1,2,3,4
 //! parcache-run postgres-select all 1,2,4,8,16
 //! parcache-run ./my-app.trace forestall 1,2,4   # your own trace file
+//! parcache-run glimpse forestall 4 --json       # machine-readable report
+//! parcache-run glimpse forestall 4 --hist       # ASCII latency histograms
+//! parcache-run glimpse forestall 4 --events events.jsonl
 //! ```
 //!
 //! The trace argument is one of the paper's trace names, or a path to a
 //! trace file in the `parcache-trace` text format.
+//!
+//! * `--json` prints one JSON document (report + counters + histograms +
+//!   per-disk timeline per run) instead of the human table.
+//! * `--events <path>` streams every simulation event to `path` as JSON
+//!   lines.
+//! * `--hist` prints ASCII histogram tables (service, response, stall,
+//!   queue depth) after the breakdown table.
+//!
+//! Any of the three attaches a metrics probe to the engine; without them
+//! the run uses the zero-cost no-op probe.
 
 use parcache_bench::{breakdown_table, run, trace, BreakdownRow, DISK_COUNTS};
+use parcache_core::engine::simulate_probed;
+use parcache_core::metrics::{MetricsProbe, RunMetrics, Unit};
 use parcache_core::policy::PolicyKind;
-use parcache_core::SimConfig;
+use parcache_core::probe::{Event, Probe};
+use parcache_core::{Report, SimConfig};
+use std::io::Write;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn parse_policies(arg: &str) -> Vec<PolicyKind> {
@@ -25,11 +43,95 @@ fn parse_policies(arg: &str) -> Vec<PolicyKind> {
         .collect()
 }
 
+/// The probe the CLI attaches when any observability flag is set: folds
+/// metrics, and optionally streams each event as a JSON line.
+struct CliProbe<'a> {
+    metrics: MetricsProbe,
+    log: Option<&'a mut std::io::BufWriter<std::fs::File>>,
+}
+
+impl Probe for CliProbe<'_> {
+    fn on_event(&mut self, event: &Event) {
+        self.metrics.on_event(event);
+        if let Some(w) = self.log.as_deref_mut() {
+            writeln!(w, "{}", event.to_json()).unwrap_or_else(|e| {
+                eprintln!("failed to write event log: {e}");
+                std::process::exit(1);
+            });
+        }
+    }
+}
+
+struct Options {
+    json: bool,
+    hist: bool,
+    events: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_args(args: Vec<String>) -> Options {
+    let mut opts = Options {
+        json: false,
+        hist: false,
+        events: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--hist" => opts.hist = true,
+            "--events" => match it.next() {
+                Some(p) => opts.events = Some(p),
+                None => {
+                    eprintln!("--events requires a path");
+                    std::process::exit(1);
+                }
+            },
+            f if f.starts_with("--") => {
+                eprintln!("unknown flag {f}; known flags: --json --hist --events <path>");
+                std::process::exit(1);
+            }
+            _ => opts.positional.push(a),
+        }
+    }
+    opts
+}
+
+fn print_histograms(policy: &str, disks: usize, m: &RunMetrics) {
+    println!("--- {policy} on {disks} disk(s) ---");
+    print!(
+        "{}",
+        m.fetch_service
+            .render_ascii("fetch service time", Unit::Millis)
+    );
+    print!(
+        "{}",
+        m.fetch_response
+            .render_ascii("fetch response time", Unit::Millis)
+    );
+    print!(
+        "{}",
+        m.stall_duration
+            .render_ascii("stall duration", Unit::Millis)
+    );
+    print!(
+        "{}",
+        m.queue_depth
+            .render_ascii("queue depth at enqueue", Unit::Count)
+    );
+    println!();
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let trace_name = args.first().map(String::as_str).unwrap_or("synth");
-    let policy_arg = args.get(1).map(String::as_str).unwrap_or("all");
-    let disks: Vec<usize> = match args.get(2) {
+    let opts = parse_args(std::env::args().skip(1).collect());
+    let trace_name = opts
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("synth");
+    let policy_arg = opts.positional.get(1).map(String::as_str).unwrap_or("all");
+    let disks: Vec<usize> = match opts.positional.get(2) {
         Some(s) => s
             .split(',')
             .map(|x| match x.parse::<usize>() {
@@ -55,7 +157,7 @@ fn main() {
     // A path loads a user trace file; otherwise use the paper's traces.
     let t = if trace_name.contains('/') || trace_name.contains('.') {
         match parcache_trace::load(trace_name) {
-            Ok(t) => t,
+            Ok(t) => Arc::new(t),
             Err(e) => {
                 eprintln!("failed to load {trace_name}: {e}");
                 std::process::exit(1);
@@ -71,22 +173,79 @@ fn main() {
         std::process::exit(1);
     };
     let stats = t.stats();
-    println!(
-        "trace {trace_name}: {} reads, {} distinct, {:.1}s compute, cache {} blocks",
-        stats.reads,
-        stats.distinct_blocks,
-        stats.compute.as_secs_f64(),
-        t.cache_blocks
-    );
+    if !opts.json {
+        println!(
+            "trace {trace_name}: {} reads, {} distinct, {:.1}s compute, cache {} blocks",
+            stats.reads,
+            stats.distinct_blocks,
+            stats.compute.as_secs_f64(),
+            t.cache_blocks
+        );
+    }
 
-    let mut rows = Vec::new();
+    let probed = opts.json || opts.hist || opts.events.is_some();
+    let mut event_log = opts.events.as_ref().map(|path| {
+        std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("failed to create {path}: {e}");
+            std::process::exit(1);
+        }))
+    });
+
+    let mut results: Vec<(Report, Option<RunMetrics>)> = Vec::new();
     let wall = Instant::now();
     for &d in &disks {
         let cfg = SimConfig::for_trace(d, &t);
         for &kind in &policies {
-            rows.push(BreakdownRow::new(run(&t, kind, &cfg)));
+            if probed {
+                let mut probe = CliProbe {
+                    metrics: MetricsProbe::for_disks(d),
+                    log: event_log.as_mut(),
+                };
+                let report = simulate_probed(&t, kind, &cfg, &mut probe);
+                results.push((report, Some(probe.metrics.finish())));
+            } else {
+                results.push((run(&t, kind, &cfg), None));
+            }
         }
     }
-    println!("{}", breakdown_table(trace_name, &rows));
-    eprintln!("({} runs in {:.2?})", rows.len(), wall.elapsed());
+    let elapsed = wall.elapsed();
+
+    if let Some(w) = event_log.as_mut() {
+        w.flush().expect("flush event log");
+    }
+
+    if opts.json {
+        let runs: Vec<String> = results
+            .iter()
+            .map(|(report, metrics)| {
+                format!(
+                    r#"{{"report":{},"metrics":{}}}"#,
+                    report.to_json(),
+                    metrics.as_ref().expect("probed run has metrics").to_json()
+                )
+            })
+            .collect();
+        println!(
+            r#"{{"trace":"{}","reads":{},"distinct_blocks":{},"cache_blocks":{},"runs":[{}]}}"#,
+            parcache_core::metrics::json_escape(trace_name),
+            stats.reads,
+            stats.distinct_blocks,
+            t.cache_blocks,
+            runs.join(",")
+        );
+    } else {
+        let rows: Vec<BreakdownRow> = results
+            .iter()
+            .map(|(r, _)| BreakdownRow::new(r.clone()))
+            .collect();
+        println!("{}", breakdown_table(trace_name, &rows));
+        if opts.hist {
+            for (report, metrics) in &results {
+                if let Some(m) = metrics {
+                    print_histograms(&report.policy, report.disks, m);
+                }
+            }
+        }
+    }
+    eprintln!("({} runs in {:.2?})", results.len(), elapsed);
 }

@@ -180,13 +180,7 @@ mod tests {
 
     #[test]
     fn comparison_prints_paper_columns() {
-        let s = comparison(
-            "t",
-            "postgres-select",
-            &[Algo::FixedHorizon],
-            &[1],
-            |c| c,
-        );
+        let s = comparison("t", "postgres-select", &[Algo::FixedHorizon], &[1], |c| c);
         assert!(s.contains("fixed-horizon"));
         // The paper's 45.390 should appear in the paper column.
         assert!(s.contains("45.390"), "{s}");
@@ -195,6 +189,9 @@ mod tests {
     #[test]
     fn algo_names_match_policy_names() {
         assert_eq!(Algo::Demand.name(), PolicyKind::Demand.name());
-        assert_eq!(Algo::TunedReverse.name(), PolicyKind::ReverseAggressive.name());
+        assert_eq!(
+            Algo::TunedReverse.name(),
+            PolicyKind::ReverseAggressive.name()
+        );
     }
 }

@@ -17,6 +17,4 @@ pub mod runner;
 pub use experiments::{comparison, comparison_on, comparison_with, Algo};
 pub use paper::{paper_cells, paper_elapsed};
 pub use report::{breakdown_table, percent, BreakdownRow};
-pub use runner::{
-    best_reverse, paper_disk_counts, run, trace, DISK_COUNTS, SEED,
-};
+pub use runner::{best_reverse, paper_disk_counts, run, trace, DISK_COUNTS, SEED};

@@ -6,7 +6,7 @@ use parcache_core::policy::PolicyKind;
 use parcache_core::SimConfig;
 use parcache_trace::Trace;
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The seed used for every published experiment, so all tables and
 /// figures run against identical traces.
@@ -21,16 +21,20 @@ pub fn paper_disk_counts() -> impl Iterator<Item = usize> {
 }
 
 /// Returns the named trace, generated once per process and cached.
-pub fn trace(name: &str) -> Trace {
-    static CACHE: OnceLock<Mutex<HashMap<String, Trace>>> = OnceLock::new();
+///
+/// The cache hands out [`Arc`] clones, so repeated lookups share one
+/// generated trace instead of deep-copying hundreds of thousands of
+/// requests per call.
+pub fn trace(name: &str) -> Arc<Trace> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<Trace>>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = cache.lock().expect("trace cache poisoned");
-    map.entry(name.to_string())
-        .or_insert_with(|| {
+    Arc::clone(map.entry(name.to_string()).or_insert_with(|| {
+        Arc::new(
             parcache_trace::trace_by_name(name, SEED)
-                .unwrap_or_else(|| panic!("unknown trace {name}"))
-        })
-        .clone()
+                .unwrap_or_else(|| panic!("unknown trace {name}")),
+        )
+    }))
 }
 
 /// Runs one simulation.
@@ -66,6 +70,8 @@ mod tests {
     fn trace_cache_returns_consistent_traces() {
         let a = trace("synth");
         let b = trace("synth");
+        // Same cached allocation, not merely equal contents.
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a, b);
         assert_eq!(a.stats().reads, 100_000);
     }

@@ -37,7 +37,11 @@ impl Aggressive {
 /// in increasing request-index order, each fetch paired with the
 /// furthest-future eviction, subject to do-no-harm. Shared with forestall,
 /// whose batch construction is identical once it decides to prefetch.
-pub(crate) fn fill_free_disk_batches(ctx: &mut Ctx<'_>, batch_size: usize, only_disk: Option<usize>) {
+pub(crate) fn fill_free_disk_batches(
+    ctx: &mut Ctx<'_>,
+    batch_size: usize,
+    only_disk: Option<usize>,
+) {
     let cursor = ctx.cursor;
     // Remaining batch budget for each free disk.
     let mut budget: Vec<Option<usize>> = (0..ctx.config.disks)
@@ -140,7 +144,11 @@ mod tests {
         let r = simulate_with(&t, &mut p, &c);
         // Disk-bound floor: 30 fetches x 4ms = 120ms.
         assert!(r.elapsed >= Nanos::from_millis(120));
-        assert!(r.elapsed <= Nanos::from_millis(128), "elapsed {}", r.elapsed);
+        assert!(
+            r.elapsed <= Nanos::from_millis(128),
+            "elapsed {}",
+            r.elapsed
+        );
         assert_eq!(r.fetches, 30);
     }
 

@@ -81,7 +81,10 @@ impl Forestall {
         let cursor = ctx.cursor;
         let window_end = cursor.saturating_add(LOOKAHEAD_CACHES * ctx.cache.capacity());
         let mut i = 0u64;
-        for pos in ctx.missing.missing_on_disk_in_window(disk, cursor, window_end) {
+        for pos in ctx
+            .missing
+            .missing_on_disk_in_window(disk, cursor, window_end)
+        {
             i += 1;
             let distance = (pos - cursor) as f64;
             if i as f64 * f_prime >= distance {
@@ -154,7 +157,12 @@ mod tests {
         let f = simulate_with(&t, &mut p, &c);
         // Within 5% of aggressive's elapsed time.
         let ratio = f.elapsed.as_nanos() as f64 / agg.elapsed.as_nanos() as f64;
-        assert!(ratio < 1.05, "forestall {} vs aggressive {}", f.elapsed, agg.elapsed);
+        assert!(
+            ratio < 1.05,
+            "forestall {} vs aggressive {}",
+            f.elapsed,
+            agg.elapsed
+        );
     }
 
     #[test]

@@ -415,7 +415,13 @@ fn reverse_pass(
             time += 1;
             continue;
         }
-        advance(time, &mut completions, &mut completion_of, &mut cache, cursor);
+        advance(
+            time,
+            &mut completions,
+            &mut completion_of,
+            &mut cache,
+            cursor,
+        );
         decide(
             oracle,
             &mut cache,
@@ -462,7 +468,13 @@ fn reverse_pass(
                 .copied()
                 .expect("stalled block has a pending fetch");
             time = time.max(arrival);
-            advance(time, &mut completions, &mut completion_of, &mut cache, cursor);
+            advance(
+                time,
+                &mut completions,
+                &mut completion_of,
+                &mut cache,
+                cursor,
+            );
         }
         cache.on_reference(b, i, oracle);
         cursor = i + 1;
@@ -552,7 +564,12 @@ mod tests {
         let agg = simulate(&t, PolicyKind::Aggressive, &c);
         let rev = simulate(&t, PolicyKind::ReverseAggressive, &c);
         let ratio = rev.elapsed.as_nanos() as f64 / agg.elapsed.as_nanos() as f64;
-        assert!(ratio < 1.3, "reverse {} vs aggressive {}", rev.elapsed, agg.elapsed);
+        assert!(
+            ratio < 1.3,
+            "reverse {} vs aggressive {}",
+            rev.elapsed,
+            agg.elapsed
+        );
     }
 
     #[test]

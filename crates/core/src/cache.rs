@@ -147,7 +147,8 @@ impl Cache {
         if self.lru_estimate {
             self.last_use.entry(block).or_insert(cursor);
         }
-        self.belady.push((self.key_for(block, cursor, oracle), block));
+        self.belady
+            .push((self.key_for(block, cursor, oracle), block));
     }
 
     /// Records that the application consumed `block` at position `pos`:
@@ -157,7 +158,8 @@ impl Cache {
         if self.lru_estimate {
             self.last_use.insert(block, pos + 1);
         }
-        self.belady.push((self.key_for(block, pos + 1, oracle), block));
+        self.belady
+            .push((self.key_for(block, pos + 1, oracle), block));
     }
 
     /// The evictable resident block whose next reference (at or after
@@ -166,7 +168,11 @@ impl Cache {
     /// resident. The pinned block is never returned.
     ///
     /// Lazily repairs stale heap entries; amortized cost is logarithmic.
-    pub fn furthest_resident(&mut self, cursor: usize, oracle: &Oracle) -> Option<(BlockId, usize)> {
+    pub fn furthest_resident(
+        &mut self,
+        cursor: usize,
+        oracle: &Oracle,
+    ) -> Option<(BlockId, usize)> {
         let mut stash: Option<(usize, BlockId)> = None;
         let mut found = None;
         while let Some((key, block)) = self.belady.pop() {
@@ -417,7 +423,7 @@ mod tests {
         let mut t = MissingTracker::new(&o);
         t.on_fetch_issued(BlockId(5), 0, &o);
         assert_eq!(t.first_missing(0), Some(1)); // block 6
-        // Evict 5 at cursor 1: re-registered at its next ref, position 2.
+                                                 // Evict 5 at cursor 1: re-registered at its next ref, position 2.
         t.on_evicted(BlockId(5), 1, &o);
         assert_eq!(t.first_missing(0), Some(1));
         assert_eq!(t.first_missing(2), Some(2));

@@ -22,8 +22,10 @@
 
 use crate::cache::{Cache, MissingTracker};
 use crate::config::{DiskModelKind, SimConfig};
+use crate::metrics::json_escape;
 use crate::oracle::Oracle;
 use crate::policy::{Policy, PolicyKind};
+use crate::probe::{Event, NoopProbe, Probe};
 use parcache_disk::coarse::CoarseDisk;
 use parcache_disk::disk::DiskStats;
 use parcache_disk::hp97560::Hp97560;
@@ -122,6 +124,16 @@ pub struct Ctx<'a> {
     cpu_done: &'a mut Nanos,
     driver_time: &'a mut Nanos,
     fetches: &'a mut u64,
+    /// Events generated inside policy calls, drained to the engine's
+    /// probe afterwards (Ctx must stay non-generic: [`Policy`] is a trait
+    /// object).
+    probe_buf: &'a mut Vec<Event>,
+    /// False when the engine's probe is [`NoopProbe`]; buffering is then
+    /// skipped entirely.
+    probe_on: bool,
+    /// True inside [`Policy::on_miss`], so issued fetches are tagged
+    /// demand rather than prefetch.
+    demand: bool,
 }
 
 impl Ctx<'_> {
@@ -135,14 +147,32 @@ impl Ctx<'_> {
     /// evicting a non-resident block, overcommitting frames).
     pub fn issue_fetch(&mut self, block: BlockId, evict: Option<BlockId>) {
         self.cache.start_fetch(block, evict);
-        self.missing.on_fetch_issued(block, self.cursor, self.oracle);
+        self.missing
+            .on_fetch_issued(block, self.cursor, self.oracle);
         if let Some(e) = evict {
             self.missing.on_evicted(e, self.cursor, self.oracle);
         }
         *self.driver_time += self.config.driver_overhead;
         *self.cpu_done = (*self.cpu_done).max(self.now) + self.config.driver_overhead;
         *self.fetches += 1;
-        self.array.enqueue(self.now, block);
+        if self.probe_on {
+            let now = self.now;
+            if let Some(e) = evict {
+                self.probe_buf.push(Event::Eviction { now, block: e });
+            }
+            self.probe_buf.push(Event::FetchIssued {
+                now,
+                block,
+                disk: self.array.disk_of(block),
+                demand: self.demand,
+                evicted: evict,
+            });
+            let buf = &mut *self.probe_buf;
+            self.array
+                .enqueue_observed(now, block, |d, e| buf.push(Event::from_disk(now, d, e)));
+        } else {
+            self.array.enqueue(self.now, block);
+        }
     }
 
     /// Total references in the trace.
@@ -212,15 +242,51 @@ impl Report {
             self.avg_disk_utilization,
         )
     }
+
+    /// This report as a JSON object (hand-rolled; the workspace has no
+    /// serialization dependency).
+    pub fn to_json(&self) -> String {
+        let per_disk: Vec<String> = self
+            .per_disk
+            .iter()
+            .map(|d| {
+                format!(
+                    r#"{{"served":{},"busy_ns":{},"avg_service_ms":{:.4},"avg_response_ms":{:.4}}}"#,
+                    d.served,
+                    d.busy.as_nanos(),
+                    d.avg_service().as_millis_f64(),
+                    d.avg_response().as_millis_f64(),
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                r#"{{"trace":"{}","policy":"{}","disks":{},"#,
+                r#""elapsed_s":{:.6},"compute_s":{:.6},"driver_s":{:.6},"stall_s":{:.6},"#,
+                r#""fetches":{},"writes":{},"avg_fetch_ms":{:.4},"avg_disk_utilization":{:.4},"#,
+                r#""per_disk":[{}]}}"#
+            ),
+            json_escape(&self.trace),
+            json_escape(&self.policy),
+            self.disks,
+            self.elapsed.as_secs_f64(),
+            self.compute.as_secs_f64(),
+            self.driver.as_secs_f64(),
+            self.stall.as_secs_f64(),
+            self.fetches,
+            self.writes,
+            self.avg_fetch_time.as_millis_f64(),
+            self.avg_disk_utilization,
+            per_disk.join(","),
+        )
+    }
 }
 
 /// Builds the drive-model factory for a configuration.
 fn model_factory(kind: DiskModelKind) -> Box<dyn FnMut() -> Box<dyn DiskModel>> {
     match kind {
         DiskModelKind::Hp97560 => Box::new(|| Box::new(Hp97560::new())),
-        DiskModelKind::Hp97560NoReadahead => {
-            Box::new(|| Box::new(Hp97560::without_readahead()))
-        }
+        DiskModelKind::Hp97560NoReadahead => Box::new(|| Box::new(Hp97560::without_readahead())),
         DiskModelKind::Coarse => Box::new(|| Box::new(CoarseDisk::new())),
         DiskModelKind::Uniform(f) => Box::new(move || Box::new(UniformDisk::new(f))),
     }
@@ -229,13 +295,33 @@ fn model_factory(kind: DiskModelKind) -> Box<dyn FnMut() -> Box<dyn DiskModel>> 
 /// Runs `trace` under `policy` and `config`; convenience wrapper that
 /// builds the policy from its kind.
 pub fn simulate(trace: &Trace, policy: PolicyKind, config: &SimConfig) -> Report {
-    let mut p = policy.build(trace, config);
-    simulate_with(trace, p.as_mut(), config)
+    simulate_probed(trace, policy, config, &mut NoopProbe)
 }
 
 /// Runs `trace` under an already-constructed policy.
 pub fn simulate_with(trace: &Trace, policy: &mut dyn Policy, config: &SimConfig) -> Report {
-    Engine::new(trace, config).run(policy)
+    simulate_with_probed(trace, policy, config, &mut NoopProbe)
+}
+
+/// [`simulate`], reporting every simulation [`Event`] to `probe`.
+pub fn simulate_probed<P: Probe>(
+    trace: &Trace,
+    policy: PolicyKind,
+    config: &SimConfig,
+    probe: &mut P,
+) -> Report {
+    let mut p = policy.build(trace, config);
+    simulate_with_probed(trace, p.as_mut(), config, probe)
+}
+
+/// [`simulate_with`], reporting every simulation [`Event`] to `probe`.
+pub fn simulate_with_probed<P: Probe>(
+    trace: &Trace,
+    policy: &mut dyn Policy,
+    config: &SimConfig,
+    probe: &mut P,
+) -> Report {
+    Engine::new(trace, config).run(policy, probe)
 }
 
 struct Engine<'t> {
@@ -252,6 +338,7 @@ struct Engine<'t> {
     driver_time: Nanos,
     fetches: u64,
     writes: u64,
+    probe_buf: Vec<Event>,
 }
 
 impl<'t> Engine<'t> {
@@ -267,7 +354,11 @@ impl<'t> Engine<'t> {
             }
         };
         let missing = MissingTracker::new(&oracle);
-        let array = DiskArray::new(config.disks, config.discipline, model_factory(config.disk_model));
+        let array = DiskArray::new(
+            config.disks,
+            config.discipline,
+            model_factory(config.disk_model),
+        );
         let mut cache = Cache::new(config.cache_blocks);
         if config.hints.nominal_fraction() < 1.0 {
             // Value blocks with no disclosed future by LRU recency, as
@@ -288,11 +379,18 @@ impl<'t> Engine<'t> {
             driver_time: Nanos::ZERO,
             fetches: 0,
             writes: 0,
+            probe_buf: Vec::new(),
         }
     }
 
     /// Lets the policy act at the current instant.
-    fn decide(&mut self, policy: &mut dyn Policy) {
+    fn decide<P: Probe>(&mut self, policy: &mut dyn Policy, probe: &mut P) {
+        if P::ENABLED {
+            probe.on_event(&Event::PolicyDecision {
+                now: self.now,
+                cursor: self.cursor,
+            });
+        }
         let mut ctx = Ctx {
             now: self.now,
             cursor: self.cursor,
@@ -305,12 +403,16 @@ impl<'t> Engine<'t> {
             cpu_done: &mut self.cpu_done,
             driver_time: &mut self.driver_time,
             fetches: &mut self.fetches,
+            probe_buf: &mut self.probe_buf,
+            probe_on: P::ENABLED,
+            demand: false,
         };
         policy.decide(&mut ctx);
+        self.drain_probe_buf(probe);
     }
 
     /// Asks the policy to handle a demand miss.
-    fn miss(&mut self, policy: &mut dyn Policy, block: BlockId) {
+    fn miss<P: Probe>(&mut self, policy: &mut dyn Policy, probe: &mut P, block: BlockId) {
         let mut ctx = Ctx {
             now: self.now,
             cursor: self.cursor,
@@ -323,47 +425,70 @@ impl<'t> Engine<'t> {
             cpu_done: &mut self.cpu_done,
             driver_time: &mut self.driver_time,
             fetches: &mut self.fetches,
+            probe_buf: &mut self.probe_buf,
+            probe_on: P::ENABLED,
+            demand: true,
         };
         policy.on_miss(&mut ctx, block);
+        self.drain_probe_buf(probe);
+    }
+
+    /// Forwards events buffered during a policy call to the probe.
+    fn drain_probe_buf<P: Probe>(&mut self, probe: &mut P) {
+        if P::ENABLED {
+            for e in self.probe_buf.drain(..) {
+                probe.on_event(&e);
+            }
+        }
     }
 
     /// Processes the earliest pending disk completion (which must exist),
     /// advancing `now` to it.
-    fn pop_completion(&mut self, policy: &mut dyn Policy) {
+    fn pop_completion<P: Probe>(&mut self, policy: &mut dyn Policy, probe: &mut P) {
         let (t, d) = self
             .array
             .next_event()
             .expect("waiting with no pending I/O — policy deadlock");
         debug_assert!(t >= self.now);
         self.now = t;
-        let done = self.array.complete(t, d);
+        let done = if P::ENABLED {
+            let buf = &mut self.probe_buf;
+            let done = self
+                .array
+                .complete_observed(t, d, |disk, e| buf.push(Event::from_disk(t, disk, e)));
+            self.drain_probe_buf(probe);
+            done
+        } else {
+            self.array.complete(t, d)
+        };
         match done.kind {
             parcache_disk::disk::ReqKind::Read => {
                 self.history.push_fetch(d.index(), done.service);
-                self.cache.complete_fetch(done.block, self.cursor, &self.oracle);
+                self.cache
+                    .complete_fetch(done.block, self.cursor, &self.oracle);
             }
             // A finished write frees disk bandwidth but changes nothing
             // in the cache: the block stayed available throughout.
             parcache_disk::disk::ReqKind::Write => {}
         }
-        self.decide(policy);
+        self.decide(policy, probe);
     }
 
     /// Advances to `cpu_done`, processing any completions on the way.
     /// Completions may add driver work, pushing `cpu_done` out further.
-    fn advance_cpu(&mut self, policy: &mut dyn Policy) {
+    fn advance_cpu<P: Probe>(&mut self, policy: &mut dyn Policy, probe: &mut P) {
         while let Some((t, _)) = self.array.next_event() {
             if t > self.cpu_done {
                 break;
             }
-            self.pop_completion(policy);
+            self.pop_completion(policy, probe);
         }
         self.now = self.cpu_done;
     }
 
-    fn run(&mut self, policy: &mut dyn Policy) -> Report {
+    fn run<P: Probe>(&mut self, policy: &mut dyn Policy, probe: &mut P) -> Report {
         // Initial decision point: prefetching can begin at time zero.
-        self.decide(policy);
+        self.decide(policy, probe);
 
         for i in 0..self.trace.requests.len() {
             let req = self.trace.requests[i];
@@ -373,22 +498,62 @@ impl<'t> Engine<'t> {
             // The application computes before the reference.
             self.history.push_compute(req.compute);
             self.cpu_done = self.cpu_done.max(self.now) + req.compute;
-            self.advance_cpu(policy);
+            self.advance_cpu(policy, probe);
+
+            // A stall starts if the block has not arrived by the time the
+            // application references it. The pin above guarantees a
+            // resident block stays resident, so this is decided once.
+            let stall_from = if P::ENABLED {
+                let resident = self.cache.resident(req.block);
+                let e = if resident {
+                    Event::CacheHit {
+                        now: self.now,
+                        block: req.block,
+                    }
+                } else {
+                    Event::CacheMiss {
+                        now: self.now,
+                        block: req.block,
+                    }
+                };
+                probe.on_event(&e);
+                if resident {
+                    None
+                } else {
+                    probe.on_event(&Event::StallBegin {
+                        now: self.now,
+                        block: req.block,
+                    });
+                    Some(self.now)
+                }
+            } else {
+                None
+            };
 
             // The reference: stall until the block is available and the
             // CPU backlog (driver work issued meanwhile) has drained.
             loop {
                 if self.cache.resident(req.block) {
                     if self.now < self.cpu_done {
-                        self.advance_cpu(policy);
+                        self.advance_cpu(policy, probe);
                         continue;
                     }
                     break;
                 }
                 if !self.cache.inflight(req.block) {
-                    self.miss(policy, req.block);
+                    self.miss(policy, probe, req.block);
                 }
-                self.pop_completion(policy);
+                self.pop_completion(policy, probe);
+            }
+
+            if P::ENABLED {
+                if let Some(from) = stall_from {
+                    probe.on_event(&Event::StallEnd {
+                        now: self.now,
+                        block: req.block,
+                        stalled: self.now - from,
+                    });
+                }
             }
 
             // Consume. The reference is satisfied, so the pin lifts: the
@@ -404,10 +569,24 @@ impl<'t> Engine<'t> {
                     self.writes += 1;
                     self.driver_time += self.config.driver_overhead;
                     self.cpu_done = self.cpu_done.max(self.now) + self.config.driver_overhead;
-                    self.array.enqueue_write(self.now, req.block);
+                    if P::ENABLED {
+                        let now = self.now;
+                        probe.on_event(&Event::WriteIssued {
+                            now,
+                            block: req.block,
+                            disk: self.array.disk_of(req.block),
+                        });
+                        let buf = &mut self.probe_buf;
+                        self.array.enqueue_write_observed(now, req.block, |d, e| {
+                            buf.push(Event::from_disk(now, d, e))
+                        });
+                        self.drain_probe_buf(probe);
+                    } else {
+                        self.array.enqueue_write(self.now, req.block);
+                    }
                 }
             }
-            self.decide(policy);
+            self.decide(policy, probe);
         }
 
         let elapsed = self.now;

@@ -257,7 +257,7 @@ mod tests {
         let mask = vec![true, false, false, true, true];
         let o = hinted_oracle(&t, Layout::striped(1), &mask);
         assert_eq!(o.len(), 5); // positions keep original indices
-        // Block 2's only hinted occurrence is position 3.
+                                // Block 2's only hinted occurrence is position 3.
         assert_eq!(o.next_occurrence(BlockId(2), 0), 3);
         assert_eq!(o.next_occurrence(BlockId(2), 4), NEVER);
         // Block 1 hinted at 0 and 4; position 2 is undisclosed.

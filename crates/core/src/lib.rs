@@ -20,6 +20,10 @@
 //! * [`hints`] — incomplete disclosure (the §6 extension): policies see
 //!   only a hinted subsequence.
 //! * [`config`] — run parameters with the paper's defaults.
+//! * [`probe`] / [`metrics`] — the observability layer: a typed event
+//!   stream emitted at every decision point, and counters, latency
+//!   histograms, and per-disk timelines folded from it. The default
+//!   probe is a zero-sized no-op, so uninstrumented runs pay nothing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,10 +33,14 @@ pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod hints;
+pub mod metrics;
 pub mod oracle;
 pub mod policy;
+pub mod probe;
 pub mod theory;
 
 pub use config::SimConfig;
-pub use engine::{simulate, simulate_with, Report};
+pub use engine::{simulate, simulate_probed, simulate_with, simulate_with_probed, Report};
+pub use metrics::{Histogram, MetricsProbe, RunMetrics};
 pub use policy::{Policy, PolicyKind};
+pub use probe::{Event, NoopProbe, Probe};

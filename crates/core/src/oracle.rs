@@ -54,11 +54,7 @@ impl Oracle {
     /// (`crate::hints`) restrict a policy's knowledge.
     ///
     /// [`block_at`]: Oracle::block_at
-    pub fn from_positions(
-        len: usize,
-        entries: Vec<(usize, BlockId)>,
-        layout: Layout,
-    ) -> Oracle {
+    pub fn from_positions(len: usize, entries: Vec<(usize, BlockId)>, layout: Layout) -> Oracle {
         let mut sequence = vec![UNKNOWN_BLOCK; len];
         let mut occurrences: HashMap<BlockId, Vec<usize>> = HashMap::new();
         let mut disk_positions: Vec<Vec<usize>> = vec![Vec::new(); layout.disks()];

@@ -97,15 +97,15 @@ impl PolicyKind {
     pub fn build(&self, trace: &Trace, config: &SimConfig) -> Box<dyn Policy> {
         match self {
             PolicyKind::Demand => Box::new(crate::algs::demand::Demand),
-            PolicyKind::FixedHorizon => {
-                Box::new(crate::algs::fixed_horizon::FixedHorizon::new(config.horizon))
-            }
+            PolicyKind::FixedHorizon => Box::new(crate::algs::fixed_horizon::FixedHorizon::new(
+                config.horizon,
+            )),
             PolicyKind::Aggressive => {
                 Box::new(crate::algs::aggressive::Aggressive::new(config.batch_size))
             }
-            PolicyKind::ReverseAggressive => Box::new(
-                crate::algs::reverse::ReverseAggressive::new(trace, config),
-            ),
+            PolicyKind::ReverseAggressive => {
+                Box::new(crate::algs::reverse::ReverseAggressive::new(trace, config))
+            }
             PolicyKind::Forestall => Box::new(crate::algs::forestall::Forestall::new(config)),
         }
     }

@@ -1,0 +1,391 @@
+//! The probe layer: typed simulation events and the observer trait.
+//!
+//! A [`Probe`] receives every interesting thing the engine does — fetch
+//! issue/start/completion, cache hits and misses, evictions, stalls,
+//! policy decision points, write-behind flushes, and the drive layer's
+//! queue-depth and head-position reports — as a typed [`Event`] stream.
+//!
+//! The default probe is [`NoopProbe`], a zero-sized type whose
+//! [`Probe::ENABLED`] is `false`. The engine is generic over the probe, so
+//! with the no-op every instrumentation site is statically dead and the
+//! optimizer removes it: the uninstrumented hot path costs nothing.
+
+use parcache_disk::disk::ReqKind;
+use parcache_disk::probe::DiskEvent;
+use parcache_types::{BlockId, DiskId, Nanos};
+
+/// One simulation event, stamped with the simulated time it occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// The policy was given a decision point.
+    PolicyDecision {
+        /// Simulated time.
+        now: Nanos,
+        /// Index of the next unconsumed reference.
+        cursor: usize,
+    },
+    /// A referenced block was already resident.
+    CacheHit {
+        /// Simulated time.
+        now: Nanos,
+        /// The referenced block.
+        block: BlockId,
+    },
+    /// A referenced block was not resident (it may already be in flight).
+    CacheMiss {
+        /// Simulated time.
+        now: Nanos,
+        /// The referenced block.
+        block: BlockId,
+    },
+    /// A resident block lost its frame to a fetch.
+    Eviction {
+        /// Simulated time.
+        now: Nanos,
+        /// The evicted block.
+        block: BlockId,
+    },
+    /// The policy issued a fetch (frame reserved, request enqueued).
+    FetchIssued {
+        /// Simulated time.
+        now: Nanos,
+        /// The block fetched.
+        block: BlockId,
+        /// The drive it was routed to.
+        disk: DiskId,
+        /// True when issued from the demand-miss path rather than as a
+        /// prefetch.
+        demand: bool,
+        /// The block evicted to make room, if any.
+        evicted: Option<BlockId>,
+    },
+    /// A write-behind flush was issued.
+    WriteIssued {
+        /// Simulated time.
+        now: Nanos,
+        /// The block flushed.
+        block: BlockId,
+        /// The drive it was routed to.
+        disk: DiskId,
+    },
+    /// A request joined a drive's queue (depth sampled after arrival).
+    QueueDepth {
+        /// Simulated time.
+        now: Nanos,
+        /// The drive.
+        disk: DiskId,
+        /// Queue length plus in-service count after the arrival.
+        depth: usize,
+    },
+    /// A drive began servicing a request.
+    FetchStarted {
+        /// Simulated time.
+        now: Nanos,
+        /// The block being serviced.
+        block: BlockId,
+        /// The drive.
+        disk: DiskId,
+        /// True for a write-behind flush.
+        write: bool,
+        /// Head position (cylinder) after the seek for this request.
+        head_cylinder: u64,
+        /// When the service will complete.
+        completes: Nanos,
+    },
+    /// A drive finished servicing a request.
+    FetchCompleted {
+        /// Simulated time.
+        now: Nanos,
+        /// The block serviced.
+        block: BlockId,
+        /// The drive.
+        disk: DiskId,
+        /// True for a write-behind flush.
+        write: bool,
+        /// Pure service time.
+        service: Nanos,
+        /// Response time (completion minus enqueue).
+        response: Nanos,
+        /// Head position (cylinder) where the request left the head.
+        head_cylinder: u64,
+        /// Drive load after the completion.
+        depth: usize,
+    },
+    /// The application began waiting for a non-resident block.
+    StallBegin {
+        /// Simulated time.
+        now: Nanos,
+        /// The block being waited for.
+        block: BlockId,
+    },
+    /// The application's wait ended.
+    StallEnd {
+        /// Simulated time.
+        now: Nanos,
+        /// The block that arrived.
+        block: BlockId,
+        /// How long the wait lasted.
+        stalled: Nanos,
+    },
+}
+
+impl Event {
+    /// Wraps a drive-layer event into the simulation event stream.
+    pub fn from_disk(now: Nanos, disk: DiskId, e: DiskEvent) -> Event {
+        match e {
+            DiskEvent::Enqueued { depth, .. } => Event::QueueDepth { now, disk, depth },
+            DiskEvent::ServiceStarted {
+                block,
+                kind,
+                head_cylinder,
+                completes,
+            } => Event::FetchStarted {
+                now,
+                block,
+                disk,
+                write: kind == ReqKind::Write,
+                head_cylinder,
+                completes,
+            },
+            DiskEvent::ServiceCompleted {
+                block,
+                kind,
+                service,
+                response,
+                head_cylinder,
+                depth,
+            } => Event::FetchCompleted {
+                now,
+                block,
+                disk,
+                write: kind == ReqKind::Write,
+                service,
+                response,
+                head_cylinder,
+                depth,
+            },
+        }
+    }
+
+    /// A short machine-readable tag naming the event variant.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::PolicyDecision { .. } => "policy_decision",
+            Event::CacheHit { .. } => "cache_hit",
+            Event::CacheMiss { .. } => "cache_miss",
+            Event::Eviction { .. } => "eviction",
+            Event::FetchIssued { .. } => "fetch_issued",
+            Event::WriteIssued { .. } => "write_issued",
+            Event::QueueDepth { .. } => "queue_depth",
+            Event::FetchStarted { .. } => "fetch_started",
+            Event::FetchCompleted { .. } => "fetch_completed",
+            Event::StallBegin { .. } => "stall_begin",
+            Event::StallEnd { .. } => "stall_end",
+        }
+    }
+
+    /// The simulated time the event carries.
+    pub fn time(&self) -> Nanos {
+        match *self {
+            Event::PolicyDecision { now, .. }
+            | Event::CacheHit { now, .. }
+            | Event::CacheMiss { now, .. }
+            | Event::Eviction { now, .. }
+            | Event::FetchIssued { now, .. }
+            | Event::WriteIssued { now, .. }
+            | Event::QueueDepth { now, .. }
+            | Event::FetchStarted { now, .. }
+            | Event::FetchCompleted { now, .. }
+            | Event::StallBegin { now, .. }
+            | Event::StallEnd { now, .. } => now,
+        }
+    }
+
+    /// This event as one line of JSON (no trailing newline), suitable for
+    /// a JSONL event log.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            r#"{{"event":"{}","t_ns":{}"#,
+            self.kind(),
+            self.time().as_nanos()
+        );
+        match *self {
+            Event::PolicyDecision { cursor, .. } => {
+                s.push_str(&format!(r#","cursor":{cursor}"#));
+            }
+            Event::CacheHit { block, .. }
+            | Event::CacheMiss { block, .. }
+            | Event::Eviction { block, .. }
+            | Event::StallBegin { block, .. } => {
+                s.push_str(&format!(r#","block":{}"#, block.raw()));
+            }
+            Event::FetchIssued {
+                block,
+                disk,
+                demand,
+                evicted,
+                ..
+            } => {
+                s.push_str(&format!(
+                    r#","block":{},"disk":{},"demand":{demand}"#,
+                    block.raw(),
+                    disk.index()
+                ));
+                if let Some(e) = evicted {
+                    s.push_str(&format!(r#","evicted":{}"#, e.raw()));
+                }
+            }
+            Event::WriteIssued { block, disk, .. } => {
+                s.push_str(&format!(
+                    r#","block":{},"disk":{}"#,
+                    block.raw(),
+                    disk.index()
+                ));
+            }
+            Event::QueueDepth { disk, depth, .. } => {
+                s.push_str(&format!(r#","disk":{},"depth":{depth}"#, disk.index()));
+            }
+            Event::FetchStarted {
+                block,
+                disk,
+                write,
+                head_cylinder,
+                completes,
+                ..
+            } => {
+                s.push_str(&format!(
+                    r#","block":{},"disk":{},"write":{write},"head_cylinder":{head_cylinder},"completes_ns":{}"#,
+                    block.raw(),
+                    disk.index(),
+                    completes.as_nanos()
+                ));
+            }
+            Event::FetchCompleted {
+                block,
+                disk,
+                write,
+                service,
+                response,
+                head_cylinder,
+                depth,
+                ..
+            } => {
+                s.push_str(&format!(
+                    r#","block":{},"disk":{},"write":{write},"service_ns":{},"response_ns":{},"head_cylinder":{head_cylinder},"depth":{depth}"#,
+                    block.raw(),
+                    disk.index(),
+                    service.as_nanos(),
+                    response.as_nanos()
+                ));
+            }
+            Event::StallEnd { block, stalled, .. } => {
+                s.push_str(&format!(
+                    r#","block":{},"stalled_ns":{}"#,
+                    block.raw(),
+                    stalled.as_nanos()
+                ));
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// An observer of the engine's event stream.
+///
+/// Implementations must be cheap: the engine calls [`Probe::on_event`]
+/// synchronously at every decision point. Any `FnMut(&Event)` closure is a
+/// probe.
+pub trait Probe {
+    /// Whether this probe observes anything. The engine guards every
+    /// emission site on this associated constant, so a `false` here (see
+    /// [`NoopProbe`]) removes the instrumentation at compile time.
+    const ENABLED: bool = true;
+
+    /// Receives one event.
+    fn on_event(&mut self, event: &Event);
+}
+
+/// The default do-nothing probe. Zero-sized, `ENABLED = false`: an engine
+/// monomorphized over it contains no instrumentation code at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn on_event(&mut self, _event: &Event) {}
+}
+
+impl<F: FnMut(&Event)> Probe for F {
+    fn on_event(&mut self, event: &Event) {
+        self(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_probe_is_zero_sized_and_disabled() {
+        assert_eq!(std::mem::size_of::<NoopProbe>(), 0);
+        const { assert!(!NoopProbe::ENABLED) }
+    }
+
+    #[test]
+    fn closures_are_probes() {
+        let mut seen = 0usize;
+        {
+            let mut p = |_: &Event| seen += 1;
+            p.on_event(&Event::CacheHit {
+                now: Nanos::ZERO,
+                block: BlockId(1),
+            });
+        }
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn json_lines_carry_kind_and_time() {
+        let e = Event::FetchIssued {
+            now: Nanos::from_millis(2),
+            block: BlockId(7),
+            disk: DiskId(1),
+            demand: true,
+            evicted: Some(BlockId(3)),
+        };
+        let j = e.to_json();
+        assert!(
+            j.starts_with(r#"{"event":"fetch_issued","t_ns":2000000"#),
+            "{j}"
+        );
+        assert!(j.contains(r#""demand":true"#), "{j}");
+        assert!(j.contains(r#""evicted":3"#), "{j}");
+        assert!(j.ends_with('}'), "{j}");
+    }
+
+    #[test]
+    fn disk_events_translate() {
+        let e = Event::from_disk(
+            Nanos::from_millis(1),
+            DiskId(2),
+            DiskEvent::Enqueued {
+                block: BlockId(4),
+                kind: ReqKind::Read,
+                depth: 3,
+            },
+        );
+        assert_eq!(
+            e,
+            Event::QueueDepth {
+                now: Nanos::from_millis(1),
+                disk: DiskId(2),
+                depth: 3
+            }
+        );
+        assert_eq!(e.kind(), "queue_depth");
+        assert_eq!(e.time(), Nanos::from_millis(1));
+    }
+}

@@ -117,7 +117,7 @@ mod tests {
     }
 
     #[test]
-    fn fixed_horizon_is_optimal_with_enough_disks(){
+    fn fixed_horizon_is_optimal_with_enough_disks() {
         // With one disk per distinct block and H >= F, fixed horizon
         // serves a sequential scan with only the cold-start stall.
         let t = unit_trace(&[0, 1, 2, 3, 0, 1, 2, 3], 4);

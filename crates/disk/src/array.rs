@@ -7,6 +7,7 @@
 use crate::disk::{Completed, Disk, DiskStats};
 use crate::layout::Layout;
 use crate::model::DiskModel;
+use crate::probe::DiskEvent;
 use crate::sched::Discipline;
 use parcache_types::{BlockId, DiskId, Nanos};
 
@@ -26,7 +27,9 @@ impl DiskArray {
     ) -> DiskArray {
         assert!(n > 0, "an array needs at least one disk");
         DiskArray {
-            disks: (0..n).map(|_| Disk::new(make_model(), discipline)).collect(),
+            disks: (0..n)
+                .map(|_| Disk::new(make_model(), discipline))
+                .collect(),
             layout: Layout::striped(n),
         }
     }
@@ -73,16 +76,38 @@ impl DiskArray {
 
     /// Enqueues a fetch of `block` on its drive at time `now`.
     pub fn enqueue(&mut self, now: Nanos, block: BlockId) {
+        self.enqueue_observed(now, block, |_, _| {});
+    }
+
+    /// [`DiskArray::enqueue`], reporting each [`DiskEvent`] (tagged with
+    /// the drive it happened on) to `observe`.
+    pub fn enqueue_observed(
+        &mut self,
+        now: Nanos,
+        block: BlockId,
+        mut observe: impl FnMut(DiskId, DiskEvent),
+    ) {
         let disk = self.disk_of(block);
         let span = self.layout.span_of(block);
-        self.disks[disk.index()].enqueue(now, block, span);
+        self.disks[disk.index()].enqueue_observed(now, block, span, |e| observe(disk, e));
     }
 
     /// Enqueues a write-behind flush of `block` on its drive.
     pub fn enqueue_write(&mut self, now: Nanos, block: BlockId) {
+        self.enqueue_write_observed(now, block, |_, _| {});
+    }
+
+    /// [`DiskArray::enqueue_write`], reporting each [`DiskEvent`] to
+    /// `observe`.
+    pub fn enqueue_write_observed(
+        &mut self,
+        now: Nanos,
+        block: BlockId,
+        mut observe: impl FnMut(DiskId, DiskEvent),
+    ) {
         let disk = self.disk_of(block);
         let span = self.layout.span_of(block);
-        self.disks[disk.index()].enqueue_write(now, block, span);
+        self.disks[disk.index()].enqueue_write_observed(now, block, span, |e| observe(disk, e));
     }
 
     /// The earliest pending completion across all drives.
@@ -97,7 +122,22 @@ impl DiskArray {
     /// Completes the in-service request on `disk` (which must complete at
     /// exactly `now`); returns the finished fetch.
     pub fn complete(&mut self, now: Nanos, disk: DiskId) -> Completed {
-        self.disks[disk.index()].complete(now)
+        self.complete_observed(now, disk, |_, _| {})
+    }
+
+    /// [`DiskArray::complete`], reporting each [`DiskEvent`] to `observe`.
+    pub fn complete_observed(
+        &mut self,
+        now: Nanos,
+        disk: DiskId,
+        mut observe: impl FnMut(DiskId, DiskEvent),
+    ) -> Completed {
+        self.disks[disk.index()].complete_observed(now, |e| observe(disk, e))
+    }
+
+    /// Current head position (cylinder) of the given drive.
+    pub fn head_cylinder(&self, disk: DiskId) -> u64 {
+        self.disks[disk.index()].head_cylinder()
     }
 
     /// Per-drive statistics.

@@ -136,18 +136,16 @@ mod tests {
             len: 16,
         };
         let t = d.service(Nanos::ZERO, &far);
-        let expected =
-            OVERHEAD + d.seek_time(2000) + HALF_ROTATION + SECTOR_TIME * 16;
+        let expected = OVERHEAD + d.seek_time(2000) + HALF_ROTATION + SECTOR_TIME * 16;
         assert_eq!(t, expected);
         assert_eq!(d.head_cylinder(), 2000);
     }
 
     #[test]
     fn average_random_time_is_comparable_to_hp() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use parcache_types::rng::Rng;
         let mut d = CoarseDisk::new();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let mut now = Nanos::ZERO;
         let mut total = Nanos::ZERO;
         let n = 1000;

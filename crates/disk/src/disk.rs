@@ -6,6 +6,7 @@
 
 use crate::geometry::SectorSpan;
 use crate::model::DiskModel;
+use crate::probe::DiskEvent;
 use crate::sched::Discipline;
 use parcache_types::{BlockId, Nanos};
 
@@ -132,15 +133,44 @@ impl Disk {
     /// Enqueues a read of `span` for logical `block` at time `now`, then
     /// starts it immediately if the drive is idle.
     pub fn enqueue(&mut self, now: Nanos, block: BlockId, span: SectorSpan) {
-        self.enqueue_kind(now, block, span, ReqKind::Read);
+        self.enqueue_observed(now, block, span, |_| {});
     }
 
     /// Enqueues a write-behind flush of `span` for logical `block`.
     pub fn enqueue_write(&mut self, now: Nanos, block: BlockId, span: SectorSpan) {
-        self.enqueue_kind(now, block, span, ReqKind::Write);
+        self.enqueue_write_observed(now, block, span, |_| {});
     }
 
-    fn enqueue_kind(&mut self, now: Nanos, block: BlockId, span: SectorSpan, kind: ReqKind) {
+    /// [`Disk::enqueue`], reporting [`DiskEvent`]s to `observe`.
+    pub fn enqueue_observed(
+        &mut self,
+        now: Nanos,
+        block: BlockId,
+        span: SectorSpan,
+        mut observe: impl FnMut(DiskEvent),
+    ) {
+        self.enqueue_kind(now, block, span, ReqKind::Read, &mut observe);
+    }
+
+    /// [`Disk::enqueue_write`], reporting [`DiskEvent`]s to `observe`.
+    pub fn enqueue_write_observed(
+        &mut self,
+        now: Nanos,
+        block: BlockId,
+        span: SectorSpan,
+        mut observe: impl FnMut(DiskEvent),
+    ) {
+        self.enqueue_kind(now, block, span, ReqKind::Write, &mut observe);
+    }
+
+    fn enqueue_kind(
+        &mut self,
+        now: Nanos,
+        block: BlockId,
+        span: SectorSpan,
+        kind: ReqKind,
+        observe: &mut impl FnMut(DiskEvent),
+    ) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(Pending {
@@ -150,12 +180,21 @@ impl Disk {
             seq,
             kind,
         });
-        self.maybe_start(now);
+        observe(DiskEvent::Enqueued {
+            block,
+            kind,
+            depth: self.load(),
+        });
+        self.maybe_start_observed(now, observe);
     }
 
     /// If idle and work is queued, picks the next request per the
     /// discipline and begins servicing it.
     pub fn maybe_start(&mut self, now: Nanos) {
+        self.maybe_start_observed(now, &mut |_| {});
+    }
+
+    fn maybe_start_observed(&mut self, now: Nanos, observe: &mut impl FnMut(DiskEvent)) {
         if self.in_service.is_some() || self.queue.is_empty() {
             return;
         }
@@ -176,6 +215,12 @@ impl Disk {
             completes,
             started: now,
         });
+        observe(DiskEvent::ServiceStarted {
+            block: request.block,
+            kind: request.kind,
+            head_cylinder: self.model.head_cylinder(),
+            completes,
+        });
     }
 
     /// The completion time of the request in service, if any.
@@ -192,7 +237,21 @@ impl Disk {
     /// Panics if no request is in service or if `now` is not its
     /// completion time — either indicates a broken event loop.
     pub fn complete(&mut self, now: Nanos) -> Completed {
-        let s = self.in_service.take().expect("complete() with no request in service");
+        self.complete_observed(now, |_| {})
+    }
+
+    /// [`Disk::complete`], reporting [`DiskEvent`]s to `observe` (the
+    /// completion itself, plus the start of the next queued request, if
+    /// any).
+    pub fn complete_observed(
+        &mut self,
+        now: Nanos,
+        mut observe: impl FnMut(DiskEvent),
+    ) -> Completed {
+        let s = self
+            .in_service
+            .take()
+            .expect("complete() with no request in service");
         assert_eq!(s.completes, now, "completion processed at the wrong time");
         let done = Completed {
             block: s.request.block,
@@ -204,8 +263,23 @@ impl Disk {
         self.stats.busy += done.service;
         self.stats.total_service += done.service;
         self.stats.total_response += done.response;
-        self.maybe_start(now);
+        observe(DiskEvent::ServiceCompleted {
+            block: done.block,
+            kind: done.kind,
+            service: done.service,
+            response: done.response,
+            head_cylinder: self.model.head_cylinder(),
+            // One queued request (if any) is about to enter service, so the
+            // post-completion load equals the queue length.
+            depth: self.queue.len(),
+        });
+        self.maybe_start_observed(now, &mut observe);
         done
+    }
+
+    /// Current head position (cylinder) of the drive model.
+    pub fn head_cylinder(&self) -> u64 {
+        self.model.head_cylinder()
     }
 
     /// Accumulated statistics.

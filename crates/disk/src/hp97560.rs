@@ -166,7 +166,8 @@ impl Hp97560 {
         // Rotational latency: wait for the target sector's angular position.
         let target_angle = SECTOR_TIME * self.geometry.rotational_index(span.start);
         let current_angle = Nanos(after_seek.as_nanos() % ROTATION.as_nanos());
-        let rot_wait = Nanos((target_angle + ROTATION - current_angle).as_nanos() % ROTATION.as_nanos());
+        let rot_wait =
+            Nanos((target_angle + ROTATION - current_angle).as_nanos() % ROTATION.as_nanos());
 
         let media = SECTOR_TIME * span.len
             + HEAD_SWITCH * self.geometry.track_crossings(span)
@@ -245,8 +246,7 @@ impl DiskModel for Hp97560 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use parcache_types::rng::Rng;
 
     fn block_span(disk_block: u64) -> SectorSpan {
         SectorSpan::for_block(disk_block)
@@ -257,7 +257,7 @@ mod tests {
         // Table 1: average 8 KB access time 22.8 ms. Our model should land
         // in the same neighborhood for uniformly random block reads.
         let mut d = Hp97560::new();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         let cap = d.geometry().capacity_blocks();
         let mut now = Nanos::ZERO;
         let mut total = Nanos::ZERO;
@@ -354,7 +354,7 @@ mod tests {
     #[test]
     fn rotational_wait_is_bounded_by_one_rotation() {
         let mut d = Hp97560::new();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let cap = d.geometry().capacity_blocks();
         let mut now = Nanos::ZERO;
         for _ in 0..500 {

@@ -15,6 +15,8 @@
 //!   array of independently accessible drives.
 //! * [`layout`] — one-block striping across the array and the paper's
 //!   100-cylinder file-clustering groups.
+//! * [`probe`] — low-level drive events for observers; the `*_observed`
+//!   method variants report them to a caller-supplied closure.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +28,7 @@ pub mod geometry;
 pub mod hp97560;
 pub mod layout;
 pub mod model;
+pub mod probe;
 pub mod sched;
 pub mod seek;
 pub mod uniform;
@@ -36,5 +39,6 @@ pub use geometry::{DiskGeometry, SectorSpan};
 pub use hp97560::Hp97560;
 pub use layout::Layout;
 pub use model::DiskModel;
+pub use probe::DiskEvent;
 pub use sched::Discipline;
 pub use uniform::UniformDisk;

@@ -1,0 +1,57 @@
+//! Low-level drive events for observers.
+//!
+//! The drive layer cannot depend on the simulator core, so it exposes its
+//! own small event vocabulary. The core's probe layer wraps these into its
+//! richer simulation-event stream. Observers are plain `FnMut` closures
+//! passed into the `*_observed` variants of [`crate::Disk`] and
+//! [`crate::DiskArray`]; the plain methods pass a no-op closure, which
+//! monomorphizes away entirely, so uninstrumented callers pay nothing.
+
+use crate::disk::ReqKind;
+use parcache_types::{BlockId, Nanos};
+
+/// Something that happened inside one drive.
+///
+/// Queue depth is reported *after* the event took effect, and the head
+/// cylinder is sampled from the drive model at emission time, so a stream
+/// of these events reconstructs the queue-length and head-position
+/// trajectories exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskEvent {
+    /// A request entered the drive's queue.
+    Enqueued {
+        /// The logical block requested.
+        block: BlockId,
+        /// Read or write.
+        kind: ReqKind,
+        /// Queue length plus in-service count after this arrival.
+        depth: usize,
+    },
+    /// The drive picked a request and began servicing it.
+    ServiceStarted {
+        /// The logical block being serviced.
+        block: BlockId,
+        /// Read or write.
+        kind: ReqKind,
+        /// Head position (cylinder) after the seek for this request.
+        head_cylinder: u64,
+        /// Time the service will complete.
+        completes: Nanos,
+    },
+    /// The drive finished servicing a request.
+    ServiceCompleted {
+        /// The logical block serviced.
+        block: BlockId,
+        /// Read or write.
+        kind: ReqKind,
+        /// Pure service time (completion minus service start).
+        service: Nanos,
+        /// Response time (completion minus enqueue).
+        response: Nanos,
+        /// Head position (cylinder) where the request left the head.
+        head_cylinder: u64,
+        /// Queue length plus in-service count after the completion (the
+        /// next request, if any, has already been started).
+        depth: usize,
+    },
+}

@@ -31,9 +31,8 @@ use crate::calibrate::calibrate_counts;
 use crate::compute::ComputeDist;
 use crate::placement::{FileExtent, GroupPlacer};
 use crate::Trace;
+use parcache_types::rng::Rng;
 use parcache_types::Nanos;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Builds a cscope-style trace: `queries` passes over the package's
 /// files, each file read `reads_per_file` times in succession.
@@ -75,7 +74,7 @@ fn cscope(
 /// cscope1: eight symbol searches over the package's index files
 /// (compute-bound; large sequential files, one read per query).
 pub fn cscope1(seed: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut placer = GroupPlacer::new(seed ^ 0x5EED);
     let sizes = file_sizes(&mut rng, 1_073, 30, 160);
     let files = placer.place_all(&sizes);
@@ -99,7 +98,7 @@ pub fn cscope1(seed: u64) -> Trace {
 /// cscope2: four text searches over the package's source files — many
 /// small scattered files, each read twice per query.
 pub fn cscope2(seed: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut placer = GroupPlacer::new(seed ^ 0x5EED);
     let sizes = file_sizes(&mut rng, 2_462, 1, 9);
     let files = placer.place_all_scattered(&sizes, 2);
@@ -127,7 +126,7 @@ pub fn cscope2(seed: u64) -> Trace {
 /// Table 3 mean (74.1 s / 30,200 = 2.45 ms): with levels 1 and 7,
 /// the short fraction must be (7 - 2.45)/(7 - 1) ≈ 0.758.
 pub fn cscope3(seed: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut placer = GroupPlacer::new(seed ^ 0x5EED);
     let sizes = file_sizes(&mut rng, 3_910, 1, 9);
     let files = placer.place_all_scattered(&sizes, 2);

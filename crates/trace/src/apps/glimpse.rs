@@ -18,9 +18,8 @@ use crate::calibrate::calibrate_counts;
 use crate::compute::ComputeDist;
 use crate::placement::GroupPlacer;
 use crate::Trace;
+use parcache_types::rng::Rng;
 use parcache_types::Nanos;
-use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, SeedableRng};
 
 /// Table 3 targets.
 pub const READS: usize = 27_981;
@@ -38,7 +37,7 @@ const INDEX_PASSES_PER_QUERY: usize = 19;
 
 /// Generates the glimpse trace.
 pub fn glimpse(seed: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut placer = GroupPlacer::new(seed ^ 0x5EED);
 
     let index_files = placer.place_all(&[50; (INDEX_BLOCKS / 50) as usize]);
@@ -46,7 +45,7 @@ pub fn glimpse(seed: u64) -> Trace {
     // tens of KB).
     let data_sizes = file_sizes(&mut rng, DISTINCT as u64 - INDEX_BLOCKS, 1, 9);
     let mut data_files = placer.place_all_scattered(&data_sizes, 2);
-    data_files.shuffle(&mut rng);
+    rng.shuffle(&mut data_files);
     let quarter = data_files.len().div_ceil(QUERIES);
 
     let mut blocks = Vec::with_capacity(READS + 4096);
@@ -114,8 +113,7 @@ mod tests {
         freqs.sort_unstable_by(|a, b| b.cmp(a));
         // The hottest ~300 blocks (the indexes) are read many times; the
         // median block (data) is read only a handful of times.
-        let hot = freqs[..INDEX_BLOCKS as usize].iter().sum::<usize>() as f64
-            / INDEX_BLOCKS as f64;
+        let hot = freqs[..INDEX_BLOCKS as usize].iter().sum::<usize>() as f64 / INDEX_BLOCKS as f64;
         let cold_median = freqs[freqs.len() / 2];
         assert!(hot >= 8.0, "hot mean {hot}");
         assert!(cold_median <= 4, "cold median {cold_median}");

@@ -17,9 +17,8 @@ use crate::calibrate::calibrate_counts;
 use crate::compute::ComputeDist;
 use crate::placement::GroupPlacer;
 use crate::Trace;
+use parcache_types::rng::Rng;
 use parcache_types::Nanos;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Table 3 targets.
 pub const READS: usize = 5_881;
@@ -30,7 +29,7 @@ pub const COMPUTE: Nanos = Nanos(8_200_000_000);
 
 /// Generates the ld trace.
 pub fn ld(seed: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut placer = GroupPlacer::new(seed ^ 0x5EED);
     // Several hundred small object files (a mid-90s kernel build tree),
     // scattered across cylinder groups with FFS rotdelay interleaving.

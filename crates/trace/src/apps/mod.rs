@@ -13,9 +13,8 @@ pub mod xds;
 
 use crate::compute::{calibrate_total, ComputeDist, ComputeSampler};
 use crate::{Request, Trace};
+use parcache_types::rng::Rng;
 use parcache_types::{BlockId, Nanos};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Draws per-reference compute times from `dist`, calibrates their total
 /// to exactly `total_compute`, and zips them with `blocks` into a trace.
@@ -27,7 +26,7 @@ pub(crate) fn assemble(
     cache_blocks: usize,
     seed: u64,
 ) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xC0FFEE);
     let mut sampler = ComputeSampler::new(dist);
     let mut computes: Vec<Nanos> = blocks.iter().map(|_| sampler.sample(&mut rng)).collect();
     calibrate_total(&mut computes, total_compute);
@@ -41,7 +40,7 @@ pub(crate) fn assemble(
 
 /// Random file sizes (in blocks) in `[min, max]` summing exactly to
 /// `total`. The final file takes the remainder.
-pub(crate) fn file_sizes(rng: &mut StdRng, total: u64, min: u64, max: u64) -> Vec<u64> {
+pub(crate) fn file_sizes(rng: &mut Rng, total: u64, min: u64, max: u64) -> Vec<u64> {
     assert!(min >= 1 && min <= max && total >= 1);
     let mut sizes = Vec::new();
     let mut left = total;
@@ -78,7 +77,7 @@ mod tests {
 
     #[test]
     fn file_sizes_sum_exactly() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         for total in [10u64, 137, 1073, 4947] {
             let sizes = file_sizes(&mut rng, total, 4, 80);
             assert_eq!(sizes.iter().sum::<u64>(), total);

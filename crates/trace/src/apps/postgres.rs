@@ -24,9 +24,8 @@ use crate::calibrate::calibrate_counts;
 use crate::compute::ComputeDist;
 use crate::placement::GroupPlacer;
 use crate::Trace;
+use parcache_types::rng::Rng;
 use parcache_types::Nanos;
-use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, Rng, SeedableRng};
 
 /// postgres-join Table 3 targets.
 pub const JOIN_READS: usize = 8_896;
@@ -54,7 +53,7 @@ pub fn postgres_join(seed: u64) -> Trace {
     const INNER: u64 = 410;
     let outer: u64 = JOIN_DISTINCT as u64 - INDEX - INNER; // 3283
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut placer = GroupPlacer::new(seed ^ 0x5EED);
     let index_file = placer.place(INDEX);
     let outer_file = placer.place(outer);
@@ -67,7 +66,7 @@ pub fn postgres_join(seed: u64) -> Trace {
     // exceed its distinct count).
     let probes = (JOIN_READS - INNER as usize - INDEX as usize) / 2; // 4193
     let mut fresh: Vec<u64> = (0..outer).collect();
-    fresh.shuffle(&mut rng);
+    rng.shuffle(&mut fresh);
     let extras = probes - fresh.len();
     let step = fresh.len() / extras + 1;
     let mut outer_targets: Vec<u64> = Vec::with_capacity(probes);
@@ -140,7 +139,7 @@ pub fn postgres_select(seed: u64) -> Trace {
     const RELATION: u64 = 4096; // 32 MB of 8 KB blocks
     let data: u64 = SELECT_DISTINCT as u64 - INDEX; // 3000 touched
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut placer = GroupPlacer::new(seed ^ 0x5EED);
     let index_file = placer.place(INDEX);
     // The relation spans an entire cylinder-group-sized region.
@@ -149,7 +148,7 @@ pub fn postgres_select(seed: u64) -> Trace {
     // The selection touches 3000 of the 4096 blocks, in key (random)
     // order.
     let mut touched: Vec<u64> = (0..RELATION).collect();
-    touched.shuffle(&mut rng);
+    rng.shuffle(&mut touched);
     touched.truncate(data as usize);
 
     let mut blocks = Vec::with_capacity(SELECT_READS);
@@ -257,7 +256,11 @@ mod tests {
             .filter(|b| counts[b] == 1)
             .map(|b| b.raw())
             .collect();
-        assert!(singles.len() >= 2_900, "{} single-read blocks", singles.len());
+        assert!(
+            singles.len() >= 2_900,
+            "{} single-read blocks",
+            singles.len()
+        );
         let ascending = singles.windows(2).filter(|w| w[1] > w[0]).count();
         let frac = ascending as f64 / (singles.len() - 1) as f64;
         assert!(

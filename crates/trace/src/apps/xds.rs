@@ -18,9 +18,8 @@ use crate::calibrate::calibrate_counts;
 use crate::compute::ComputeDist;
 use crate::placement::GroupPlacer;
 use crate::Trace;
+use parcache_types::rng::Rng;
 use parcache_types::Nanos;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// Table 3 targets.
@@ -44,7 +43,7 @@ const FILE_BLOCKS: u64 = 8192;
 
 /// Generates the xds trace.
 pub fn xds(seed: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     // A large dataset written in one pass is laid out contiguously (no
     // rotdelay stride: a global stride would alias against even array
     // sizes under one-block striping and starve half the disks, which
@@ -94,7 +93,7 @@ struct SliceWalk {
 }
 
 impl SliceWalk {
-    fn new(rng: &mut StdRng) -> SliceWalk {
+    fn new(rng: &mut Rng) -> SliceWalk {
         SliceWalk {
             normal: random_unit(rng),
             point: (
@@ -107,7 +106,7 @@ impl SliceWalk {
 
     /// Perturbs the orientation slightly and returns the new slice's
     /// block offsets, in file order.
-    fn next_slice(&mut self, rng: &mut StdRng) -> Vec<u64> {
+    fn next_slice(&mut self, rng: &mut Rng) -> Vec<u64> {
         let (mut a, mut b, mut c) = self.normal;
         a += rng.gen_range(-0.15..=0.15);
         b += rng.gen_range(-0.15..=0.15);
@@ -127,7 +126,7 @@ impl SliceWalk {
 }
 
 /// A random unit vector (rejection-free, renormalized).
-fn random_unit(rng: &mut StdRng) -> (f64, f64, f64) {
+fn random_unit(rng: &mut Rng) -> (f64, f64, f64) {
     loop {
         let a: f64 = rng.gen_range(-1.0..=1.0);
         let b: f64 = rng.gen_range(-1.0..=1.0);
@@ -206,7 +205,7 @@ mod tests {
         // Individual slices vary a lot (a plane can clip a corner), but
         // every slice is non-trivial and the average is a real
         // cross-section of the 32 x 16 x 16 volume.
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let mut walk = SliceWalk::new(&mut rng);
         let sizes: Vec<usize> = (0..50).map(|_| walk.next_slice(&mut rng).len()).collect();
         for &s in &sizes {
@@ -220,13 +219,12 @@ mod tests {
     fn consecutive_slices_overlap() {
         // The interactive random walk means adjacent slices share many
         // blocks — that is what keeps re-reads cache-resident.
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         let mut walk = SliceWalk::new(&mut rng);
         let mut prev: Option<std::collections::HashSet<u64>> = None;
         let mut overlaps = Vec::new();
         for _ in 0..20 {
-            let s: std::collections::HashSet<u64> =
-                walk.next_slice(&mut rng).into_iter().collect();
+            let s: std::collections::HashSet<u64> = walk.next_slice(&mut rng).into_iter().collect();
             if let Some(p) = &prev {
                 let inter = s.intersection(p).count();
                 overlaps.push(inter as f64 / s.len().max(1) as f64);

@@ -7,9 +7,8 @@
 //! — and a calibration pass pins each trace's *total* compute time to the
 //! paper's Table 3 value exactly.
 
+use parcache_types::rng::Rng;
 use parcache_types::Nanos;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// A compute-time distribution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,9 +62,12 @@ impl ComputeSampler {
     }
 
     /// Draws the next compute time.
-    pub fn sample(&mut self, rng: &mut StdRng) -> Nanos {
+    pub fn sample(&mut self, rng: &mut Rng) -> Nanos {
         match self.dist {
-            ComputeDist::Jittered { mean_ms, jitter_frac } => {
+            ComputeDist::Jittered {
+                mean_ms,
+                jitter_frac,
+            } => {
                 let f = 1.0 + rng.gen_range(-jitter_frac..=jitter_frac);
                 Nanos::from_millis_f64(mean_ms * f)
             }
@@ -136,10 +138,9 @@ pub fn calibrate_total(times: &mut [Nanos], target: Nanos) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn draw(dist: ComputeDist, n: usize, seed: u64) -> Vec<Nanos> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut s = ComputeSampler::new(dist);
         (0..n).map(|_| s.sample(&mut rng)).collect()
     }
@@ -163,8 +164,7 @@ mod tests {
     #[test]
     fn exponential_mean_is_close() {
         let xs = draw(ComputeDist::Exponential { mean_ms: 1.0 }, 20_000, 2);
-        let mean =
-            xs.iter().map(|x| x.as_millis_f64()).sum::<f64>() / xs.len() as f64;
+        let mean = xs.iter().map(|x| x.as_millis_f64()).sum::<f64>() / xs.len() as f64;
         assert!((0.95..1.05).contains(&mean), "mean {mean}");
     }
 
@@ -193,7 +193,11 @@ mod tests {
                 switches += 1;
             }
         }
-        assert!(switches < xs.len() / 10, "{switches} switches in {}", xs.len());
+        assert!(
+            switches < xs.len() / 10,
+            "{switches} switches in {}",
+            xs.len()
+        );
     }
 
     #[test]

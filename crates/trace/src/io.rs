@@ -105,7 +105,12 @@ pub fn read_trace(r: impl Read) -> Result<Trace, TraceIoError> {
                     .parse()
                     .map_err(|_| parse_err(idx + 1, format!("bad cache_blocks `{v}`")))?;
             }
-            _ => return Err(parse_err(idx + 1, format!("unknown header field `{field}`"))),
+            _ => {
+                return Err(parse_err(
+                    idx + 1,
+                    format!("unknown header field `{field}`"),
+                ))
+            }
         }
     }
     if cache_blocks == 0 {

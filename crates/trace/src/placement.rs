@@ -7,9 +7,8 @@
 //! blocks never alias to the same logical block — which the paper's real
 //! filesystem guarantees implicitly.
 
+use parcache_types::rng::Rng;
 use parcache_types::BlockId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Blocks per cylinder group: 100 cylinders of the HP 97560.
 ///
@@ -24,7 +23,7 @@ pub const GROUPS: u64 = 19;
 /// Assigns files to starting logical blocks within cylinder groups.
 #[derive(Debug)]
 pub struct GroupPlacer {
-    rng: StdRng,
+    rng: Rng,
     /// Next free offset within each group.
     free: Vec<u64>,
     /// Next group to try, for round-robin spreading.
@@ -56,7 +55,11 @@ impl FileExtent {
     /// Panics if `offset >= len` — an out-of-range file offset is a bug in
     /// the trace generator.
     pub fn block(&self, offset: u64) -> BlockId {
-        assert!(offset < self.len, "offset {offset} beyond file of {} blocks", self.len);
+        assert!(
+            offset < self.len,
+            "offset {offset} beyond file of {} blocks",
+            self.len
+        );
         BlockId(self.start.raw() + offset * self.stride)
     }
 }
@@ -65,7 +68,7 @@ impl GroupPlacer {
     /// Creates a placer with a deterministic seed.
     pub fn new(seed: u64) -> GroupPlacer {
         GroupPlacer {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             free: vec![0; GROUPS as usize],
             cursor: 0,
         }
@@ -142,7 +145,10 @@ impl GroupPlacer {
     /// Places a run of files of the given sizes into random groups, with
     /// the given block stride.
     pub fn place_all_scattered(&mut self, sizes: &[u64], stride: u64) -> Vec<FileExtent> {
-        sizes.iter().map(|&s| self.place_scattered(s, stride)).collect()
+        sizes
+            .iter()
+            .map(|&s| self.place_scattered(s, stride))
+            .collect()
     }
 }
 

@@ -8,9 +8,8 @@
 
 use crate::compute::{calibrate_total, ComputeDist, ComputeSampler};
 use crate::{Request, Trace};
+use parcache_types::rng::Rng;
 use parcache_types::{BlockId, Nanos};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Total compute time of the full-size trace (Table 3: 99.9 s).
 const TABLE3_COMPUTE: Nanos = Nanos(99_900_000_000);
@@ -22,7 +21,7 @@ const TABLE3_COMPUTE: Nanos = Nanos(99_900_000_000);
 /// convenient test workloads.
 pub fn synth_trace(passes: usize, loop_blocks: usize, seed: u64) -> Trace {
     assert!(passes > 0 && loop_blocks > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut sampler = ComputeSampler::new(ComputeDist::Exponential { mean_ms: 1.0 });
     let n = passes * loop_blocks;
     let mut computes: Vec<Nanos> = (0..n).map(|_| sampler.sample(&mut rng)).collect();

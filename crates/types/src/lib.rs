@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod rng;
 mod time;
 
 pub use time::Nanos;

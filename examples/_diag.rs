@@ -3,8 +3,15 @@ use parcache::prelude::*;
 fn main() {
     let t = parcache::trace::trace_by_name("cscope2", 1996).unwrap();
     for frac in [1.0f64, 0.75, 0.5, 0.25, 0.0] {
-        let cfg = SimConfig::for_trace(2, &t).with_hints(HintSpec::Fraction { fraction: frac, seed: 11 });
-        for kind in [PolicyKind::Demand, PolicyKind::FixedHorizon, PolicyKind::Aggressive] {
+        let cfg = SimConfig::for_trace(2, &t).with_hints(HintSpec::Fraction {
+            fraction: frac,
+            seed: 11,
+        });
+        for kind in [
+            PolicyKind::Demand,
+            PolicyKind::FixedHorizon,
+            PolicyKind::Aggressive,
+        ] {
             let r = simulate(&t, kind, &cfg);
             println!("frac {frac:.2} {:<14} elapsed {:7.2}s stall {:7.2}s fetches {:6} avgfetch {:5.2}ms",
                 kind.name(), r.elapsed.as_secs_f64(), r.stall.as_secs_f64(), r.fetches, r.avg_fetch_time.as_millis_f64());

@@ -64,9 +64,7 @@ fn main() {
     let mut chosen: Option<(usize, f64)> = None;
     for disks in [1usize, 2, 4, 8] {
         let config = SimConfig::for_trace(disks, &trace);
-        let elapsed = |kind: PolicyKind| {
-            simulate(&trace, kind, &config).elapsed.as_secs_f64()
-        };
+        let elapsed = |kind: PolicyKind| simulate(&trace, kind, &config).elapsed.as_secs_f64();
         let forestall = elapsed(PolicyKind::Forestall);
         println!(
             "{:<6} {:>13.2}s {:>13.2}s {:>13.2}s {:>13.2}s",

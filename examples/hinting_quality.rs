@@ -39,10 +39,7 @@ fn main() {
                         mean_run: 200,
                         seed: 42,
                     },
-                    _ => HintSpec::Fraction {
-                        fraction,
-                        seed: 42,
-                    },
+                    _ => HintSpec::Fraction { fraction, seed: 42 },
                 };
                 let config = SimConfig::for_trace(2, &trace).with_hints(hints);
                 let report = simulate(&trace, kind, &config);

@@ -41,8 +41,10 @@ pub use parcache_types as types;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use parcache_core::config::SimConfig;
-    pub use parcache_core::engine::{simulate, Report};
+    pub use parcache_core::engine::{simulate, simulate_probed, Report};
+    pub use parcache_core::metrics::{MetricsProbe, RunMetrics};
     pub use parcache_core::policy::PolicyKind;
+    pub use parcache_core::probe::{Event, NoopProbe, Probe};
     pub use parcache_disk::sched::Discipline;
     pub use parcache_trace::Trace;
     pub use parcache_types::{BlockId, DiskId, Nanos};

@@ -108,7 +108,12 @@ fn synth_reproduces_the_fundamental_differences() {
     // 2-disk time and fixed horizon.
     let a2 = agg(2);
     let a3 = agg(3);
-    assert!(a3.fetches > a2.fetches + 20_000, "waste missing: {} vs {}", a3.fetches, a2.fetches);
+    assert!(
+        a3.fetches > a2.fetches + 20_000,
+        "waste missing: {} vs {}",
+        a3.fetches,
+        a2.fetches
+    );
     assert!(a3.elapsed > a2.elapsed);
     assert!(a3.elapsed > fh(3).elapsed);
 }

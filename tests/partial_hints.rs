@@ -60,7 +60,11 @@ fn segment_hints_degrade_smoothly_for_fixed_horizon() {
     let kind = PolicyKind::FixedHorizon;
     let full = simulate(&t, kind, &SimConfig::for_trace(2, &t));
     let half = simulate(&t, kind, &segments(2, &t, 0.5));
-    let none = simulate(&t, kind, &SimConfig::for_trace(2, &t).with_hints(HintSpec::None));
+    let none = simulate(
+        &t,
+        kind,
+        &SimConfig::for_trace(2, &t).with_hints(HintSpec::None),
+    );
     assert!(
         full.elapsed < none.elapsed,
         "full {} !< none {}",
@@ -132,8 +136,12 @@ fn hint_sampling_is_deterministic() {
 fn fixed_horizon_degrades_most_gracefully() {
     let t = trace("cscope2");
     let slowdown = |kind: PolicyKind| {
-        let full = simulate(&t, kind, &SimConfig::for_trace(2, &t)).elapsed.as_secs_f64();
-        let half = simulate(&t, kind, &bernoulli(2, &t, 0.5)).elapsed.as_secs_f64();
+        let full = simulate(&t, kind, &SimConfig::for_trace(2, &t))
+            .elapsed
+            .as_secs_f64();
+        let half = simulate(&t, kind, &bernoulli(2, &t, 0.5))
+            .elapsed
+            .as_secs_f64();
         half / full
     };
     let fh = slowdown(PolicyKind::FixedHorizon);

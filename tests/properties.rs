@@ -1,153 +1,166 @@
-//! Property-based tests over randomly generated workloads: the engine's
+//! Property-style tests over randomly generated workloads: the engine's
 //! accounting and caching invariants must hold for *any* trace, policy,
 //! and configuration, not just the paper's workloads.
+//!
+//! Each property runs against a few dozen seeded random cases drawn from
+//! the workspace's own deterministic [`Rng`], so failures reproduce
+//! exactly and the suite needs no external property-testing framework.
 
 use parcache::core::config::DiskModelKind;
 use parcache::prelude::*;
 use parcache::trace::Request;
-use proptest::prelude::*;
+use parcache::types::rng::Rng;
+
+const CASES: u64 = 64;
 
 /// A random small workload: block ids bounded so re-references are
 /// common, compute times in a realistic range.
-fn arb_trace(max_len: usize, block_space: u64) -> impl Strategy<Value = Trace> {
-    prop::collection::vec(
-        (0..block_space, 100u64..20_000u64),
-        1..max_len,
-    )
-    .prop_map(|pairs| {
-        let requests = pairs
-            .into_iter()
-            .map(|(b, us)| Request {
-                block: BlockId(b),
-                compute: Nanos::from_micros(us),
-            })
-            .collect();
-        Trace::new("prop", requests, 8)
-    })
+fn arb_trace(rng: &mut Rng, max_len: usize, block_space: u64) -> Trace {
+    let len = rng.gen_range(1..max_len);
+    let requests = (0..len)
+        .map(|_| Request {
+            block: BlockId(rng.gen_range(0..block_space)),
+            compute: Nanos::from_micros(rng.gen_range(100u64..20_000)),
+        })
+        .collect();
+    Trace::new("prop", requests, 8)
 }
 
-fn arb_policy() -> impl Strategy<Value = PolicyKind> {
-    prop::sample::select(PolicyKind::ALL.to_vec())
+fn arb_policy(rng: &mut Rng) -> PolicyKind {
+    *rng.choose(&PolicyKind::ALL).unwrap()
 }
 
-fn arb_config() -> impl Strategy<Value = SimConfig> {
-    (1usize..5, 2usize..16, 1u64..30, prop::bool::ANY).prop_map(
-        |(disks, cache, fetch_ms, detailed)| {
-            let mut c = SimConfig::new(disks, cache);
-            if detailed {
-                c.disk_model = DiskModelKind::Hp97560;
-            } else {
-                c.disk_model = DiskModelKind::Uniform(Nanos::from_millis(fetch_ms));
-            }
-            c.horizon = 8;
-            c.batch_size = 4;
-            c.reverse_fetch_estimate = fetch_ms.max(2);
-            c.reverse_batch_size = 4;
-            c
-        },
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// elapsed = compute + driver + stall, for every policy on every
-    /// workload and configuration.
-    #[test]
-    fn breakdown_identity(
-        trace in arb_trace(120, 40),
-        kind in arb_policy(),
-        config in arb_config(),
-    ) {
-        let r = simulate(&trace, kind, &config);
-        prop_assert_eq!(r.elapsed, r.compute + r.driver + r.stall);
-        prop_assert_eq!(r.compute, trace.stats().compute);
+fn arb_config(rng: &mut Rng) -> SimConfig {
+    let disks = rng.gen_range(1usize..5);
+    let cache = rng.gen_range(2usize..16);
+    let fetch_ms = rng.gen_range(1u64..30);
+    let mut c = SimConfig::new(disks, cache);
+    if rng.gen_bool(0.5) {
+        c.disk_model = DiskModelKind::Hp97560;
+    } else {
+        c.disk_model = DiskModelKind::Uniform(Nanos::from_millis(fetch_ms));
     }
+    c.horizon = 8;
+    c.batch_size = 4;
+    c.reverse_fetch_estimate = fetch_ms.max(2);
+    c.reverse_batch_size = 4;
+    c
+}
 
-    /// Fetch-count bounds: at least the number of distinct blocks (cold
-    /// cache), and driver time is exactly overhead x fetches.
-    #[test]
-    fn fetch_count_bounds(
-        trace in arb_trace(100, 30),
-        kind in arb_policy(),
-        config in arb_config(),
-    ) {
+/// elapsed = compute + driver + stall, for every policy on every workload
+/// and configuration.
+#[test]
+fn breakdown_identity() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let trace = arb_trace(&mut rng, 120, 40);
+        let kind = arb_policy(&mut rng);
+        let config = arb_config(&mut rng);
+        let r = simulate(&trace, kind, &config);
+        assert_eq!(r.elapsed, r.compute + r.driver + r.stall, "seed {seed}");
+        assert_eq!(r.compute, trace.stats().compute, "seed {seed}");
+    }
+}
+
+/// Fetch-count bounds: at least the number of distinct blocks (cold
+/// cache), and driver time is exactly overhead x fetches.
+#[test]
+fn fetch_count_bounds() {
+    for seed in 100..100 + CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let trace = arb_trace(&mut rng, 100, 30);
+        let kind = arb_policy(&mut rng);
+        let config = arb_config(&mut rng);
         let r = simulate(&trace, kind, &config);
         let distinct = trace.stats().distinct_blocks as u64;
-        prop_assert!(r.fetches >= distinct, "{} < {}", r.fetches, distinct);
-        prop_assert_eq!(r.driver, config.driver_overhead * r.fetches);
+        assert!(
+            r.fetches >= distinct,
+            "seed {seed}: {} < {distinct}",
+            r.fetches
+        );
+        assert_eq!(r.driver, config.driver_overhead * r.fetches, "seed {seed}");
     }
+}
 
-    /// Demand fetching never prefetches: its fetch count equals the miss
-    /// count of an independently computed Belady (OPT) replacement
-    /// simulation.
-    #[test]
-    fn demand_fetches_match_independent_belady(
-        trace in arb_trace(150, 25),
-        cache in 2usize..12,
-    ) {
+/// Demand fetching never prefetches: its fetch count equals the miss
+/// count of an independently computed Belady (OPT) replacement
+/// simulation.
+#[test]
+fn demand_fetches_match_independent_belady() {
+    for seed in 200..200 + CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let trace = arb_trace(&mut rng, 150, 25);
+        let cache = rng.gen_range(2usize..12);
         let mut config = SimConfig::new(2, cache);
         config.disk_model = DiskModelKind::Uniform(Nanos::from_millis(3));
         let r = simulate(&trace, PolicyKind::Demand, &config);
-        prop_assert_eq!(r.fetches, belady_misses(&trace, cache));
+        assert_eq!(r.fetches, belady_misses(&trace, cache), "seed {seed}");
     }
+}
 
-    /// In the uniform model with no driver overhead, demand fetching's
-    /// elapsed time is exactly compute + misses x fetch_time: every miss
-    /// stalls for one full fetch.
-    #[test]
-    fn demand_elapsed_is_exact_in_uniform_model(
-        trace in arb_trace(100, 20),
-        cache in 2usize..10,
-        fetch_ms in 1u64..20,
-    ) {
+/// In the uniform model with no driver overhead, demand fetching's
+/// elapsed time is exactly compute + misses x fetch_time: every miss
+/// stalls for one full fetch.
+#[test]
+fn demand_elapsed_is_exact_in_uniform_model() {
+    for seed in 300..300 + CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let trace = arb_trace(&mut rng, 100, 20);
+        let cache = rng.gen_range(2usize..10);
+        let fetch_ms = rng.gen_range(1u64..20);
         let mut config = SimConfig::new(3, cache);
         config.disk_model = DiskModelKind::Uniform(Nanos::from_millis(fetch_ms));
         config.driver_overhead = Nanos::ZERO;
         let r = simulate(&trace, PolicyKind::Demand, &config);
-        let expected = trace.stats().compute
-            + Nanos::from_millis(fetch_ms) * belady_misses(&trace, cache);
-        prop_assert_eq!(r.elapsed, expected);
+        let expected =
+            trace.stats().compute + Nanos::from_millis(fetch_ms) * belady_misses(&trace, cache);
+        assert_eq!(r.elapsed, expected, "seed {seed}");
     }
+}
 
-    /// Belady is monotone in cache size, so demand's fetch count never
-    /// increases when the cache grows.
-    #[test]
-    fn demand_fetches_monotone_in_cache_size(
-        trace in arb_trace(120, 25),
-        cache in 2usize..10,
-    ) {
+/// Belady is monotone in cache size, so demand's fetch count never
+/// increases when the cache grows.
+#[test]
+fn demand_fetches_monotone_in_cache_size() {
+    for seed in 400..400 + CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let trace = arb_trace(&mut rng, 120, 25);
+        let cache = rng.gen_range(2usize..10);
         let run = |k: usize| {
             let mut config = SimConfig::new(1, k);
             config.disk_model = DiskModelKind::Uniform(Nanos::from_millis(2));
             simulate(&trace, PolicyKind::Demand, &config).fetches
         };
-        prop_assert!(run(cache * 2) <= run(cache));
+        assert!(run(cache * 2) <= run(cache), "seed {seed}");
     }
+}
 
-    /// Simulation is a pure function of (trace, policy, config).
-    #[test]
-    fn simulation_is_deterministic(
-        trace in arb_trace(80, 20),
-        kind in arb_policy(),
-        config in arb_config(),
-    ) {
+/// Simulation is a pure function of (trace, policy, config).
+#[test]
+fn simulation_is_deterministic() {
+    for seed in 500..500 + CASES / 2 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let trace = arb_trace(&mut rng, 80, 20);
+        let kind = arb_policy(&mut rng);
+        let config = arb_config(&mut rng);
         let a = simulate(&trace, kind, &config);
         let b = simulate(&trace, kind, &config);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
     }
+}
 
-    /// Per-disk utilization is a valid fraction and the average matches
-    /// the per-disk stats.
-    #[test]
-    fn utilization_is_consistent(
-        trace in arb_trace(100, 30),
-        kind in arb_policy(),
-        config in arb_config(),
-    ) {
+/// Per-disk utilization is a valid fraction and the average matches the
+/// per-disk stats.
+#[test]
+fn utilization_is_consistent() {
+    for seed in 600..600 + CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let trace = arb_trace(&mut rng, 100, 30);
+        let kind = arb_policy(&mut rng);
+        let config = arb_config(&mut rng);
         let r = simulate(&trace, kind, &config);
-        prop_assert!(r.avg_disk_utilization >= 0.0);
-        prop_assert!(r.avg_disk_utilization <= 1.0 + 1e-9);
+        assert!(r.avg_disk_utilization >= 0.0, "seed {seed}");
+        assert!(r.avg_disk_utilization <= 1.0 + 1e-9, "seed {seed}");
         if r.elapsed > Nanos::ZERO {
             let mean = r
                 .per_disk
@@ -155,20 +168,22 @@ proptest! {
                 .map(|d| d.busy.as_nanos() as f64 / r.elapsed.as_nanos() as f64)
                 .sum::<f64>()
                 / r.per_disk.len() as f64;
-            prop_assert!((mean - r.avg_disk_utilization).abs() < 1e-9);
+            assert!((mean - r.avg_disk_utilization).abs() < 1e-9, "seed {seed}");
         }
     }
+}
 
-    /// Total fetches reported equal the sum of per-disk served counts.
-    #[test]
-    fn per_disk_stats_sum_to_totals(
-        trace in arb_trace(100, 30),
-        kind in arb_policy(),
-        config in arb_config(),
-    ) {
+/// Total fetches reported equal the sum of per-disk served counts.
+#[test]
+fn per_disk_stats_sum_to_totals() {
+    for seed in 700..700 + CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let trace = arb_trace(&mut rng, 100, 30);
+        let kind = arb_policy(&mut rng);
+        let config = arb_config(&mut rng);
         let r = simulate(&trace, kind, &config);
         let served: u64 = r.per_disk.iter().map(|d| d.served).sum();
-        prop_assert_eq!(served, r.fetches);
+        assert_eq!(served, r.fetches, "seed {seed}");
     }
 }
 

@@ -1,0 +1,79 @@
+//! Round-trip checks of the machine-readable report formats: the CSV
+//! row must line up column-for-column with the header, and the JSON
+//! document must carry the same numbers the report does.
+
+use parcache::prelude::*;
+use parcache::trace::synth::synth_trace;
+
+fn sample_report() -> Report {
+    let trace = synth_trace(2, 150, 11);
+    let config = SimConfig::for_trace(3, &trace);
+    simulate(&trace, PolicyKind::Forestall, &config)
+}
+
+/// Every header column has exactly one value in the row, in the same
+/// order, and the values parse back to the report's fields.
+#[test]
+fn csv_row_round_trips_against_header() {
+    let r = sample_report();
+    let header: Vec<&str> = Report::csv_header().split(',').collect();
+    let row: Vec<String> = r.to_csv_row().split(',').map(str::to_string).collect();
+    assert_eq!(header.len(), row.len(), "column count mismatch");
+
+    let field = |name: &str| -> &str {
+        let i = header
+            .iter()
+            .position(|&h| h == name)
+            .unwrap_or_else(|| panic!("missing column {name}"));
+        &row[i]
+    };
+
+    assert_eq!(field("trace"), r.trace);
+    assert_eq!(field("policy"), r.policy);
+    assert_eq!(field("disks").parse::<usize>().unwrap(), r.disks);
+    assert_eq!(field("fetches").parse::<u64>().unwrap(), r.fetches);
+    assert_eq!(field("writes").parse::<u64>().unwrap(), r.writes);
+    let close = |s: &str, v: f64, tol: f64| {
+        let got: f64 = s.parse().unwrap();
+        assert!((got - v).abs() <= tol, "{got} vs {v}");
+    };
+    close(field("elapsed_s"), r.elapsed.as_secs_f64(), 1e-6);
+    close(field("compute_s"), r.compute.as_secs_f64(), 1e-6);
+    close(field("driver_s"), r.driver.as_secs_f64(), 1e-6);
+    close(field("stall_s"), r.stall.as_secs_f64(), 1e-6);
+    close(
+        field("avg_fetch_ms"),
+        r.avg_fetch_time.as_millis_f64(),
+        1e-4,
+    );
+    close(field("avg_disk_utilization"), r.avg_disk_utilization, 1e-4);
+
+    // The breakdown identity survives the round trip within print
+    // precision.
+    let elapsed: f64 = field("elapsed_s").parse().unwrap();
+    let parts: f64 = ["compute_s", "driver_s", "stall_s"]
+        .iter()
+        .map(|c| field(c).parse::<f64>().unwrap())
+        .sum();
+    assert!((elapsed - parts).abs() < 1e-5);
+}
+
+/// The JSON report carries the header's fields under the same names and
+/// one per-disk object per drive.
+#[test]
+fn json_report_mirrors_csv_fields() {
+    let r = sample_report();
+    let json = r.to_json();
+    for name in Report::csv_header().split(',') {
+        assert!(
+            json.contains(&format!(r#""{name}":"#)),
+            "missing {name} in {json}"
+        );
+    }
+    assert_eq!(json.matches(r#""served":"#).count(), r.disks);
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    // Balanced braces and quotes: a cheap structural sanity check that
+    // catches broken hand-rolled JSON.
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('"').count() % 2, 0);
+}
