@@ -22,4 +22,8 @@ cargo test -q
 echo "== cargo test --workspace -q =="
 cargo test --workspace -q
 
+echo "== sweep smoke (multi-threaded, deterministic) =="
+cargo run --release -q -p parcache-bench --bin parcache-run -- \
+    --sweep synth fixed-horizon,aggressive 1,2 --threads 2 > /dev/null
+
 echo "CI OK"

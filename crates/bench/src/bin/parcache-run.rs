@@ -8,6 +8,11 @@
 //! parcache-run glimpse forestall 4 --json       # machine-readable report
 //! parcache-run glimpse forestall 4 --hist       # ASCII latency histograms
 //! parcache-run glimpse forestall 4 --events events.jsonl
+//!
+//! parcache-run --sweep [traces] [algos] [disks] [--threads N] [--json] [--hist]
+//! parcache-run --sweep                           # full appendix-A grid, CSV
+//! parcache-run --sweep all all --threads 4 --json
+//! parcache-run --sweep dinero,cscope1 aggressive,tuned-reverse 1,2,4
 //! ```
 //!
 //! The trace argument is one of the paper's trace names, or a path to a
@@ -22,8 +27,19 @@
 //!
 //! Any of the three attaches a metrics probe to the engine; without them
 //! the run uses the zero-cost no-op probe.
+//!
+//! `--sweep` expands a trace × algorithm × disk-count grid and runs the
+//! cells on `--threads` workers (default: all available cores). Traces
+//! and algorithms accept `all` or comma-separated lists; algorithms are
+//! the appendix-A names (`demand`, `fixed-horizon`, `aggressive`,
+//! `tuned-reverse`, `forestall`); omitted disk counts default to each
+//! trace's published appendix-A array sizes. Output is CSV (or one JSON
+//! document with `--json`; `--hist` attaches probes and adds aggregate
+//! histograms) and is byte-identical for every `--threads` value — only
+//! wall-clock time changes. `--events` is not available under `--sweep`.
 
-use parcache_bench::{breakdown_table, run, trace, BreakdownRow, DISK_COUNTS};
+use parcache_bench::sweep::{self, SweepAggregate, SweepEntry, SweepSpec};
+use parcache_bench::{breakdown_table, run, trace, Algo, BreakdownRow, DISK_COUNTS};
 use parcache_core::engine::simulate_probed;
 use parcache_core::metrics::{MetricsProbe, RunMetrics, Unit};
 use parcache_core::policy::PolicyKind;
@@ -65,6 +81,8 @@ impl Probe for CliProbe<'_> {
 struct Options {
     json: bool,
     hist: bool,
+    sweep: bool,
+    threads: Option<usize>,
     events: Option<String>,
     positional: Vec<String>,
 }
@@ -73,6 +91,8 @@ fn parse_args(args: Vec<String>) -> Options {
     let mut opts = Options {
         json: false,
         hist: false,
+        sweep: false,
+        threads: None,
         events: None,
         positional: Vec::new(),
     };
@@ -81,6 +101,14 @@ fn parse_args(args: Vec<String>) -> Options {
         match a.as_str() {
             "--json" => opts.json = true,
             "--hist" => opts.hist = true,
+            "--sweep" => opts.sweep = true,
+            "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => opts.threads = Some(n),
+                _ => {
+                    eprintln!("--threads requires a positive integer");
+                    std::process::exit(1);
+                }
+            },
             "--events" => match it.next() {
                 Some(p) => opts.events = Some(p),
                 None => {
@@ -89,13 +117,122 @@ fn parse_args(args: Vec<String>) -> Options {
                 }
             },
             f if f.starts_with("--") => {
-                eprintln!("unknown flag {f}; known flags: --json --hist --events <path>");
+                eprintln!(
+                    "unknown flag {f}; known flags: --json --hist --sweep --threads <n> --events <path>"
+                );
                 std::process::exit(1);
             }
             _ => opts.positional.push(a),
         }
     }
     opts
+}
+
+fn parse_disks(s: &str) -> Vec<usize> {
+    s.split(',')
+        .map(|x| match x.parse::<usize>() {
+            Ok(d) if d > 0 => d,
+            _ => {
+                eprintln!("bad disk count {x:?}: expected positive integers like 1,2,4");
+                std::process::exit(1);
+            }
+        })
+        .collect()
+}
+
+/// Resolves a trace argument: a paper trace name through the shared
+/// cache, anything path-like through the trace-file loader.
+fn resolve_trace(name: &str) -> Arc<parcache_trace::Trace> {
+    if parcache_trace::TRACE_NAMES.contains(&name) {
+        return trace(name);
+    }
+    if name.contains('/') || name.contains('.') {
+        match parcache_trace::load(name) {
+            Ok(t) => return Arc::new(t),
+            Err(e) => {
+                eprintln!("failed to load {name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!(
+        "unknown trace {name}; choose one of: {} — or pass a path to a trace file",
+        parcache_trace::TRACE_NAMES.join(" ")
+    );
+    std::process::exit(1);
+}
+
+/// `--sweep` mode: expand the grid, run it on the worker pool, print CSV
+/// or JSON. The output is byte-identical for every thread count.
+fn sweep_main(opts: &Options) {
+    if opts.events.is_some() {
+        eprintln!("--events is not supported with --sweep; run the cell on its own instead");
+        std::process::exit(1);
+    }
+    let threads = opts.threads.unwrap_or_else(sweep::default_threads);
+    let trace_arg = opts.positional.first().map(String::as_str).unwrap_or("all");
+    let algo_arg = opts.positional.get(1).map(String::as_str).unwrap_or("all");
+    let disks: Option<Vec<usize>> = opts.positional.get(2).map(|s| parse_disks(s));
+
+    let algos: Vec<Algo> = if algo_arg == "all" {
+        Algo::APPENDIX_A.to_vec()
+    } else {
+        algo_arg
+            .split(',')
+            .map(|n| {
+                Algo::by_name(n).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown algorithm {n}; choose from: all demand fixed-horizon \
+                         aggressive tuned-reverse forestall"
+                    );
+                    std::process::exit(1);
+                })
+            })
+            .collect()
+    };
+
+    let names: Vec<&str> = if trace_arg == "all" {
+        parcache_trace::TRACE_NAMES.to_vec()
+    } else {
+        trace_arg.split(',').collect()
+    };
+    let spec = if names
+        .iter()
+        .all(|n| parcache_trace::TRACE_NAMES.contains(n))
+    {
+        // Paper traces: generated in parallel through the shared cache.
+        SweepSpec::named(&names, &algos, disks.as_deref(), threads)
+    } else {
+        let entries = names
+            .iter()
+            .map(|n| SweepEntry {
+                trace: resolve_trace(n),
+                disks: disks.clone().unwrap_or_else(|| DISK_COUNTS.to_vec()),
+            })
+            .collect();
+        SweepSpec { entries, algos }
+    };
+
+    let cells = spec.cells();
+    let wall = Instant::now();
+    let outcomes = sweep::run_sweep_cells(&cells, threads, opts.hist);
+    let elapsed = wall.elapsed();
+
+    if opts.json {
+        println!("{}", sweep::sweep_json(&outcomes));
+    } else {
+        print!("{}", sweep::sweep_csv(&outcomes));
+        if let Some(agg) = SweepAggregate::fold(&outcomes) {
+            println!();
+            print!("{}", agg.render_ascii());
+        }
+    }
+    eprintln!(
+        "({} cells on {} thread(s) in {:.2?})",
+        outcomes.len(),
+        threads,
+        elapsed
+    );
 }
 
 fn print_histograms(policy: &str, disks: usize, m: &RunMetrics) {
@@ -125,6 +262,10 @@ fn print_histograms(policy: &str, disks: usize, m: &RunMetrics) {
 
 fn main() {
     let opts = parse_args(std::env::args().skip(1).collect());
+    if opts.sweep {
+        sweep_main(&opts);
+        return;
+    }
     let trace_name = opts
         .positional
         .first()
@@ -155,23 +296,7 @@ fn main() {
     }
 
     // A path loads a user trace file; otherwise use the paper's traces.
-    let t = if trace_name.contains('/') || trace_name.contains('.') {
-        match parcache_trace::load(trace_name) {
-            Ok(t) => Arc::new(t),
-            Err(e) => {
-                eprintln!("failed to load {trace_name}: {e}");
-                std::process::exit(1);
-            }
-        }
-    } else if parcache_trace::TRACE_NAMES.contains(&trace_name) {
-        trace(trace_name)
-    } else {
-        eprintln!(
-            "unknown trace {trace_name}; choose one of: {} — or pass a path to a trace file",
-            parcache_trace::TRACE_NAMES.join(" ")
-        );
-        std::process::exit(1);
-    };
+    let t = resolve_trace(trace_name);
     let stats = t.stats();
     if !opts.json {
         println!(

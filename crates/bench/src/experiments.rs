@@ -51,12 +51,37 @@ impl Algo {
 
     /// Runs the algorithm.
     pub fn run(&self, t: &Trace, cfg: &SimConfig) -> Report {
+        match self.policy_kind() {
+            Some(kind) => parcache_core::simulate(t, kind, cfg),
+            None => best_reverse(t, cfg),
+        }
+    }
+
+    /// The policy this algorithm runs the configuration's parameters
+    /// under, or `None` for [`Algo::TunedReverse`], which searches
+    /// reverse aggressive's parameter grid instead of using the
+    /// configured values.
+    pub fn policy_kind(&self) -> Option<PolicyKind> {
         match self {
-            Algo::Demand => parcache_core::simulate(t, PolicyKind::Demand, cfg),
-            Algo::FixedHorizon => parcache_core::simulate(t, PolicyKind::FixedHorizon, cfg),
-            Algo::Aggressive => parcache_core::simulate(t, PolicyKind::Aggressive, cfg),
-            Algo::TunedReverse => best_reverse(t, cfg),
-            Algo::Forestall => parcache_core::simulate(t, PolicyKind::Forestall, cfg),
+            Algo::Demand => Some(PolicyKind::Demand),
+            Algo::FixedHorizon => Some(PolicyKind::FixedHorizon),
+            Algo::Aggressive => Some(PolicyKind::Aggressive),
+            Algo::TunedReverse => None,
+            Algo::Forestall => Some(PolicyKind::Forestall),
+        }
+    }
+
+    /// Looks an algorithm up by its display name (`"tuned-reverse"` is
+    /// accepted as an alias distinguishing the tuned search from plain
+    /// reverse aggressive).
+    pub fn by_name(name: &str) -> Option<Algo> {
+        match name {
+            "demand" => Some(Algo::Demand),
+            "fixed-horizon" => Some(Algo::FixedHorizon),
+            "aggressive" => Some(Algo::Aggressive),
+            "reverse-aggressive" | "tuned-reverse" => Some(Algo::TunedReverse),
+            "forestall" => Some(Algo::Forestall),
+            _ => None,
         }
     }
 
@@ -193,5 +218,22 @@ mod tests {
             Algo::TunedReverse.name(),
             PolicyKind::ReverseAggressive.name()
         );
+    }
+
+    #[test]
+    fn algo_name_round_trips_through_by_name() {
+        for a in [
+            Algo::Demand,
+            Algo::FixedHorizon,
+            Algo::Aggressive,
+            Algo::TunedReverse,
+            Algo::Forestall,
+        ] {
+            assert_eq!(Algo::by_name(a.name()), Some(a));
+        }
+        assert_eq!(Algo::by_name("tuned-reverse"), Some(Algo::TunedReverse));
+        assert_eq!(Algo::by_name("nope"), None);
+        assert_eq!(Algo::TunedReverse.policy_kind(), None);
+        assert_eq!(Algo::Forestall.policy_kind(), Some(PolicyKind::Forestall));
     }
 }

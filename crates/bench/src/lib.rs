@@ -13,8 +13,15 @@ pub mod experiments;
 pub mod paper;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 
 pub use experiments::{comparison, comparison_on, comparison_with, Algo};
 pub use paper::{paper_cells, paper_elapsed};
 pub use report::{breakdown_table, percent, BreakdownRow};
-pub use runner::{best_reverse, paper_disk_counts, run, trace, DISK_COUNTS, SEED};
+pub use runner::{
+    best_reverse, best_reverse_search, paper_disk_counts, run, trace, DISK_COUNTS, SEED,
+};
+pub use sweep::{
+    default_threads, run_indexed, run_sweep, run_sweep_probed, sweep_csv, sweep_json, CellOutcome,
+    SweepCell, SweepEntry, SweepSpec,
+};

@@ -24,12 +24,19 @@ pub fn paper_disk_counts() -> impl Iterator<Item = usize> {
 ///
 /// The cache hands out [`Arc`] clones, so repeated lookups share one
 /// generated trace instead of deep-copying hundreds of thousands of
-/// requests per call.
+/// requests per call. Each entry is its own [`OnceLock`], so the map's
+/// mutex is held only to find the entry: sweep workers resolving
+/// *different* traces generate them concurrently, while workers racing on
+/// the *same* trace generate it exactly once.
 pub fn trace(name: &str) -> Arc<Trace> {
-    static CACHE: OnceLock<Mutex<HashMap<String, Arc<Trace>>>> = OnceLock::new();
+    type Slot = Arc<OnceLock<Arc<Trace>>>;
+    static CACHE: OnceLock<Mutex<HashMap<String, Slot>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut map = cache.lock().expect("trace cache poisoned");
-    Arc::clone(map.entry(name.to_string()).or_insert_with(|| {
+    let slot = {
+        let mut map = cache.lock().expect("trace cache poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    };
+    Arc::clone(slot.get_or_init(|| {
         Arc::new(
             parcache_trace::trace_by_name(name, SEED)
                 .unwrap_or_else(|| panic!("unknown trace {name}")),
@@ -47,19 +54,38 @@ pub fn run(trace: &Trace, kind: PolicyKind, config: &SimConfig) -> Report {
 /// to minimize its elapsed time" (appendix A). Searches a small grid and
 /// returns the best run.
 pub fn best_reverse(trace: &Trace, base: &SimConfig) -> Report {
+    best_reverse_search(trace, base, crate::sweep::default_threads()).0
+}
+
+/// [`best_reverse`], returning the winning configuration as well and
+/// running the grid's eight simulations on up to `threads` workers via
+/// [`run_indexed`](crate::sweep::run_indexed).
+///
+/// The winner is chosen by folding the reports *in grid order* with a
+/// strictly-smaller-elapsed rule — exactly the serial loop's
+/// first-wins tie-break — so the result does not depend on `threads`.
+pub fn best_reverse_search(trace: &Trace, base: &SimConfig, threads: usize) -> (Report, SimConfig) {
     let fetch_estimates = [1u64, 4, 16, 64];
     let batches = [4usize, 40];
-    let mut best: Option<Report> = None;
-    for f in fetch_estimates {
-        for b in batches {
-            let cfg = base.clone().with_reverse_params(f, b);
-            let r = simulate(trace, PolicyKind::ReverseAggressive, &cfg);
-            if best.as_ref().is_none_or(|cur| r.elapsed < cur.elapsed) {
-                best = Some(r);
-            }
+    let grid: Vec<SimConfig> = fetch_estimates
+        .iter()
+        .flat_map(|&f| {
+            batches
+                .iter()
+                .map(move |&b| base.clone().with_reverse_params(f, b))
+        })
+        .collect();
+    let reports = crate::sweep::run_indexed(grid.len(), threads, |i| {
+        simulate(trace, PolicyKind::ReverseAggressive, &grid[i])
+    });
+    let mut best: Option<(usize, Report)> = None;
+    for (i, r) in reports.into_iter().enumerate() {
+        if best.as_ref().is_none_or(|(_, cur)| r.elapsed < cur.elapsed) {
+            best = Some((i, r));
         }
     }
-    best.expect("non-empty parameter grid")
+    let (i, report) = best.expect("non-empty parameter grid");
+    (report, grid[i].clone())
 }
 
 #[cfg(test)]
@@ -91,11 +117,37 @@ mod tests {
     }
 
     #[test]
+    fn trace_cache_is_race_free() {
+        // Many workers asking for the same trace at once still share one
+        // generated copy.
+        let arcs: Vec<Arc<Trace>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4).map(|_| s.spawn(|| trace("synth"))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for a in &arcs[1..] {
+            assert!(Arc::ptr_eq(&arcs[0], a));
+        }
+    }
+
+    #[test]
     fn best_reverse_is_no_worse_than_default() {
         let t = parcache_trace::synth::synth_trace(3, 200, 7);
         let cfg = SimConfig::for_trace(2, &t);
         let default = run(&t, PolicyKind::ReverseAggressive, &cfg);
         let tuned = best_reverse(&t, &cfg);
         assert!(tuned.elapsed <= default.elapsed);
+    }
+
+    #[test]
+    fn best_reverse_search_is_thread_count_invariant() {
+        let t = parcache_trace::synth::synth_trace(3, 200, 7);
+        let base = SimConfig::for_trace(2, &t);
+        let (serial, serial_cfg) = best_reverse_search(&t, &base, 1);
+        let (threaded, threaded_cfg) = best_reverse_search(&t, &base, 4);
+        assert_eq!(serial, threaded);
+        assert_eq!(serial_cfg, threaded_cfg);
+        // The winning configuration really produces the winning report.
+        let replay = run(&t, PolicyKind::ReverseAggressive, &serial_cfg);
+        assert_eq!(replay, serial);
     }
 }

@@ -1,0 +1,429 @@
+//! Deterministic multi-threaded sweep engine.
+//!
+//! A sweep expands a trace × algorithm × disk-count grid into indexed
+//! cells, executes the cells on `std::thread::scope` workers pulling from
+//! a shared atomic queue, and reassembles the results in cell-index order.
+//! Every cell is an independent simulation (its own engine, cache, and
+//! disk array over a shared immutable [`Arc<Trace>`]), so the output is
+//! **byte-identical** at `--threads 1` and `--threads N`: parallelism
+//! changes wall-clock time, never results.
+//!
+//! The same work-queue core ([`run_indexed`]) drives reverse aggressive's
+//! per-configuration parameter search
+//! ([`best_reverse`](crate::runner::best_reverse)), so every independent
+//! simulation in the harness scales with cores. Everything here is
+//! std-only, consistent with the workspace's hermetic-build rule.
+
+use crate::experiments::Algo;
+use crate::runner::{best_reverse_search, trace};
+use parcache_core::engine::{simulate_probed, Report};
+use parcache_core::metrics::{Counters, Histogram, MetricsProbe, RunMetrics, Unit};
+use parcache_core::SimConfig;
+use parcache_trace::Trace;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The worker count used when the caller does not specify one: the
+/// machine's available parallelism (1 when it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `run(0..n)` on `threads` scoped workers pulling indices from a
+/// shared atomic counter, and returns the results **in index order**
+/// regardless of which worker computed what — the deterministic core of
+/// the sweep engine.
+///
+/// With one thread (or one task) the closure runs inline, so the serial
+/// path is exactly a `map` over `0..n`.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_indexed<T, F>(n: usize, threads: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        return (0..n).map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, T)> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, run(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => collected.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    // Reassemble in cell-index order: the output must not depend on the
+    // scheduler's interleaving.
+    collected.sort_by_key(|&(i, _)| i);
+    collected.into_iter().map(|(_, t)| t).collect()
+}
+
+/// One trace of a sweep, with the array sizes to run it at.
+#[derive(Debug, Clone)]
+pub struct SweepEntry {
+    /// The (shared) trace.
+    pub trace: Arc<Trace>,
+    /// Array sizes to simulate, in output order.
+    pub disks: Vec<usize>,
+}
+
+/// A sweep specification: the grid before expansion.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Traces and their disk counts, in output order.
+    pub entries: Vec<SweepEntry>,
+    /// Algorithms to run at every (trace, disks) point, in output order.
+    pub algos: Vec<Algo>,
+}
+
+/// One expanded grid point.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Position in the expanded grid (and in the output).
+    pub index: usize,
+    /// The trace this cell simulates.
+    pub trace: Arc<Trace>,
+    /// The algorithm.
+    pub algo: Algo,
+    /// The array size.
+    pub disks: usize,
+}
+
+/// One finished cell: the cell, its report, and (for probed sweeps) the
+/// run's metrics.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The grid point.
+    pub cell: SweepCell,
+    /// The simulation report.
+    pub report: Report,
+    /// Probe metrics, when the sweep ran probed.
+    pub metrics: Option<RunMetrics>,
+}
+
+impl SweepSpec {
+    /// The full appendix-A grid: every paper trace at every published
+    /// array size under the four prefetching algorithms (332 cells).
+    /// Traces are generated in parallel on `threads` workers (each is
+    /// generated once and shared; see [`trace`]).
+    pub fn appendix_a(threads: usize) -> SweepSpec {
+        SweepSpec::named(
+            &parcache_trace::TRACE_NAMES,
+            &Algo::APPENDIX_A,
+            None,
+            threads,
+        )
+    }
+
+    /// A grid over named paper traces. `disks` of `None` selects each
+    /// trace's published appendix-A array sizes.
+    pub fn named(
+        names: &[&str],
+        algos: &[Algo],
+        disks: Option<&[usize]>,
+        threads: usize,
+    ) -> SweepSpec {
+        // Resolve (generate) distinct traces in parallel; the per-name
+        // cache in `runner::trace` hands every worker the same Arc.
+        let traces = run_indexed(names.len(), threads, |i| trace(names[i]));
+        let entries = names
+            .iter()
+            .zip(traces)
+            .map(|(name, t)| SweepEntry {
+                disks: disks
+                    .map(<[usize]>::to_vec)
+                    .or_else(|| crate::paper::paper_cells(name).map(<[usize]>::to_vec))
+                    .unwrap_or_else(|| crate::runner::DISK_COUNTS.to_vec()),
+                trace: t,
+            })
+            .collect();
+        SweepSpec {
+            entries,
+            algos: algos.to_vec(),
+        }
+    }
+
+    /// Expands the grid into indexed cells: traces outermost, then array
+    /// sizes, then algorithms — the appendix tables' row order.
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::new();
+        for entry in &self.entries {
+            for &d in &entry.disks {
+                for &algo in &self.algos {
+                    cells.push(SweepCell {
+                        index: cells.len(),
+                        trace: Arc::clone(&entry.trace),
+                        algo,
+                        disks: d,
+                    });
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// Executes one cell. Tuned reverse aggressive runs its parameter search
+/// serially here — the sweep already owns the machine's parallelism, and
+/// nested worker pools would oversubscribe it.
+fn run_cell(cell: &SweepCell, probed: bool) -> CellOutcome {
+    let cfg = SimConfig::for_trace(cell.disks, &cell.trace);
+    let (report, metrics) = match cell.algo {
+        Algo::TunedReverse => {
+            let (report, best_cfg) = best_reverse_search(&cell.trace, &cfg, 1);
+            if probed {
+                // Re-run the winning configuration under a probe; the
+                // simulator is deterministic, so the report is unchanged.
+                let mut probe = MetricsProbe::for_disks(cell.disks);
+                let report = simulate_probed(
+                    &cell.trace,
+                    parcache_core::policy::PolicyKind::ReverseAggressive,
+                    &best_cfg,
+                    &mut probe,
+                );
+                (report, Some(probe.finish()))
+            } else {
+                (report, None)
+            }
+        }
+        algo => {
+            let kind = algo.policy_kind().expect("only TunedReverse lacks a kind");
+            if probed {
+                let mut probe = MetricsProbe::for_disks(cell.disks);
+                let report = simulate_probed(&cell.trace, kind, &cfg, &mut probe);
+                (report, Some(probe.finish()))
+            } else {
+                (parcache_core::simulate(&cell.trace, kind, &cfg), None)
+            }
+        }
+    };
+    CellOutcome {
+        cell: cell.clone(),
+        report,
+        metrics,
+    }
+}
+
+/// Runs every cell of `spec` on `threads` workers and returns the
+/// outcomes in cell-index order.
+pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Vec<CellOutcome> {
+    run_sweep_cells(&spec.cells(), threads, false)
+}
+
+/// [`run_sweep`] with a metrics probe attached to every cell, so the
+/// outcomes carry [`RunMetrics`] (and can be folded into a
+/// [`SweepAggregate`]).
+pub fn run_sweep_probed(spec: &SweepSpec, threads: usize) -> Vec<CellOutcome> {
+    run_sweep_cells(&spec.cells(), threads, true)
+}
+
+/// Runs pre-expanded cells; the building block both entry points share.
+pub fn run_sweep_cells(cells: &[SweepCell], threads: usize, probed: bool) -> Vec<CellOutcome> {
+    run_indexed(cells.len(), threads, |i| run_cell(&cells[i], probed))
+}
+
+/// Shape-independent metrics folded across every probed cell of a sweep
+/// (cells with different array sizes cannot merge their per-disk vectors,
+/// so the aggregate keeps the global distributions and counters).
+#[derive(Debug, Clone, Default)]
+pub struct SweepAggregate {
+    /// Event counters summed over all cells.
+    pub counters: Counters,
+    /// Service times across all cells and drives (ns).
+    pub fetch_service: Histogram,
+    /// Response times across all cells and drives (ns).
+    pub fetch_response: Histogram,
+    /// Stall durations across all cells (ns).
+    pub stall_duration: Histogram,
+    /// Queue depths at enqueue across all cells and drives.
+    pub queue_depth: Histogram,
+}
+
+impl SweepAggregate {
+    /// Folds the probed outcomes (in the order given — callers pass
+    /// cell-index order for deterministic output). Returns `None` when no
+    /// outcome carries metrics.
+    pub fn fold(outcomes: &[CellOutcome]) -> Option<SweepAggregate> {
+        let mut agg: Option<SweepAggregate> = None;
+        for m in outcomes.iter().filter_map(|o| o.metrics.as_ref()) {
+            let a = agg.get_or_insert_with(SweepAggregate::default);
+            a.counters.merge(&m.counters);
+            a.fetch_service.merge(&m.fetch_service);
+            a.fetch_response.merge(&m.fetch_response);
+            a.stall_duration.merge(&m.stall_duration);
+            a.queue_depth.merge(&m.queue_depth);
+        }
+        agg
+    }
+
+    /// ASCII rendering of the aggregate distributions.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .fetch_service
+                .render_ascii("fetch service time", Unit::Millis),
+        );
+        out.push_str(
+            &self
+                .fetch_response
+                .render_ascii("fetch response time", Unit::Millis),
+        );
+        out.push_str(
+            &self
+                .stall_duration
+                .render_ascii("stall duration", Unit::Millis),
+        );
+        out.push_str(
+            &self
+                .queue_depth
+                .render_ascii("queue depth at enqueue", Unit::Count),
+        );
+        out
+    }
+
+    /// The aggregate as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"counters":{},"fetch_service_ns":{},"fetch_response_ns":{},"stall_ns":{},"queue_depth":{}}}"#,
+            self.counters.to_json(),
+            self.fetch_service.to_json(),
+            self.fetch_response.to_json(),
+            self.stall_duration.to_json(),
+            self.queue_depth.to_json(),
+        )
+    }
+}
+
+/// The outcomes as a CSV document (header plus one row per cell, in cell
+/// order). Identical input produces identical bytes, whatever the thread
+/// count that computed it.
+pub fn sweep_csv(outcomes: &[CellOutcome]) -> String {
+    let mut out = String::with_capacity(outcomes.len() * 96 + 128);
+    out.push_str(Report::csv_header());
+    out.push('\n');
+    for o in outcomes {
+        out.push_str(&o.report.to_csv_row());
+        out.push('\n');
+    }
+    out
+}
+
+/// The outcomes as one JSON document: `{"cells":[...]}`, each cell's
+/// report (and metrics, when probed) in cell order, plus the aggregate
+/// over probed cells when present.
+pub fn sweep_json(outcomes: &[CellOutcome]) -> String {
+    let cells: Vec<String> = outcomes
+        .iter()
+        .map(|o| match &o.metrics {
+            Some(m) => format!(
+                r#"{{"report":{},"metrics":{}}}"#,
+                o.report.to_json(),
+                m.to_json()
+            ),
+            None => format!(r#"{{"report":{}}}"#, o.report.to_json()),
+        })
+        .collect();
+    match SweepAggregate::fold(outcomes) {
+        Some(agg) => format!(
+            r#"{{"cells":[{}],"aggregate":{}}}"#,
+            cells.join(","),
+            agg.to_json()
+        ),
+        None => format!(r#"{{"cells":[{}]}}"#, cells.join(",")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_preserves_order_across_threads() {
+        for threads in [1, 2, 4, 9] {
+            let out = run_indexed(57, threads, |i| i * i);
+            assert_eq!(out, (0..57).map(|i| i * i).collect::<Vec<_>>(), "{threads}");
+        }
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn run_indexed_runs_every_index_exactly_once() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(vec![0u32; 100]);
+        let out = run_indexed(100, 4, |i| {
+            seen.lock().unwrap()[i] += 1;
+            i
+        });
+        assert_eq!(out.len(), 100);
+        assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn run_indexed_propagates_worker_panics() {
+        run_indexed(8, 3, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn cells_expand_in_row_order() {
+        let t = Arc::new(parcache_trace::synth::synth_trace(2, 40, 5));
+        let spec = SweepSpec {
+            entries: vec![SweepEntry {
+                trace: t,
+                disks: vec![1, 2],
+            }],
+            algos: vec![Algo::Demand, Algo::FixedHorizon],
+        };
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 4);
+        let order: Vec<(usize, &str)> = cells.iter().map(|c| (c.disks, c.algo.name())).collect();
+        assert_eq!(
+            order,
+            vec![
+                (1, "demand"),
+                (1, "fixed-horizon"),
+                (2, "demand"),
+                (2, "fixed-horizon")
+            ]
+        );
+        assert!(cells.iter().enumerate().all(|(i, c)| c.index == i));
+    }
+
+    #[test]
+    fn appendix_a_grid_has_332_cells() {
+        // Grid shape only — expansion does not run any simulation, but it
+        // does generate the traces, so share the process-wide cache.
+        let spec = SweepSpec::appendix_a(2);
+        assert_eq!(spec.cells().len(), 332);
+    }
+}

@@ -180,6 +180,19 @@ mod tests {
     }
 
     #[test]
+    fn config_types_cross_threads() {
+        // The sweep runner shares configurations and reports across
+        // worker threads; keep these auto-traits from silently vanishing
+        // (e.g. by adding an Rc or raw pointer field).
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimConfig>();
+        assert_send_sync::<DiskModelKind>();
+        assert_send_sync::<crate::policy::PolicyKind>();
+        assert_send_sync::<crate::engine::Report>();
+        assert_send_sync::<crate::metrics::RunMetrics>();
+    }
+
+    #[test]
     fn defaults_follow_the_paper() {
         let c = SimConfig::new(3, 1280);
         assert_eq!(c.horizon, 62);

@@ -604,7 +604,9 @@ impl<'t> Engine<'t> {
             writes: self.writes,
             avg_fetch_time: self.array.avg_fetch_time(),
             avg_disk_utilization: self.array.avg_utilization(elapsed),
-            per_disk: self.array.stats(),
+            // stats_at, not stats: a request still on the platter when the
+            // run ends contributes its partial service time to `busy`.
+            per_disk: self.array.stats_at(elapsed),
         }
     }
 }

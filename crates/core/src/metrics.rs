@@ -125,10 +125,21 @@ impl Histogram {
                 continue;
             }
             if seen + n >= rank {
+                // Tighten the bucket edges with the observed extremes.
+                // Clamping `hi` to the true max (not `max.max(1)`) keeps
+                // quantile(1.0) exact: the old floor of 1 made an
+                // all-zeros histogram report a top quantile of 1.
                 let lo = Self::bucket_lo(i).max(self.min());
-                let hi = Self::bucket_hi(i).min(self.max.max(1));
+                let hi = Self::bucket_hi(i).min(self.max);
                 if hi <= lo {
                     return lo;
+                }
+                // The rank landing on the bucket's last sample returns the
+                // (clamped) upper edge exactly: going through the f64
+                // interpolation would lose low bits of 64-bit values, so
+                // quantile(1.0) would miss max by a few ULPs.
+                if rank - seen == n {
+                    return hi;
                 }
                 let frac = (rank - seen) as f64 / n as f64;
                 return lo + ((hi - lo) as f64 * frac) as u64;
@@ -136,6 +147,22 @@ impl Histogram {
             seen += n;
         }
         self.max
+    }
+
+    /// Folds `other` into `self`, as if every sample recorded in `other`
+    /// had been recorded here. Associative and commutative, so per-thread
+    /// histograms can be merged in any grouping (the sweep runner merges
+    /// them in cell-index order for deterministic output).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        // The empty-histogram sentinels (min = u64::MAX, max = 0) are
+        // identities for min/max, so merging an empty side is a no-op.
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// p50, p90, and p99 in one call.
@@ -255,6 +282,21 @@ pub struct Counters {
 }
 
 impl Counters {
+    /// Adds `other`'s counts into `self`.
+    pub fn merge(&mut self, other: &Counters) {
+        self.decisions += other.decisions;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.evictions += other.evictions;
+        self.fetches_issued += other.fetches_issued;
+        self.demand_fetches += other.demand_fetches;
+        self.writes_issued += other.writes_issued;
+        self.services_started += other.services_started;
+        self.services_completed += other.services_completed;
+        self.stalls_begun += other.stalls_begun;
+        self.stalls_ended += other.stalls_ended;
+    }
+
     /// These counters as a JSON object.
     pub fn to_json(&self) -> String {
         format!(
@@ -283,6 +325,15 @@ pub struct DiskMetrics {
     pub response: Histogram,
     /// Queue depth sampled at each arrival.
     pub queue_depth: Histogram,
+}
+
+impl DiskMetrics {
+    /// Folds `other`'s distributions into `self`.
+    pub fn merge(&mut self, other: &DiskMetrics) {
+        self.service.merge(&other.service);
+        self.response.merge(&other.response);
+        self.queue_depth.merge(&other.queue_depth);
+    }
 }
 
 /// Per-disk activity aggregated into fixed-width time slices.
@@ -344,6 +395,32 @@ impl Timeline {
         let idx = (t.as_nanos() / self.slice.as_nanos().max(1)) as usize;
         let cell = &mut self.slot(idx)[disk];
         cell.1 = cell.1.max(depth);
+    }
+
+    /// Overlays `other` onto `self`: busy time adds per slice and disk,
+    /// max queue depths take the maximum. Both timelines must describe
+    /// the same array shape and slice width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice widths or disk counts differ — merging
+    /// timelines of different geometry is meaningless.
+    pub fn merge(&mut self, other: &Timeline) {
+        assert_eq!(
+            self.slice, other.slice,
+            "cannot merge timelines with different slice widths"
+        );
+        assert_eq!(
+            self.disks, other.disks,
+            "cannot merge timelines with different disk counts"
+        );
+        for (s, cells) in other.slices.iter().enumerate() {
+            let mine = self.slot(s);
+            for (d, &(busy, depth)) in cells.iter().enumerate() {
+                mine[d].0 += busy;
+                mine[d].1 = mine[d].1.max(depth);
+            }
+        }
     }
 
     /// Per-slice rows: `(slice start, per-disk utilization in [0,1],
@@ -410,7 +487,9 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
-    fn new(disks: usize, slice: Nanos) -> RunMetrics {
+    /// Empty metrics for an array of `disks` drives with the given
+    /// timeline slice width — the identity for [`RunMetrics::merge`].
+    pub fn new(disks: usize, slice: Nanos) -> RunMetrics {
         RunMetrics {
             counters: Counters::default(),
             fetch_service: Histogram::new(),
@@ -420,6 +499,30 @@ impl RunMetrics {
             per_disk: vec![DiskMetrics::default(); disks],
             timeline: Timeline::new(disks, slice),
         }
+    }
+
+    /// Folds another run's metrics into `self`, so per-thread (or
+    /// per-cell) probe metrics can be combined into one aggregate report.
+    /// Both sides must describe arrays of the same size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the per-disk arities or timeline geometries differ.
+    pub fn merge(&mut self, other: &RunMetrics) {
+        assert_eq!(
+            self.per_disk.len(),
+            other.per_disk.len(),
+            "cannot merge metrics for arrays of different sizes"
+        );
+        self.counters.merge(&other.counters);
+        self.fetch_service.merge(&other.fetch_service);
+        self.fetch_response.merge(&other.fetch_response);
+        self.stall_duration.merge(&other.stall_duration);
+        self.queue_depth.merge(&other.queue_depth);
+        for (mine, theirs) in self.per_disk.iter_mut().zip(&other.per_disk) {
+            mine.merge(theirs);
+        }
+        self.timeline.merge(&other.timeline);
     }
 
     /// These metrics as a JSON object.
@@ -593,6 +696,113 @@ mod tests {
         // true extremes.
         assert!(h.quantile(0.0) >= 1 && h.quantile(0.0) <= 2);
         assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        // Property: for random sample sets, quantile(q) never decreases
+        // as q grows, and the extremes stay within the observed range.
+        let mut rng = parcache_types::rng::Rng::seed_from_u64(7);
+        for case in 0..50u64 {
+            let mut h = Histogram::new();
+            let n = 1 + (case as usize % 40) * 7;
+            for _ in 0..n {
+                // Mix magnitudes so many buckets are exercised.
+                let v = rng.next_u64() >> (rng.next_u64() % 60);
+                h.record(v);
+            }
+            let mut prev = 0u64;
+            for step in 0..=100u64 {
+                let q = step as f64 / 100.0;
+                let v = h.quantile(q);
+                assert!(v >= prev, "case {case}: q={q} gave {v} < {prev}");
+                assert!(v <= h.max(), "case {case}: q={q} gave {v} > max");
+                prev = v;
+            }
+            assert!(h.quantile(0.0) >= h.min());
+            assert_eq!(h.quantile(1.0), h.max(), "case {case}");
+        }
+    }
+
+    #[test]
+    fn quantile_is_exact_for_single_valued_data() {
+        // Every quantile of a constant distribution is that constant —
+        // including 0, which the old `max.max(1)` clamp reported as 1.
+        for v in [0u64, 1, 2, 3, 5, 1023, 1024, 1_000_000, u64::MAX] {
+            let mut h = Histogram::new();
+            for _ in 0..17 {
+                h.record(v);
+            }
+            for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v, "quantile({q}) of constant {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_combines_histograms_exactly() {
+        let mut rng = parcache_types::rng::Rng::seed_from_u64(1996);
+        for case in 0..20u64 {
+            let mut parts: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+            let mut whole = Histogram::new();
+            for i in 0..200usize {
+                let v = rng.next_u64() >> (rng.next_u64() % 60);
+                parts[i % 4].record(v);
+                whole.record(v);
+            }
+            // Fold the shards (one stays empty-ish if case is small) and
+            // compare against recording everything into one histogram.
+            let mut merged = Histogram::new(); // start from the identity
+            for p in &parts {
+                merged.merge(p);
+            }
+            assert_eq!(merged, whole, "case {case}");
+            assert_eq!(merged.quantile(1.0), whole.max(), "case {case}");
+            assert_eq!(merged.count(), whole.count());
+            assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+        }
+        // Merging an empty histogram is the identity in both directions.
+        let mut h = Histogram::new();
+        h.record(42);
+        let snapshot = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, snapshot);
+        let mut e = Histogram::new();
+        e.merge(&snapshot);
+        assert_eq!(e, snapshot);
+    }
+
+    #[test]
+    fn run_metrics_merge_folds_counters_and_timelines() {
+        let mut a = RunMetrics::new(2, Nanos::from_millis(10));
+        let mut b = RunMetrics::new(2, Nanos::from_millis(10));
+        a.counters.fetches_issued = 3;
+        b.counters.fetches_issued = 4;
+        a.fetch_service.record(100);
+        b.fetch_service.record(300);
+        a.per_disk[0].service.record(100);
+        b.per_disk[1].service.record(300);
+        a.timeline.add_busy(0, Nanos::ZERO, Nanos::from_millis(5));
+        b.timeline
+            .add_busy(0, Nanos::from_millis(5), Nanos::from_millis(10));
+        b.timeline.sample_depth(1, Nanos::ZERO, 7);
+        a.merge(&b);
+        assert_eq!(a.counters.fetches_issued, 7);
+        assert_eq!(a.fetch_service.count(), 2);
+        assert_eq!(a.fetch_service.max(), 300);
+        assert_eq!(a.per_disk[0].service.count(), 1);
+        assert_eq!(a.per_disk[1].service.count(), 1);
+        let rows = a.timeline.rows();
+        assert!((rows[0].1[0] - 1.0).abs() < 1e-9, "{rows:?}");
+        assert_eq!(rows[0].2[1], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "different sizes")]
+    fn run_metrics_merge_rejects_shape_mismatch() {
+        let mut a = RunMetrics::new(2, Nanos::from_millis(10));
+        let b = RunMetrics::new(3, Nanos::from_millis(10));
+        a.merge(&b);
     }
 
     #[test]

@@ -39,9 +39,11 @@ impl DiskArray {
         self.disks.len()
     }
 
-    /// Always false: arrays have at least one drive.
+    /// False for every constructible array (the constructor rejects zero
+    /// drives); delegated to the drive list rather than hardcoded so the
+    /// answer can never drift from [`DiskArray::len`].
     pub fn is_empty(&self) -> bool {
-        false
+        self.disks.is_empty()
     }
 
     /// The striping layout.
@@ -64,14 +66,14 @@ impl DiskArray {
         self.disks[disk.index()].load()
     }
 
-    /// Drives that are currently free, in index order.
-    pub fn free_disks(&self) -> Vec<DiskId> {
+    /// Drives that are currently free, in index order. Borrows rather
+    /// than allocating: policies call this at every decision point.
+    pub fn free_disks(&self) -> impl Iterator<Item = DiskId> + '_ {
         self.disks
             .iter()
             .enumerate()
             .filter(|(_, d)| d.is_free())
             .map(|(i, _)| DiskId(i))
-            .collect()
     }
 
     /// Enqueues a fetch of `block` on its drive at time `now`.
@@ -140,9 +142,16 @@ impl DiskArray {
         self.disks[disk.index()].head_cylinder()
     }
 
-    /// Per-drive statistics.
+    /// Per-drive statistics over completed requests only (see
+    /// [`Disk::stats`]).
     pub fn stats(&self) -> Vec<DiskStats> {
         self.disks.iter().map(|d| d.stats()).collect()
+    }
+
+    /// Per-drive statistics as of `now`, including partial in-service
+    /// busy time (see [`Disk::stats_at`]).
+    pub fn stats_at(&self, now: Nanos) -> Vec<DiskStats> {
+        self.disks.iter().map(|d| d.stats_at(now)).collect()
     }
 
     /// Total fetches served across all drives.
@@ -150,18 +159,20 @@ impl DiskArray {
         self.disks.iter().map(|d| d.stats().served).sum()
     }
 
-    /// Mean service (fetch) time across all drives.
+    /// Mean service (fetch) time across all drives, rounded to the
+    /// nearest nanosecond (truncating toward zero silently dropped the
+    /// sub-nanosecond remainder).
     pub fn avg_fetch_time(&self) -> Nanos {
-        let served = self.total_served();
-        if served == 0 {
-            return Nanos::ZERO;
-        }
         let total: Nanos = self.disks.iter().map(|d| d.stats().total_service).sum();
-        total / served
+        total.div_rounded(self.total_served())
     }
 
     /// Mean per-disk utilization over `elapsed`: busy time / elapsed,
     /// averaged across drives (the paper's Tables 4 and 8 metric).
+    ///
+    /// Requests still in service at `elapsed` are credited with the time
+    /// they have spent on the platter so far; counting only completions
+    /// undercounts short traces.
     pub fn avg_utilization(&self, elapsed: Nanos) -> f64 {
         if elapsed == Nanos::ZERO {
             return 0.0;
@@ -169,7 +180,7 @@ impl DiskArray {
         let sum: f64 = self
             .disks
             .iter()
-            .map(|d| d.stats().busy.as_nanos() as f64 / elapsed.as_nanos() as f64)
+            .map(|d| d.stats_at(elapsed).busy.as_nanos() as f64 / elapsed.as_nanos() as f64)
             .sum();
         sum / self.disks.len() as f64
     }
@@ -244,12 +255,14 @@ mod tests {
     #[test]
     fn free_disks_reflect_state() {
         let mut a = uniform_array(3, 10);
-        assert_eq!(a.free_disks().len(), 3);
+        assert_eq!(a.free_disks().count(), 3);
         a.enqueue(Nanos::ZERO, BlockId(1));
-        let free = a.free_disks();
-        assert_eq!(free.len(), 2);
+        let free: Vec<DiskId> = a.free_disks().collect();
+        assert_eq!(free, vec![DiskId(0), DiskId(2)]);
         assert!(!a.is_free(DiskId(1)));
         assert_eq!(a.load(DiskId(1)), 1);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), 3);
     }
 
     #[test]
@@ -263,6 +276,49 @@ mod tests {
         assert!((u - 0.25).abs() < 1e-9);
         assert_eq!(a.avg_fetch_time(), Nanos::from_millis(10));
         assert_eq!(a.total_served(), 1);
+    }
+
+    #[test]
+    fn utilization_counts_requests_still_in_service() {
+        let mut a = uniform_array(2, 10);
+        a.enqueue(Nanos::ZERO, BlockId(0));
+        // The run "ends" at 5ms with the request half-served: the drive
+        // has been busy the whole time, so utilization is 0.5 / 2 disks.
+        let u = a.avg_utilization(Nanos::from_millis(5));
+        assert!((u - 0.5).abs() < 1e-9, "{u}");
+        // A second request queued behind it contributes nothing yet.
+        a.enqueue(Nanos::ZERO, BlockId(2));
+        let u = a.avg_utilization(Nanos::from_millis(5));
+        assert!((u - 0.5).abs() < 1e-9, "{u}");
+        assert_eq!(
+            a.stats_at(Nanos::from_millis(5))[0].busy,
+            Nanos::from_millis(5)
+        );
+        assert_eq!(a.stats()[0].busy, Nanos::ZERO);
+    }
+
+    #[test]
+    fn avg_fetch_time_rounds_instead_of_truncating() {
+        // Drive 0 serves in 2ns, drive 1 in 1ns: one fetch on each totals
+        // 3ns over 2 requests. Truncation loses the remainder (1ns); the
+        // rounded mean is 2ns.
+        let times = [Nanos(2), Nanos(1)];
+        let mut next = 0;
+        let mut a = DiskArray::new(2, Discipline::Fcfs, || {
+            let t = times[next];
+            next += 1;
+            Box::new(UniformDisk::new(t))
+        });
+        a.enqueue(Nanos::ZERO, BlockId(0)); // disk 0
+        a.enqueue(Nanos::ZERO, BlockId(1)); // disk 1
+        while let Some((t, d)) = a.next_event() {
+            a.complete(t, d);
+        }
+        assert_eq!(a.total_served(), 2);
+        assert_eq!(a.avg_fetch_time(), Nanos(2));
+        // No requests served: the mean is zero, not a division panic.
+        let empty = uniform_array(1, 10);
+        assert_eq!(empty.avg_fetch_time(), Nanos::ZERO);
     }
 
     #[test]

@@ -72,22 +72,16 @@ pub struct DiskStats {
 }
 
 impl DiskStats {
-    /// Mean response time (queueing + service) per request.
+    /// Mean response time (queueing + service) per request, rounded to
+    /// the nearest nanosecond.
     pub fn avg_response(&self) -> Nanos {
-        if self.served == 0 {
-            Nanos::ZERO
-        } else {
-            self.total_response / self.served
-        }
+        self.total_response.div_rounded(self.served)
     }
 
-    /// Mean pure service time per request.
+    /// Mean pure service time per request, rounded to the nearest
+    /// nanosecond.
     pub fn avg_service(&self) -> Nanos {
-        if self.served == 0 {
-            Nanos::ZERO
-        } else {
-            self.total_service / self.served
-        }
+        self.total_service.div_rounded(self.served)
     }
 }
 
@@ -282,9 +276,34 @@ impl Disk {
         self.model.head_cylinder()
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics over *completed* requests only.
+    ///
+    /// A request still in service contributes nothing here; use
+    /// [`Disk::stats_at`] for end-of-run accounting so partial in-service
+    /// time is not lost.
     pub fn stats(&self) -> DiskStats {
         self.stats
+    }
+
+    /// Statistics as of `now`, crediting the partial service time of any
+    /// request still on the platter (`started..min(now, completes)`).
+    ///
+    /// Without this, a run that ends while a request is in service
+    /// undercounts `busy` — and therefore utilization — which is visible
+    /// on short traces (the Table 4/8 metric).
+    pub fn stats_at(&self, now: Nanos) -> DiskStats {
+        let mut s = self.stats;
+        s.busy += self.in_service_busy(now);
+        s
+    }
+
+    /// Busy time accrued by the in-service request as of `now` (zero when
+    /// the drive is idle).
+    fn in_service_busy(&self, now: Nanos) -> Nanos {
+        match &self.in_service {
+            Some(s) => now.min(s.completes) - s.started,
+            None => Nanos::ZERO,
+        }
     }
 
     /// The scheduling discipline in use.
@@ -397,6 +416,30 @@ mod tests {
         let second = d.complete(Nanos::from_millis(10));
         assert_eq!((second.block, second.kind), (BlockId(2), ReqKind::Write));
         assert_eq!(d.stats().served, 2);
+    }
+
+    #[test]
+    fn stats_at_credits_partial_in_service_time() {
+        let mut d = uniform_disk(10);
+        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 });
+        // Completed stats see nothing mid-service...
+        assert_eq!(d.stats().busy, Nanos::ZERO);
+        // ...but stats_at credits the elapsed portion,
+        assert_eq!(
+            d.stats_at(Nanos::from_millis(4)).busy,
+            Nanos::from_millis(4)
+        );
+        // capped at the service time even past completion,
+        assert_eq!(
+            d.stats_at(Nanos::from_millis(99)).busy,
+            Nanos::from_millis(10)
+        );
+        // and completion-only fields are untouched.
+        assert_eq!(d.stats_at(Nanos::from_millis(4)).served, 0);
+        // After completion the two views agree.
+        d.complete(Nanos::from_millis(10));
+        assert_eq!(d.stats_at(Nanos::from_millis(10)), d.stats());
+        assert_eq!(d.stats().busy, Nanos::from_millis(10));
     }
 
     #[test]

@@ -153,6 +153,17 @@ mod tests {
     }
 
     #[test]
+    fn traces_are_shareable_across_threads() {
+        // Sweep workers share one generated trace through `Arc<Trace>`
+        // instead of regenerating hundreds of thousands of requests per
+        // worker; that only works while Trace stays Send + Sync.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Trace>();
+        assert_send_sync::<Request>();
+        assert_send_sync::<std::sync::Arc<Trace>>();
+    }
+
+    #[test]
     fn stats_count_reads_distinct_and_compute() {
         let s = tiny().stats();
         assert_eq!(s.reads, 3);

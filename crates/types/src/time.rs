@@ -93,6 +93,18 @@ impl Nanos {
     pub fn min(self, rhs: Nanos) -> Nanos {
         Nanos(self.0.min(rhs.0))
     }
+
+    /// Division rounded to the nearest nanosecond (ties away from zero),
+    /// unlike `/` which truncates toward zero. Returns zero when `rhs`
+    /// is zero, so averages over empty sets are safe to write directly.
+    #[inline]
+    pub fn div_rounded(self, rhs: u64) -> Nanos {
+        if rhs == 0 {
+            return Nanos::ZERO;
+        }
+        // Work in u128 so the half-divisor correction cannot overflow.
+        Nanos(((self.0 as u128 + rhs as u128 / 2) / rhs as u128) as u64)
+    }
 }
 
 impl Add for Nanos {
@@ -191,6 +203,18 @@ mod tests {
         assert_eq!(Nanos(3).min(Nanos(7)), Nanos(3));
         let total: Nanos = [Nanos(1), Nanos(2), Nanos(3)].into_iter().sum();
         assert_eq!(total, Nanos(6));
+    }
+
+    #[test]
+    fn div_rounded_rounds_to_nearest() {
+        // Truncating `/` drops the remainder; `div_rounded` keeps the
+        // nearest nanosecond.
+        assert_eq!(Nanos(10) / 3, Nanos(3));
+        assert_eq!(Nanos(10).div_rounded(3), Nanos(3));
+        assert_eq!(Nanos(11).div_rounded(3), Nanos(4));
+        assert_eq!(Nanos(11).div_rounded(2), Nanos(6)); // ties round up
+        assert_eq!(Nanos(5).div_rounded(0), Nanos::ZERO);
+        assert_eq!(Nanos::MAX.div_rounded(1), Nanos::MAX); // no overflow
     }
 
     #[test]
