@@ -26,4 +26,12 @@ echo "== sweep smoke (multi-threaded, deterministic) =="
 cargo run --release -q -p parcache-bench --bin parcache-run -- \
     --sweep synth fixed-horizon,aggressive 1,2 --threads 2 > /dev/null
 
+echo "== audited sweep smoke (invariants + report reconciliation) =="
+cargo run --release -q -p parcache-bench --bin parcache-run -- \
+    --sweep synth all 1,2 --audit --threads 2 > /dev/null
+
+echo "== differential fuzz smoke (200 cases, every policy) =="
+cargo run --release -q -p parcache-bench --bin parcache-run -- \
+    --fuzz 200 --seed 1996 --threads 2 > /dev/null
+
 echo "CI OK"

@@ -13,6 +13,10 @@
 //! parcache-run --sweep                           # full appendix-A grid, CSV
 //! parcache-run --sweep all all --threads 4 --json
 //! parcache-run --sweep dinero,cscope1 aggressive,tuned-reverse 1,2,4
+//!
+//! parcache-run --fuzz 200 [--seed S] [--threads N]   # differential fuzzer
+//! parcache-run --sweep --audit                       # audited sweep
+//! parcache-run glimpse forestall 4 --audit           # audited single runs
 //! ```
 //!
 //! The trace argument is one of the paper's trace names, or a path to a
@@ -37,6 +41,14 @@
 //! document with `--json`; `--hist` attaches probes and adds aggregate
 //! histograms) and is byte-identical for every `--threads` value — only
 //! wall-clock time changes. `--events` is not available under `--sweep`.
+//!
+//! * `--audit` reruns every cell (or run) under the conservation-checking
+//!   audit probe. Stdout is unchanged — the audited rerun only verifies;
+//!   violations go to stderr and the exit status becomes 1.
+//! * `--fuzz <n>` runs the differential fuzzer for `n` generated cases
+//!   (each case runs every policy, plain and audited) and exits nonzero
+//!   on any violation or divergence. `--seed <s>` picks the stream
+//!   (default 1996); `--threads` applies.
 
 use parcache_bench::sweep::{self, SweepAggregate, SweepEntry, SweepSpec};
 use parcache_bench::{breakdown_table, run, trace, Algo, BreakdownRow, DISK_COUNTS};
@@ -82,6 +94,9 @@ struct Options {
     json: bool,
     hist: bool,
     sweep: bool,
+    audit: bool,
+    fuzz: Option<usize>,
+    seed: u64,
     threads: Option<usize>,
     events: Option<String>,
     positional: Vec<String>,
@@ -92,6 +107,9 @@ fn parse_args(args: Vec<String>) -> Options {
         json: false,
         hist: false,
         sweep: false,
+        audit: false,
+        fuzz: None,
+        seed: parcache_bench::SEED,
         threads: None,
         events: None,
         positional: Vec::new(),
@@ -102,6 +120,21 @@ fn parse_args(args: Vec<String>) -> Options {
             "--json" => opts.json = true,
             "--hist" => opts.hist = true,
             "--sweep" => opts.sweep = true,
+            "--audit" => opts.audit = true,
+            "--fuzz" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => opts.fuzz = Some(n),
+                _ => {
+                    eprintln!("--fuzz requires a positive case count");
+                    std::process::exit(1);
+                }
+            },
+            "--seed" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(s) => opts.seed = s,
+                None => {
+                    eprintln!("--seed requires an unsigned integer");
+                    std::process::exit(1);
+                }
+            },
             "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n > 0 => opts.threads = Some(n),
                 _ => {
@@ -118,7 +151,8 @@ fn parse_args(args: Vec<String>) -> Options {
             },
             f if f.starts_with("--") => {
                 eprintln!(
-                    "unknown flag {f}; known flags: --json --hist --sweep --threads <n> --events <path>"
+                    "unknown flag {f}; known flags: --json --hist --sweep --audit \
+                     --fuzz <n> --seed <s> --threads <n> --events <path>"
                 );
                 std::process::exit(1);
             }
@@ -215,7 +249,12 @@ fn sweep_main(opts: &Options) {
 
     let cells = spec.cells();
     let wall = Instant::now();
-    let outcomes = sweep::run_sweep_cells(&cells, threads, opts.hist);
+    let (outcomes, audits) = if opts.audit {
+        let (outcomes, audits) = sweep::run_sweep_cells_audited(&cells, threads, opts.hist);
+        (outcomes, Some(audits))
+    } else {
+        (sweep::run_sweep_cells(&cells, threads, opts.hist), None)
+    };
     let elapsed = wall.elapsed();
 
     if opts.json {
@@ -233,6 +272,48 @@ fn sweep_main(opts: &Options) {
         threads,
         elapsed
     );
+    if let Some(audits) = audits {
+        let mut bad = 0usize;
+        for (outcome, audit) in outcomes.iter().zip(&audits) {
+            if !audit.is_clean() {
+                bad += 1;
+                eprintln!(
+                    "audit FAILED for {}/{}/{} disk(s):",
+                    outcome.report.trace, outcome.report.policy, outcome.report.disks
+                );
+                for v in &audit.violations {
+                    eprintln!("  {v}");
+                }
+                if audit.suppressed > 0 {
+                    eprintln!("  ... and {} more suppressed", audit.suppressed);
+                }
+            }
+        }
+        if bad > 0 {
+            eprintln!("audit: {bad}/{} cells FAILED", audits.len());
+            std::process::exit(1);
+        }
+        eprintln!("audit: all {} cells clean", audits.len());
+    }
+}
+
+/// `--fuzz` mode: run the differential fuzzer and exit nonzero on any
+/// audit violation or audited/unaudited divergence.
+fn fuzz_main(opts: &Options, cases: usize) {
+    let threads = opts.threads.unwrap_or_else(sweep::default_threads);
+    let wall = Instant::now();
+    let report = parcache_bench::fuzz(opts.seed, cases, threads);
+    println!("{report}");
+    eprintln!("({} runs in {:.2?})", report.runs, wall.elapsed());
+    if !report.is_clean() {
+        for f in &report.failures {
+            eprintln!("case {} under {}:", f.case, f.policy.name());
+            for d in &f.details {
+                eprintln!("  {d}");
+            }
+        }
+        std::process::exit(1);
+    }
 }
 
 fn print_histograms(policy: &str, disks: usize, m: &RunMetrics) {
@@ -262,6 +343,10 @@ fn print_histograms(policy: &str, disks: usize, m: &RunMetrics) {
 
 fn main() {
     let opts = parse_args(std::env::args().skip(1).collect());
+    if let Some(cases) = opts.fuzz {
+        fuzz_main(&opts, cases);
+        return;
+    }
     if opts.sweep {
         sweep_main(&opts);
         return;
@@ -317,19 +402,44 @@ fn main() {
     });
 
     let mut results: Vec<(Report, Option<RunMetrics>)> = Vec::new();
+    let mut audit_failures: Vec<String> = Vec::new();
     let wall = Instant::now();
     for &d in &disks {
         let cfg = SimConfig::for_trace(d, &t);
         for &kind in &policies {
-            if probed {
+            let report = if probed {
                 let mut probe = CliProbe {
                     metrics: MetricsProbe::for_disks(d),
                     log: event_log.as_mut(),
                 };
                 let report = simulate_probed(&t, kind, &cfg, &mut probe);
                 results.push((report, Some(probe.metrics.finish())));
+                &results.last().expect("just pushed").0
             } else {
                 results.push((run(&t, kind, &cfg), None));
+                &results.last().expect("just pushed").0
+            };
+            if opts.audit {
+                let (audited, outcome) = parcache_core::simulate_audited(&t, kind, &cfg);
+                let mut lines = Vec::new();
+                for v in &outcome.violations {
+                    lines.push(format!("  {v}"));
+                }
+                if outcome.suppressed > 0 {
+                    lines.push(format!("  ... and {} more suppressed", outcome.suppressed));
+                }
+                if audited != *report {
+                    lines.push("  audited rerun diverged from the plain run".to_string());
+                }
+                if !lines.is_empty() {
+                    audit_failures.push(format!(
+                        "audit FAILED for {}/{}/{} disk(s):\n{}",
+                        report.trace,
+                        report.policy,
+                        report.disks,
+                        lines.join("\n")
+                    ));
+                }
             }
         }
     }
@@ -373,4 +483,18 @@ fn main() {
         }
     }
     eprintln!("({} runs in {:.2?})", results.len(), elapsed);
+    if opts.audit {
+        if !audit_failures.is_empty() {
+            for f in &audit_failures {
+                eprintln!("{f}");
+            }
+            eprintln!(
+                "audit: {}/{} runs FAILED",
+                audit_failures.len(),
+                results.len()
+            );
+            std::process::exit(1);
+        }
+        eprintln!("audit: all {} runs clean", results.len());
+    }
 }

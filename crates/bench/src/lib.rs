@@ -10,18 +10,20 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fuzz;
 pub mod paper;
 pub mod report;
 pub mod runner;
 pub mod sweep;
 
 pub use experiments::{comparison, comparison_on, comparison_with, Algo};
+pub use fuzz::{fuzz, FuzzCase, FuzzFailure, FuzzReport};
 pub use paper::{paper_cells, paper_elapsed};
 pub use report::{breakdown_table, percent, BreakdownRow};
 pub use runner::{
     best_reverse, best_reverse_search, paper_disk_counts, run, trace, DISK_COUNTS, SEED,
 };
 pub use sweep::{
-    default_threads, run_indexed, run_sweep, run_sweep_probed, sweep_csv, sweep_json, CellOutcome,
-    SweepCell, SweepEntry, SweepSpec,
+    default_threads, run_indexed, run_sweep, run_sweep_audited, run_sweep_cells_audited,
+    run_sweep_probed, sweep_csv, sweep_json, CellOutcome, SweepCell, SweepEntry, SweepSpec,
 };

@@ -16,8 +16,10 @@
 
 use crate::experiments::Algo;
 use crate::runner::{best_reverse_search, trace};
+use parcache_core::audit::{simulate_audited, AuditOutcome, AuditViolation};
 use parcache_core::engine::{simulate_probed, Report};
 use parcache_core::metrics::{Counters, Histogram, MetricsProbe, RunMetrics, Unit};
+use parcache_core::policy::PolicyKind;
 use parcache_core::SimConfig;
 use parcache_trace::Trace;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -187,27 +189,23 @@ impl SweepSpec {
     }
 }
 
-/// Executes one cell. Tuned reverse aggressive runs its parameter search
-/// serially here — the sweep already owns the machine's parallelism, and
-/// nested worker pools would oversubscribe it.
-fn run_cell(cell: &SweepCell, probed: bool) -> CellOutcome {
+/// Executes one cell, also returning the policy and configuration that
+/// produced the report (for tuned reverse aggressive, the search's
+/// winning configuration) so an audited rerun can replay it exactly.
+fn run_cell_inner(cell: &SweepCell, probed: bool) -> (CellOutcome, PolicyKind, SimConfig) {
     let cfg = SimConfig::for_trace(cell.disks, &cell.trace);
-    let (report, metrics) = match cell.algo {
+    let (report, metrics, kind, cfg) = match cell.algo {
         Algo::TunedReverse => {
             let (report, best_cfg) = best_reverse_search(&cell.trace, &cfg, 1);
+            let kind = PolicyKind::ReverseAggressive;
             if probed {
                 // Re-run the winning configuration under a probe; the
                 // simulator is deterministic, so the report is unchanged.
                 let mut probe = MetricsProbe::for_disks(cell.disks);
-                let report = simulate_probed(
-                    &cell.trace,
-                    parcache_core::policy::PolicyKind::ReverseAggressive,
-                    &best_cfg,
-                    &mut probe,
-                );
-                (report, Some(probe.finish()))
+                let report = simulate_probed(&cell.trace, kind, &best_cfg, &mut probe);
+                (report, Some(probe.finish()), kind, best_cfg)
             } else {
-                (report, None)
+                (report, None, kind, best_cfg)
             }
         }
         algo => {
@@ -215,17 +213,53 @@ fn run_cell(cell: &SweepCell, probed: bool) -> CellOutcome {
             if probed {
                 let mut probe = MetricsProbe::for_disks(cell.disks);
                 let report = simulate_probed(&cell.trace, kind, &cfg, &mut probe);
-                (report, Some(probe.finish()))
+                (report, Some(probe.finish()), kind, cfg)
             } else {
-                (parcache_core::simulate(&cell.trace, kind, &cfg), None)
+                (
+                    parcache_core::simulate(&cell.trace, kind, &cfg),
+                    None,
+                    kind,
+                    cfg,
+                )
             }
         }
     };
-    CellOutcome {
+    let outcome = CellOutcome {
         cell: cell.clone(),
         report,
         metrics,
+    };
+    (outcome, kind, cfg)
+}
+
+/// Executes one cell. Tuned reverse aggressive runs its parameter search
+/// serially here — the sweep already owns the machine's parallelism, and
+/// nested worker pools would oversubscribe it.
+fn run_cell(cell: &SweepCell, probed: bool) -> CellOutcome {
+    run_cell_inner(cell, probed).0
+}
+
+/// Executes one cell twice — once exactly as [`run_cell`] (so the
+/// outcome, and therefore the sweep's output bytes, are identical to an
+/// unaudited sweep) and once with an [`AuditProbe`] riding the event
+/// stream. A report that differs between the two runs is itself recorded
+/// as an audit violation: the audit must never perturb the simulation.
+///
+/// [`AuditProbe`]: parcache_core::audit::AuditProbe
+fn run_cell_audited(cell: &SweepCell, probed: bool) -> (CellOutcome, AuditOutcome) {
+    let (outcome, kind, cfg) = run_cell_inner(cell, probed);
+    let (audited_report, mut audit) = simulate_audited(&cell.trace, kind, &cfg);
+    if audited_report != outcome.report {
+        audit.violations.push(AuditViolation {
+            time: outcome.report.elapsed,
+            rule: "audit-transparency",
+            detail: format!(
+                "audited rerun of {}/{}/{} disks diverged from the unaudited report",
+                outcome.report.trace, outcome.report.policy, outcome.report.disks
+            ),
+        });
     }
+    (outcome, audit)
 }
 
 /// Runs every cell of `spec` on `threads` workers and returns the
@@ -244,6 +278,28 @@ pub fn run_sweep_probed(spec: &SweepSpec, threads: usize) -> Vec<CellOutcome> {
 /// Runs pre-expanded cells; the building block both entry points share.
 pub fn run_sweep_cells(cells: &[SweepCell], threads: usize, probed: bool) -> Vec<CellOutcome> {
     run_indexed(cells.len(), threads, |i| run_cell(&cells[i], probed))
+}
+
+/// [`run_sweep_cells`] with every cell audited: returns the outcomes
+/// (byte-identical to an unaudited sweep) together with each cell's
+/// audit verdict, in cell-index order.
+pub fn run_sweep_cells_audited(
+    cells: &[SweepCell],
+    threads: usize,
+    probed: bool,
+) -> (Vec<CellOutcome>, Vec<AuditOutcome>) {
+    let pairs = run_indexed(cells.len(), threads, |i| {
+        run_cell_audited(&cells[i], probed)
+    });
+    pairs.into_iter().unzip()
+}
+
+/// [`run_sweep`] with every cell audited.
+pub fn run_sweep_audited(
+    spec: &SweepSpec,
+    threads: usize,
+) -> (Vec<CellOutcome>, Vec<AuditOutcome>) {
+    run_sweep_cells_audited(&spec.cells(), threads, false)
 }
 
 /// Shape-independent metrics folded across every probed cell of a sweep

@@ -1,0 +1,91 @@
+//! The audit layer's contract, end to end: every policy × discipline ×
+//! disk-model combination runs clean under the audit probe, the audited
+//! sweep is a pure observer (byte-identical output), and the differential
+//! fuzzer is a deterministic function of its seed.
+
+use parcache_bench::fuzz::fuzz;
+use parcache_bench::sweep::{
+    run_sweep, run_sweep_audited, sweep_csv, sweep_json, SweepEntry, SweepSpec,
+};
+use parcache_bench::Algo;
+use parcache_core::audit::simulate_audited;
+use parcache_core::config::DiskModelKind;
+use parcache_core::theory::unit_trace;
+use parcache_core::{simulate, PolicyKind, SimConfig};
+use parcache_disk::sched::Discipline;
+use parcache_types::Nanos;
+use std::sync::Arc;
+
+const DISCIPLINES: [Discipline; 4] = [
+    Discipline::Fcfs,
+    Discipline::Cscan,
+    Discipline::Scan { ascending: true },
+    Discipline::Sstf,
+];
+
+const MODELS: [DiskModelKind; 4] = [
+    DiskModelKind::Uniform(Nanos::from_millis(2)),
+    DiskModelKind::Coarse,
+    DiskModelKind::Hp97560,
+    DiskModelKind::Hp97560NoReadahead,
+];
+
+#[test]
+fn audit_is_clean_across_the_full_feature_matrix() {
+    // A reference string with reuse, eviction pressure (cache 3 over 6
+    // distinct blocks), and a tail that leaves write-behind work pending.
+    let t = unit_trace(&[0, 1, 2, 3, 0, 4, 1, 5, 2, 0, 3, 5], 3);
+    for discipline in DISCIPLINES {
+        for model in MODELS {
+            for kind in PolicyKind::ALL {
+                let cfg = SimConfig::for_trace(2, &t)
+                    .with_discipline(discipline)
+                    .with_disk_model(model)
+                    .with_write_behind(3);
+                let (report, outcome) = simulate_audited(&t, kind, &cfg);
+                assert!(
+                    outcome.is_clean(),
+                    "{kind} / {discipline:?} / {model:?}: {:?}",
+                    outcome.violations
+                );
+                // The audit probe must not perturb the simulation.
+                assert_eq!(report, simulate(&t, kind, &cfg), "{kind} / {discipline:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn audited_sweep_is_byte_identical_to_unaudited() {
+    let spec = SweepSpec {
+        entries: vec![SweepEntry {
+            trace: Arc::new(parcache_trace::synth::synth_trace(2, 120, 9)),
+            disks: vec![1, 3],
+        }],
+        algos: vec![Algo::Demand, Algo::Aggressive, Algo::TunedReverse],
+    };
+    let plain = run_sweep(&spec, 2);
+    let (audited, audits) = run_sweep_audited(&spec, 2);
+    assert_eq!(sweep_csv(&plain), sweep_csv(&audited));
+    assert_eq!(sweep_json(&plain), sweep_json(&audited));
+    assert_eq!(audits.len(), plain.len());
+    for (outcome, audit) in audited.iter().zip(&audits) {
+        assert!(
+            audit.is_clean(),
+            "{} on {} disks: {:?}",
+            outcome.report.policy,
+            outcome.report.disks,
+            audit.violations
+        );
+        assert!(audit.events > 0, "the audit probe saw the event stream");
+    }
+}
+
+#[test]
+fn fuzzer_is_a_pure_function_of_its_seed() {
+    let a = fuzz(1996, 10, 1);
+    let b = fuzz(1996, 10, 3);
+    assert_eq!(a, b, "thread count must not change the verdicts");
+    assert!(a.is_clean(), "{:#?}", a.failures.first());
+    assert_ne!(a.fingerprint, fuzz(1997, 10, 1).fingerprint);
+}

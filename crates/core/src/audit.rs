@@ -1,0 +1,828 @@
+//! Online conservation auditing of the simulation event stream.
+//!
+//! The paper's argument rests on the simulator's accounting being exact:
+//! §2.1's elapsed = compute + driver + stall identity and §3's disk-model
+//! validation. [`AuditProbe`] rides the [`Probe`] event stream and checks
+//! conservation laws *while the simulation runs* — monotone event time,
+//! every fetch issue matched by exactly one completion, stall begin/end
+//! balance, cache frame conservation (`resident + inflight <= K`, no
+//! eviction of non-resident or stalled-on blocks), and per-disk
+//! queue-depth conservation — then reconciles the final [`Report`]
+//! against its independently folded totals with *checked* (never
+//! saturating) arithmetic.
+//!
+//! Violations are collected, not panicked on, so a differential fuzzer
+//! can run thousands of configurations and report every broken law; use
+//! [`AuditOutcome::assert_clean`] where a panic is the right response.
+
+use crate::config::{DiskModelKind, SimConfig};
+use crate::engine::Report;
+use crate::policy::PolicyKind;
+use crate::probe::{Event, Probe};
+use crate::theory::uniform_elapsed_lower_bound;
+use parcache_trace::Trace;
+use parcache_types::{BlockId, Nanos};
+use std::collections::HashSet;
+
+/// How many violations are recorded verbatim before further ones are
+/// only counted: one broken invariant tends to cascade, and the first
+/// few messages carry all the signal.
+const MAX_RECORDED: usize = 64;
+
+/// One broken invariant, stamped with when it was observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// Simulated time of the offending event (or the report's elapsed
+    /// time for end-of-run reconciliation failures).
+    pub time: Nanos,
+    /// Which conservation law broke.
+    pub rule: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.time, self.rule, self.detail)
+    }
+}
+
+/// The verdict of an audited run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditOutcome {
+    /// Events observed.
+    pub events: u64,
+    /// Violations recorded (capped at an internal limit).
+    pub violations: Vec<AuditViolation>,
+    /// Violations beyond the recording cap, counted but not kept.
+    pub suppressed: u64,
+}
+
+impl AuditOutcome {
+    /// True when every invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.suppressed == 0
+    }
+
+    /// Panics with every recorded violation unless the run was clean.
+    pub fn assert_clean(&self) {
+        if !self.is_clean() {
+            let mut msg = format!(
+                "audit failed: {} violation(s) over {} events",
+                self.violations.len() as u64 + self.suppressed,
+                self.events
+            );
+            for v in &self.violations {
+                msg.push_str("\n  ");
+                msg.push_str(&v.to_string());
+            }
+            panic!("{msg}");
+        }
+    }
+}
+
+/// A request a drive has begun servicing, as seen by the audit.
+#[derive(Debug, Clone, Copy)]
+struct InService {
+    block: BlockId,
+    completes: Nanos,
+}
+
+/// A [`Probe`] that enforces conservation invariants over the event
+/// stream and reconciles the end-of-run [`Report`] (see the module
+/// docs). Construct per run, feed to [`crate::engine::simulate_probed`],
+/// then call [`AuditProbe::finish`].
+#[derive(Debug)]
+pub struct AuditProbe {
+    capacity: usize,
+    disk_model: DiskModelKind,
+    last_time: Nanos,
+    resident: HashSet<BlockId>,
+    inflight: HashSet<BlockId>,
+    queue_depth: Vec<usize>,
+    in_service: Vec<Option<InService>>,
+    stalled: Option<(BlockId, Nanos)>,
+    stalls_begun: u64,
+    stalls_ended: u64,
+    total_stall_window: Nanos,
+    fetches_issued: u64,
+    writes_issued: u64,
+    reads_completed: u64,
+    writes_completed: u64,
+    events: u64,
+    violations: Vec<AuditViolation>,
+    suppressed: u64,
+}
+
+impl AuditProbe {
+    /// An audit for one run under `config`.
+    pub fn new(config: &SimConfig) -> AuditProbe {
+        AuditProbe {
+            capacity: config.cache_blocks,
+            disk_model: config.disk_model,
+            last_time: Nanos::ZERO,
+            resident: HashSet::new(),
+            inflight: HashSet::new(),
+            queue_depth: vec![0; config.disks],
+            in_service: vec![None; config.disks],
+            stalled: None,
+            stalls_begun: 0,
+            stalls_ended: 0,
+            total_stall_window: Nanos::ZERO,
+            fetches_issued: 0,
+            writes_issued: 0,
+            reads_completed: 0,
+            writes_completed: 0,
+            events: 0,
+            violations: Vec::new(),
+            suppressed: 0,
+        }
+    }
+
+    /// Events observed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[AuditViolation] {
+        &self.violations
+    }
+
+    fn violate(&mut self, time: Nanos, rule: &'static str, detail: String) {
+        if self.violations.len() < MAX_RECORDED {
+            self.violations.push(AuditViolation { time, rule, detail });
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    /// Consumes the audit, reconciling the engine's [`Report`] against
+    /// the independently folded event totals.
+    pub fn finish(mut self, report: &Report) -> AuditOutcome {
+        let t = report.elapsed;
+
+        // Every issued read must have completed: a referenced block holds
+        // the application until it arrives, so nothing readable can be in
+        // flight when the last reference has been consumed.
+        if !self.inflight.is_empty() {
+            let mut left: Vec<u64> = self.inflight.iter().map(|b| b.raw()).collect();
+            left.sort_unstable();
+            self.violate(
+                t,
+                "fetch-completion",
+                format!(
+                    "{} fetch(es) still in flight at end of run: {left:?}",
+                    left.len()
+                ),
+            );
+        }
+        if self.reads_completed != self.fetches_issued {
+            self.violate(
+                t,
+                "fetch-completion",
+                format!(
+                    "{} fetches issued but {} read completions observed",
+                    self.fetches_issued, self.reads_completed
+                ),
+            );
+        }
+        if self.writes_completed > self.writes_issued {
+            self.violate(
+                t,
+                "write-completion",
+                format!(
+                    "{} writes issued but {} write completions observed",
+                    self.writes_issued, self.writes_completed
+                ),
+            );
+        }
+        if self.stalls_begun != self.stalls_ended || self.stalled.is_some() {
+            self.violate(
+                t,
+                "stall-balance",
+                format!(
+                    "{} stalls begun, {} ended, open stall: {:?}",
+                    self.stalls_begun, self.stalls_ended, self.stalled
+                ),
+            );
+        }
+        if self.last_time > t {
+            self.violate(
+                t,
+                "event-horizon",
+                format!(
+                    "events observed at {} past the reported elapsed time {t}",
+                    self.last_time
+                ),
+            );
+        }
+
+        // The breakdown identity, with checked arithmetic: a saturating
+        // subtraction in the engine clamping a component would surface
+        // here as a sum mismatch, never as a silent zero.
+        match report
+            .compute
+            .checked_add(report.driver)
+            .and_then(|s| s.checked_add(report.stall))
+        {
+            Some(sum) if sum == report.elapsed => {}
+            sum => self.violate(
+                t,
+                "breakdown-identity",
+                format!(
+                    "elapsed {} != compute {} + driver {} + stall {} (sum {sum:?})",
+                    report.elapsed, report.compute, report.driver, report.stall
+                ),
+            ),
+        }
+        // Stall windows cover every instant outside the CPU timeline, so
+        // the report's stall component can never exceed their sum.
+        if report.stall > self.total_stall_window {
+            self.violate(
+                t,
+                "stall-cover",
+                format!(
+                    "reported stall {} exceeds total observed stall windows {}",
+                    report.stall, self.total_stall_window
+                ),
+            );
+        }
+
+        if report.fetches != self.fetches_issued {
+            self.violate(
+                t,
+                "fetch-count",
+                format!(
+                    "report says {} fetches, event stream saw {}",
+                    report.fetches, self.fetches_issued
+                ),
+            );
+        }
+        if report.writes != self.writes_issued {
+            self.violate(
+                t,
+                "write-count",
+                format!(
+                    "report says {} writes, event stream saw {}",
+                    report.writes, self.writes_issued
+                ),
+            );
+        }
+        // Disk-side conservation: every served request was either a read
+        // fetch (all complete) or a completed write-behind flush.
+        let served: u64 = report.per_disk.iter().map(|d| d.served).sum();
+        if served != report.fetches + self.writes_completed {
+            self.violate(
+                t,
+                "served-conservation",
+                format!(
+                    "disks served {served} != fetches {} + completed writes {}",
+                    report.fetches, self.writes_completed
+                ),
+            );
+        }
+        for (i, d) in report.per_disk.iter().enumerate() {
+            if d.busy > report.elapsed {
+                self.violate(
+                    t,
+                    "busy-bound",
+                    format!("disk {i} busy {} > elapsed {}", d.busy, report.elapsed),
+                );
+            }
+        }
+
+        // Theory cross-check: under the uniform model the elapsed time
+        // and per-disk busy times have exact lower bounds (§2.1).
+        if let DiskModelKind::Uniform(f) = self.disk_model {
+            let bound = uniform_elapsed_lower_bound(report, f);
+            if report.elapsed < bound {
+                self.violate(
+                    t,
+                    "uniform-lower-bound",
+                    format!("elapsed {} below theoretical bound {bound}", report.elapsed),
+                );
+            }
+            for (i, d) in report.per_disk.iter().enumerate() {
+                match f.checked_mul(d.served) {
+                    Some(min_busy) if d.busy >= min_busy => {}
+                    min_busy => self.violate(
+                        t,
+                        "uniform-busy",
+                        format!("disk {i} busy {} below served x F ({min_busy:?})", d.busy),
+                    ),
+                }
+            }
+        }
+
+        AuditOutcome {
+            events: self.events,
+            violations: self.violations,
+            suppressed: self.suppressed,
+        }
+    }
+}
+
+impl Probe for AuditProbe {
+    fn on_event(&mut self, event: &Event) {
+        self.events += 1;
+        let now = event.time();
+        if now < self.last_time {
+            self.violate(
+                now,
+                "monotone-time",
+                format!("event {} at {now} before {}", event.kind(), self.last_time),
+            );
+        }
+        self.last_time = self.last_time.max(now);
+
+        match *event {
+            Event::PolicyDecision { .. } => {}
+            Event::CacheHit { block, .. } => {
+                if !self.resident.contains(&block) {
+                    self.violate(
+                        now,
+                        "hit-residency",
+                        format!("hit on non-resident block {}", block.raw()),
+                    );
+                }
+            }
+            Event::CacheMiss { block, .. } => {
+                if self.resident.contains(&block) {
+                    self.violate(
+                        now,
+                        "miss-residency",
+                        format!("miss on resident block {}", block.raw()),
+                    );
+                }
+            }
+            Event::Eviction { block, .. } => {
+                if let Some((stalled_on, _)) = self.stalled {
+                    if stalled_on == block {
+                        self.violate(
+                            now,
+                            "evict-pinned",
+                            format!(
+                                "evicted block {} while the application stalls on it",
+                                block.raw()
+                            ),
+                        );
+                    }
+                }
+                if !self.resident.remove(&block) {
+                    self.violate(
+                        now,
+                        "evict-resident",
+                        format!("evicted non-resident block {}", block.raw()),
+                    );
+                }
+            }
+            Event::FetchIssued { block, .. } => {
+                self.fetches_issued += 1;
+                if self.resident.contains(&block) {
+                    self.violate(
+                        now,
+                        "fetch-resident",
+                        format!("fetch issued for resident block {}", block.raw()),
+                    );
+                }
+                if !self.inflight.insert(block) {
+                    self.violate(
+                        now,
+                        "fetch-duplicate",
+                        format!("fetch issued for already-in-flight block {}", block.raw()),
+                    );
+                }
+                if self.resident.len() + self.inflight.len() > self.capacity {
+                    self.violate(
+                        now,
+                        "frame-conservation",
+                        format!(
+                            "{} resident + {} in flight exceeds {} frames",
+                            self.resident.len(),
+                            self.inflight.len(),
+                            self.capacity
+                        ),
+                    );
+                }
+            }
+            Event::WriteIssued { .. } => {
+                self.writes_issued += 1;
+            }
+            Event::QueueDepth { disk, depth, .. } => {
+                let d = disk.index();
+                self.queue_depth[d] += 1;
+                if self.queue_depth[d] != depth {
+                    self.violate(
+                        now,
+                        "queue-depth",
+                        format!(
+                            "disk {d} arrival depth {depth} but audit tracks {}",
+                            self.queue_depth[d]
+                        ),
+                    );
+                    self.queue_depth[d] = depth; // resync to limit cascades
+                }
+            }
+            Event::FetchStarted {
+                block,
+                disk,
+                completes,
+                ..
+            } => {
+                let d = disk.index();
+                if completes < now {
+                    self.violate(
+                        now,
+                        "service-causality",
+                        format!("disk {d} service completes at {completes}, before it starts"),
+                    );
+                }
+                if let Some(prev) = self.in_service[d] {
+                    self.violate(
+                        now,
+                        "single-service",
+                        format!(
+                            "disk {d} started block {} while block {} is in service",
+                            block.raw(),
+                            prev.block.raw()
+                        ),
+                    );
+                }
+                self.in_service[d] = Some(InService { block, completes });
+            }
+            Event::FetchCompleted {
+                block,
+                disk,
+                write,
+                service,
+                response,
+                depth,
+                ..
+            } => {
+                let d = disk.index();
+                match self.in_service[d].take() {
+                    Some(s) if s.block == block => {
+                        if s.completes != now {
+                            self.violate(
+                                now,
+                                "service-schedule",
+                                format!(
+                                    "disk {d} block {} completed at {now}, scheduled for {}",
+                                    block.raw(),
+                                    s.completes
+                                ),
+                            );
+                        }
+                    }
+                    other => {
+                        self.violate(
+                            now,
+                            "single-service",
+                            format!(
+                                "disk {d} completed block {} but audit tracks {other:?}",
+                                block.raw()
+                            ),
+                        );
+                    }
+                }
+                if response < service {
+                    self.violate(
+                        now,
+                        "response-bound",
+                        format!("disk {d} response {response} shorter than service {service}"),
+                    );
+                }
+                if self.queue_depth[d] == 0 {
+                    self.violate(
+                        now,
+                        "queue-depth",
+                        format!("disk {d} completion with audit depth already zero"),
+                    );
+                } else {
+                    self.queue_depth[d] -= 1;
+                }
+                if self.queue_depth[d] != depth {
+                    self.violate(
+                        now,
+                        "queue-depth",
+                        format!(
+                            "disk {d} completion depth {depth} but audit tracks {}",
+                            self.queue_depth[d]
+                        ),
+                    );
+                    self.queue_depth[d] = depth;
+                }
+                if write {
+                    self.writes_completed += 1;
+                } else {
+                    self.reads_completed += 1;
+                    if !self.inflight.remove(&block) {
+                        self.violate(
+                            now,
+                            "fetch-completion",
+                            format!("completion of block {} that was never issued", block.raw()),
+                        );
+                    }
+                    if !self.resident.insert(block) {
+                        self.violate(
+                            now,
+                            "frame-conservation",
+                            format!("completed block {} was already resident", block.raw()),
+                        );
+                    }
+                }
+            }
+            Event::StallBegin { block, .. } => {
+                self.stalls_begun += 1;
+                if let Some((open, since)) = self.stalled {
+                    self.violate(
+                        now,
+                        "stall-balance",
+                        format!(
+                            "stall on block {} begins while stall on {} (since {since}) is open",
+                            block.raw(),
+                            open.raw()
+                        ),
+                    );
+                }
+                if self.resident.contains(&block) {
+                    self.violate(
+                        now,
+                        "stall-residency",
+                        format!("stall began on resident block {}", block.raw()),
+                    );
+                }
+                self.stalled = Some((block, now));
+            }
+            Event::StallEnd { block, stalled, .. } => {
+                self.stalls_ended += 1;
+                match self.stalled.take() {
+                    Some((open, since)) if open == block => {
+                        let window = now - since;
+                        if window != stalled {
+                            self.violate(
+                                now,
+                                "stall-duration",
+                                format!(
+                                    "stall on block {} reported {stalled}, window was {window}",
+                                    block.raw()
+                                ),
+                            );
+                        }
+                        self.total_stall_window += window;
+                        if !self.resident.contains(&block) {
+                            self.violate(
+                                now,
+                                "stall-residency",
+                                format!("stall ended but block {} is not resident", block.raw()),
+                            );
+                        }
+                    }
+                    other => {
+                        self.violate(
+                            now,
+                            "stall-balance",
+                            format!(
+                                "stall end for block {} but audit tracks {other:?}",
+                                block.raw()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs `trace` under `policy` with the audit riding the probe stream;
+/// returns the report together with the audit's verdict.
+pub fn simulate_audited(
+    trace: &Trace,
+    policy: PolicyKind,
+    config: &SimConfig,
+) -> (Report, AuditOutcome) {
+    let mut probe = AuditProbe::new(config);
+    let report = crate::engine::simulate_probed(trace, policy, config, &mut probe);
+    let outcome = probe.finish(&report);
+    (report, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::{theory_config, unit_trace};
+    use parcache_types::DiskId;
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        let t = unit_trace(&[0, 1, 2, 3, 0, 1, 2, 3], 4);
+        for kind in PolicyKind::ALL {
+            let cfg = theory_config(2, 3, 4);
+            let (report, audit) = simulate_audited(&t, kind, &cfg);
+            assert!(audit.is_clean(), "{kind}: {:?}", audit.violations);
+            assert!(audit.events > 0, "{kind} produced no events");
+            assert_eq!(
+                report.elapsed,
+                report.compute + report.driver + report.stall
+            );
+            audit.assert_clean();
+        }
+    }
+
+    #[test]
+    fn audited_run_reports_match_unaudited() {
+        let t = unit_trace(&[5, 3, 5, 1, 0, 2, 4, 1, 3], 4);
+        for kind in PolicyKind::ALL {
+            let cfg = theory_config(3, 4, 2);
+            let plain = crate::engine::simulate(&t, kind, &cfg);
+            let (audited, audit) = simulate_audited(&t, kind, &cfg);
+            assert!(audit.is_clean(), "{kind}: {:?}", audit.violations);
+            assert_eq!(plain, audited, "{kind}: audit changed the simulation");
+        }
+    }
+
+    #[test]
+    fn write_behind_runs_audit_clean() {
+        let t = unit_trace(&[0, 1, 2, 0, 1, 2, 0, 1], 4);
+        let mut cfg = theory_config(2, 4, 3);
+        cfg.write_behind_period = Some(3);
+        cfg.driver_overhead = Nanos::from_micros(500);
+        for kind in PolicyKind::ALL {
+            let (report, audit) = simulate_audited(&t, kind, &cfg);
+            assert!(audit.is_clean(), "{kind}: {:?}", audit.violations);
+            assert!(report.writes > 0, "{kind}");
+        }
+    }
+
+    /// Synthetic event streams let each law be violated deliberately.
+    fn probe_for(disks: usize, cache: usize) -> AuditProbe {
+        let mut cfg = SimConfig::new(disks, cache);
+        cfg.disk_model = DiskModelKind::Uniform(Nanos::from_millis(1));
+        AuditProbe::new(&cfg)
+    }
+
+    fn rules(p: &AuditProbe) -> Vec<&'static str> {
+        p.violations().iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn detects_time_running_backwards() {
+        let mut p = probe_for(1, 4);
+        p.on_event(&Event::PolicyDecision {
+            now: Nanos::from_millis(5),
+            cursor: 0,
+        });
+        p.on_event(&Event::PolicyDecision {
+            now: Nanos::from_millis(4),
+            cursor: 1,
+        });
+        assert_eq!(rules(&p), vec!["monotone-time"]);
+    }
+
+    #[test]
+    fn detects_unmatched_fetch() {
+        let mut p = probe_for(1, 4);
+        p.on_event(&Event::FetchIssued {
+            now: Nanos::ZERO,
+            block: BlockId(1),
+            disk: DiskId(0),
+            demand: true,
+            evicted: None,
+        });
+        let report = Report {
+            trace: "t".into(),
+            policy: "p".into(),
+            disks: 1,
+            elapsed: Nanos::ZERO,
+            compute: Nanos::ZERO,
+            driver: Nanos::ZERO,
+            stall: Nanos::ZERO,
+            fetches: 1,
+            writes: 0,
+            avg_fetch_time: Nanos::ZERO,
+            avg_disk_utilization: 0.0,
+            per_disk: vec![Default::default()],
+        };
+        let out = p.finish(&report);
+        assert!(!out.is_clean());
+        assert!(
+            out.violations.iter().any(|v| v.rule == "fetch-completion"),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn detects_frame_overcommit_and_duplicates() {
+        let mut p = probe_for(1, 1);
+        for b in 0..2 {
+            p.on_event(&Event::FetchIssued {
+                now: Nanos::ZERO,
+                block: BlockId(b),
+                disk: DiskId(0),
+                demand: false,
+                evicted: None,
+            });
+        }
+        assert!(rules(&p).contains(&"frame-conservation"), "{:?}", rules(&p));
+        let mut p = probe_for(1, 4);
+        p.on_event(&Event::Eviction {
+            now: Nanos::ZERO,
+            block: BlockId(9),
+        });
+        assert_eq!(rules(&p), vec!["evict-resident"]);
+    }
+
+    #[test]
+    fn detects_queue_depth_drift() {
+        let mut p = probe_for(2, 4);
+        p.on_event(&Event::QueueDepth {
+            now: Nanos::ZERO,
+            disk: DiskId(1),
+            depth: 3,
+        });
+        assert_eq!(rules(&p), vec!["queue-depth"]);
+    }
+
+    #[test]
+    fn detects_doctored_report() {
+        let t = unit_trace(&[0, 1, 2, 3], 4);
+        let cfg = theory_config(2, 4, 2);
+        let mut probe = AuditProbe::new(&cfg);
+        let mut report = crate::engine::simulate_probed(&t, PolicyKind::Demand, &cfg, &mut probe);
+        // Tamper with the breakdown the way the old saturating
+        // subtraction silently did.
+        report.stall = Nanos::ZERO;
+        let out = probe.finish(&report);
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| v.rule == "breakdown-identity"),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn detects_stall_imbalance() {
+        let mut p = probe_for(1, 4);
+        p.on_event(&Event::StallEnd {
+            now: Nanos::from_millis(1),
+            block: BlockId(3),
+            stalled: Nanos::from_millis(1),
+        });
+        assert_eq!(rules(&p), vec!["stall-balance"]);
+    }
+
+    #[test]
+    fn uniform_lower_bound_catches_impossible_elapsed() {
+        let t = unit_trace(&[0, 1, 2, 3, 4, 5], 4);
+        let cfg = theory_config(1, 4, 5);
+        let mut probe = AuditProbe::new(&cfg);
+        let mut report = crate::engine::simulate_probed(&t, PolicyKind::Demand, &cfg, &mut probe);
+        // Claim the run finished faster than one disk could possibly
+        // serve its fetches; keep the breakdown internally consistent.
+        report.elapsed = Nanos::from_millis(7);
+        report.compute = Nanos::from_millis(6);
+        report.driver = Nanos::ZERO;
+        report.stall = Nanos::from_millis(1);
+        let out = probe.finish(&report);
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| v.rule == "uniform-lower-bound"),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn violation_recording_is_capped() {
+        let mut p = probe_for(1, 4);
+        for _ in 0..(MAX_RECORDED + 10) {
+            p.on_event(&Event::Eviction {
+                now: Nanos::ZERO,
+                block: BlockId(42),
+            });
+        }
+        assert_eq!(p.violations().len(), MAX_RECORDED);
+        let report = Report {
+            trace: "t".into(),
+            policy: "p".into(),
+            disks: 1,
+            elapsed: Nanos::ZERO,
+            compute: Nanos::ZERO,
+            driver: Nanos::ZERO,
+            stall: Nanos::ZERO,
+            fetches: 0,
+            writes: 0,
+            avg_fetch_time: Nanos::ZERO,
+            avg_disk_utilization: 0.0,
+            per_disk: vec![Default::default()],
+        };
+        let out = p.finish(&report);
+        assert!(out.suppressed >= 10, "{}", out.suppressed);
+        assert!(!out.is_clean());
+    }
+}

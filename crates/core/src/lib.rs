@@ -24,11 +24,16 @@
 //!   stream emitted at every decision point, and counters, latency
 //!   histograms, and per-disk timelines folded from it. The default
 //!   probe is a zero-sized no-op, so uninstrumented runs pay nothing.
+//! * [`audit`] — a probe that enforces conservation invariants over the
+//!   event stream (frame conservation, fetch/stall balance, monotone
+//!   time, queue-depth accounting) and reconciles the final report with
+//!   checked arithmetic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algs;
+pub mod audit;
 pub mod cache;
 pub mod config;
 pub mod engine;
@@ -39,6 +44,7 @@ pub mod policy;
 pub mod probe;
 pub mod theory;
 
+pub use audit::{simulate_audited, AuditOutcome, AuditProbe, AuditViolation};
 pub use config::SimConfig;
 pub use engine::{simulate, simulate_probed, simulate_with, simulate_with_probed, Report};
 pub use metrics::{Histogram, MetricsProbe, RunMetrics};

@@ -51,6 +51,23 @@ pub fn elapsed_units(report: &crate::engine::Report) -> u64 {
     report.elapsed.as_nanos() / UNIT.as_nanos()
 }
 
+/// A hard lower bound on the elapsed time of a run under the uniform
+/// model with fetch time `f` (§2.1): the CPU timeline (compute +
+/// driver) is serial, any fetch at all takes a full `f` that cannot
+/// finish before the run does, and each drive serializes its requests
+/// at `f` apiece. Reporting less than this is impossible physics, so
+/// the audit layer treats it as an accounting violation.
+pub fn uniform_elapsed_lower_bound(report: &crate::engine::Report, f: Nanos) -> Nanos {
+    let mut bound = report.compute + report.driver;
+    if report.fetches > 0 {
+        bound = bound.max(f);
+    }
+    for d in &report.per_disk {
+        bound = bound.max(f.checked_mul(d.served).unwrap_or(Nanos::MAX));
+    }
+    bound
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +142,25 @@ mod tests {
         let r = simulate(&t, PolicyKind::FixedHorizon, &c);
         // 8 compute + at most F cold stall.
         assert!(elapsed_units(&r) <= 11, "{} units", elapsed_units(&r));
+    }
+
+    #[test]
+    fn uniform_lower_bound_is_respected_by_real_runs() {
+        let t = unit_trace(&[0, 1, 2, 3, 0, 1, 2, 3], 4);
+        let f = 3u64;
+        for kind in PolicyKind::ALL {
+            let c = theory_config(2, 3, f);
+            let r = simulate(&t, kind, &c);
+            let bound = uniform_elapsed_lower_bound(&r, UNIT * f);
+            assert!(
+                r.elapsed >= bound,
+                "{kind}: elapsed {} below bound {bound}",
+                r.elapsed
+            );
+            // The bound is not vacuous: it at least covers compute and
+            // one full fetch.
+            assert!(bound >= r.compute.max(UNIT * f));
+        }
     }
 
     #[test]

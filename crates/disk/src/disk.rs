@@ -89,6 +89,9 @@ impl DiskStats {
 pub struct Disk {
     model: Box<dyn DiskModel>,
     discipline: Discipline,
+    /// The discipline as constructed, so [`Disk::reset`] can restore
+    /// scheduler state (SCAN's sweep direction) and not just clear queues.
+    initial_discipline: Discipline,
     queue: Vec<Pending>,
     in_service: Option<InService>,
     next_seq: u64,
@@ -101,6 +104,7 @@ impl Disk {
         Disk {
             model,
             discipline,
+            initial_discipline: discipline,
             queue: Vec::new(),
             in_service: None,
             next_seq: 0,
@@ -319,12 +323,15 @@ impl Disk {
             .chain(self.in_service.iter().map(|s| s.request.block))
     }
 
-    /// Clears queue, in-service state, statistics, and the drive model.
+    /// Clears queue, in-service state, statistics, scheduler state, and
+    /// the drive model. SCAN's sweep direction reverts to its initial
+    /// value, so back-to-back runs on a reused drive are reproducible.
     pub fn reset(&mut self) {
         self.queue.clear();
         self.in_service = None;
         self.next_seq = 0;
         self.stats = DiskStats::default();
+        self.discipline = self.initial_discipline;
         self.model.reset();
     }
 }
@@ -449,5 +456,46 @@ mod tests {
         d.reset();
         assert!(d.is_free());
         assert_eq!(d.stats(), DiskStats::default());
+    }
+
+    /// Span starting at the first sector of cylinder `c` (HP geometry:
+    /// 1368 sectors per cylinder, matching [`CoarseDisk`]'s mapping).
+    fn span_at_cylinder(c: u64) -> SectorSpan {
+        SectorSpan {
+            start: c * 1368,
+            len: 16,
+        }
+    }
+
+    #[test]
+    fn reset_restores_scan_sweep_direction() {
+        use crate::coarse::CoarseDisk;
+        let mut d = Disk::new(
+            Box::new(CoarseDisk::new()),
+            Discipline::Scan { ascending: true },
+        );
+        // Serve cylinder 500, then a request behind the head: SCAN finds
+        // nothing ahead and reverses, leaving the discipline descending.
+        d.enqueue(Nanos::ZERO, BlockId(1), span_at_cylinder(500));
+        d.enqueue(Nanos::ZERO, BlockId(2), span_at_cylinder(10));
+        let t = d.next_completion().unwrap();
+        d.complete(t);
+        assert_eq!(d.discipline(), Discipline::Scan { ascending: false });
+
+        // A reset mid-sweep must restore the constructed direction, or
+        // back-to-back runs on a reused drive diverge.
+        d.reset();
+        assert_eq!(d.discipline(), Discipline::Scan { ascending: true });
+
+        // Behavioral check: head back at 500 with candidates on both
+        // sides, an ascending sweep picks 900 next; a stale descending
+        // sweep would have picked 10.
+        d.enqueue(Nanos::ZERO, BlockId(1), span_at_cylinder(500));
+        d.enqueue(Nanos::ZERO, BlockId(2), span_at_cylinder(10));
+        d.enqueue(Nanos::ZERO, BlockId(3), span_at_cylinder(900));
+        let t = d.next_completion().unwrap();
+        assert_eq!(d.complete(t).block, BlockId(1));
+        let t = d.next_completion().unwrap();
+        assert_eq!(d.complete(t).block, BlockId(3));
     }
 }

@@ -56,38 +56,72 @@ const READAHEAD_SECTORS: u64 = 256;
 
 /// Sequential readahead state: after a mechanical read the drive keeps
 /// reading forward into its buffer until the end of the cylinder.
+///
+/// The fill's progress is tracked explicitly (`frontier` as of
+/// `frontier_time`) rather than derived from the run's start, so a fill
+/// that pauses — the buffer full, waiting for the host to consume — loses
+/// real time. Back-dating the fill as if it had run continuously reported
+/// sectors available before the media could have delivered them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Readahead {
-    /// Sector where the current fill run began (end of the mechanical read).
+    /// Sector where the current fill run began (end of the mechanical
+    /// read); the cylinder-end stop is fixed by this.
     origin: u64,
-    /// Time the fill run began.
-    origin_time: Nanos,
+    /// Next sector the fill will read: sectors in
+    /// `consumed_to..frontier` are buffered.
+    frontier: u64,
+    /// Fill progress timestamp: the frontier sector starts reading at
+    /// `frontier_time` (or later, if the fill is paused).
+    frontier_time: Nanos,
     /// Oldest still-buffered sector; earlier sectors have been discarded.
     consumed_to: u64,
 }
 
 impl Readahead {
-    /// The furthest sector (exclusive) buffered by time `now`, honoring the
-    /// media rate, the buffer capacity, and the cylinder-end stop.
-    fn frontier(&self, now: Nanos, geometry: &DiskGeometry) -> u64 {
-        let elapsed = now - self.origin_time;
+    /// Advances the fill to `now` at media rate, stopping at the buffer
+    /// capacity and the cylinder end. A fill that hits a stop pauses:
+    /// its clock moves to `now` so no retroactive progress is credited
+    /// once the stop lifts.
+    fn advance(&mut self, now: Nanos, geometry: &DiskGeometry) {
+        if now <= self.frontier_time {
+            return;
+        }
+        let stop = self.stop(geometry);
+        if self.frontier >= stop {
+            // Already paused: the fill marks time until capacity frees.
+            self.frontier_time = now;
+            return;
+        }
+        let elapsed = now - self.frontier_time;
         let filled = elapsed.as_nanos() / SECTOR_TIME.as_nanos();
-        let by_rate = self.origin + filled;
-        let by_capacity = self.consumed_to + READAHEAD_SECTORS;
-        let by_cylinder = geometry.next_cylinder_start(self.origin);
-        by_rate.min(by_capacity).min(by_cylinder)
+        if self.frontier + filled >= stop {
+            self.frontier = stop;
+            self.frontier_time = now;
+        } else {
+            self.frontier += filled;
+            // Keep the sub-sector remainder: the frontier sector is
+            // mid-read.
+            self.frontier_time += SECTOR_TIME * filled;
+        }
     }
 
-    /// The latest sector (exclusive) this fill run can ever deliver.
-    fn limit(&self, geometry: &DiskGeometry) -> u64 {
+    /// The sector (exclusive) at which the fill currently stops: buffer
+    /// capacity ahead of the consumption point, or the cylinder end.
+    fn stop(&self, geometry: &DiskGeometry) -> u64 {
         let by_capacity = self.consumed_to + READAHEAD_SECTORS;
         let by_cylinder = geometry.next_cylinder_start(self.origin);
         by_capacity.min(by_cylinder)
     }
 
-    /// When sector `upto` (exclusive) will have been buffered.
+    /// The latest sector (exclusive) this fill run can ever deliver.
+    fn limit(&self, geometry: &DiskGeometry) -> u64 {
+        self.stop(geometry)
+    }
+
+    /// When sector `upto` (exclusive) will have been buffered, given the
+    /// fill keeps running from its current progress point.
     fn available_at(&self, upto: u64) -> Nanos {
-        self.origin_time + SECTOR_TIME * (upto - self.origin)
+        self.frontier_time + SECTOR_TIME * upto.saturating_sub(self.frontier)
     }
 }
 
@@ -181,7 +215,8 @@ impl Hp97560 {
         self.head_cylinder = self.geometry.cylinder_of(span.end() - 1);
         self.readahead = self.readahead_enabled.then_some(Readahead {
             origin: span.end(),
-            origin_time: done,
+            frontier: span.end(),
+            frontier_time: done,
             consumed_to: span.end(),
         });
     }
@@ -193,11 +228,15 @@ impl DiskModel for Hp97560 {
             return now;
         }
         let mech_done = self.mechanical_completion(now, span);
+        if let Some(ra) = self.readahead.as_mut() {
+            ra.advance(now, &self.geometry);
+        }
         if let Some(ra) = self.readahead {
             let within = span.start >= ra.consumed_to && span.end() <= ra.limit(&self.geometry);
             if within {
-                let frontier = ra.frontier(now, &self.geometry);
-                let (hit, data_ready) = if span.end() <= frontier {
+                let paused_for_capacity = ra.frontier == ra.consumed_to + READAHEAD_SECTORS
+                    && ra.frontier < self.geometry.next_cylinder_start(ra.origin);
+                let (hit, data_ready) = if span.end() <= ra.frontier {
                     (true, now)
                 } else {
                     (false, ra.available_at(span.end()))
@@ -212,10 +251,22 @@ impl DiskModel for Hp97560 {
                         self.stats.buffer_waits += 1;
                     }
                     self.head_cylinder = self.geometry.cylinder_of(span.end() - 1);
-                    self.readahead = Some(Readahead {
-                        consumed_to: span.end(),
-                        ..ra
-                    });
+                    let mut ra = ra;
+                    ra.consumed_to = span.end();
+                    if hit {
+                        // Consuming the hit frees buffer frames; a fill
+                        // paused on capacity resumes once this transfer
+                        // has delivered the data — not retroactively.
+                        if paused_for_capacity {
+                            ra.frontier_time = done;
+                        }
+                    } else {
+                        // The fill has read exactly up to the requested
+                        // sectors at the moment they became available.
+                        ra.frontier = span.end();
+                        ra.frontier_time = data_ready;
+                    }
+                    self.readahead = Some(ra);
                     return done;
                 }
             }
@@ -387,6 +438,28 @@ mod tests {
         let s = d.stats();
         assert_eq!(s.mechanical, 20);
         assert_eq!(s.buffer_hits + s.buffer_waits, 0);
+    }
+
+    #[test]
+    fn capacity_paused_fill_is_not_backdated() {
+        let mut d = Hp97560::new();
+        let t0 = d.service(Nanos::ZERO, &block_span(0));
+        // Idle far past the point the 256-sector buffer fills (~53 ms):
+        // the fill pauses at sector 272 for lack of space.
+        let now = t0 + Nanos::from_millis(100);
+        let done1 = d.service(now, &block_span(1));
+        assert_eq!(d.stats().buffer_hits, 1);
+        // Consuming block 1 freed 16 sectors, letting the paused fill
+        // resume — at done1, not retroactively. Block 17 (sectors
+        // 272..288) therefore cannot be ready before the media has read
+        // 16 more sectors; back-dating the fill to the start of the run
+        // reported it at bus speed (~1.3 ms).
+        let done2 = d.service(done1, &block_span(17));
+        assert!(
+            done2 - done1 >= SECTOR_TIME * 16,
+            "paused readahead back-dated: block served in {}",
+            done2 - done1
+        );
     }
 
     #[test]

@@ -82,6 +82,21 @@ impl Nanos {
         self.0.checked_add(rhs.0).map(Nanos)
     }
 
+    /// Checked subtraction, `None` on underflow. Unlike `-`, which
+    /// saturates to zero, this lets accounting code detect an identity
+    /// violation (a component exceeding its total) instead of silently
+    /// clamping it away.
+    #[inline]
+    pub fn checked_sub(self, rhs: Nanos) -> Option<Nanos> {
+        self.0.checked_sub(rhs.0).map(Nanos)
+    }
+
+    /// Checked multiplication by a scalar, `None` on overflow.
+    #[inline]
+    pub fn checked_mul(self, rhs: u64) -> Option<Nanos> {
+        self.0.checked_mul(rhs).map(Nanos)
+    }
+
     /// Returns the larger of two times.
     #[inline]
     pub fn max(self, rhs: Nanos) -> Nanos {
@@ -195,6 +210,17 @@ mod tests {
         let mut t = Nanos(3);
         t -= Nanos(9);
         assert_eq!(t, Nanos::ZERO);
+    }
+
+    #[test]
+    fn checked_ops_detect_over_and_underflow() {
+        assert_eq!(Nanos(10).checked_sub(Nanos(4)), Some(Nanos(6)));
+        assert_eq!(Nanos(4).checked_sub(Nanos(10)), None);
+        assert_eq!(Nanos(7).checked_sub(Nanos(7)), Some(Nanos::ZERO));
+        assert_eq!(Nanos(3).checked_add(Nanos(4)), Some(Nanos(7)));
+        assert_eq!(Nanos::MAX.checked_add(Nanos(1)), None);
+        assert_eq!(Nanos(3).checked_mul(4), Some(Nanos(12)));
+        assert_eq!(Nanos::MAX.checked_mul(2), None);
     }
 
     #[test]
