@@ -34,4 +34,22 @@ echo "== differential fuzz smoke (200 cases, every policy) =="
 cargo run --release -q -p parcache-bench --bin parcache-run -- \
     --fuzz 200 --seed 1996 --threads 2 > /dev/null
 
+echo "== fault-enabled fuzz smoke (200 cases; ~half run under a fault plan) =="
+cargo run --release -q -p parcache-bench --bin parcache-run -- \
+    --fuzz 200 --seed 2026 --threads 2 > /dev/null
+
+echo "== faulted audited sweep smoke (retry/abandon/degraded invariants) =="
+FAULTS='flaky:*:0.05,slow:0:0:2000:2,outage:1:100:600,seed:9'
+cargo run --release -q -p parcache-bench --bin parcache-run -- \
+    --sweep synth all 1,2 --audit --threads 2 --faults "$FAULTS" > /dev/null
+
+echo "== faulted sweep is byte-identical across thread counts =="
+tmp1=$(mktemp); tmp2=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp2"' EXIT
+cargo run --release -q -p parcache-bench --bin parcache-run -- \
+    --sweep synth all 1,2 --threads 1 --faults "$FAULTS" > "$tmp1"
+cargo run --release -q -p parcache-bench --bin parcache-run -- \
+    --sweep synth all 1,2 --threads 2 --faults "$FAULTS" > "$tmp2"
+diff "$tmp1" "$tmp2"
+
 echo "CI OK"

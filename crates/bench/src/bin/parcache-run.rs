@@ -17,6 +17,8 @@
 //! parcache-run --fuzz 200 [--seed S] [--threads N]   # differential fuzzer
 //! parcache-run --sweep --audit                       # audited sweep
 //! parcache-run glimpse forestall 4 --audit           # audited single runs
+//! parcache-run glimpse forestall 4 --faults outage:0:100:400
+//! parcache-run --sweep --faults flaky:*:0.01,seed:7  # degraded-array sweep
 //! ```
 //!
 //! The trace argument is one of the paper's trace names, or a path to a
@@ -49,6 +51,12 @@
 //!   (each case runs every policy, plain and audited) and exits nonzero
 //!   on any violation or divergence. `--seed <s>` picks the stream
 //!   (default 1996); `--threads` applies.
+//! * `--faults <spec>` runs everything under a deterministic fault plan
+//!   (single runs and sweeps). The spec is comma-separated
+//!   `flaky:<disk|*>:<p>`, `slow:<disk|*>:<from_ms>:<until_ms>:<factor>`,
+//!   `outage:<disk|*>:<from_ms>:<until_ms>`, and `seed:<u64>` clauses;
+//!   reports and sweep CSV grow fault-accounting fields. Output stays
+//!   byte-identical across `--threads` values.
 
 use parcache_bench::sweep::{self, SweepAggregate, SweepEntry, SweepSpec};
 use parcache_bench::{breakdown_table, run, trace, Algo, BreakdownRow, DISK_COUNTS};
@@ -57,9 +65,49 @@ use parcache_core::metrics::{MetricsProbe, RunMetrics, Unit};
 use parcache_core::policy::PolicyKind;
 use parcache_core::probe::{Event, Probe};
 use parcache_core::{Report, SimConfig};
+use parcache_disk::FaultPlan;
 use std::io::Write;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// One-screen usage summary, printed alongside argument errors.
+const USAGE: &str = "\
+usage: parcache-run <trace> [policy] [disks] [--json] [--hist] [--audit]
+                    [--events <path>] [--faults <spec>]
+       parcache-run --sweep [traces] [algos] [disks] [--threads N]
+                    [--json] [--hist] [--audit] [--faults <spec>]
+       parcache-run --fuzz <n> [--seed <s>] [--threads N]
+
+traces:  paper trace names (or `all`), or a path to a trace file
+faults:  comma-separated flaky:<disk|*>:<p>, slow:<disk|*>:<from_ms>:<until_ms>:<factor>,
+         outage:<disk|*>:<from_ms>:<until_ms>, seed:<u64>";
+
+/// What stopped the CLI: a bad invocation (exit 2, with usage) or a
+/// runtime I/O failure (exit 1).
+#[derive(Debug)]
+enum CliError {
+    /// The command line does not parse or names something unknown.
+    Usage(String),
+    /// An I/O operation on behalf of the user failed.
+    Io(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Io(msg) => write!(f, "{msg}"),
+        }
+    }
+}
 
 fn parse_policies(arg: &str) -> Vec<PolicyKind> {
     if arg == "all" {
@@ -99,10 +147,11 @@ struct Options {
     seed: u64,
     threads: Option<usize>,
     events: Option<String>,
+    faults: FaultPlan,
     positional: Vec<String>,
 }
 
-fn parse_args(args: Vec<String>) -> Options {
+fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
     let mut opts = Options {
         json: false,
         hist: false,
@@ -112,6 +161,7 @@ fn parse_args(args: Vec<String>) -> Options {
         seed: parcache_bench::SEED,
         threads: None,
         events: None,
+        faults: FaultPlan::default(),
         positional: Vec::new(),
     };
     let mut it = args.into_iter();
@@ -124,89 +174,98 @@ fn parse_args(args: Vec<String>) -> Options {
             "--fuzz" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n > 0 => opts.fuzz = Some(n),
                 _ => {
-                    eprintln!("--fuzz requires a positive case count");
-                    std::process::exit(1);
+                    return Err(CliError::Usage(
+                        "--fuzz requires a positive case count".to_string(),
+                    ))
                 }
             },
             "--seed" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
                 Some(s) => opts.seed = s,
                 None => {
-                    eprintln!("--seed requires an unsigned integer");
-                    std::process::exit(1);
+                    return Err(CliError::Usage(
+                        "--seed requires an unsigned integer".to_string(),
+                    ))
                 }
             },
             "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n > 0 => opts.threads = Some(n),
                 _ => {
-                    eprintln!("--threads requires a positive integer");
-                    std::process::exit(1);
+                    return Err(CliError::Usage(
+                        "--threads requires a positive integer".to_string(),
+                    ))
                 }
             },
             "--events" => match it.next() {
                 Some(p) => opts.events = Some(p),
+                None => return Err(CliError::Usage("--events requires a path".to_string())),
+            },
+            "--faults" => match it.next() {
+                Some(spec) => {
+                    opts.faults = FaultPlan::parse(&spec)
+                        .map_err(|e| CliError::Usage(format!("bad --faults spec: {e}")))?;
+                }
                 None => {
-                    eprintln!("--events requires a path");
-                    std::process::exit(1);
+                    return Err(CliError::Usage(
+                        "--faults requires a fault-plan spec".to_string(),
+                    ))
                 }
             },
             f if f.starts_with("--") => {
-                eprintln!(
+                return Err(CliError::Usage(format!(
                     "unknown flag {f}; known flags: --json --hist --sweep --audit \
-                     --fuzz <n> --seed <s> --threads <n> --events <path>"
-                );
-                std::process::exit(1);
+                     --fuzz <n> --seed <s> --threads <n> --events <path> --faults <spec>"
+                )))
             }
             _ => opts.positional.push(a),
         }
     }
-    opts
+    Ok(opts)
 }
 
-fn parse_disks(s: &str) -> Vec<usize> {
+fn parse_disks(s: &str) -> Result<Vec<usize>, CliError> {
     s.split(',')
         .map(|x| match x.parse::<usize>() {
-            Ok(d) if d > 0 => d,
-            _ => {
-                eprintln!("bad disk count {x:?}: expected positive integers like 1,2,4");
-                std::process::exit(1);
-            }
+            Ok(d) if d > 0 => Ok(d),
+            _ => Err(CliError::Usage(format!(
+                "bad disk count {x:?}: expected positive integers like 1,2,4"
+            ))),
         })
         .collect()
 }
 
 /// Resolves a trace argument: a paper trace name through the shared
 /// cache, anything path-like through the trace-file loader.
-fn resolve_trace(name: &str) -> Arc<parcache_trace::Trace> {
+fn resolve_trace(name: &str) -> Result<Arc<parcache_trace::Trace>, CliError> {
     if parcache_trace::TRACE_NAMES.contains(&name) {
-        return trace(name);
+        return Ok(trace(name));
     }
     if name.contains('/') || name.contains('.') {
-        match parcache_trace::load(name) {
-            Ok(t) => return Arc::new(t),
-            Err(e) => {
-                eprintln!("failed to load {name}: {e}");
-                std::process::exit(1);
-            }
-        }
+        return match parcache_trace::load(name) {
+            Ok(t) => Ok(Arc::new(t)),
+            Err(e) => Err(CliError::Io(format!("failed to load {name}: {e}"))),
+        };
     }
-    eprintln!(
+    Err(CliError::Usage(format!(
         "unknown trace {name}; choose one of: {} — or pass a path to a trace file",
         parcache_trace::TRACE_NAMES.join(" ")
-    );
-    std::process::exit(1);
+    )))
 }
 
 /// `--sweep` mode: expand the grid, run it on the worker pool, print CSV
 /// or JSON. The output is byte-identical for every thread count.
-fn sweep_main(opts: &Options) {
+fn sweep_main(opts: &Options) -> Result<(), CliError> {
     if opts.events.is_some() {
-        eprintln!("--events is not supported with --sweep; run the cell on its own instead");
-        std::process::exit(1);
+        return Err(CliError::Usage(
+            "--events is not supported with --sweep; run the cell on its own instead".to_string(),
+        ));
     }
     let threads = opts.threads.unwrap_or_else(sweep::default_threads);
     let trace_arg = opts.positional.first().map(String::as_str).unwrap_or("all");
     let algo_arg = opts.positional.get(1).map(String::as_str).unwrap_or("all");
-    let disks: Option<Vec<usize>> = opts.positional.get(2).map(|s| parse_disks(s));
+    let disks: Option<Vec<usize>> = match opts.positional.get(2) {
+        Some(s) => Some(parse_disks(s)?),
+        None => None,
+    };
 
     let algos: Vec<Algo> = if algo_arg == "all" {
         Algo::APPENDIX_A.to_vec()
@@ -214,15 +273,14 @@ fn sweep_main(opts: &Options) {
         algo_arg
             .split(',')
             .map(|n| {
-                Algo::by_name(n).unwrap_or_else(|| {
-                    eprintln!(
+                Algo::by_name(n).ok_or_else(|| {
+                    CliError::Usage(format!(
                         "unknown algorithm {n}; choose from: all demand fixed-horizon \
                          aggressive tuned-reverse forestall"
-                    );
-                    std::process::exit(1);
+                    ))
                 })
             })
-            .collect()
+            .collect::<Result<_, _>>()?
     };
 
     let names: Vec<&str> = if trace_arg == "all" {
@@ -239,21 +297,27 @@ fn sweep_main(opts: &Options) {
     } else {
         let entries = names
             .iter()
-            .map(|n| SweepEntry {
-                trace: resolve_trace(n),
-                disks: disks.clone().unwrap_or_else(|| DISK_COUNTS.to_vec()),
+            .map(|n| {
+                Ok(SweepEntry {
+                    trace: resolve_trace(n)?,
+                    disks: disks.clone().unwrap_or_else(|| DISK_COUNTS.to_vec()),
+                })
             })
-            .collect();
+            .collect::<Result<_, CliError>>()?;
         SweepSpec { entries, algos }
     };
 
     let cells = spec.cells();
     let wall = Instant::now();
     let (outcomes, audits) = if opts.audit {
-        let (outcomes, audits) = sweep::run_sweep_cells_audited(&cells, threads, opts.hist);
+        let (outcomes, audits) =
+            sweep::run_sweep_cells_audited(&cells, threads, opts.hist, &opts.faults);
         (outcomes, Some(audits))
     } else {
-        (sweep::run_sweep_cells(&cells, threads, opts.hist), None)
+        (
+            sweep::run_sweep_cells(&cells, threads, opts.hist, &opts.faults),
+            None,
+        )
     };
     let elapsed = wall.elapsed();
 
@@ -295,6 +359,7 @@ fn sweep_main(opts: &Options) {
         }
         eprintln!("audit: all {} cells clean", audits.len());
     }
+    Ok(())
 }
 
 /// `--fuzz` mode: run the differential fuzzer and exit nonzero on any
@@ -342,14 +407,26 @@ fn print_histograms(policy: &str, disks: usize, m: &RunMetrics) {
 }
 
 fn main() {
-    let opts = parse_args(std::env::args().skip(1).collect());
+    match real_main() {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("{USAGE}");
+            }
+            std::process::exit(e.exit_code());
+        }
+    }
+}
+
+fn real_main() -> Result<(), CliError> {
+    let opts = parse_args(std::env::args().skip(1).collect())?;
     if let Some(cases) = opts.fuzz {
         fuzz_main(&opts, cases);
-        return;
+        return Ok(());
     }
     if opts.sweep {
-        sweep_main(&opts);
-        return;
+        return sweep_main(&opts);
     }
     let trace_name = opts
         .positional
@@ -358,30 +435,20 @@ fn main() {
         .unwrap_or("synth");
     let policy_arg = opts.positional.get(1).map(String::as_str).unwrap_or("all");
     let disks: Vec<usize> = match opts.positional.get(2) {
-        Some(s) => s
-            .split(',')
-            .map(|x| match x.parse::<usize>() {
-                Ok(d) if d > 0 => d,
-                _ => {
-                    eprintln!("bad disk count {x:?}: expected positive integers like 1,2,4");
-                    std::process::exit(1);
-                }
-            })
-            .collect(),
+        Some(s) => parse_disks(s)?,
         None => DISK_COUNTS.to_vec(),
     };
 
     let policies = parse_policies(policy_arg);
     if policies.is_empty() {
-        eprintln!(
+        return Err(CliError::Usage(format!(
             "unknown policy {policy_arg}; choose one of: all {}",
             PolicyKind::ALL.map(|k| k.name()).join(" ")
-        );
-        std::process::exit(1);
+        )));
     }
 
     // A path loads a user trace file; otherwise use the paper's traces.
-    let t = resolve_trace(trace_name);
+    let t = resolve_trace(trace_name)?;
     let stats = t.stats();
     if !opts.json {
         println!(
@@ -394,30 +461,36 @@ fn main() {
     }
 
     let probed = opts.json || opts.hist || opts.events.is_some();
-    let mut event_log = opts.events.as_ref().map(|path| {
-        std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
-            eprintln!("failed to create {path}: {e}");
-            std::process::exit(1);
-        }))
-    });
+    let mut event_log = match opts.events.as_ref() {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(std::io::BufWriter::new(f)),
+            Err(e) => return Err(CliError::Io(format!("failed to create {path}: {e}"))),
+        },
+        None => None,
+    };
 
     let mut results: Vec<(Report, Option<RunMetrics>)> = Vec::new();
     let mut audit_failures: Vec<String> = Vec::new();
     let wall = Instant::now();
     for &d in &disks {
         let cfg = SimConfig::for_trace(d, &t);
+        // An empty --faults plan leaves the config untouched, keeping
+        // healthy-run output byte-identical.
+        let cfg = if opts.faults.is_empty() {
+            cfg
+        } else {
+            cfg.with_faults(opts.faults.clone())
+        };
         for &kind in &policies {
-            let report = if probed {
+            let (report, metrics) = if probed {
                 let mut probe = CliProbe {
                     metrics: MetricsProbe::for_disks(d),
                     log: event_log.as_mut(),
                 };
                 let report = simulate_probed(&t, kind, &cfg, &mut probe);
-                results.push((report, Some(probe.metrics.finish())));
-                &results.last().expect("just pushed").0
+                (report, Some(probe.metrics.finish()))
             } else {
-                results.push((run(&t, kind, &cfg), None));
-                &results.last().expect("just pushed").0
+                (run(&t, kind, &cfg), None)
             };
             if opts.audit {
                 let (audited, outcome) = parcache_core::simulate_audited(&t, kind, &cfg);
@@ -428,7 +501,7 @@ fn main() {
                 if outcome.suppressed > 0 {
                     lines.push(format!("  ... and {} more suppressed", outcome.suppressed));
                 }
-                if audited != *report {
+                if audited != report {
                     lines.push("  audited rerun diverged from the plain run".to_string());
                 }
                 if !lines.is_empty() {
@@ -441,23 +514,27 @@ fn main() {
                     ));
                 }
             }
+            results.push((report, metrics));
         }
     }
     let elapsed = wall.elapsed();
 
     if let Some(w) = event_log.as_mut() {
-        w.flush().expect("flush event log");
+        if let Err(e) = w.flush() {
+            return Err(CliError::Io(format!("failed to flush event log: {e}")));
+        }
     }
 
     if opts.json {
         let runs: Vec<String> = results
             .iter()
-            .map(|(report, metrics)| {
-                format!(
+            .map(|(report, metrics)| match metrics {
+                Some(m) => format!(
                     r#"{{"report":{},"metrics":{}}}"#,
                     report.to_json(),
-                    metrics.as_ref().expect("probed run has metrics").to_json()
-                )
+                    m.to_json()
+                ),
+                None => format!(r#"{{"report":{}}}"#, report.to_json()),
             })
             .collect();
         println!(
@@ -497,4 +574,5 @@ fn main() {
         }
         eprintln!("audit: all {} runs clean", results.len());
     }
+    Ok(())
 }

@@ -20,12 +20,13 @@
 
 use crate::sweep::run_indexed;
 use parcache_core::audit::simulate_audited;
-use parcache_core::config::DiskModelKind;
+use parcache_core::config::{DiskModelKind, RetryPolicy};
 use parcache_core::engine::Report;
 use parcache_core::hints::HintSpec;
 use parcache_core::policy::PolicyKind;
 use parcache_core::{simulate, SimConfig};
 use parcache_disk::sched::Discipline;
+use parcache_disk::FaultPlan;
 use parcache_trace::{Request, Trace};
 use parcache_types::rng::Rng;
 use parcache_types::{BlockId, Nanos};
@@ -150,6 +151,46 @@ fn gen_case(rng: &mut Rng, index: usize) -> FuzzCase {
     config.reverse_fetch_estimate = rng.gen_range(1u64..=8);
     config.reverse_batch_size = rng.gen_range(1usize..=4);
 
+    // Fault dimension: roughly half the cases run under a non-empty
+    // deterministic fault plan (transient media errors, a fail-slow
+    // window, an outage — in any combination), with the driver's retry
+    // policy randomized alongside it.
+    if rng.gen_bool(0.5) {
+        let mut parts: Vec<String> = Vec::new();
+        if rng.gen_bool(0.6) {
+            let p = rng.gen_range(1u64..=30) as f64 / 100.0;
+            parts.push(format!("flaky:*:{p}"));
+        }
+        if rng.gen_bool(0.5) {
+            let d = rng.gen_range(0usize..disks);
+            let from = rng.gen_range(0u64..=50);
+            let until = from + rng.gen_range(1u64..=50);
+            let factor = rng.gen_range(2u64..=4);
+            parts.push(format!("slow:{d}:{from}:{until}:{factor}"));
+        }
+        if rng.gen_bool(0.5) {
+            let d = rng.gen_range(0usize..disks);
+            let from = rng.gen_range(0u64..=50);
+            let until = from + rng.gen_range(1u64..=30);
+            parts.push(format!("outage:{d}:{from}:{until}"));
+        }
+        if parts.is_empty() {
+            parts.push("flaky:*:0.1".to_string());
+        }
+        parts.push(format!("seed:{}", rng.next_u64()));
+        let plan = FaultPlan::parse(&parts.join(",")).expect("generated fault spec is valid");
+        config = config.with_faults(plan).with_retry(RetryPolicy {
+            max_retries: rng.gen_range(1u64..=6) as u32,
+            backoff: Nanos::from_micros(rng.gen_range(100u64..=2000)),
+            backoff_cap: Nanos::from_millis(rng.gen_range(4u64..=64)),
+            timeout: if rng.gen_bool(0.3) {
+                Some(Nanos::from_millis(rng.gen_range(1u64..=50)))
+            } else {
+                None
+            },
+        });
+    }
+
     FuzzCase {
         index,
         trace,
@@ -185,6 +226,16 @@ fn fingerprint_report(mut h: u64, r: &Report) -> u64 {
     for d in &r.per_disk {
         h = mix(h, d.served);
         h = mix(h, d.busy.as_nanos());
+        h = mix(h, d.failed);
+    }
+    if let Some(f) = &r.fault {
+        h = mix(h, f.faults_injected);
+        h = mix(h, f.retries);
+        h = mix(h, f.abandoned);
+        for &d in &f.per_disk_degraded {
+            h = mix(h, d.as_nanos());
+        }
+        h = mix(h, f.availability.to_bits());
     }
     h
 }
@@ -278,6 +329,10 @@ mod tests {
         assert!(cases
             .iter()
             .any(|c| c.config.disk_model == DiskModelKind::Hp97560));
+        // The fault dimension is drawn at ~p=0.5, so a dozen cases cover
+        // both faulted and healthy configurations.
+        assert!(cases.iter().any(|c| !c.config.faults.is_empty()));
+        assert!(cases.iter().any(|c| c.config.faults.is_empty()));
     }
 
     #[test]

@@ -21,6 +21,7 @@ use parcache_core::engine::{simulate_probed, Report};
 use parcache_core::metrics::{Counters, Histogram, MetricsProbe, RunMetrics, Unit};
 use parcache_core::policy::PolicyKind;
 use parcache_core::SimConfig;
+use parcache_disk::FaultPlan;
 use parcache_trace::Trace;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -192,8 +193,19 @@ impl SweepSpec {
 /// Executes one cell, also returning the policy and configuration that
 /// produced the report (for tuned reverse aggressive, the search's
 /// winning configuration) so an audited rerun can replay it exactly.
-fn run_cell_inner(cell: &SweepCell, probed: bool) -> (CellOutcome, PolicyKind, SimConfig) {
+fn run_cell_inner(
+    cell: &SweepCell,
+    probed: bool,
+    faults: &FaultPlan,
+) -> (CellOutcome, PolicyKind, SimConfig) {
     let cfg = SimConfig::for_trace(cell.disks, &cell.trace);
+    // An empty plan leaves the config untouched, so healthy sweeps stay
+    // byte-identical to builds without fault support.
+    let cfg = if faults.is_empty() {
+        cfg
+    } else {
+        cfg.with_faults(faults.clone())
+    };
     let (report, metrics, kind, cfg) = match cell.algo {
         Algo::TunedReverse => {
             let (report, best_cfg) = best_reverse_search(&cell.trace, &cfg, 1);
@@ -235,8 +247,8 @@ fn run_cell_inner(cell: &SweepCell, probed: bool) -> (CellOutcome, PolicyKind, S
 /// Executes one cell. Tuned reverse aggressive runs its parameter search
 /// serially here — the sweep already owns the machine's parallelism, and
 /// nested worker pools would oversubscribe it.
-fn run_cell(cell: &SweepCell, probed: bool) -> CellOutcome {
-    run_cell_inner(cell, probed).0
+fn run_cell(cell: &SweepCell, probed: bool, faults: &FaultPlan) -> CellOutcome {
+    run_cell_inner(cell, probed, faults).0
 }
 
 /// Executes one cell twice — once exactly as [`run_cell`] (so the
@@ -246,8 +258,12 @@ fn run_cell(cell: &SweepCell, probed: bool) -> CellOutcome {
 /// as an audit violation: the audit must never perturb the simulation.
 ///
 /// [`AuditProbe`]: parcache_core::audit::AuditProbe
-fn run_cell_audited(cell: &SweepCell, probed: bool) -> (CellOutcome, AuditOutcome) {
-    let (outcome, kind, cfg) = run_cell_inner(cell, probed);
+fn run_cell_audited(
+    cell: &SweepCell,
+    probed: bool,
+    faults: &FaultPlan,
+) -> (CellOutcome, AuditOutcome) {
+    let (outcome, kind, cfg) = run_cell_inner(cell, probed, faults);
     let (audited_report, mut audit) = simulate_audited(&cell.trace, kind, &cfg);
     if audited_report != outcome.report {
         audit.violations.push(AuditViolation {
@@ -265,19 +281,28 @@ fn run_cell_audited(cell: &SweepCell, probed: bool) -> (CellOutcome, AuditOutcom
 /// Runs every cell of `spec` on `threads` workers and returns the
 /// outcomes in cell-index order.
 pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Vec<CellOutcome> {
-    run_sweep_cells(&spec.cells(), threads, false)
+    run_sweep_cells(&spec.cells(), threads, false, &FaultPlan::default())
 }
 
 /// [`run_sweep`] with a metrics probe attached to every cell, so the
 /// outcomes carry [`RunMetrics`] (and can be folded into a
 /// [`SweepAggregate`]).
 pub fn run_sweep_probed(spec: &SweepSpec, threads: usize) -> Vec<CellOutcome> {
-    run_sweep_cells(&spec.cells(), threads, true)
+    run_sweep_cells(&spec.cells(), threads, true, &FaultPlan::default())
 }
 
 /// Runs pre-expanded cells; the building block both entry points share.
-pub fn run_sweep_cells(cells: &[SweepCell], threads: usize, probed: bool) -> Vec<CellOutcome> {
-    run_indexed(cells.len(), threads, |i| run_cell(&cells[i], probed))
+/// A non-empty `faults` plan is applied to every cell (the plan's own
+/// seed stream keeps the whole sweep deterministic at any thread count).
+pub fn run_sweep_cells(
+    cells: &[SweepCell],
+    threads: usize,
+    probed: bool,
+    faults: &FaultPlan,
+) -> Vec<CellOutcome> {
+    run_indexed(cells.len(), threads, |i| {
+        run_cell(&cells[i], probed, faults)
+    })
 }
 
 /// [`run_sweep_cells`] with every cell audited: returns the outcomes
@@ -287,9 +312,10 @@ pub fn run_sweep_cells_audited(
     cells: &[SweepCell],
     threads: usize,
     probed: bool,
+    faults: &FaultPlan,
 ) -> (Vec<CellOutcome>, Vec<AuditOutcome>) {
     let pairs = run_indexed(cells.len(), threads, |i| {
-        run_cell_audited(&cells[i], probed)
+        run_cell_audited(&cells[i], probed, faults)
     });
     pairs.into_iter().unzip()
 }
@@ -299,7 +325,7 @@ pub fn run_sweep_audited(
     spec: &SweepSpec,
     threads: usize,
 ) -> (Vec<CellOutcome>, Vec<AuditOutcome>) {
-    run_sweep_cells_audited(&spec.cells(), threads, false)
+    run_sweep_cells_audited(&spec.cells(), threads, false, &FaultPlan::default())
 }
 
 /// Shape-independent metrics folded across every probed cell of a sweep
@@ -380,7 +406,13 @@ impl SweepAggregate {
 /// count that computed it.
 pub fn sweep_csv(outcomes: &[CellOutcome]) -> String {
     let mut out = String::with_capacity(outcomes.len() * 96 + 128);
-    out.push_str(Report::csv_header());
+    // Fault columns appear only when a cell carries fault accounting, so
+    // healthy sweeps keep the exact historical header and row bytes.
+    if outcomes.iter().any(|o| o.report.fault.is_some()) {
+        out.push_str(Report::csv_header_faulted());
+    } else {
+        out.push_str(Report::csv_header());
+    }
     out.push('\n');
     for o in outcomes {
         out.push_str(&o.report.to_csv_row());

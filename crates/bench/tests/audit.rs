@@ -5,7 +5,8 @@
 
 use parcache_bench::fuzz::fuzz;
 use parcache_bench::sweep::{
-    run_sweep, run_sweep_audited, sweep_csv, sweep_json, SweepEntry, SweepSpec,
+    run_sweep, run_sweep_audited, run_sweep_cells, run_sweep_cells_audited, sweep_csv, sweep_json,
+    SweepEntry, SweepSpec,
 };
 use parcache_bench::Algo;
 use parcache_core::audit::simulate_audited;
@@ -13,6 +14,7 @@ use parcache_core::config::DiskModelKind;
 use parcache_core::theory::unit_trace;
 use parcache_core::{simulate, PolicyKind, SimConfig};
 use parcache_disk::sched::Discipline;
+use parcache_disk::FaultPlan;
 use parcache_types::Nanos;
 use std::sync::Arc;
 
@@ -79,6 +81,91 @@ fn audited_sweep_is_byte_identical_to_unaudited() {
         );
         assert!(audit.events > 0, "the audit probe saw the event stream");
     }
+}
+
+#[test]
+fn audit_is_clean_across_the_feature_matrix_under_faults() {
+    // The full discipline × model matrix again, this time with media
+    // errors, a fail-slow window, and an outage active. Every
+    // conservation law — including the fault identities — must hold, and
+    // the audited rerun must still be a pure observer.
+    let t = unit_trace(&[0, 1, 2, 3, 0, 4, 1, 5, 2, 0, 3, 5], 3);
+    let plan = FaultPlan::parse("flaky:*:0.2,slow:0:1:30:2,outage:1:2:20,seed:5")
+        .expect("fault spec parses");
+    for discipline in DISCIPLINES {
+        for model in MODELS {
+            for kind in PolicyKind::ALL {
+                let cfg = SimConfig::for_trace(2, &t)
+                    .with_discipline(discipline)
+                    .with_disk_model(model)
+                    .with_write_behind(3)
+                    .with_faults(plan.clone());
+                let (report, outcome) = simulate_audited(&t, kind, &cfg);
+                assert!(
+                    outcome.is_clean(),
+                    "{kind} / {discipline:?} / {model:?}: {:?}",
+                    outcome.violations
+                );
+                let f = report.fault.as_ref().expect("faulted run carries summary");
+                assert_eq!(
+                    f.faults_injected,
+                    f.retries + f.abandoned,
+                    "{kind} / {discipline:?} / {model:?}"
+                );
+                assert_eq!(report, simulate(&t, kind, &cfg), "{kind} / {discipline:?}");
+            }
+        }
+    }
+}
+
+fn faulted_spec() -> (SweepSpec, FaultPlan) {
+    let spec = SweepSpec {
+        entries: vec![SweepEntry {
+            trace: Arc::new(parcache_trace::synth::synth_trace(2, 120, 9)),
+            disks: vec![1, 3],
+        }],
+        algos: vec![Algo::Demand, Algo::Aggressive, Algo::TunedReverse],
+    };
+    let plan =
+        FaultPlan::parse("flaky:*:0.05,slow:0:0:200:2,outage:0:50:120,seed:3").expect("parses");
+    (spec, plan)
+}
+
+#[test]
+fn faulted_sweep_is_deterministic_and_audits_clean() {
+    let (spec, plan) = faulted_spec();
+    let cells = spec.cells();
+    let serial = run_sweep_cells(&cells, 1, false, &plan);
+    let threaded = run_sweep_cells(&cells, 4, false, &plan);
+    // Byte-identity at any thread count, with fault columns present.
+    assert_eq!(sweep_csv(&serial), sweep_csv(&threaded));
+    assert_eq!(sweep_json(&serial), sweep_json(&threaded));
+    assert!(sweep_csv(&serial).starts_with(parcache_core::Report::csv_header_faulted()));
+    let (audited, audits) = run_sweep_cells_audited(&cells, 2, false, &plan);
+    assert_eq!(sweep_csv(&serial), sweep_csv(&audited));
+    for (outcome, audit) in audited.iter().zip(&audits) {
+        assert!(
+            audit.is_clean(),
+            "{} on {} disks: {:?}",
+            outcome.report.policy,
+            outcome.report.disks,
+            audit.violations
+        );
+    }
+}
+
+#[test]
+fn empty_fault_plan_is_byte_identical_to_the_plain_path() {
+    // `--faults` with an empty plan must not change a single output byte
+    // relative to the pre-fault code path.
+    let (spec, _) = faulted_spec();
+    let cells = spec.cells();
+    let plain = run_sweep(&spec, 2);
+    let empty = run_sweep_cells(&cells, 2, false, &FaultPlan::default());
+    assert_eq!(sweep_csv(&plain), sweep_csv(&empty));
+    assert_eq!(sweep_json(&plain), sweep_json(&empty));
+    assert!(sweep_csv(&empty).starts_with(parcache_core::Report::csv_header()));
+    assert!(!sweep_json(&empty).contains("\"fault\""));
 }
 
 #[test]

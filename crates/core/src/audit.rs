@@ -18,7 +18,7 @@
 use crate::config::{DiskModelKind, SimConfig};
 use crate::engine::Report;
 use crate::policy::PolicyKind;
-use crate::probe::{Event, Probe};
+use crate::probe::{Event, FaultCause, Probe};
 use crate::theory::uniform_elapsed_lower_bound;
 use parcache_trace::Trace;
 use parcache_types::{BlockId, Nanos};
@@ -96,6 +96,7 @@ struct InService {
 pub struct AuditProbe {
     capacity: usize,
     disk_model: DiskModelKind,
+    faulted_plan: bool,
     last_time: Nanos,
     resident: HashSet<BlockId>,
     inflight: HashSet<BlockId>,
@@ -109,6 +110,13 @@ pub struct AuditProbe {
     writes_issued: u64,
     reads_completed: u64,
     writes_completed: u64,
+    faults_injected: u64,
+    retries_issued: u64,
+    abandoned_reads: u64,
+    abandoned_writes: u64,
+    media_errors: Vec<u64>,
+    degraded_since: Vec<Option<Nanos>>,
+    degraded_observed: Vec<Nanos>,
     events: u64,
     violations: Vec<AuditViolation>,
     suppressed: u64,
@@ -120,6 +128,7 @@ impl AuditProbe {
         AuditProbe {
             capacity: config.cache_blocks,
             disk_model: config.disk_model,
+            faulted_plan: !config.faults.is_empty(),
             last_time: Nanos::ZERO,
             resident: HashSet::new(),
             inflight: HashSet::new(),
@@ -133,6 +142,13 @@ impl AuditProbe {
             writes_issued: 0,
             reads_completed: 0,
             writes_completed: 0,
+            faults_injected: 0,
+            retries_issued: 0,
+            abandoned_reads: 0,
+            abandoned_writes: 0,
+            media_errors: vec![0; config.disks],
+            degraded_since: vec![None; config.disks],
+            degraded_observed: vec![Nanos::ZERO; config.disks],
             events: 0,
             violations: Vec::new(),
             suppressed: 0,
@@ -177,23 +193,25 @@ impl AuditProbe {
                 ),
             );
         }
-        if self.reads_completed != self.fetches_issued {
+        // Every issued fetch resolves exactly once: a successful read
+        // completion or an abandonment after the retry budget is spent.
+        if self.reads_completed + self.abandoned_reads != self.fetches_issued {
             self.violate(
                 t,
                 "fetch-completion",
                 format!(
-                    "{} fetches issued but {} read completions observed",
-                    self.fetches_issued, self.reads_completed
+                    "{} fetches issued but {} read completions + {} abandonments observed",
+                    self.fetches_issued, self.reads_completed, self.abandoned_reads
                 ),
             );
         }
-        if self.writes_completed > self.writes_issued {
+        if self.writes_completed + self.abandoned_writes > self.writes_issued {
             self.violate(
                 t,
                 "write-completion",
                 format!(
-                    "{} writes issued but {} write completions observed",
-                    self.writes_issued, self.writes_completed
+                    "{} writes issued but {} completions + {} abandonments observed",
+                    self.writes_issued, self.writes_completed, self.abandoned_writes
                 ),
             );
         }
@@ -269,16 +287,18 @@ impl AuditProbe {
                 ),
             );
         }
-        // Disk-side conservation: every served request was either a read
-        // fetch (all complete) or a completed write-behind flush.
+        // Disk-side conservation: every *successfully* served request was
+        // either a completed read fetch or a completed write-behind
+        // flush. Faulted attempts add busy time but never count as
+        // served, so the identity holds under fault injection too.
         let served: u64 = report.per_disk.iter().map(|d| d.served).sum();
-        if served != report.fetches + self.writes_completed {
+        if served != self.reads_completed + self.writes_completed {
             self.violate(
                 t,
                 "served-conservation",
                 format!(
-                    "disks served {served} != fetches {} + completed writes {}",
-                    report.fetches, self.writes_completed
+                    "disks served {served} != completed reads {} + completed writes {}",
+                    self.reads_completed, self.writes_completed
                 ),
             );
         }
@@ -291,6 +311,7 @@ impl AuditProbe {
                 );
             }
         }
+        self.reconcile_faults(report);
 
         // Theory cross-check: under the uniform model the elapsed time
         // and per-disk busy times have exact lower bounds (§2.1).
@@ -319,6 +340,120 @@ impl AuditProbe {
             events: self.events,
             violations: self.violations,
             suppressed: self.suppressed,
+        }
+    }
+
+    /// End-of-run fault accounting: the event stream's fault, retry,
+    /// abandonment, and degraded-window totals must agree with each
+    /// other and with the report's [`crate::engine::FaultSummary`].
+    fn reconcile_faults(&mut self, report: &Report) {
+        let t = report.elapsed;
+        let abandoned = self.abandoned_reads + self.abandoned_writes;
+        // Every injected fault is answered by exactly one retry or one
+        // abandonment.
+        if self.faults_injected != self.retries_issued + abandoned {
+            self.violate(
+                t,
+                "fault-balance",
+                format!(
+                    "{} faults injected != {} retries + {abandoned} abandonments",
+                    self.faults_injected, self.retries_issued
+                ),
+            );
+        }
+        // Each drive's failed counter is exactly its media-error faults:
+        // outage rejections never reach the platters.
+        for (i, d) in report.per_disk.iter().enumerate() {
+            let seen = self.media_errors.get(i).copied().unwrap_or(0);
+            if d.failed != seen {
+                self.violate(
+                    t,
+                    "failed-count",
+                    format!(
+                        "disk {i} reports {} failed services, event stream saw {seen} media errors",
+                        d.failed
+                    ),
+                );
+            }
+        }
+        // Integrate degraded windows still open at end of run, clipped
+        // to the reported elapsed time like the engine's summary.
+        for i in 0..self.degraded_since.len() {
+            if let Some(since) = self.degraded_since[i].take() {
+                if since <= t {
+                    self.degraded_observed[i] += t - since;
+                }
+            }
+        }
+        match &report.fault {
+            None => {
+                let degraded: Nanos = self.degraded_observed.iter().copied().sum();
+                if self.faulted_plan || self.faults_injected > 0 || degraded > Nanos::ZERO {
+                    self.violate(
+                        t,
+                        "fault-report",
+                        format!(
+                            "fault activity observed ({} faults, {degraded} degraded) \
+                             but the report carries no fault summary",
+                            self.faults_injected
+                        ),
+                    );
+                }
+            }
+            Some(f) => {
+                if !self.faulted_plan {
+                    self.violate(
+                        t,
+                        "fault-report",
+                        "report carries a fault summary but the config declares no fault plan"
+                            .to_string(),
+                    );
+                }
+                if f.faults_injected != self.faults_injected
+                    || f.retries != self.retries_issued
+                    || f.abandoned != abandoned
+                {
+                    self.violate(
+                        t,
+                        "fault-count",
+                        format!(
+                            "report says {}/{}/{} faults/retries/abandoned, \
+                             event stream saw {}/{}/{abandoned}",
+                            f.faults_injected,
+                            f.retries,
+                            f.abandoned,
+                            self.faults_injected,
+                            self.retries_issued
+                        ),
+                    );
+                }
+                if f.per_disk_degraded != self.degraded_observed {
+                    self.violate(
+                        t,
+                        "degraded-time",
+                        format!(
+                            "report degraded {:?} != event-integrated {:?}",
+                            f.per_disk_degraded, self.degraded_observed
+                        ),
+                    );
+                }
+                let total: Nanos = f.per_disk_degraded.iter().copied().sum();
+                let expect = if t == Nanos::ZERO {
+                    1.0
+                } else {
+                    1.0 - total.as_nanos() as f64 / (t.as_nanos() as f64 * report.disks as f64)
+                };
+                if (f.availability - expect).abs() > 1e-9 {
+                    self.violate(
+                        t,
+                        "availability",
+                        format!(
+                            "report availability {} != {expect} recomputed from degraded time",
+                            f.availability
+                        ),
+                    );
+                }
+            }
         }
     }
 }
@@ -458,6 +593,7 @@ impl Probe for AuditProbe {
                 service,
                 response,
                 depth,
+                faulted,
                 ..
             } => {
                 let d = disk.index();
@@ -514,7 +650,25 @@ impl Probe for AuditProbe {
                     self.queue_depth[d] = depth;
                 }
                 if write {
-                    self.writes_completed += 1;
+                    // A faulted flush is abandoned, not served: only
+                    // clean completions count toward the write total.
+                    if !faulted {
+                        self.writes_completed += 1;
+                    }
+                } else if faulted {
+                    // A media error keeps the fetch in flight — the
+                    // frame stays reserved until the driver retries or
+                    // abandons the request.
+                    if !self.inflight.contains(&block) {
+                        self.violate(
+                            now,
+                            "fetch-completion",
+                            format!(
+                                "faulted completion of block {} that was never issued",
+                                block.raw()
+                            ),
+                        );
+                    }
                 } else {
                     self.reads_completed += 1;
                     if !self.inflight.remove(&block) {
@@ -589,6 +743,87 @@ impl Probe for AuditProbe {
                             ),
                         );
                     }
+                }
+            }
+            Event::FaultInjected {
+                block,
+                disk,
+                write,
+                cause,
+                attempt,
+                ..
+            } => {
+                self.faults_injected += 1;
+                if matches!(cause, FaultCause::MediaError) {
+                    self.media_errors[disk.index()] += 1;
+                }
+                if attempt == 0 {
+                    self.violate(
+                        now,
+                        "fault-attempt",
+                        format!("fault on block {} with a zero attempt count", block.raw()),
+                    );
+                }
+                if !write && !self.inflight.contains(&block) {
+                    self.violate(
+                        now,
+                        "fault-inflight",
+                        format!("read fault on block {} that is not in flight", block.raw()),
+                    );
+                }
+            }
+            Event::RetryIssued { block, .. } => {
+                self.retries_issued += 1;
+                if !self.inflight.contains(&block) {
+                    self.violate(
+                        now,
+                        "retry-inflight",
+                        format!(
+                            "retry issued for block {} that is not in flight",
+                            block.raw()
+                        ),
+                    );
+                }
+            }
+            Event::RequestAbandoned { block, write, .. } => {
+                if write {
+                    self.abandoned_writes += 1;
+                } else {
+                    self.abandoned_reads += 1;
+                    // Abandonment releases the reserved frame; a later
+                    // completion of this block without a fresh issue now
+                    // trips "fetch-completion" above.
+                    if !self.inflight.remove(&block) {
+                        self.violate(
+                            now,
+                            "abandon-inflight",
+                            format!(
+                                "abandoned fetch of block {} that is not in flight",
+                                block.raw()
+                            ),
+                        );
+                    }
+                }
+            }
+            Event::DiskDegraded { disk, .. } => {
+                let d = disk.index();
+                if self.degraded_since[d].replace(now).is_some() {
+                    self.violate(
+                        now,
+                        "degraded-balance",
+                        format!("disk {d} entered a degraded window it is already in"),
+                    );
+                }
+            }
+            Event::DiskRecovered { disk, .. } => {
+                let d = disk.index();
+                match self.degraded_since[d].take() {
+                    Some(since) => self.degraded_observed[d] += now - since,
+                    None => self.violate(
+                        now,
+                        "degraded-balance",
+                        format!("disk {d} recovered without entering a degraded window"),
+                    ),
                 }
             }
         }
@@ -703,6 +938,7 @@ mod tests {
             avg_fetch_time: Nanos::ZERO,
             avg_disk_utilization: 0.0,
             per_disk: vec![Default::default()],
+            fault: None,
         };
         let out = p.finish(&report);
         assert!(!out.is_clean());
@@ -797,6 +1033,94 @@ mod tests {
         );
     }
 
+    fn mixed_fault_config() -> SimConfig {
+        use parcache_disk::FaultPlan;
+        theory_config(2, 4, 3).with_faults(
+            FaultPlan::parse("flaky:*:0.25,slow:0:2:20:2,outage:1:4:12,seed:11")
+                .expect("test fault spec parses"),
+        )
+    }
+
+    #[test]
+    fn faulted_runs_audit_clean() {
+        // Media errors, a fail-slow window, and an outage together: every
+        // conservation law — including the fault/retry/abandonment
+        // balance and the event-integrated degraded time — must hold.
+        let blocks: Vec<u64> = (0..32).map(|i| i % 9).collect();
+        let t = unit_trace(&blocks, 6);
+        for kind in PolicyKind::ALL {
+            let cfg = mixed_fault_config();
+            let (report, audit) = simulate_audited(&t, kind, &cfg);
+            assert!(audit.is_clean(), "{kind}: {:?}", audit.violations);
+            let f = report.fault.as_ref().expect("faulted plan yields summary");
+            assert_eq!(f.faults_injected, f.retries + f.abandoned, "{kind}");
+        }
+    }
+
+    #[test]
+    fn detects_doctored_fault_summary() {
+        let t = unit_trace(&[0, 1, 2, 3, 0, 1, 2, 3], 4);
+        let cfg = mixed_fault_config();
+        let mut probe = AuditProbe::new(&cfg);
+        let mut report = crate::engine::simulate_probed(&t, PolicyKind::Demand, &cfg, &mut probe);
+        if let Some(f) = report.fault.as_mut() {
+            f.retries += 1;
+        }
+        let out = probe.finish(&report);
+        assert!(
+            out.violations.iter().any(|v| v.rule == "fault-count"),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn detects_missing_fault_summary() {
+        let t = unit_trace(&[0, 1, 2, 3], 4);
+        let cfg = mixed_fault_config();
+        let mut probe = AuditProbe::new(&cfg);
+        let mut report = crate::engine::simulate_probed(&t, PolicyKind::Demand, &cfg, &mut probe);
+        report.fault = None;
+        let out = probe.finish(&report);
+        assert!(
+            out.violations.iter().any(|v| v.rule == "fault-report"),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn detects_unbalanced_degraded_windows() {
+        let mut p = probe_for(2, 4);
+        p.on_event(&Event::DiskRecovered {
+            now: Nanos::from_millis(1),
+            disk: DiskId(1),
+        });
+        assert_eq!(rules(&p), vec!["degraded-balance"]);
+        let mut p = probe_for(2, 4);
+        p.on_event(&Event::DiskDegraded {
+            now: Nanos::ZERO,
+            disk: DiskId(0),
+        });
+        p.on_event(&Event::DiskDegraded {
+            now: Nanos::from_millis(1),
+            disk: DiskId(0),
+        });
+        assert_eq!(rules(&p), vec!["degraded-balance"]);
+    }
+
+    #[test]
+    fn detects_retry_of_unissued_block() {
+        let mut p = probe_for(1, 4);
+        p.on_event(&Event::RetryIssued {
+            now: Nanos::ZERO,
+            block: BlockId(7),
+            disk: DiskId(0),
+            attempt: 1,
+        });
+        assert_eq!(rules(&p), vec!["retry-inflight"]);
+    }
+
     #[test]
     fn violation_recording_is_capped() {
         let mut p = probe_for(1, 4);
@@ -820,6 +1144,7 @@ mod tests {
             avg_fetch_time: Nanos::ZERO,
             avg_disk_utilization: 0.0,
             per_disk: vec![Default::default()],
+            fault: None,
         };
         let out = p.finish(&report);
         assert!(out.suppressed >= 10, "{}", out.suppressed);

@@ -151,6 +151,17 @@ impl Cache {
             .push((self.key_for(block, cursor, oracle), block));
     }
 
+    /// Abandons the in-flight fetch of `block`: the reserved frame is
+    /// released and the block is neither resident nor in flight (the
+    /// driver gave up on the request; see the engine's retry policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no fetch of `block` was in flight.
+    pub fn cancel_fetch(&mut self, block: BlockId) {
+        assert!(self.inflight.remove(&block), "cancelling unfetched {block}");
+    }
+
     /// Records that the application consumed `block` at position `pos`:
     /// refreshes its Belady key to the next occurrence after `pos`.
     pub fn on_reference(&mut self, block: BlockId, pos: usize, oracle: &Oracle) {
@@ -353,6 +364,28 @@ mod tests {
         let mut c = Cache::new(1);
         c.start_fetch(BlockId(1), None);
         c.start_fetch(BlockId(2), None);
+    }
+
+    #[test]
+    fn cancel_fetch_releases_the_frame() {
+        let o = oracle_of(&[1, 2], 1);
+        let mut c = Cache::new(1);
+        c.start_fetch(BlockId(1), None);
+        assert!(!c.has_free_frame());
+        c.cancel_fetch(BlockId(1));
+        assert!(!c.inflight(BlockId(1)));
+        assert!(!c.resident(BlockId(1)));
+        // The frame is reusable, including for the same block again.
+        c.start_fetch(BlockId(1), None);
+        c.complete_fetch(BlockId(1), 0, &o);
+        assert!(c.resident(BlockId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cancelling unfetched")]
+    fn cancel_of_unfetched_block_panics() {
+        let mut c = Cache::new(2);
+        c.cancel_fetch(BlockId(1));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Simulation configuration: the paper's fixed parameters and knobs.
 
+use parcache_disk::fault::FaultPlan;
 use parcache_disk::sched::Discipline;
 use parcache_trace::Trace;
 use parcache_types::Nanos;
@@ -65,6 +66,74 @@ pub struct SimConfig {
     /// just-consumed block every `n` reads; `None` (the paper's setting)
     /// means a read-only run.
     pub write_behind_period: Option<usize>,
+    /// Deterministic disk fault schedule. Empty (the default, and the
+    /// paper's setting) means a healthy array: no drive is wrapped, and
+    /// runs are byte-identical to a build without fault support.
+    pub faults: FaultPlan,
+    /// How the driver retries faulted fetches; irrelevant while `faults`
+    /// is empty.
+    pub retry: RetryPolicy,
+}
+
+/// Driver-level retry behavior for faulted reads (writes are best-effort
+/// and never retried).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Faults tolerated per fetch before it is abandoned. A demand miss
+    /// whose fetch is abandoned simply re-issues (the application cannot
+    /// make progress without the block), so the run still terminates.
+    /// Must be at least 1: a zero-retry driver would abandon and re-issue
+    /// a rejected demand fetch in a zero-time loop during an outage,
+    /// while one backed-off retry per cycle guarantees the clock moves.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    /// Must be positive so a drive mid-outage is not hammered in a
+    /// zero-time loop.
+    pub backoff: Nanos,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap: Nanos,
+    /// Overall per-request deadline, measured from the request's first
+    /// fault: when exceeded, the next fault abandons instead of retrying.
+    /// `None` (the default) bounds retries by count alone.
+    pub timeout: Option<Nanos>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            backoff: Nanos::from_millis(1),
+            backoff_cap: Nanos::from_millis(64),
+            timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (1-based): exponential
+    /// doubling from `backoff`, saturating at `backoff_cap`.
+    pub fn backoff_for(&self, attempt: u32) -> Nanos {
+        let doublings = attempt.saturating_sub(1).min(63);
+        match self.backoff.checked_mul(1u64 << doublings) {
+            Some(b) => b.min(self.backoff_cap),
+            None => self.backoff_cap,
+        }
+    }
+
+    /// Panics on parameters that could stall the simulation (a
+    /// non-positive backoff or a zero retry budget allows zero-time
+    /// retry loops during an outage).
+    pub fn validate(&self) {
+        assert!(self.backoff > Nanos::ZERO, "retry backoff must be positive");
+        assert!(
+            self.backoff_cap >= self.backoff,
+            "backoff cap below the base backoff"
+        );
+        assert!(
+            self.max_retries >= 1,
+            "at least one retry is required for forward progress"
+        );
+    }
 }
 
 impl SimConfig {
@@ -86,6 +155,8 @@ impl SimConfig {
             forestall_static_f: None,
             hints: crate::hints::HintSpec::Full,
             write_behind_period: None,
+            faults: FaultPlan::default(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -153,6 +224,21 @@ impl SimConfig {
         self.write_behind_period = Some(period);
         self
     }
+
+    /// Sets the fault schedule (validated: a bad plan panics here rather
+    /// than deep inside the event loop).
+    pub fn with_faults(mut self, faults: FaultPlan) -> SimConfig {
+        faults.validate().expect("invalid fault plan");
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the driver retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> SimConfig {
+        retry.validate();
+        self.retry = retry;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +273,8 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimConfig>();
         assert_send_sync::<DiskModelKind>();
+        assert_send_sync::<RetryPolicy>();
+        assert_send_sync::<FaultPlan>();
         assert_send_sync::<crate::policy::PolicyKind>();
         assert_send_sync::<crate::engine::Report>();
         assert_send_sync::<crate::metrics::RunMetrics>();
@@ -228,5 +316,46 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn zero_cache_rejected() {
         SimConfig::new(1, 0);
+    }
+
+    #[test]
+    fn defaults_declare_no_faults() {
+        let c = SimConfig::new(2, 512);
+        assert!(c.faults.is_empty());
+        assert_eq!(c.retry, RetryPolicy::default());
+        c.retry.validate();
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let r = RetryPolicy {
+            max_retries: 10,
+            backoff: Nanos::from_millis(1),
+            backoff_cap: Nanos::from_millis(5),
+            timeout: None,
+        };
+        assert_eq!(r.backoff_for(1), Nanos::from_millis(1));
+        assert_eq!(r.backoff_for(2), Nanos::from_millis(2));
+        assert_eq!(r.backoff_for(3), Nanos::from_millis(4));
+        assert_eq!(r.backoff_for(4), Nanos::from_millis(5)); // capped
+        assert_eq!(r.backoff_for(100), Nanos::from_millis(5)); // no overflow
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff must be positive")]
+    fn zero_backoff_rejected() {
+        SimConfig::new(1, 4).with_retry(RetryPolicy {
+            backoff: Nanos::ZERO,
+            ..RetryPolicy::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one retry")]
+    fn zero_retry_budget_rejected() {
+        SimConfig::new(1, 4).with_retry(RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        });
     }
 }

@@ -25,16 +25,18 @@ use crate::config::{DiskModelKind, SimConfig};
 use crate::metrics::json_escape;
 use crate::oracle::Oracle;
 use crate::policy::{Policy, PolicyKind};
-use crate::probe::{Event, NoopProbe, Probe};
+use crate::probe::{Event, FaultCause, NoopProbe, Probe};
 use parcache_disk::coarse::CoarseDisk;
 use parcache_disk::disk::DiskStats;
+use parcache_disk::fault::FaultyDisk;
 use parcache_disk::hp97560::Hp97560;
 use parcache_disk::model::DiskModel;
 use parcache_disk::uniform::UniformDisk;
 use parcache_disk::{DiskArray, Layout};
 use parcache_trace::Trace;
-use parcache_types::{BlockId, Nanos};
-use std::collections::VecDeque;
+use parcache_types::{BlockId, DiskId, Nanos};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// How many recent observations forestall's estimator keeps (§5: "the
 /// most recent 100 disk access times and the most recent 100
@@ -142,6 +144,10 @@ pub struct Ctx<'a> {
     /// True inside [`Policy::on_miss`], so issued fetches are tagged
     /// demand rather than prefetch.
     demand: bool,
+    /// Fetches whose enqueue an out-of-service drive rejected during this
+    /// policy call; the engine converts them into driver faults after the
+    /// call returns (see `Engine::settle_rejections`).
+    rejected: &'a mut Vec<BlockId>,
 }
 
 impl Ctx<'_> {
@@ -163,7 +169,7 @@ impl Ctx<'_> {
         *self.driver_time += self.config.driver_overhead;
         *self.cpu_done = (*self.cpu_done).max(self.now) + self.config.driver_overhead;
         *self.fetches += 1;
-        if self.probe_on {
+        let outcome = if self.probe_on {
             let now = self.now;
             if let Some(e) = evict {
                 self.probe_buf.push(Event::Eviction { now, block: e });
@@ -177,9 +183,15 @@ impl Ctx<'_> {
             });
             let buf = &mut *self.probe_buf;
             self.array
-                .enqueue_observed(now, block, |d, e| buf.push(Event::from_disk(now, d, e)));
+                .enqueue_observed(now, block, |d, e| buf.push(Event::from_disk(now, d, e)))
         } else {
-            self.array.enqueue(self.now, block);
+            self.array.enqueue(self.now, block)
+        };
+        if outcome.is_rejected() {
+            // The drive is mid-outage: the request never reached its
+            // queue. The frame stays reserved; the driver retries (or
+            // abandons) once the policy call returns.
+            self.rejected.push(block);
         }
     }
 
@@ -217,6 +229,57 @@ pub struct Report {
     pub avg_disk_utilization: f64,
     /// Per-disk statistics.
     pub per_disk: Vec<DiskStats>,
+    /// Fault and retry accounting; `Some` exactly when the run's
+    /// [`FaultPlan`](parcache_disk::fault::FaultPlan) was non-empty, so
+    /// healthy-run reports render byte-identically to reports from before
+    /// fault support existed.
+    pub fault: Option<FaultSummary>,
+}
+
+/// Fault, retry, and degraded-time accounting for a run executed under a
+/// non-empty fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSummary {
+    /// Faults charged to requests: media errors on completion plus
+    /// outage rejections at enqueue. Always equals
+    /// `retries + abandoned` — every fault is answered by exactly one
+    /// retry or one abandonment.
+    pub faults_injected: u64,
+    /// Driver retries issued after backoff.
+    pub retries: u64,
+    /// Requests the driver gave up on (retry budget or timeout spent,
+    /// plus every faulted best-effort write).
+    pub abandoned: u64,
+    /// Declared degraded time (fail-slow or outage windows) per disk,
+    /// clipped to the run's elapsed time.
+    pub per_disk_degraded: Vec<Nanos>,
+    /// Fraction of disk-time the array was out of its declared degraded
+    /// windows: `1 − Σ degraded / (disks × elapsed)`.
+    pub availability: f64,
+}
+
+impl FaultSummary {
+    /// This summary as a JSON object.
+    pub fn to_json(&self) -> String {
+        let degraded: Vec<String> = self
+            .per_disk_degraded
+            .iter()
+            .map(|d| d.as_nanos().to_string())
+            .collect();
+        format!(
+            r#"{{"faults_injected":{},"retries":{},"abandoned":{},"per_disk_degraded_ns":[{}],"availability":{:.6}}}"#,
+            self.faults_injected,
+            self.retries,
+            self.abandoned,
+            degraded.join(","),
+            self.availability,
+        )
+    }
+
+    /// Total declared degraded time across the array.
+    pub fn total_degraded(&self) -> Nanos {
+        self.per_disk_degraded.iter().copied().sum()
+    }
 }
 
 impl Report {
@@ -230,12 +293,19 @@ impl Report {
         "trace,policy,disks,elapsed_s,compute_s,driver_s,stall_s,fetches,writes,avg_fetch_ms,avg_disk_utilization"
     }
 
-    /// This report as one CSV row (matching [`csv_header`]), for piping
-    /// sweeps into external analysis tools.
+    /// Column names for rows from faulted runs, which carry five extra
+    /// fault-accounting columns.
+    pub fn csv_header_faulted() -> &'static str {
+        "trace,policy,disks,elapsed_s,compute_s,driver_s,stall_s,fetches,writes,avg_fetch_ms,avg_disk_utilization,faults_injected,retries,abandoned,degraded_s,availability"
+    }
+
+    /// This report as one CSV row — matching [`csv_header`] for a healthy
+    /// run, [`csv_header_faulted`] when the run had a fault plan.
     ///
     /// [`csv_header`]: Report::csv_header
+    /// [`csv_header_faulted`]: Report::csv_header_faulted
     pub fn to_csv_row(&self) -> String {
-        format!(
+        let mut row = format!(
             "{},{},{},{:.6},{:.6},{:.6},{:.6},{},{},{:.4},{:.4}",
             self.trace,
             self.policy,
@@ -248,7 +318,18 @@ impl Report {
             self.writes,
             self.avg_fetch_time.as_millis_f64(),
             self.avg_disk_utilization,
-        )
+        );
+        if let Some(f) = &self.fault {
+            row.push_str(&format!(
+                ",{},{},{},{:.6},{:.6}",
+                f.faults_injected,
+                f.retries,
+                f.abandoned,
+                f.total_degraded().as_secs_f64(),
+                f.availability,
+            ));
+        }
+        row
     }
 
     /// This report as a JSON object (hand-rolled; the workspace has no
@@ -258,21 +339,32 @@ impl Report {
             .per_disk
             .iter()
             .map(|d| {
-                format!(
-                    r#"{{"served":{},"busy_ns":{},"avg_service_ms":{:.4},"avg_response_ms":{:.4}}}"#,
+                let mut s = format!(
+                    r#"{{"served":{},"busy_ns":{},"avg_service_ms":{:.4},"avg_response_ms":{:.4}"#,
                     d.served,
                     d.busy.as_nanos(),
                     d.avg_service().as_millis_f64(),
                     d.avg_response().as_millis_f64(),
-                )
+                );
+                // Only faulted drives report failures, so healthy-run
+                // JSON keeps its pre-fault-support shape byte for byte.
+                if d.failed > 0 {
+                    s.push_str(&format!(r#","failed":{}"#, d.failed));
+                }
+                s.push('}');
+                s
             })
             .collect();
+        let fault = match &self.fault {
+            None => String::new(),
+            Some(f) => format!(r#","fault":{}"#, f.to_json()),
+        };
         format!(
             concat!(
                 r#"{{"trace":"{}","policy":"{}","disks":{},"#,
                 r#""elapsed_s":{:.6},"compute_s":{:.6},"driver_s":{:.6},"stall_s":{:.6},"#,
                 r#""fetches":{},"writes":{},"avg_fetch_ms":{:.4},"avg_disk_utilization":{:.4},"#,
-                r#""per_disk":[{}]}}"#
+                r#""per_disk":[{}]{}}}"#
             ),
             json_escape(&self.trace),
             json_escape(&self.policy),
@@ -286,17 +378,29 @@ impl Report {
             self.avg_fetch_time.as_millis_f64(),
             self.avg_disk_utilization,
             per_disk.join(","),
+            fault,
         )
     }
 }
 
-/// Builds the drive-model factory for a configuration.
-fn model_factory(kind: DiskModelKind) -> Box<dyn FnMut() -> Box<dyn DiskModel>> {
-    match kind {
-        DiskModelKind::Hp97560 => Box::new(|| Box::new(Hp97560::new())),
-        DiskModelKind::Hp97560NoReadahead => Box::new(|| Box::new(Hp97560::without_readahead())),
-        DiskModelKind::Coarse => Box::new(|| Box::new(CoarseDisk::new())),
-        DiskModelKind::Uniform(f) => Box::new(move || Box::new(UniformDisk::new(f))),
+/// Builds the drive model for position `index` in the array: the
+/// configured base model, wrapped in a [`FaultyDisk`] exactly when the
+/// fault plan names that drive. Un-faulted drives are built bare, so an
+/// empty plan produces the same array as a build without fault support.
+fn build_model(config: &SimConfig, index: usize) -> Box<dyn DiskModel> {
+    let base: Box<dyn DiskModel> = match config.disk_model {
+        DiskModelKind::Hp97560 => Box::new(Hp97560::new()),
+        DiskModelKind::Hp97560NoReadahead => Box::new(Hp97560::without_readahead()),
+        DiskModelKind::Coarse => Box::new(CoarseDisk::new()),
+        DiskModelKind::Uniform(f) => Box::new(UniformDisk::new(f)),
+    };
+    match config.faults.for_disk(index) {
+        Some(faults) => Box::new(FaultyDisk::new(
+            base,
+            faults,
+            config.faults.rng_for_disk(index),
+        )),
+        None => base,
     }
 }
 
@@ -332,6 +436,15 @@ pub fn simulate_with_probed<P: Probe>(
     Engine::new(trace, config).run(policy, probe)
 }
 
+/// Per-request driver retry progress.
+#[derive(Debug, Clone, Copy)]
+struct RetryState {
+    /// Faults this request has absorbed so far (1-based attempt number).
+    attempts: u32,
+    /// When the request's first fault occurred (the timeout anchor).
+    first_fault: Nanos,
+}
+
 struct Engine<'t> {
     trace: &'t Trace,
     config: &'t SimConfig,
@@ -347,10 +460,33 @@ struct Engine<'t> {
     fetches: u64,
     writes: u64,
     probe_buf: Vec<Event>,
+    /// Pending driver retries as `(fire time, block)` in a min-heap;
+    /// the tuple order makes ties deterministic.
+    retry_timers: BinaryHeap<Reverse<(Nanos, BlockId)>>,
+    /// Retry progress per faulted in-flight fetch. Keyed by block, which
+    /// is unique: the cache holds at most one in-flight fetch per block.
+    retrying: HashMap<BlockId, RetryState>,
+    /// Scratch buffer for enqueues rejected inside a policy call.
+    rejected_buf: Vec<BlockId>,
+    /// Upcoming degraded-window boundaries `(time, disk, entering)` from
+    /// the fault plan, ascending; drained into [`Event::DiskDegraded`] /
+    /// [`Event::DiskRecovered`] as the clock passes them (probed runs
+    /// only — the events carry no engine state).
+    boundaries: VecDeque<(Nanos, DiskId, bool)>,
+    faults_injected: u64,
+    retries: u64,
+    abandoned: u64,
 }
 
 impl<'t> Engine<'t> {
     fn new(trace: &'t Trace, config: &'t SimConfig) -> Engine<'t> {
+        if !config.faults.is_empty() {
+            // Guard configs built by struct literal rather than through
+            // the validating builders: a bad plan or retry policy must
+            // fail here, not livelock the event loop.
+            config.faults.validate().expect("invalid fault plan");
+            config.retry.validate();
+        }
         let layout = Layout::striped(config.disks);
         // Policies only know what the application disclosed: under
         // incomplete hints their oracle indexes the hinted subsequence.
@@ -362,11 +498,15 @@ impl<'t> Engine<'t> {
             }
         };
         let missing = MissingTracker::new(&oracle);
-        let array = DiskArray::new(
-            config.disks,
-            config.discipline,
-            model_factory(config.disk_model),
-        );
+        let array = DiskArray::new(config.disks, config.discipline, |i| build_model(config, i));
+        let mut boundaries: Vec<(Nanos, DiskId, bool)> = Vec::new();
+        for i in 0..config.disks {
+            for (from, until) in config.faults.degraded_windows(i) {
+                boundaries.push((from, DiskId(i), true));
+                boundaries.push((until, DiskId(i), false));
+            }
+        }
+        boundaries.sort_by_key(|&(t, d, entering)| (t, d.index(), entering));
         let mut cache = Cache::new(config.cache_blocks);
         if config.hints.nominal_fraction() < 1.0 {
             // Value blocks with no disclosed future by LRU recency, as
@@ -388,6 +528,35 @@ impl<'t> Engine<'t> {
             fetches: 0,
             writes: 0,
             probe_buf: Vec::new(),
+            retry_timers: BinaryHeap::new(),
+            retrying: HashMap::new(),
+            rejected_buf: Vec::new(),
+            boundaries: boundaries.into(),
+            faults_injected: 0,
+            retries: 0,
+            abandoned: 0,
+        }
+    }
+
+    /// Emits every degraded-window boundary at or before `upto` (probed
+    /// runs only; the boundaries change no engine state). Called wherever
+    /// the clock is about to advance, so boundary events stay
+    /// monotonically ordered within the stream.
+    fn flush_boundaries<P: Probe>(&mut self, upto: Nanos, probe: &mut P) {
+        if !P::ENABLED {
+            return;
+        }
+        while let Some(&(t, disk, entering)) = self.boundaries.front() {
+            if t > upto {
+                break;
+            }
+            self.boundaries.pop_front();
+            let e = if entering {
+                Event::DiskDegraded { now: t, disk }
+            } else {
+                Event::DiskRecovered { now: t, disk }
+            };
+            probe.on_event(&e);
         }
     }
 
@@ -414,9 +583,11 @@ impl<'t> Engine<'t> {
             probe_buf: &mut self.probe_buf,
             probe_on: P::ENABLED,
             demand: false,
+            rejected: &mut self.rejected_buf,
         };
         policy.decide(&mut ctx);
         self.drain_probe_buf(probe);
+        self.settle_rejections(probe);
     }
 
     /// Asks the policy to handle a demand miss.
@@ -436,9 +607,11 @@ impl<'t> Engine<'t> {
             probe_buf: &mut self.probe_buf,
             probe_on: P::ENABLED,
             demand: true,
+            rejected: &mut self.rejected_buf,
         };
         policy.on_miss(&mut ctx, block);
         self.drain_probe_buf(probe);
+        self.settle_rejections(probe);
     }
 
     /// Forwards events buffered during a policy call to the probe.
@@ -450,14 +623,148 @@ impl<'t> Engine<'t> {
         }
     }
 
-    /// Processes the earliest pending disk completion (which must exist),
-    /// advancing `now` to it.
-    fn pop_completion<P: Probe>(&mut self, policy: &mut dyn Policy, probe: &mut P) {
-        let (t, d) = self
-            .array
-            .next_event()
-            .expect("waiting with no pending I/O — policy deadlock");
+    /// Converts enqueues an out-of-service drive rejected during the last
+    /// policy call into driver faults (retry or abandonment).
+    fn settle_rejections<P: Probe>(&mut self, probe: &mut P) {
+        if self.rejected_buf.is_empty() {
+            return;
+        }
+        let mut rejected = std::mem::take(&mut self.rejected_buf);
+        for block in rejected.drain(..) {
+            let disk = self.array.disk_of(block);
+            self.read_fault(block, disk, FaultCause::Rejected, probe);
+        }
+        // Hand the (now empty) allocation back for the next burst.
+        self.rejected_buf = rejected;
+    }
+
+    /// Charges one fault against the in-flight fetch of `block` and
+    /// answers it: schedule a backed-off retry while the budget lasts,
+    /// abandon the request otherwise. Abandonment releases the cache
+    /// frame and restores the block to the missing index, so policies can
+    /// re-plan it (and a blocked demand miss re-issues immediately).
+    fn read_fault<P: Probe>(
+        &mut self,
+        block: BlockId,
+        disk: DiskId,
+        cause: FaultCause,
+        probe: &mut P,
+    ) {
+        let now = self.now;
+        let state = self.retrying.entry(block).or_insert(RetryState {
+            attempts: 0,
+            first_fault: now,
+        });
+        state.attempts += 1;
+        let attempt = state.attempts;
+        let first_fault = state.first_fault;
+        self.faults_injected += 1;
+        if P::ENABLED {
+            probe.on_event(&Event::FaultInjected {
+                now,
+                block,
+                disk,
+                write: false,
+                cause,
+                attempt,
+            });
+        }
+        let policy = &self.config.retry;
+        let timed_out = policy
+            .timeout
+            .is_some_and(|limit| now - first_fault > limit);
+        if attempt <= policy.max_retries && !timed_out {
+            let fire = now + policy.backoff_for(attempt);
+            self.retry_timers.push(Reverse((fire, block)));
+        } else {
+            self.abandoned += 1;
+            if P::ENABLED {
+                probe.on_event(&Event::RequestAbandoned {
+                    now,
+                    block,
+                    disk,
+                    write: false,
+                    attempts: attempt,
+                });
+            }
+            self.retrying.remove(&block);
+            self.cache.cancel_fetch(block);
+            self.missing.on_evicted(block, self.cursor, &self.oracle);
+        }
+    }
+
+    /// Records a fault on a write-behind flush. Writes are best-effort
+    /// and never retried: the block is still clean in the cache, so the
+    /// flush is simply abandoned.
+    fn write_fault<P: Probe>(
+        &mut self,
+        block: BlockId,
+        disk: DiskId,
+        cause: FaultCause,
+        probe: &mut P,
+    ) {
+        self.faults_injected += 1;
+        self.abandoned += 1;
+        if P::ENABLED {
+            probe.on_event(&Event::FaultInjected {
+                now: self.now,
+                block,
+                disk,
+                write: true,
+                cause,
+                attempt: 1,
+            });
+            probe.on_event(&Event::RequestAbandoned {
+                now: self.now,
+                block,
+                disk,
+                write: true,
+                attempts: 1,
+            });
+        }
+    }
+
+    /// The time of the earliest pending event from either source: a disk
+    /// completion or a driver retry timer.
+    fn next_pending(&self) -> Option<Nanos> {
+        let completion = self.array.next_event().map(|(t, _)| t);
+        let retry = self.retry_timers.peek().map(|r| r.0 .0);
+        match (completion, retry) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Processes the earliest pending event — a disk completion or a
+    /// retry timer, completions first on ties — advancing `now` to it.
+    fn pop_event<P: Probe>(&mut self, policy: &mut dyn Policy, probe: &mut P) {
+        let completion = self.array.next_event();
+        let retry = self.retry_timers.peek().map(|r| r.0);
+        match (completion, retry) {
+            (None, None) => {
+                panic!("waiting with no pending I/O and no retry timer — policy deadlock")
+            }
+            (Some((tc, d)), r) if r.is_none_or(|(tr, _)| tc <= tr) => {
+                self.pop_completion(tc, d, policy, probe);
+            }
+            // Either no completion is pending or the retry fires first.
+            _ => {
+                let Reverse((t, block)) = self.retry_timers.pop().expect("peeked a timer");
+                self.fire_retry(t, block, probe);
+            }
+        }
+    }
+
+    /// Processes the disk completion on `d` at time `t`.
+    fn pop_completion<P: Probe>(
+        &mut self,
+        t: Nanos,
+        d: DiskId,
+        policy: &mut dyn Policy,
+        probe: &mut P,
+    ) {
         debug_assert!(t >= self.now);
+        self.flush_boundaries(t, probe);
         self.now = t;
         let done = if P::ENABLED {
             let buf = &mut self.probe_buf;
@@ -471,30 +778,86 @@ impl<'t> Engine<'t> {
         };
         match done.kind {
             parcache_disk::disk::ReqKind::Read => {
-                self.history.push_fetch(d.index(), done.service);
-                self.cache
-                    .complete_fetch(done.block, self.cursor, &self.oracle);
+                if done.outcome.is_ok() {
+                    self.retrying.remove(&done.block);
+                    self.history.push_fetch(d.index(), done.service);
+                    self.cache
+                        .complete_fetch(done.block, self.cursor, &self.oracle);
+                } else {
+                    // A media error: the platter time was spent but no
+                    // data arrived. The frame stays reserved pending the
+                    // retry decision, and the estimator only learns from
+                    // successful fetches.
+                    self.read_fault(done.block, d, FaultCause::MediaError, probe);
+                }
             }
             // A finished write frees disk bandwidth but changes nothing
             // in the cache: the block stayed available throughout.
-            parcache_disk::disk::ReqKind::Write => {}
+            parcache_disk::disk::ReqKind::Write => {
+                if !done.outcome.is_ok() {
+                    self.write_fault(done.block, d, FaultCause::MediaError, probe);
+                }
+            }
         }
         self.decide(policy, probe);
     }
 
-    /// Advances to `cpu_done`, processing any completions on the way.
-    /// Completions may add driver work, pushing `cpu_done` out further.
+    /// Re-issues the faulted fetch of `block` whose backoff expired at
+    /// `t`. The retry charges driver overhead like any issue; a drive
+    /// still mid-outage rejects it, which counts as a further fault.
+    fn fire_retry<P: Probe>(&mut self, t: Nanos, block: BlockId, probe: &mut P) {
+        debug_assert!(t >= self.now);
+        self.flush_boundaries(t, probe);
+        self.now = t;
+        let attempt = self
+            .retrying
+            .get(&block)
+            .expect("retry timer for an untracked request")
+            .attempts;
+        let disk = self.array.disk_of(block);
+        self.driver_time += self.config.driver_overhead;
+        self.cpu_done = self.cpu_done.max(self.now) + self.config.driver_overhead;
+        self.retries += 1;
+        let outcome = if P::ENABLED {
+            probe.on_event(&Event::RetryIssued {
+                now: self.now,
+                block,
+                disk,
+                attempt,
+            });
+            let now = self.now;
+            let buf = &mut self.probe_buf;
+            let outcome = self
+                .array
+                .enqueue_observed(now, block, |d, e| buf.push(Event::from_disk(now, d, e)));
+            self.drain_probe_buf(probe);
+            outcome
+        } else {
+            self.array.enqueue(self.now, block)
+        };
+        if outcome.is_rejected() {
+            self.read_fault(block, disk, FaultCause::Rejected, probe);
+        }
+    }
+
+    /// Advances to `cpu_done`, processing any completions (and retry
+    /// timers) on the way. Completions may add driver work, pushing
+    /// `cpu_done` out further.
     fn advance_cpu<P: Probe>(&mut self, policy: &mut dyn Policy, probe: &mut P) {
-        while let Some((t, _)) = self.array.next_event() {
+        while let Some(t) = self.next_pending() {
             if t > self.cpu_done {
                 break;
             }
-            self.pop_completion(policy, probe);
+            self.pop_event(policy, probe);
         }
+        self.flush_boundaries(self.cpu_done, probe);
         self.now = self.cpu_done;
     }
 
     fn run<P: Probe>(&mut self, policy: &mut dyn Policy, probe: &mut P) -> Report {
+        // Degraded windows opening at time zero are announced before
+        // anything else happens.
+        self.flush_boundaries(Nanos::ZERO, probe);
         // Initial decision point: prefetching can begin at time zero.
         self.decide(policy, probe);
 
@@ -551,7 +914,7 @@ impl<'t> Engine<'t> {
                 if !self.cache.inflight(req.block) {
                     self.miss(policy, probe, req.block);
                 }
-                self.pop_completion(policy, probe);
+                self.pop_event(policy, probe);
             }
 
             if P::ENABLED {
@@ -577,7 +940,7 @@ impl<'t> Engine<'t> {
                     self.writes += 1;
                     self.driver_time += self.config.driver_overhead;
                     self.cpu_done = self.cpu_done.max(self.now) + self.config.driver_overhead;
-                    if P::ENABLED {
+                    let outcome = if P::ENABLED {
                         let now = self.now;
                         probe.on_event(&Event::WriteIssued {
                             now,
@@ -585,12 +948,19 @@ impl<'t> Engine<'t> {
                             disk: self.array.disk_of(req.block),
                         });
                         let buf = &mut self.probe_buf;
-                        self.array.enqueue_write_observed(now, req.block, |d, e| {
+                        let outcome = self.array.enqueue_write_observed(now, req.block, |d, e| {
                             buf.push(Event::from_disk(now, d, e))
                         });
                         self.drain_probe_buf(probe);
+                        outcome
                     } else {
-                        self.array.enqueue_write(self.now, req.block);
+                        self.array.enqueue_write(self.now, req.block)
+                    };
+                    if outcome.is_rejected() {
+                        // Best-effort write to an out-of-service drive:
+                        // dropped, never retried.
+                        let disk = self.array.disk_of(req.block);
+                        self.write_fault(req.block, disk, FaultCause::Rejected, probe);
                     }
                 }
             }
@@ -605,6 +975,10 @@ impl<'t> Engine<'t> {
         if self.cpu_done > self.now {
             self.advance_cpu(policy, probe);
         }
+        // Every fetched block is referenced at or after its issue, and
+        // the blocking loop retries until the block arrives — so no read
+        // can still be mid-retry once the last reference is consumed.
+        debug_assert!(self.retry_timers.is_empty(), "retry timer outlived the run");
 
         let elapsed = self.now;
         let compute: Nanos = self.trace.requests.iter().map(|r| r.compute).sum();
@@ -619,6 +993,27 @@ impl<'t> Engine<'t> {
                     elapsed, compute, self.driver_time
                 )
             });
+        let fault = if self.config.faults.is_empty() {
+            None
+        } else {
+            let per_disk_degraded: Vec<Nanos> = (0..self.config.disks)
+                .map(|i| self.config.faults.degraded_nanos(i, elapsed))
+                .collect();
+            let total: Nanos = per_disk_degraded.iter().copied().sum();
+            let availability = if elapsed == Nanos::ZERO {
+                1.0
+            } else {
+                1.0 - total.as_nanos() as f64
+                    / (elapsed.as_nanos() as f64 * self.config.disks as f64)
+            };
+            Some(FaultSummary {
+                faults_injected: self.faults_injected,
+                retries: self.retries,
+                abandoned: self.abandoned,
+                per_disk_degraded,
+                availability,
+            })
+        };
         Report {
             trace: self.trace.name.clone(),
             policy: policy.name().to_string(),
@@ -634,6 +1029,7 @@ impl<'t> Engine<'t> {
             // stats_at, not stats: a request still on the platter when the
             // run ends contributes its partial service time to `busy`.
             per_disk: self.array.stats_at(elapsed),
+            fault,
         }
     }
 }
@@ -856,5 +1252,135 @@ mod tests {
         // All-hit trace: the single cold miss stalls (3ms); the four
         // writes proceed in the background and add no stall.
         assert_eq!(r.stall, Nanos::from_millis(3));
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection: hand-computable retry, abandonment, and degraded
+    // accounting scenarios.
+
+    use crate::config::RetryPolicy;
+    use parcache_disk::FaultPlan;
+
+    fn faults(spec: &str) -> FaultPlan {
+        FaultPlan::parse(spec).expect("test fault spec parses")
+    }
+
+    #[test]
+    fn outage_retries_with_exponential_backoff_until_recovery() {
+        // Disk 0 is out of service for [0, 10ms). The demand miss at
+        // t=1ms is rejected; retries back off 1, 2, 4, 8ms (rejected at
+        // 2, 4, 8; accepted at 16). Service is 5ms: elapsed = 21ms.
+        let t = unit_trace(&[0], 1);
+        let cfg = theory_config(1, 4, 5).with_faults(faults("outage:0:0:10"));
+        let r = simulate(&t, PolicyKind::Demand, &cfg);
+        assert_eq!(r.elapsed, Nanos::from_millis(21));
+        assert_eq!(r.compute, Nanos::from_millis(1));
+        assert_eq!(r.stall, Nanos::from_millis(20));
+        assert_eq!(r.fetches, 1);
+        let f = r.fault.as_ref().expect("non-empty plan yields a summary");
+        assert_eq!(f.faults_injected, 4);
+        assert_eq!(f.retries, 4);
+        assert_eq!(f.abandoned, 0);
+        assert_eq!(f.per_disk_degraded, vec![Nanos::from_millis(10)]);
+        let expect = 1.0 - 10.0 / 21.0;
+        assert!((f.availability - expect).abs() < 1e-9, "{}", f.availability);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_abandons_and_reissues_demand_fetches() {
+        // A 100ms outage with a one-retry budget: each second-fault
+        // abandonment re-issues the demand fetch (the application cannot
+        // proceed without the block), so issues march at 1ms intervals
+        // until the retry at t=100ms lands. 99 fetches are issued, 98
+        // abandoned, and every fault is answered by exactly one retry or
+        // one abandonment.
+        let t = unit_trace(&[0], 1);
+        let cfg = theory_config(1, 4, 5)
+            .with_faults(faults("outage:0:0:100"))
+            .with_retry(RetryPolicy {
+                max_retries: 1,
+                backoff: Nanos::from_millis(1),
+                backoff_cap: Nanos::from_millis(1),
+                timeout: None,
+            });
+        let r = simulate(&t, PolicyKind::Demand, &cfg);
+        assert_eq!(r.elapsed, Nanos::from_millis(105));
+        assert_eq!(r.fetches, 99);
+        let f = r.fault.as_ref().unwrap();
+        assert_eq!(f.retries, 99);
+        assert_eq!(f.abandoned, 98);
+        assert_eq!(f.faults_injected, f.retries + f.abandoned);
+    }
+
+    #[test]
+    fn fail_slow_window_stretches_service_without_faulting() {
+        // Factor 2 on a 5ms uniform disk: the demand fetch takes 10ms,
+        // elapsed = 1 + 10 = 11ms. No faults are injected; the whole run
+        // sits inside the declared window, so availability is zero.
+        let t = unit_trace(&[0], 1);
+        let cfg = theory_config(1, 4, 5).with_faults(faults("slow:0:0:100:2"));
+        let r = simulate(&t, PolicyKind::Demand, &cfg);
+        assert_eq!(r.elapsed, Nanos::from_millis(11));
+        assert_eq!(r.stall, Nanos::from_millis(10));
+        let f = r.fault.as_ref().unwrap();
+        assert_eq!(f.faults_injected, 0);
+        assert_eq!(f.retries, 0);
+        assert_eq!(f.abandoned, 0);
+        assert_eq!(f.per_disk_degraded, vec![Nanos::from_millis(11)]);
+        assert_eq!(f.availability, 0.0);
+    }
+
+    #[test]
+    fn empty_plan_reports_no_fault_summary() {
+        let t = unit_trace(&[0, 1, 2, 3], 1);
+        let cfg = theory_config(2, 4, 5);
+        let r = simulate(&t, PolicyKind::Aggressive, &cfg);
+        assert!(r.fault.is_none());
+        let json = r.to_json();
+        assert!(!json.contains("fault"), "{json}");
+        assert!(!json.contains("failed"), "{json}");
+        assert!(!json.contains("degraded"), "{json}");
+    }
+
+    #[test]
+    fn faulted_runs_are_identical_probed_and_unprobed() {
+        // The probe layer must observe, never perturb — including the
+        // retry machine and degraded-boundary flushing.
+        let blocks: Vec<u64> = (0..24).map(|i| i % 12).collect();
+        let t = unit_trace(&blocks, 1);
+        let cfg = theory_config(2, 6, 5)
+            .with_faults(faults("flaky:*:0.2,slow:0:5:40:3,outage:1:10:30,seed:7"));
+        for kind in PolicyKind::ALL {
+            let plain = simulate(&t, kind, &cfg);
+            let mut metrics = crate::metrics::MetricsProbe::new(cfg.disks, Nanos::from_millis(1));
+            let probed = simulate_probed(&t, kind, &cfg, &mut metrics);
+            assert_eq!(plain, probed, "{kind}: probing changed a faulted run");
+        }
+    }
+
+    #[test]
+    fn timeout_caps_the_retry_window() {
+        // With a 3ms timeout measured from the first fault, the fetch
+        // first faulted at t=1ms abandons once a fault lands past t=4ms:
+        // retries at 2 and 4 are within budget, the fault at 4 schedules
+        // a retry at 8 only if 4 - 1 <= 3 — it is, so the abandon comes
+        // from the fault at t=8 (7ms after the first). The re-issued
+        // fetch at t=8 then walks the same ladder shifted.
+        let t = unit_trace(&[0], 1);
+        let cfg = theory_config(1, 4, 5)
+            .with_faults(faults("outage:0:0:10"))
+            .with_retry(RetryPolicy {
+                max_retries: 8,
+                backoff: Nanos::from_millis(1),
+                backoff_cap: Nanos::from_millis(64),
+                timeout: Some(Nanos::from_millis(3)),
+            });
+        let r = simulate(&t, PolicyKind::Demand, &cfg);
+        let f = r.fault.as_ref().unwrap();
+        assert!(f.abandoned > 0, "timeout never abandoned: {f:?}");
+        assert_eq!(f.faults_injected, f.retries + f.abandoned);
+        // The run still terminates with the block served after recovery.
+        assert_eq!(r.fetches, f.abandoned + 1);
+        assert!(r.elapsed > Nanos::from_millis(10));
     }
 }

@@ -19,15 +19,16 @@
 //!   model (§2.1), in which compute steps are unit time.
 //! * [`hints`] — incomplete disclosure (the §6 extension): policies see
 //!   only a hinted subsequence.
-//! * [`config`] — run parameters with the paper's defaults.
+//! * [`config`] — run parameters with the paper's defaults, plus the
+//!   deterministic fault plan and the driver's retry/backoff policy.
 //! * [`probe`] / [`metrics`] — the observability layer: a typed event
 //!   stream emitted at every decision point, and counters, latency
 //!   histograms, and per-disk timelines folded from it. The default
 //!   probe is a zero-sized no-op, so uninstrumented runs pay nothing.
 //! * [`audit`] — a probe that enforces conservation invariants over the
 //!   event stream (frame conservation, fetch/stall balance, monotone
-//!   time, queue-depth accounting) and reconciles the final report with
-//!   checked arithmetic.
+//!   time, queue-depth accounting, fault/retry/abandonment balance) and
+//!   reconciles the final report with checked arithmetic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,8 +46,10 @@ pub mod probe;
 pub mod theory;
 
 pub use audit::{simulate_audited, AuditOutcome, AuditProbe, AuditViolation};
-pub use config::SimConfig;
-pub use engine::{simulate, simulate_probed, simulate_with, simulate_with_probed, Report};
+pub use config::{RetryPolicy, SimConfig};
+pub use engine::{
+    simulate, simulate_probed, simulate_with, simulate_with_probed, FaultSummary, Report,
+};
 pub use metrics::{Histogram, MetricsProbe, RunMetrics};
 pub use policy::{Policy, PolicyKind};
-pub use probe::{Event, NoopProbe, Probe};
+pub use probe::{Event, FaultCause, NoopProbe, Probe};

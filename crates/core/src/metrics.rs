@@ -279,6 +279,12 @@ pub struct Counters {
     pub stalls_begun: u64,
     /// Stall intervals ended.
     pub stalls_ended: u64,
+    /// Faults charged to requests (media errors + outage rejections).
+    pub faults_injected: u64,
+    /// Driver retries issued in response to faults.
+    pub retries: u64,
+    /// Requests the driver gave up on.
+    pub requests_abandoned: u64,
 }
 
 impl Counters {
@@ -295,12 +301,17 @@ impl Counters {
         self.services_completed += other.services_completed;
         self.stalls_begun += other.stalls_begun;
         self.stalls_ended += other.stalls_ended;
+        self.faults_injected += other.faults_injected;
+        self.retries += other.retries;
+        self.requests_abandoned += other.requests_abandoned;
     }
 
-    /// These counters as a JSON object.
+    /// These counters as a JSON object. The fault counters appear only
+    /// when nonzero, so healthy-run output is byte-identical to output
+    /// from before fault support existed.
     pub fn to_json(&self) -> String {
-        format!(
-            r#"{{"decisions":{},"cache_hits":{},"cache_misses":{},"evictions":{},"fetches_issued":{},"demand_fetches":{},"writes_issued":{},"services_started":{},"services_completed":{},"stalls_begun":{},"stalls_ended":{}}}"#,
+        let mut s = format!(
+            r#"{{"decisions":{},"cache_hits":{},"cache_misses":{},"evictions":{},"fetches_issued":{},"demand_fetches":{},"writes_issued":{},"services_started":{},"services_completed":{},"stalls_begun":{},"stalls_ended":{}"#,
             self.decisions,
             self.cache_hits,
             self.cache_misses,
@@ -312,7 +323,21 @@ impl Counters {
             self.services_completed,
             self.stalls_begun,
             self.stalls_ended,
-        )
+        );
+        if self.faults_injected > 0 {
+            s.push_str(&format!(r#","faults_injected":{}"#, self.faults_injected));
+        }
+        if self.retries > 0 {
+            s.push_str(&format!(r#","retries":{}"#, self.retries));
+        }
+        if self.requests_abandoned > 0 {
+            s.push_str(&format!(
+                r#","requests_abandoned":{}"#,
+                self.requests_abandoned
+            ));
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -630,6 +655,13 @@ impl Probe for MetricsProbe {
                 m.counters.stalls_ended += 1;
                 m.stall_duration.record_nanos(stalled);
             }
+            Event::FaultInjected { .. } => m.counters.faults_injected += 1,
+            Event::RetryIssued { .. } => m.counters.retries += 1,
+            Event::RequestAbandoned { .. } => m.counters.requests_abandoned += 1,
+            // Degraded-window boundaries shape the latency distributions
+            // already folded above; the boundaries themselves are audited
+            // in `crate::audit`, not counted here.
+            Event::DiskDegraded { .. } | Event::DiskRecovered { .. } => {}
         }
     }
 }
@@ -872,6 +904,7 @@ mod tests {
             response: Nanos::from_millis(5),
             head_cylinder: 3,
             depth: 0,
+            faulted: false,
         });
         p.on_event(&Event::StallBegin {
             now,
@@ -901,6 +934,59 @@ mod tests {
         let json = m.to_json();
         assert!(json.contains(r#""counters""#), "{json}");
         assert!(json.contains(r#""timeline""#), "{json}");
+    }
+
+    #[test]
+    fn fault_counters_fold_and_stay_out_of_healthy_json() {
+        use crate::probe::FaultCause;
+        let healthy = Counters::default().to_json();
+        assert!(!healthy.contains("fault"), "{healthy}");
+        assert!(!healthy.contains("retries"), "{healthy}");
+        assert!(!healthy.contains("abandoned"), "{healthy}");
+        let mut p = MetricsProbe::new(1, Nanos::from_millis(10));
+        let now = Nanos::from_millis(1);
+        p.on_event(&Event::FaultInjected {
+            now,
+            block: BlockId(1),
+            disk: DiskId(0),
+            write: false,
+            cause: FaultCause::MediaError,
+            attempt: 1,
+        });
+        p.on_event(&Event::RetryIssued {
+            now,
+            block: BlockId(1),
+            disk: DiskId(0),
+            attempt: 1,
+        });
+        p.on_event(&Event::RequestAbandoned {
+            now,
+            block: BlockId(1),
+            disk: DiskId(0),
+            write: false,
+            attempts: 2,
+        });
+        p.on_event(&Event::DiskDegraded {
+            now,
+            disk: DiskId(0),
+        });
+        p.on_event(&Event::DiskRecovered {
+            now,
+            disk: DiskId(0),
+        });
+        let mut m = p.finish();
+        let other = Counters {
+            retries: 2,
+            ..Default::default()
+        };
+        m.counters.merge(&other);
+        assert_eq!(m.counters.faults_injected, 1);
+        assert_eq!(m.counters.retries, 3);
+        assert_eq!(m.counters.requests_abandoned, 1);
+        let json = m.counters.to_json();
+        assert!(json.contains(r#""faults_injected":1"#), "{json}");
+        assert!(json.contains(r#""retries":3"#), "{json}");
+        assert!(json.contains(r#""requests_abandoned":1"#), "{json}");
     }
 
     #[test]

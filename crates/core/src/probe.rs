@@ -11,8 +11,28 @@
 //! optimizer removes it: the uninstrumented hot path costs nothing.
 
 use parcache_disk::disk::ReqKind;
+use parcache_disk::model::ServiceOutcome;
 use parcache_disk::probe::DiskEvent;
 use parcache_types::{BlockId, DiskId, Nanos};
+
+/// Why a fault was charged to a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCause {
+    /// The drive serviced the request but the data never arrived.
+    MediaError,
+    /// The drive was out of service and rejected the request outright.
+    Rejected,
+}
+
+impl FaultCause {
+    /// A short machine-readable tag.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultCause::MediaError => "media_error",
+            FaultCause::Rejected => "rejected",
+        }
+    }
+}
 
 /// One simulation event, stamped with the simulated time it occurred.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +130,10 @@ pub enum Event {
         head_cylinder: u64,
         /// Drive load after the completion.
         depth: usize,
+        /// True when the attempt ended in a media error (the time was
+        /// spent but no data arrived; the driver decides what happens
+        /// next). Always false on a healthy array.
+        faulted: bool,
     },
     /// The application began waiting for a non-resident block.
     StallBegin {
@@ -126,6 +150,61 @@ pub enum Event {
         block: BlockId,
         /// How long the wait lasted.
         stalled: Nanos,
+    },
+    /// A fault was charged to a request: a media error on completion, or
+    /// an out-of-service drive rejecting the issue.
+    FaultInjected {
+        /// Simulated time.
+        now: Nanos,
+        /// The affected block.
+        block: BlockId,
+        /// The faulting drive.
+        disk: DiskId,
+        /// True for a write-behind flush.
+        write: bool,
+        /// What went wrong.
+        cause: FaultCause,
+        /// How many faults this request has now absorbed (1-based).
+        attempt: u32,
+    },
+    /// The driver re-issued a faulted fetch after its backoff expired.
+    RetryIssued {
+        /// Simulated time.
+        now: Nanos,
+        /// The block being retried.
+        block: BlockId,
+        /// The drive it is routed to.
+        disk: DiskId,
+        /// Which retry this is (1-based, matching the fault it answers).
+        attempt: u32,
+    },
+    /// The driver gave up on a request (retry budget or timeout spent,
+    /// or a best-effort write faulted).
+    RequestAbandoned {
+        /// Simulated time.
+        now: Nanos,
+        /// The abandoned block.
+        block: BlockId,
+        /// The drive that kept faulting.
+        disk: DiskId,
+        /// True for a write-behind flush.
+        write: bool,
+        /// Faults absorbed before giving up.
+        attempts: u32,
+    },
+    /// A drive entered a declared degraded window (fail-slow or outage).
+    DiskDegraded {
+        /// Simulated time.
+        now: Nanos,
+        /// The degraded drive.
+        disk: DiskId,
+    },
+    /// A drive left its degraded window.
+    DiskRecovered {
+        /// Simulated time.
+        now: Nanos,
+        /// The recovered drive.
+        disk: DiskId,
     },
 }
 
@@ -154,6 +233,7 @@ impl Event {
                 response,
                 head_cylinder,
                 depth,
+                outcome,
             } => Event::FetchCompleted {
                 now,
                 block,
@@ -163,6 +243,7 @@ impl Event {
                 response,
                 head_cylinder,
                 depth,
+                faulted: outcome == ServiceOutcome::MediaError,
             },
         }
     }
@@ -181,6 +262,11 @@ impl Event {
             Event::FetchCompleted { .. } => "fetch_completed",
             Event::StallBegin { .. } => "stall_begin",
             Event::StallEnd { .. } => "stall_end",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::RetryIssued { .. } => "retry_issued",
+            Event::RequestAbandoned { .. } => "request_abandoned",
+            Event::DiskDegraded { .. } => "disk_degraded",
+            Event::DiskRecovered { .. } => "disk_recovered",
         }
     }
 
@@ -197,7 +283,12 @@ impl Event {
             | Event::FetchStarted { now, .. }
             | Event::FetchCompleted { now, .. }
             | Event::StallBegin { now, .. }
-            | Event::StallEnd { now, .. } => now,
+            | Event::StallEnd { now, .. }
+            | Event::FaultInjected { now, .. }
+            | Event::RetryIssued { now, .. }
+            | Event::RequestAbandoned { now, .. }
+            | Event::DiskDegraded { now, .. }
+            | Event::DiskRecovered { now, .. } => now,
         }
     }
 
@@ -268,6 +359,7 @@ impl Event {
                 response,
                 head_cylinder,
                 depth,
+                faulted,
                 ..
             } => {
                 s.push_str(&format!(
@@ -277,6 +369,11 @@ impl Event {
                     service.as_nanos(),
                     response.as_nanos()
                 ));
+                // Emitted only when set, so fault-free event logs stay
+                // byte-identical to logs from before fault support.
+                if faulted {
+                    s.push_str(r#","faulted":true"#);
+                }
             }
             Event::StallEnd { block, stalled, .. } => {
                 s.push_str(&format!(
@@ -284,6 +381,49 @@ impl Event {
                     block.raw(),
                     stalled.as_nanos()
                 ));
+            }
+            Event::FaultInjected {
+                block,
+                disk,
+                write,
+                cause,
+                attempt,
+                ..
+            } => {
+                s.push_str(&format!(
+                    r#","block":{},"disk":{},"write":{write},"cause":"{}","attempt":{attempt}"#,
+                    block.raw(),
+                    disk.index(),
+                    cause.name()
+                ));
+            }
+            Event::RetryIssued {
+                block,
+                disk,
+                attempt,
+                ..
+            } => {
+                s.push_str(&format!(
+                    r#","block":{},"disk":{},"attempt":{attempt}"#,
+                    block.raw(),
+                    disk.index()
+                ));
+            }
+            Event::RequestAbandoned {
+                block,
+                disk,
+                write,
+                attempts,
+                ..
+            } => {
+                s.push_str(&format!(
+                    r#","block":{},"disk":{},"write":{write},"attempts":{attempts}"#,
+                    block.raw(),
+                    disk.index()
+                ));
+            }
+            Event::DiskDegraded { disk, .. } | Event::DiskRecovered { disk, .. } => {
+                s.push_str(&format!(r#","disk":{}"#, disk.index()));
             }
         }
         s.push('}');

@@ -4,7 +4,7 @@
 //! disk are serialized (§2.1). The array owns the striping layout and
 //! routes each logical block to its drive.
 
-use crate::disk::{Completed, Disk, DiskStats};
+use crate::disk::{Completed, Disk, DiskStats, EnqueueOutcome};
 use crate::layout::Layout;
 use crate::model::DiskModel;
 use crate::probe::DiskEvent;
@@ -18,17 +18,18 @@ pub struct DiskArray {
 }
 
 impl DiskArray {
-    /// Builds an array of `n` drives, each constructed by `make_model`,
-    /// all using `discipline` for head scheduling.
+    /// Builds an array of `n` drives, each constructed by `make_model`
+    /// from its index (so per-drive fault wrappers can be applied), all
+    /// using `discipline` for head scheduling.
     pub fn new(
         n: usize,
         discipline: Discipline,
-        mut make_model: impl FnMut() -> Box<dyn DiskModel>,
+        mut make_model: impl FnMut(usize) -> Box<dyn DiskModel>,
     ) -> DiskArray {
         assert!(n > 0, "an array needs at least one disk");
         DiskArray {
             disks: (0..n)
-                .map(|_| Disk::new(make_model(), discipline))
+                .map(|i| Disk::new(make_model(i), discipline))
                 .collect(),
             layout: Layout::striped(n),
         }
@@ -76,9 +77,10 @@ impl DiskArray {
             .map(|(i, _)| DiskId(i))
     }
 
-    /// Enqueues a fetch of `block` on its drive at time `now`.
-    pub fn enqueue(&mut self, now: Nanos, block: BlockId) {
-        self.enqueue_observed(now, block, |_, _| {});
+    /// Enqueues a fetch of `block` on its drive at time `now`. Rejected
+    /// (with no state change) when that drive is inside an outage window.
+    pub fn enqueue(&mut self, now: Nanos, block: BlockId) -> EnqueueOutcome {
+        self.enqueue_observed(now, block, |_, _| {})
     }
 
     /// [`DiskArray::enqueue`], reporting each [`DiskEvent`] (tagged with
@@ -88,15 +90,15 @@ impl DiskArray {
         now: Nanos,
         block: BlockId,
         mut observe: impl FnMut(DiskId, DiskEvent),
-    ) {
+    ) -> EnqueueOutcome {
         let disk = self.disk_of(block);
         let span = self.layout.span_of(block);
-        self.disks[disk.index()].enqueue_observed(now, block, span, |e| observe(disk, e));
+        self.disks[disk.index()].enqueue_observed(now, block, span, |e| observe(disk, e))
     }
 
     /// Enqueues a write-behind flush of `block` on its drive.
-    pub fn enqueue_write(&mut self, now: Nanos, block: BlockId) {
-        self.enqueue_write_observed(now, block, |_, _| {});
+    pub fn enqueue_write(&mut self, now: Nanos, block: BlockId) -> EnqueueOutcome {
+        self.enqueue_write_observed(now, block, |_, _| {})
     }
 
     /// [`DiskArray::enqueue_write`], reporting each [`DiskEvent`] to
@@ -106,10 +108,10 @@ impl DiskArray {
         now: Nanos,
         block: BlockId,
         mut observe: impl FnMut(DiskId, DiskEvent),
-    ) {
+    ) -> EnqueueOutcome {
         let disk = self.disk_of(block);
         let span = self.layout.span_of(block);
-        self.disks[disk.index()].enqueue_write_observed(now, block, span, |e| observe(disk, e));
+        self.disks[disk.index()].enqueue_write_observed(now, block, span, |e| observe(disk, e))
     }
 
     /// The earliest pending completion across all drives.
@@ -211,8 +213,19 @@ mod tests {
     use super::*;
     use crate::uniform::UniformDisk;
 
+    /// Unwraps an [`EnqueueOutcome`] that must be `Accepted` (healthy
+    /// drives unless a test says otherwise).
+    trait MustAccept {
+        fn accepted(self);
+    }
+    impl MustAccept for EnqueueOutcome {
+        fn accepted(self) {
+            assert_eq!(self, EnqueueOutcome::Accepted);
+        }
+    }
+
     fn uniform_array(n: usize, ms: u64) -> DiskArray {
-        DiskArray::new(n, Discipline::Fcfs, move || {
+        DiskArray::new(n, Discipline::Fcfs, move |_| {
             Box::new(UniformDisk::new(Nanos::from_millis(ms)))
         })
     }
@@ -221,8 +234,8 @@ mod tests {
     fn parallel_fetches_on_different_disks() {
         let mut a = uniform_array(2, 10);
         // Blocks 0 and 1 stripe to different disks: both complete at t=10ms.
-        a.enqueue(Nanos::ZERO, BlockId(0));
-        a.enqueue(Nanos::ZERO, BlockId(1));
+        a.enqueue(Nanos::ZERO, BlockId(0)).accepted();
+        a.enqueue(Nanos::ZERO, BlockId(1)).accepted();
         let (t1, d1) = a.next_event().unwrap();
         assert_eq!(t1, Nanos::from_millis(10));
         a.complete(t1, d1);
@@ -235,8 +248,8 @@ mod tests {
     fn same_disk_serializes() {
         let mut a = uniform_array(2, 10);
         // Blocks 0 and 2 both live on disk 0.
-        a.enqueue(Nanos::ZERO, BlockId(0));
-        a.enqueue(Nanos::ZERO, BlockId(2));
+        a.enqueue(Nanos::ZERO, BlockId(0)).accepted();
+        a.enqueue(Nanos::ZERO, BlockId(2)).accepted();
         let (t1, d1) = a.complete_next();
         assert_eq!((t1, d1.index()), (Nanos::from_millis(10), 0));
         let (t2, _) = a.complete_next();
@@ -256,7 +269,7 @@ mod tests {
     fn free_disks_reflect_state() {
         let mut a = uniform_array(3, 10);
         assert_eq!(a.free_disks().count(), 3);
-        a.enqueue(Nanos::ZERO, BlockId(1));
+        a.enqueue(Nanos::ZERO, BlockId(1)).accepted();
         let free: Vec<DiskId> = a.free_disks().collect();
         assert_eq!(free, vec![DiskId(0), DiskId(2)]);
         assert!(!a.is_free(DiskId(1)));
@@ -268,7 +281,7 @@ mod tests {
     #[test]
     fn utilization_and_fetch_time() {
         let mut a = uniform_array(2, 10);
-        a.enqueue(Nanos::ZERO, BlockId(0));
+        a.enqueue(Nanos::ZERO, BlockId(0)).accepted();
         let (t, d) = a.next_event().unwrap();
         a.complete(t, d);
         // One disk busy 10ms of a 20ms run, the other idle: 25% average.
@@ -281,13 +294,13 @@ mod tests {
     #[test]
     fn utilization_counts_requests_still_in_service() {
         let mut a = uniform_array(2, 10);
-        a.enqueue(Nanos::ZERO, BlockId(0));
+        a.enqueue(Nanos::ZERO, BlockId(0)).accepted();
         // The run "ends" at 5ms with the request half-served: the drive
         // has been busy the whole time, so utilization is 0.5 / 2 disks.
         let u = a.avg_utilization(Nanos::from_millis(5));
         assert!((u - 0.5).abs() < 1e-9, "{u}");
         // A second request queued behind it contributes nothing yet.
-        a.enqueue(Nanos::ZERO, BlockId(2));
+        a.enqueue(Nanos::ZERO, BlockId(2)).accepted();
         let u = a.avg_utilization(Nanos::from_millis(5));
         assert!((u - 0.5).abs() < 1e-9, "{u}");
         assert_eq!(
@@ -303,14 +316,11 @@ mod tests {
         // 3ns over 2 requests. Truncation loses the remainder (1ns); the
         // rounded mean is 2ns.
         let times = [Nanos(2), Nanos(1)];
-        let mut next = 0;
-        let mut a = DiskArray::new(2, Discipline::Fcfs, || {
-            let t = times[next];
-            next += 1;
-            Box::new(UniformDisk::new(t))
+        let mut a = DiskArray::new(2, Discipline::Fcfs, |i| {
+            Box::new(UniformDisk::new(times[i]))
         });
-        a.enqueue(Nanos::ZERO, BlockId(0)); // disk 0
-        a.enqueue(Nanos::ZERO, BlockId(1)); // disk 1
+        a.enqueue(Nanos::ZERO, BlockId(0)).accepted(); // disk 0
+        a.enqueue(Nanos::ZERO, BlockId(1)).accepted(); // disk 1
         while let Some((t, d)) = a.next_event() {
             a.complete(t, d);
         }
@@ -324,10 +334,50 @@ mod tests {
     #[test]
     fn outstanding_lists_queued_blocks() {
         let mut a = uniform_array(2, 10);
-        a.enqueue(Nanos::ZERO, BlockId(0));
-        a.enqueue(Nanos::ZERO, BlockId(2));
+        a.enqueue(Nanos::ZERO, BlockId(0)).accepted();
+        a.enqueue(Nanos::ZERO, BlockId(2)).accepted();
         let out = a.outstanding();
         assert_eq!(out.len(), 2);
         assert!(out.contains(&BlockId(0)) && out.contains(&BlockId(2)));
+    }
+
+    #[test]
+    fn reset_clears_fault_state_on_every_wrapped_drive() {
+        use crate::fault::{FaultPlan, FaultyDisk};
+        // Disk 0 flaky, disk 1 healthy: only the matching drive is
+        // wrapped, exactly as the engine builds faulted arrays.
+        let plan = FaultPlan::parse("flaky:0:0.5,seed:3").unwrap();
+        let make = |i: usize| -> Box<dyn DiskModel> {
+            let base = Box::new(UniformDisk::new(Nanos::from_millis(2)));
+            match plan.for_disk(i) {
+                Some(f) => Box::new(FaultyDisk::new(base, f, plan.rng_for_disk(i))),
+                None => base,
+            }
+        };
+        let run = |a: &mut DiskArray| -> Vec<DiskStats> {
+            for round in 0..16u64 {
+                // Blocks 0 and 1 stripe to disks 0 and 1.
+                a.enqueue(Nanos::from_millis(round * 10), BlockId(0))
+                    .accepted();
+                a.enqueue(Nanos::from_millis(round * 10), BlockId(1))
+                    .accepted();
+                while let Some((t, d)) = a.next_event() {
+                    a.complete(t, d);
+                }
+            }
+            a.stats()
+        };
+        let mut a = DiskArray::new(2, Discipline::Fcfs, make);
+        let first = run(&mut a);
+        assert!(first[0].failed > 0, "seed 3 must hit at least one error");
+        assert_eq!(first[1].failed, 0, "healthy drive must never fail");
+        // Reset must clear failure counters AND rewind the per-drive fault
+        // RNG: the rerun replays identically, with no leaked state.
+        a.reset();
+        for s in a.stats() {
+            assert_eq!(s, DiskStats::default());
+        }
+        let second = run(&mut a);
+        assert_eq!(first, second);
     }
 }

@@ -5,7 +5,7 @@
 //! idle and the queue is non-empty.
 
 use crate::geometry::SectorSpan;
-use crate::model::DiskModel;
+use crate::model::{DiskModel, ServiceOutcome};
 use crate::probe::DiskEvent;
 use crate::sched::Discipline;
 use parcache_types::{BlockId, Nanos};
@@ -37,12 +37,32 @@ pub struct Pending {
     pub kind: ReqKind,
 }
 
+/// Whether [`Disk::enqueue`] accepted the request. A drive inside a hard
+/// outage window rejects new arrivals; the caller decides whether to
+/// retry later or abandon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a rejected request was not queued and will never complete"]
+pub enum EnqueueOutcome {
+    /// The request entered the queue.
+    Accepted,
+    /// The drive is out of service; nothing was queued.
+    Rejected,
+}
+
+impl EnqueueOutcome {
+    /// True when the request was turned away.
+    pub fn is_rejected(&self) -> bool {
+        *self == EnqueueOutcome::Rejected
+    }
+}
+
 /// A request currently being serviced.
 #[derive(Debug, Clone, Copy)]
 struct InService {
     request: Pending,
     completes: Nanos,
     started: Nanos,
+    outcome: ServiceOutcome,
 }
 
 /// A finished request, as reported by [`Disk::complete`].
@@ -56,18 +76,25 @@ pub struct Completed {
     pub response: Nanos,
     /// Read or write.
     pub kind: ReqKind,
+    /// Whether the attempt delivered its data ([`ServiceOutcome::Ok`] on
+    /// a healthy drive; a media error means the caller must retry).
+    pub outcome: ServiceOutcome,
 }
 
 /// Aggregate per-drive statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DiskStats {
-    /// Requests fully serviced.
+    /// Requests fully and successfully serviced.
     pub served: u64,
-    /// Total time the drive spent servicing requests.
+    /// Attempts that ended in a media error. The time they burned is in
+    /// `busy`, but they contribute to no other field.
+    pub failed: u64,
+    /// Total time the drive spent servicing requests (successful or not).
     pub busy: Nanos,
-    /// Sum of response times (completion minus enqueue), for averages.
+    /// Sum of response times (completion minus enqueue) over successful
+    /// requests, for averages.
     pub total_response: Nanos,
-    /// Sum of pure service times (completion minus service start).
+    /// Sum of pure service times over successful requests.
     pub total_service: Nanos,
 }
 
@@ -129,14 +156,20 @@ impl Disk {
     }
 
     /// Enqueues a read of `span` for logical `block` at time `now`, then
-    /// starts it immediately if the drive is idle.
-    pub fn enqueue(&mut self, now: Nanos, block: BlockId, span: SectorSpan) {
-        self.enqueue_observed(now, block, span, |_| {});
+    /// starts it immediately if the drive is idle. Rejected (with no
+    /// state change) when the drive is inside a hard outage window.
+    pub fn enqueue(&mut self, now: Nanos, block: BlockId, span: SectorSpan) -> EnqueueOutcome {
+        self.enqueue_observed(now, block, span, |_| {})
     }
 
     /// Enqueues a write-behind flush of `span` for logical `block`.
-    pub fn enqueue_write(&mut self, now: Nanos, block: BlockId, span: SectorSpan) {
-        self.enqueue_write_observed(now, block, span, |_| {});
+    pub fn enqueue_write(
+        &mut self,
+        now: Nanos,
+        block: BlockId,
+        span: SectorSpan,
+    ) -> EnqueueOutcome {
+        self.enqueue_write_observed(now, block, span, |_| {})
     }
 
     /// [`Disk::enqueue`], reporting [`DiskEvent`]s to `observe`.
@@ -146,8 +179,8 @@ impl Disk {
         block: BlockId,
         span: SectorSpan,
         mut observe: impl FnMut(DiskEvent),
-    ) {
-        self.enqueue_kind(now, block, span, ReqKind::Read, &mut observe);
+    ) -> EnqueueOutcome {
+        self.enqueue_kind(now, block, span, ReqKind::Read, &mut observe)
     }
 
     /// [`Disk::enqueue_write`], reporting [`DiskEvent`]s to `observe`.
@@ -157,8 +190,8 @@ impl Disk {
         block: BlockId,
         span: SectorSpan,
         mut observe: impl FnMut(DiskEvent),
-    ) {
-        self.enqueue_kind(now, block, span, ReqKind::Write, &mut observe);
+    ) -> EnqueueOutcome {
+        self.enqueue_kind(now, block, span, ReqKind::Write, &mut observe)
     }
 
     fn enqueue_kind(
@@ -168,7 +201,12 @@ impl Disk {
         span: SectorSpan,
         kind: ReqKind,
         observe: &mut impl FnMut(DiskEvent),
-    ) {
+    ) -> EnqueueOutcome {
+        if self.model.outage_until(now).is_some() {
+            // Out of service: the arrival is turned away before it touches
+            // any drive state, so no event is emitted and nothing leaks.
+            return EnqueueOutcome::Rejected;
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(Pending {
@@ -184,6 +222,7 @@ impl Disk {
             depth: self.load(),
         });
         self.maybe_start_observed(now, observe);
+        EnqueueOutcome::Accepted
     }
 
     /// If idle and work is queued, picks the next request per the
@@ -207,17 +246,27 @@ impl Disk {
             .select(&self.queue, &cylinders, head)
             .expect("non-empty queue must select a request");
         let request = self.queue.swap_remove(idx);
-        let completes = self.model.service(now, &request.span);
+        // A request already in the queue when an outage begins is not
+        // lost: its service start is deferred to the window's end, so the
+        // completion event wakes the simulation exactly at recovery. The
+        // loop handles back-to-back windows; outage windows are merged by
+        // the fault plan, so it takes at most a few steps.
+        let mut start = now;
+        while let Some(until) = self.model.outage_until(start) {
+            start = until;
+        }
+        let attempt = self.model.service_attempt(start, &request.span);
         self.in_service = Some(InService {
             request,
-            completes,
-            started: now,
+            completes: attempt.completes,
+            started: start,
+            outcome: attempt.outcome,
         });
         observe(DiskEvent::ServiceStarted {
             block: request.block,
             kind: request.kind,
             head_cylinder: self.model.head_cylinder(),
-            completes,
+            completes: attempt.completes,
         });
     }
 
@@ -256,11 +305,19 @@ impl Disk {
             service: s.completes - s.started,
             response: s.completes - s.request.enqueued,
             kind: s.request.kind,
+            outcome: s.outcome,
         };
-        self.stats.served += 1;
-        self.stats.busy += done.service;
-        self.stats.total_service += done.service;
-        self.stats.total_response += done.response;
+        if s.outcome.is_ok() {
+            self.stats.served += 1;
+            self.stats.busy += done.service;
+            self.stats.total_service += done.service;
+            self.stats.total_response += done.response;
+        } else {
+            // A media error burned real platter time (busy) but delivered
+            // nothing, so it is kept out of every served-request average.
+            self.stats.failed += 1;
+            self.stats.busy += done.service;
+        }
         observe(DiskEvent::ServiceCompleted {
             block: done.block,
             kind: done.kind,
@@ -270,6 +327,7 @@ impl Disk {
             // One queued request (if any) is about to enter service, so the
             // post-completion load equals the queue length.
             depth: self.queue.len(),
+            outcome: s.outcome,
         });
         self.maybe_start_observed(now, &mut observe);
         done
@@ -302,7 +360,9 @@ impl Disk {
     }
 
     /// Busy time accrued by the in-service request as of `now` (zero when
-    /// the drive is idle).
+    /// the drive is idle, and zero while an outage defers the start past
+    /// `now` — `Nanos` subtraction saturates, which is exactly right: a
+    /// drive waiting out an outage is not busy).
     fn in_service_busy(&self, now: Nanos) -> Nanos {
         match &self.in_service {
             Some(s) => now.min(s.completes) - s.started,
@@ -352,6 +412,17 @@ mod tests {
     use super::*;
     use crate::uniform::UniformDisk;
 
+    /// Unwraps an [`EnqueueOutcome`] that must be `Accepted` (every test
+    /// here runs on healthy drives unless it says otherwise).
+    trait MustAccept {
+        fn accepted(self);
+    }
+    impl MustAccept for EnqueueOutcome {
+        fn accepted(self) {
+            assert_eq!(self, EnqueueOutcome::Accepted);
+        }
+    }
+
     fn uniform_disk(ms: u64) -> Disk {
         Disk::new(
             Box::new(UniformDisk::new(Nanos::from_millis(ms))),
@@ -362,8 +433,10 @@ mod tests {
     #[test]
     fn serializes_requests() {
         let mut d = uniform_disk(10);
-        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 });
-        d.enqueue(Nanos::ZERO, BlockId(2), SectorSpan { start: 16, len: 16 });
+        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 })
+            .accepted();
+        d.enqueue(Nanos::ZERO, BlockId(2), SectorSpan { start: 16, len: 16 })
+            .accepted();
         assert_eq!(d.next_completion(), Some(Nanos::from_millis(10)));
         let first = d.complete(Nanos::from_millis(10));
         assert_eq!(first.block, BlockId(1));
@@ -380,8 +453,10 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut d = uniform_disk(5);
-        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 });
-        d.enqueue(Nanos::ZERO, BlockId(2), SectorSpan { start: 16, len: 16 });
+        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 })
+            .accepted();
+        d.enqueue(Nanos::ZERO, BlockId(2), SectorSpan { start: 16, len: 16 })
+            .accepted();
         d.complete(Nanos::from_millis(5));
         d.complete(Nanos::from_millis(10));
         let s = d.stats();
@@ -396,8 +471,10 @@ mod tests {
     fn load_and_outstanding() {
         let mut d = uniform_disk(5);
         assert_eq!(d.load(), 0);
-        d.enqueue(Nanos::ZERO, BlockId(9), SectorSpan { start: 0, len: 16 });
-        d.enqueue(Nanos::ZERO, BlockId(8), SectorSpan { start: 16, len: 16 });
+        d.enqueue(Nanos::ZERO, BlockId(9), SectorSpan { start: 0, len: 16 })
+            .accepted();
+        d.enqueue(Nanos::ZERO, BlockId(8), SectorSpan { start: 16, len: 16 })
+            .accepted();
         assert_eq!(d.load(), 2);
         let out: Vec<BlockId> = d.outstanding().collect();
         assert!(out.contains(&BlockId(9)) && out.contains(&BlockId(8)));
@@ -409,15 +486,18 @@ mod tests {
     #[should_panic(expected = "wrong time")]
     fn completing_at_wrong_time_panics() {
         let mut d = uniform_disk(5);
-        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 });
+        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 })
+            .accepted();
         d.complete(Nanos::from_millis(99));
     }
 
     #[test]
     fn writes_share_the_queue_and_report_their_kind() {
         let mut d = uniform_disk(5);
-        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 });
-        d.enqueue_write(Nanos::ZERO, BlockId(2), SectorSpan { start: 16, len: 16 });
+        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 })
+            .accepted();
+        d.enqueue_write(Nanos::ZERO, BlockId(2), SectorSpan { start: 16, len: 16 })
+            .accepted();
         let first = d.complete(Nanos::from_millis(5));
         assert_eq!((first.block, first.kind), (BlockId(1), ReqKind::Read));
         let second = d.complete(Nanos::from_millis(10));
@@ -428,7 +508,8 @@ mod tests {
     #[test]
     fn stats_at_credits_partial_in_service_time() {
         let mut d = uniform_disk(10);
-        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 });
+        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 })
+            .accepted();
         // Completed stats see nothing mid-service...
         assert_eq!(d.stats().busy, Nanos::ZERO);
         // ...but stats_at credits the elapsed portion,
@@ -452,7 +533,8 @@ mod tests {
     #[test]
     fn reset_clears_everything() {
         let mut d = uniform_disk(5);
-        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 });
+        d.enqueue(Nanos::ZERO, BlockId(1), SectorSpan { start: 0, len: 16 })
+            .accepted();
         d.reset();
         assert!(d.is_free());
         assert_eq!(d.stats(), DiskStats::default());
@@ -476,8 +558,10 @@ mod tests {
         );
         // Serve cylinder 500, then a request behind the head: SCAN finds
         // nothing ahead and reverses, leaving the discipline descending.
-        d.enqueue(Nanos::ZERO, BlockId(1), span_at_cylinder(500));
-        d.enqueue(Nanos::ZERO, BlockId(2), span_at_cylinder(10));
+        d.enqueue(Nanos::ZERO, BlockId(1), span_at_cylinder(500))
+            .accepted();
+        d.enqueue(Nanos::ZERO, BlockId(2), span_at_cylinder(10))
+            .accepted();
         let t = d.next_completion().unwrap();
         d.complete(t);
         assert_eq!(d.discipline(), Discipline::Scan { ascending: false });
@@ -490,12 +574,127 @@ mod tests {
         // Behavioral check: head back at 500 with candidates on both
         // sides, an ascending sweep picks 900 next; a stale descending
         // sweep would have picked 10.
-        d.enqueue(Nanos::ZERO, BlockId(1), span_at_cylinder(500));
-        d.enqueue(Nanos::ZERO, BlockId(2), span_at_cylinder(10));
-        d.enqueue(Nanos::ZERO, BlockId(3), span_at_cylinder(900));
+        d.enqueue(Nanos::ZERO, BlockId(1), span_at_cylinder(500))
+            .accepted();
+        d.enqueue(Nanos::ZERO, BlockId(2), span_at_cylinder(10))
+            .accepted();
+        d.enqueue(Nanos::ZERO, BlockId(3), span_at_cylinder(900))
+            .accepted();
         let t = d.next_completion().unwrap();
         assert_eq!(d.complete(t).block, BlockId(1));
         let t = d.next_completion().unwrap();
         assert_eq!(d.complete(t).block, BlockId(3));
+    }
+
+    use crate::fault::{FaultPlan, FaultyDisk};
+
+    /// A 5ms uniform drive wrapped with the given fault spec.
+    fn faulty_disk(spec: &str) -> Disk {
+        let plan = FaultPlan::parse(spec).unwrap();
+        Disk::new(
+            Box::new(FaultyDisk::new(
+                Box::new(UniformDisk::new(Nanos::from_millis(5))),
+                plan.for_disk(0).unwrap(),
+                plan.rng_for_disk(0),
+            )),
+            Discipline::Fcfs,
+        )
+    }
+
+    #[test]
+    fn outage_rejects_new_arrivals_without_touching_state() {
+        let mut d = faulty_disk("outage:0:10:20");
+        let span = SectorSpan { start: 0, len: 16 };
+        assert!(d
+            .enqueue(Nanos::from_millis(15), BlockId(1), span)
+            .is_rejected());
+        assert!(d.is_free());
+        assert_eq!(d.load(), 0);
+        assert_eq!(d.stats(), DiskStats::default());
+        // After the window the same request is accepted.
+        d.enqueue(Nanos::from_millis(20), BlockId(1), span)
+            .accepted();
+        assert_eq!(d.next_completion(), Some(Nanos::from_millis(25)));
+    }
+
+    #[test]
+    fn outage_defers_queued_service_to_window_end() {
+        let mut d = faulty_disk("outage:0:10:20");
+        let span = SectorSpan { start: 0, len: 16 };
+        // Enqueued before the outage with a request ahead of it: when the
+        // first completes at t=12 (mid-outage), the second's start defers
+        // to t=20 and it completes at t=25.
+        d.enqueue(Nanos::from_millis(7), BlockId(1), span)
+            .accepted();
+        d.enqueue(
+            Nanos::from_millis(7),
+            BlockId(2),
+            SectorSpan { start: 16, len: 16 },
+        )
+        .accepted();
+        let first = d.complete(Nanos::from_millis(12));
+        assert_eq!(first.block, BlockId(1));
+        assert_eq!(d.next_completion(), Some(Nanos::from_millis(25)));
+        // Waiting out the outage is not busy time...
+        assert_eq!(
+            d.stats_at(Nanos::from_millis(15)).busy,
+            Nanos::from_millis(5)
+        );
+        let second = d.complete(Nanos::from_millis(25));
+        // ...and the deferred wait shows up in response, not service.
+        assert_eq!(second.service, Nanos::from_millis(5));
+        assert_eq!(second.response, Nanos::from_millis(18));
+    }
+
+    #[test]
+    fn media_errors_count_as_failed_not_served() {
+        // p = 0.999…-ish would be flaky to assert on; instead drive the
+        // RNG deterministically with a high probability and count both
+        // outcomes over a fixed number of attempts.
+        let mut d = faulty_disk("flaky:0:0.5,seed:11");
+        let span = SectorSpan { start: 0, len: 16 };
+        let mut t = Nanos::ZERO;
+        for i in 0..32u64 {
+            d.enqueue(t, BlockId(i), span).accepted();
+            t = d.next_completion().unwrap();
+            let done = d.complete(t);
+            assert_eq!(done.service, Nanos::from_millis(5));
+        }
+        let s = d.stats();
+        assert_eq!(s.served + s.failed, 32);
+        assert!(s.failed > 0, "seed 11 must produce at least one error");
+        assert!(s.served > 0, "seed 11 must produce at least one success");
+        // Every attempt (failed or not) burned 5ms of platter time...
+        assert_eq!(s.busy, Nanos::from_millis(5 * 32));
+        // ...but the served averages exclude the failures.
+        assert_eq!(s.total_service, Nanos::from_millis(5 * s.served));
+        assert_eq!(s.avg_service(), Nanos::from_millis(5));
+    }
+
+    #[test]
+    fn reset_clears_fault_state_and_replays_identically() {
+        let mut d = faulty_disk("flaky:0:0.5,seed:11");
+        let span = SectorSpan { start: 0, len: 16 };
+        let run = |d: &mut Disk| -> (Vec<ServiceOutcome>, DiskStats) {
+            let mut outcomes = Vec::new();
+            let mut t = Nanos::ZERO;
+            for i in 0..32u64 {
+                d.enqueue(t, BlockId(i), span).accepted();
+                t = d.next_completion().unwrap();
+                outcomes.push(d.complete(t).outcome);
+            }
+            (outcomes, d.stats())
+        };
+        let (first, stats) = run(&mut d);
+        assert!(stats.failed > 0);
+        // Reset must clear the failure counter and rewind the fault RNG:
+        // a reused drive replays the exact same error sequence (the same
+        // bug class as the SCAN sweep-direction leak).
+        d.reset();
+        assert_eq!(d.stats(), DiskStats::default());
+        assert_eq!(d.stats().failed, 0);
+        let (second, stats2) = run(&mut d);
+        assert_eq!(first, second);
+        assert_eq!(stats, stats2);
     }
 }

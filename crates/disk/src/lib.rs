@@ -17,6 +17,9 @@
 //!   100-cylinder file-clustering groups.
 //! * [`probe`] — low-level drive events for observers; the `*_observed`
 //!   method variants report them to a caller-supplied closure.
+//! * [`fault`] — deterministic fault injection: a seed-driven
+//!   [`FaultPlan`] (transient media errors, fail-slow windows, hard
+//!   outages) and the [`FaultyDisk`] model wrapper that applies it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +27,7 @@
 pub mod array;
 pub mod coarse;
 pub mod disk;
+pub mod fault;
 pub mod geometry;
 pub mod hp97560;
 pub mod layout;
@@ -34,11 +38,14 @@ pub mod seek;
 pub mod uniform;
 
 pub use array::DiskArray;
-pub use disk::{Disk, DiskStats};
+pub use disk::{Disk, DiskStats, EnqueueOutcome};
+pub use fault::{
+    DiskFaults, DiskSel, FaultKind, FaultParseError, FaultPlan, FaultSpec, FaultyDisk,
+};
 pub use geometry::{DiskGeometry, SectorSpan};
 pub use hp97560::Hp97560;
 pub use layout::Layout;
-pub use model::DiskModel;
+pub use model::{Attempt, DiskModel, ServiceOutcome};
 pub use probe::DiskEvent;
 pub use sched::Discipline;
 pub use uniform::UniformDisk;

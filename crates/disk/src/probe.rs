@@ -8,6 +8,7 @@
 //! monomorphizes away entirely, so uninstrumented callers pay nothing.
 
 use crate::disk::ReqKind;
+use crate::model::ServiceOutcome;
 use parcache_types::{BlockId, Nanos};
 
 /// Something that happened inside one drive.
@@ -53,5 +54,8 @@ pub enum DiskEvent {
         /// Queue length plus in-service count after the completion (the
         /// next request, if any, has already been started).
         depth: usize,
+        /// Whether the attempt delivered its data (always
+        /// [`ServiceOutcome::Ok`] on a healthy drive).
+        outcome: ServiceOutcome,
     },
 }

@@ -99,11 +99,12 @@ fn disk_serves_every_request_once() {
         let discipline = arb_discipline(&mut rng);
         let mut disk = Disk::new(Box::new(Hp97560::new()), discipline);
         for (i, &b) in blocks.iter().enumerate() {
-            disk.enqueue(
+            let outcome = disk.enqueue(
                 Nanos::from_micros(i as u64),
                 BlockId(b),
                 SectorSpan::for_block(b),
             );
+            assert!(!outcome.is_rejected(), "case {case}: healthy drive");
         }
         let mut served = Vec::new();
         while let Some(t) = disk.next_completion() {
@@ -146,9 +147,9 @@ fn array_conserves_requests() {
         let mut rng = Rng::seed_from_u64(case);
         let disks = rng.gen_range(1usize..9);
         let blocks = arb_blocks(&mut rng, 60);
-        let mut a = DiskArray::new(disks, Discipline::Cscan, || Box::new(Hp97560::new()));
+        let mut a = DiskArray::new(disks, Discipline::Cscan, |_| Box::new(Hp97560::new()));
         for &b in &blocks {
-            a.enqueue(Nanos::ZERO, BlockId(b));
+            assert!(!a.enqueue(Nanos::ZERO, BlockId(b)).is_rejected());
         }
         let mut last = Nanos::ZERO;
         let mut count = 0u64;
@@ -185,17 +186,69 @@ fn uniform_queueing_is_exact() {
             Discipline::Fcfs,
         );
         for i in 0..n {
-            d.enqueue(
+            let outcome = d.enqueue(
                 Nanos::ZERO,
                 BlockId(i as u64),
                 SectorSpan::for_block(i as u64),
             );
+            assert!(!outcome.is_rejected(), "case {case}: healthy drive");
         }
         for k in 1..=n {
             let t = d.next_completion().expect("queued work");
             assert_eq!(t, Nanos::from_millis(f_ms * k as u64), "case {case}");
             d.complete(t);
         }
+    }
+}
+
+/// Under transient faults, every accepted request still completes exactly
+/// once (as a success or a media error), attempts conserve, and the busy
+/// time stays bounded by the run — the fault layer must not break the
+/// drive's conservation properties.
+#[test]
+fn faulty_drive_conserves_requests() {
+    use parcache_disk::fault::{FaultPlan, FaultyDisk};
+    for case in 600..600 + CASES {
+        let mut rng = Rng::seed_from_u64(case);
+        let blocks = arb_blocks(&mut rng, 40);
+        let discipline = arb_discipline(&mut rng);
+        let p = rng.gen_range(0.05..0.5);
+        let plan = FaultPlan {
+            seed: case,
+            specs: vec![parcache_disk::fault::FaultSpec {
+                disk: parcache_disk::fault::DiskSel::All,
+                kind: parcache_disk::fault::FaultKind::Transient { probability: p },
+            }],
+        };
+        let mut disk = Disk::new(
+            Box::new(FaultyDisk::new(
+                Box::new(Hp97560::new()),
+                plan.for_disk(0).unwrap(),
+                plan.rng_for_disk(0),
+            )),
+            discipline,
+        );
+        for (i, &b) in blocks.iter().enumerate() {
+            let outcome = disk.enqueue(
+                Nanos::from_micros(i as u64),
+                BlockId(b),
+                SectorSpan::for_block(b),
+            );
+            assert!(!outcome.is_rejected(), "case {case}: no outage declared");
+        }
+        let mut completions = 0u64;
+        let mut last = Nanos::ZERO;
+        while let Some(t) = disk.next_completion() {
+            assert!(t >= last, "case {case}");
+            last = t;
+            disk.complete(t);
+            completions += 1;
+        }
+        assert!(disk.is_free(), "case {case}");
+        assert_eq!(completions, blocks.len() as u64, "case {case}");
+        let s = disk.stats();
+        assert_eq!(s.served + s.failed, blocks.len() as u64, "case {case}");
+        assert!(s.busy <= last, "case {case}: busier than the run is long");
     }
 }
 

@@ -126,9 +126,11 @@ pub fn read_trace(r: impl Read) -> Result<Trace, TraceIoError> {
             continue;
         }
         let mut cols = line.split_whitespace();
+        // A trimmed non-empty line always yields a first column, but a
+        // malformed file must never be able to panic the loader.
         let block: u64 = cols
             .next()
-            .expect("non-empty line has a first column")
+            .ok_or_else(|| parse_err(i + 1, "missing block column"))?
             .parse()
             .map_err(|_| parse_err(i + 1, "bad block number"))?;
         let compute: u64 = cols
@@ -205,11 +207,16 @@ mod tests {
         let cases: &[(&str, &str)] = &[
             ("", "empty input"),
             ("nope v1\n", "header"),
+            ("parcache-trace\n", "header"),
             ("parcache-trace v2\n", "header"),
             ("parcache-trace v1 bogus=1\n", "unknown header field"),
             ("parcache-trace v1 cache_blocks=0\n", "positive"),
+            ("parcache-trace v1 cache_blocks=many\n", "bad cache_blocks"),
             ("parcache-trace v1\nx 1\n", "bad block"),
+            ("parcache-trace v1\n-1 1\n", "bad block"),
             ("parcache-trace v1\n1\n", "missing compute_ns"),
+            ("parcache-trace v1\n1 soon\n", "bad compute_ns"),
+            ("parcache-trace v1\n1 -5\n", "bad compute_ns"),
             ("parcache-trace v1\n1 2 3\n", "trailing"),
         ];
         for (text, needle) in cases {
