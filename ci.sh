@@ -30,13 +30,13 @@ echo "== audited sweep smoke (invariants + report reconciliation) =="
 cargo run --release -q -p parcache-bench --bin parcache-run -- \
     --sweep synth all 1,2 --audit --threads 2 > /dev/null
 
-echo "== differential fuzz smoke (200 cases, every policy) =="
+echo "== differential fuzz smoke (500 cases, every policy) =="
 cargo run --release -q -p parcache-bench --bin parcache-run -- \
-    --fuzz 200 --seed 1996 --threads 2 > /dev/null
+    --fuzz 500 --seed 1996 --threads 2 > /dev/null
 
-echo "== fault-enabled fuzz smoke (200 cases; ~half run under a fault plan) =="
+echo "== fault-enabled fuzz smoke (500 cases; ~half run under a fault plan) =="
 cargo run --release -q -p parcache-bench --bin parcache-run -- \
-    --fuzz 200 --seed 2026 --threads 2 > /dev/null
+    --fuzz 500 --seed 2026 --threads 2 > /dev/null
 
 echo "== faulted audited sweep smoke (retry/abandon/degraded invariants) =="
 FAULTS='flaky:*:0.05,slow:0:0:2000:2,outage:1:100:600,seed:9'
@@ -51,5 +51,22 @@ cargo run --release -q -p parcache-bench --bin parcache-run -- \
 cargo run --release -q -p parcache-bench --bin parcache-run -- \
     --sweep synth all 1,2 --threads 2 --faults "$FAULTS" > "$tmp2"
 diff "$tmp1" "$tmp2"
+
+echo "== golden appendix-A sweep digest =="
+cargo test --release -q -p parcache-bench --test golden -- --ignored
+
+# Benchmark smoke: replay the smoke sweep subset and fail on a >25%
+# cells/sec drop against the committed BENCH_sweep.json. The tolerance
+# (see REGRESSION_TOLERANCE in crates/bench/src/bench.rs) absorbs
+# single-core/noisy-runner variance; real hot-path regressions are far
+# larger. Set PARCACHE_BENCH_SKIP=1 to skip on machines too noisy to
+# measure anything.
+if [ "${PARCACHE_BENCH_SKIP:-0}" = "1" ]; then
+    echo "== bench smoke skipped (PARCACHE_BENCH_SKIP=1) =="
+else
+    echo "== bench smoke vs committed baseline (>25% regression fails) =="
+    cargo run --release -q -p parcache-bench --bin parcache-run -- \
+        --bench-smoke --baseline BENCH_sweep.json > /dev/null
+fi
 
 echo "CI OK"

@@ -74,16 +74,18 @@ fn bench_oracle() {
 fn bench_cache() {
     let t = synth_trace(10, 2000, 3);
     let oracle = Oracle::new(&t, Layout::striped(1));
+    let universe = oracle.num_blocks();
+    assert!(universe >= 1024, "need at least 1024 distinct blocks");
     bench("cache_fetch_evict_cycle (512 evictions)", || {
-        let mut cache = Cache::new(512);
-        for blk in 0..512u64 {
-            cache.start_fetch(BlockId(blk), None);
-            cache.complete_fetch(BlockId(blk), 0, &oracle);
+        let mut cache = Cache::new(512, universe);
+        for idx in 0..512u32 {
+            cache.start_fetch(idx, None);
+            cache.complete_fetch(idx, 0, &oracle);
         }
-        for blk in 512..1024u64 {
+        for idx in 512..1024u32 {
             let (victim, _) = cache.furthest_resident(0, &oracle).expect("resident");
-            cache.start_fetch(BlockId(blk), Some(victim));
-            cache.complete_fetch(BlockId(blk), 0, &oracle);
+            cache.start_fetch(idx, Some(victim));
+            cache.complete_fetch(idx, 0, &oracle);
         }
         black_box(cache.resident_count());
     });

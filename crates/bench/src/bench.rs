@@ -1,0 +1,403 @@
+//! Continuous benchmark harness (std-only, no external harness crate).
+//!
+//! Two workloads, chosen to cover the two performance surfaces that
+//! matter:
+//!
+//! * **Sweep bench** — replays the appendix-A trace × algorithm × disks
+//!   grid through the normal sweep runner and reports cells per second:
+//!   the end-to-end number a user doing parameter studies experiences.
+//!   A *smoke* subset (three traces, every algorithm) runs in seconds
+//!   and anchors the CI regression gate; the full grid additionally runs
+//!   at 1, 2, and 4 worker threads to record thread scaling.
+//! * **Engine bench** — replays one large synthetic stress trace (an
+//!   oversized `synth`: many passes over a big sequential loop) through
+//!   every policy with an event-counting probe attached, reporting
+//!   simulated events per second: the inner-loop number that isolates
+//!   the engine and policies from trace generation and the thread pool.
+//!
+//! Wall-clock timing uses [`std::time::Instant`]. Allocation counts are
+//! reported when the embedding binary installs a counting global
+//! allocator and passes a reader down ([`parcache-run`] does); the
+//! library itself stays `forbid(unsafe_code)`.
+//!
+//! Regression checking is intentionally tolerant: CI fails only when the
+//! smoke grid's cells/sec drops by more than [`REGRESSION_TOLERANCE`]
+//! (25%) against the committed baseline. Single-core runners, noisy
+//! neighbours, and debug-adjacent codegen differences produce swings in
+//! the 10–20% range; a genuine hot-path regression shows up far larger.
+
+use crate::sweep::{self, SweepSpec};
+use crate::Algo;
+use parcache_core::engine::simulate_probed;
+use parcache_core::metrics::json_escape;
+use parcache_core::policy::PolicyKind;
+use parcache_core::probe::{Event, Probe};
+use parcache_core::SimConfig;
+use parcache_disk::FaultPlan;
+use std::time::Instant;
+
+/// Thread counts the full sweep bench records scaling for.
+pub const SCALING_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Relative cells/sec drop versus the baseline that fails the CI gate.
+/// 25%: big enough to ignore scheduler noise on shared single-core
+/// runners, small enough to catch any real hot-path regression.
+pub const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// Traces of the smoke subset: small, fast, and together exercising
+/// every algorithm including the 8-configuration tuned-reverse search.
+pub const SMOKE_TRACES: [&str; 3] = ["dinero", "cscope1", "ld"];
+
+/// Stress-trace shape for the engine bench: passes over a sequential
+/// loop, sized well past any trace in the paper's suite.
+pub const STRESS_PASSES: usize = 60;
+/// Blocks in the stress trace's loop.
+pub const STRESS_LOOP_BLOCKS: usize = 4000;
+/// Disks the stress trace is striped over.
+pub const STRESS_DISKS: usize = 4;
+
+/// One timed stage: how many units of work in how long.
+#[derive(Debug, Clone, Copy)]
+pub struct Stage {
+    /// Work units completed (cells or simulated events).
+    pub units: u64,
+    /// Wall-clock seconds for the stage.
+    pub wall_secs: f64,
+    /// Heap allocations during the stage, when countable.
+    pub allocations: Option<u64>,
+}
+
+impl Stage {
+    /// Work units per wall-clock second.
+    pub fn per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.units as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Results of the sweep bench.
+#[derive(Debug)]
+pub struct SweepBench {
+    /// The smoke subset (always present; the CI gate keys off this).
+    pub smoke: Stage,
+    /// Full appendix-A grid per thread count (empty in smoke-only mode).
+    pub scaling: Vec<(usize, Stage)>,
+}
+
+/// Results of the engine bench: one entry per policy.
+#[derive(Debug)]
+pub struct EngineBench {
+    /// Requests in the stress trace.
+    pub requests: usize,
+    /// Per-policy stages, in [`PolicyKind::ALL`] order.
+    pub runs: Vec<(&'static str, Stage)>,
+}
+
+/// Reads the current allocation count, when a counting allocator is
+/// installed by the embedding binary.
+pub type AllocReader<'a> = Option<&'a dyn Fn() -> u64>;
+
+fn timed<R>(alloc: AllocReader<'_>, f: impl FnOnce() -> R) -> (R, f64, Option<u64>) {
+    let before = alloc.map(|a| a());
+    let start = Instant::now();
+    let r = f();
+    let secs = start.elapsed().as_secs_f64();
+    let allocs = match (before, alloc) {
+        (Some(b), Some(a)) => Some(a().saturating_sub(b)),
+        _ => None,
+    };
+    (r, secs, allocs)
+}
+
+/// The smoke subset: [`SMOKE_TRACES`] × every appendix-A algorithm at
+/// each trace's published disk counts.
+pub fn smoke_spec(threads: usize) -> SweepSpec {
+    SweepSpec::named(&SMOKE_TRACES, &Algo::APPENDIX_A, None, threads)
+}
+
+/// Runs the sweep bench. With `full`, also replays the complete
+/// appendix-A grid at every [`SCALING_THREADS`] count.
+pub fn run_sweep_bench(full: bool, alloc: AllocReader<'_>) -> SweepBench {
+    let faults = FaultPlan::default();
+    let spec = smoke_spec(1);
+    let cells = spec.cells();
+    let n = cells.len() as u64;
+    let (_, wall, allocs) = timed(alloc, || {
+        sweep::run_sweep_cells(&cells, 1, false, &faults);
+    });
+    let smoke = Stage {
+        units: n,
+        wall_secs: wall,
+        allocations: allocs,
+    };
+
+    let mut scaling = Vec::new();
+    if full {
+        for &threads in &SCALING_THREADS {
+            let spec = SweepSpec::appendix_a(threads);
+            let cells = spec.cells();
+            let n = cells.len() as u64;
+            let (_, wall, allocs) = timed(alloc, || {
+                sweep::run_sweep_cells(&cells, threads, false, &faults);
+            });
+            scaling.push((
+                threads,
+                Stage {
+                    units: n,
+                    wall_secs: wall,
+                    allocations: allocs,
+                },
+            ));
+        }
+    }
+    SweepBench { smoke, scaling }
+}
+
+/// Event-counting probe: one `u64` bump per simulation event.
+struct CountProbe {
+    events: u64,
+}
+
+impl Probe for CountProbe {
+    fn on_event(&mut self, _event: &Event) {
+        self.events += 1;
+    }
+}
+
+/// Runs the engine bench: the synthetic stress trace through every
+/// policy with an event-counting probe.
+pub fn run_engine_bench(alloc: AllocReader<'_>) -> EngineBench {
+    let t = parcache_trace::synth::synth_trace(STRESS_PASSES, STRESS_LOOP_BLOCKS, crate::SEED);
+    let cfg = SimConfig::for_trace(STRESS_DISKS, &t);
+    let mut runs = Vec::new();
+    for kind in PolicyKind::ALL {
+        let mut probe = CountProbe { events: 0 };
+        let (_, wall, allocs) = timed(alloc, || {
+            simulate_probed(&t, kind, &cfg, &mut probe);
+        });
+        runs.push((
+            kind.name(),
+            Stage {
+                units: probe.events,
+                wall_secs: wall,
+                allocations: allocs,
+            },
+        ));
+    }
+    EngineBench {
+        requests: t.requests.len(),
+        runs,
+    }
+}
+
+fn stage_json(s: &Stage, unit: &str) -> String {
+    let allocs = match s.allocations {
+        Some(a) => a.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        r#"{{"{unit}":{},"wall_secs":{:.3},"{unit}_per_sec":{:.1},"allocations":{allocs}}}"#,
+        s.units,
+        s.wall_secs,
+        s.per_sec(),
+    )
+}
+
+/// Serializes a [`SweepBench`] as the `BENCH_sweep.json` document.
+pub fn sweep_bench_json(b: &SweepBench) -> String {
+    let scaling: Vec<String> = b
+        .scaling
+        .iter()
+        .map(|(threads, s)| format!(r#"{{"threads":{threads},{}"#, &stage_json(s, "cells")[1..]))
+        .collect();
+    format!(
+        "{{\"schema\":\"parcache-bench-sweep-v1\",\"grid\":\"appendix-a\",\
+         \"smoke_traces\":[{}],\"smoke\":{},\"scaling\":[{}]}}",
+        SMOKE_TRACES
+            .iter()
+            .map(|t| format!("\"{}\"", json_escape(t)))
+            .collect::<Vec<_>>()
+            .join(","),
+        stage_json(&b.smoke, "cells"),
+        scaling.join(",")
+    )
+}
+
+/// Serializes an [`EngineBench`] as the `BENCH_engine.json` document.
+pub fn engine_bench_json(b: &EngineBench) -> String {
+    let runs: Vec<String> = b
+        .runs
+        .iter()
+        .map(|(name, s)| {
+            format!(
+                r#"{{"policy":"{}",{}"#,
+                json_escape(name),
+                &stage_json(s, "events")[1..]
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\":\"parcache-bench-engine-v1\",\"trace\":\"synth-stress\",\
+         \"passes\":{},\"loop_blocks\":{},\"disks\":{},\"requests\":{},\"runs\":[{}]}}",
+        STRESS_PASSES,
+        STRESS_LOOP_BLOCKS,
+        STRESS_DISKS,
+        b.requests,
+        runs.join(",")
+    )
+}
+
+/// Pulls `"cells_per_sec":<number>` out of the `"smoke"` object of a
+/// `BENCH_sweep.json` document. Deliberately minimal: it parses only the
+/// documents this module writes.
+pub fn baseline_smoke_cells_per_sec(json: &str) -> Option<f64> {
+    let smoke = json.split("\"smoke\":").nth(1)?;
+    let field = smoke.split("\"cells_per_sec\":").nth(1)?;
+    let end = field
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(field.len());
+    field[..end].parse().ok()
+}
+
+/// Compares a fresh smoke measurement against a committed baseline
+/// document. `Ok` carries a human-readable verdict; `Err` means the
+/// measurement regressed beyond [`REGRESSION_TOLERANCE`].
+pub fn check_regression(current: &Stage, baseline_json: &str) -> Result<String, String> {
+    let Some(base) = baseline_smoke_cells_per_sec(baseline_json) else {
+        return Err("baseline JSON has no smoke cells_per_sec field".to_string());
+    };
+    let cur = current.per_sec();
+    if base <= 0.0 {
+        return Ok(format!(
+            "baseline {base:.1} cells/sec is not positive; skipping gate"
+        ));
+    }
+    let ratio = cur / base;
+    let verdict = format!(
+        "smoke: {cur:.1} cells/sec vs baseline {base:.1} ({:+.1}%)",
+        (ratio - 1.0) * 100.0
+    );
+    if ratio < 1.0 - REGRESSION_TOLERANCE {
+        Err(format!(
+            "{verdict} — exceeds the {:.0}% regression tolerance",
+            REGRESSION_TOLERANCE * 100.0
+        ))
+    } else {
+        Ok(verdict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_spec_covers_all_algorithms() {
+        let spec = smoke_spec(1);
+        let cells = spec.cells();
+        assert!(!cells.is_empty());
+        for algo in Algo::APPENDIX_A {
+            assert!(
+                cells.iter().any(|c| c.algo == algo),
+                "{} missing from smoke grid",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn stage_math() {
+        let s = Stage {
+            units: 100,
+            wall_secs: 2.0,
+            allocations: None,
+        };
+        assert_eq!(s.per_sec(), 50.0);
+        let z = Stage {
+            units: 5,
+            wall_secs: 0.0,
+            allocations: None,
+        };
+        assert_eq!(z.per_sec(), 0.0);
+    }
+
+    #[test]
+    fn json_round_trips_cells_per_sec() {
+        let b = SweepBench {
+            smoke: Stage {
+                units: 42,
+                wall_secs: 0.5,
+                allocations: Some(1234),
+            },
+            scaling: vec![(
+                1,
+                Stage {
+                    units: 332,
+                    wall_secs: 10.0,
+                    allocations: None,
+                },
+            )],
+        };
+        let json = sweep_bench_json(&b);
+        assert_eq!(baseline_smoke_cells_per_sec(&json), Some(84.0));
+        assert!(json.contains("\"threads\":1"));
+        assert!(json.contains("\"allocations\":1234"));
+        assert!(json.contains("\"allocations\":null"));
+    }
+
+    #[test]
+    fn regression_gate_triggers_only_past_tolerance() {
+        let base = SweepBench {
+            smoke: Stage {
+                units: 100,
+                wall_secs: 1.0,
+                allocations: None,
+            },
+            scaling: Vec::new(),
+        };
+        let json = sweep_bench_json(&base);
+        let ok = Stage {
+            units: 80,
+            wall_secs: 1.0,
+            allocations: None,
+        }; // -20%: inside tolerance
+        assert!(check_regression(&ok, &json).is_ok());
+        let bad = Stage {
+            units: 70,
+            wall_secs: 1.0,
+            allocations: None,
+        }; // -30%: outside
+        assert!(check_regression(&bad, &json).is_err());
+        let better = Stage {
+            units: 200,
+            wall_secs: 1.0,
+            allocations: None,
+        };
+        assert!(check_regression(&better, &json).is_ok());
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        let s = Stage {
+            units: 1,
+            wall_secs: 1.0,
+            allocations: None,
+        };
+        assert!(check_regression(&s, "{}").is_err());
+        assert!(check_regression(&s, "not json at all").is_err());
+    }
+
+    #[test]
+    fn engine_bench_counts_events() {
+        // A miniature version of the stress run: the probe must see at
+        // least one event per request.
+        let t = parcache_trace::synth::synth_trace(2, 50, crate::SEED);
+        let cfg = SimConfig::for_trace(2, &t);
+        let mut probe = CountProbe { events: 0 };
+        simulate_probed(&t, PolicyKind::Demand, &cfg, &mut probe);
+        assert!(probe.events >= t.requests.len() as u64);
+    }
+}

@@ -14,6 +14,8 @@
 //! parcache-run --sweep all all --threads 4 --json
 //! parcache-run --sweep dinero,cscope1 aggressive,tuned-reverse 1,2,4
 //!
+//! parcache-run --bench                               # full benchmark, writes BENCH_*.json
+//! parcache-run --bench-smoke [--baseline BENCH_sweep.json]
 //! parcache-run --fuzz 200 [--seed S] [--threads N]   # differential fuzzer
 //! parcache-run --sweep --audit                       # audited sweep
 //! parcache-run glimpse forestall 4 --audit           # audited single runs
@@ -51,6 +53,16 @@
 //!   (each case runs every policy, plain and audited) and exits nonzero
 //!   on any violation or divergence. `--seed <s>` picks the stream
 //!   (default 1996); `--threads` applies.
+//! * `--bench` runs the continuous benchmark harness: the smoke sweep
+//!   subset, the full appendix-A grid at 1/2/4 worker threads, and the
+//!   synthetic engine stress trace under every policy. Results (wall
+//!   time, cells/sec, simulated events/sec, allocation counts) are
+//!   written to `BENCH_sweep.json` and `BENCH_engine.json` in the
+//!   current directory.
+//! * `--bench-smoke` runs only the smoke subset and prints its JSON to
+//!   stdout; with `--baseline <path>` it compares cells/sec against a
+//!   committed `BENCH_sweep.json` and exits 1 on a regression beyond
+//!   the harness tolerance (25%).
 //! * `--faults <spec>` runs everything under a deterministic fault plan
 //!   (single runs and sweeps). The spec is comma-separated
 //!   `flaky:<disk|*>:<p>`, `slow:<disk|*>:<from_ms>:<until_ms>:<factor>`,
@@ -58,6 +70,7 @@
 //!   reports and sweep CSV grow fault-accounting fields. Output stays
 //!   byte-identical across `--threads` values.
 
+use parcache_bench::bench;
 use parcache_bench::sweep::{self, SweepAggregate, SweepEntry, SweepSpec};
 use parcache_bench::{breakdown_table, run, trace, Algo, BreakdownRow, DISK_COUNTS};
 use parcache_core::engine::simulate_probed;
@@ -70,6 +83,51 @@ use std::io::Write;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// A pass-through global allocator that counts allocation calls, so the
+/// benchmark harness can report per-stage allocation totals. The library
+/// crates stay `forbid(unsafe_code)`; the counter lives only in this
+/// binary. One relaxed atomic increment per allocation is noise next to
+/// the allocation itself.
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Total allocation calls (alloc + realloc + alloc_zeroed) so far.
+    pub static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// The counting wrapper around the system allocator.
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+    }
+}
+
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
+
+/// Reads the process-wide allocation counter.
+fn alloc_count() -> u64 {
+    counting_alloc::ALLOCATIONS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// One-screen usage summary, printed alongside argument errors.
 const USAGE: &str = "\
 usage: parcache-run <trace> [policy] [disks] [--json] [--hist] [--audit]
@@ -77,6 +135,8 @@ usage: parcache-run <trace> [policy] [disks] [--json] [--hist] [--audit]
        parcache-run --sweep [traces] [algos] [disks] [--threads N]
                     [--json] [--hist] [--audit] [--faults <spec>]
        parcache-run --fuzz <n> [--seed <s>] [--threads N]
+       parcache-run --bench
+       parcache-run --bench-smoke [--baseline <BENCH_sweep.json>]
 
 traces:  paper trace names (or `all`), or a path to a trace file
 faults:  comma-separated flaky:<disk|*>:<p>, slow:<disk|*>:<from_ms>:<until_ms>:<factor>,
@@ -144,6 +204,9 @@ struct Options {
     sweep: bool,
     audit: bool,
     fuzz: Option<usize>,
+    bench: bool,
+    bench_smoke: bool,
+    baseline: Option<String>,
     seed: u64,
     threads: Option<usize>,
     events: Option<String>,
@@ -158,6 +221,9 @@ fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
         sweep: false,
         audit: false,
         fuzz: None,
+        bench: false,
+        bench_smoke: false,
+        baseline: None,
         seed: parcache_bench::SEED,
         threads: None,
         events: None,
@@ -176,6 +242,16 @@ fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
                 _ => {
                     return Err(CliError::Usage(
                         "--fuzz requires a positive case count".to_string(),
+                    ))
+                }
+            },
+            "--bench" => opts.bench = true,
+            "--bench-smoke" => opts.bench_smoke = true,
+            "--baseline" => match it.next() {
+                Some(p) => opts.baseline = Some(p),
+                None => {
+                    return Err(CliError::Usage(
+                        "--baseline requires a path to a BENCH_sweep.json".to_string(),
                     ))
                 }
             },
@@ -213,7 +289,8 @@ fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
             f if f.starts_with("--") => {
                 return Err(CliError::Usage(format!(
                     "unknown flag {f}; known flags: --json --hist --sweep --audit \
-                     --fuzz <n> --seed <s> --threads <n> --events <path> --faults <spec>"
+                     --fuzz <n> --bench --bench-smoke --baseline <path> \
+                     --seed <s> --threads <n> --events <path> --faults <spec>"
                 )))
             }
             _ => opts.positional.push(a),
@@ -381,6 +458,80 @@ fn fuzz_main(opts: &Options, cases: usize) {
     }
 }
 
+/// `--bench` / `--bench-smoke`: the continuous benchmark harness.
+///
+/// Smoke mode prints the smoke-sweep JSON to stdout and, when
+/// `--baseline` names a committed `BENCH_sweep.json`, applies the 25%
+/// cells/sec regression gate. Full mode additionally replays the
+/// complete appendix-A grid at 1/2/4 threads and the engine stress
+/// trace, writing `BENCH_sweep.json` and `BENCH_engine.json`.
+fn bench_main(opts: &Options) -> Result<(), CliError> {
+    let alloc: &dyn Fn() -> u64 = &alloc_count;
+    let full = opts.bench;
+    eprintln!(
+        "benchmarking: smoke sweep ({} traces)...",
+        bench::SMOKE_TRACES.len()
+    );
+    let sweep_bench = bench::run_sweep_bench(full, Some(alloc));
+    eprintln!(
+        "smoke: {} cells in {:.2}s ({:.1} cells/sec)",
+        sweep_bench.smoke.units,
+        sweep_bench.smoke.wall_secs,
+        sweep_bench.smoke.per_sec()
+    );
+    for (threads, stage) in &sweep_bench.scaling {
+        eprintln!(
+            "full grid @ {threads} thread(s): {} cells in {:.2}s ({:.1} cells/sec)",
+            stage.units,
+            stage.wall_secs,
+            stage.per_sec()
+        );
+    }
+
+    if let Some(path) = opts.baseline.as_deref() {
+        let baseline = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Io(format!("failed to read baseline {path}: {e}")))?;
+        match bench::check_regression(&sweep_bench.smoke, &baseline) {
+            Ok(verdict) => eprintln!("{verdict}"),
+            Err(verdict) => {
+                eprintln!("BENCH REGRESSION: {verdict}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if !full {
+        println!("{}", bench::sweep_bench_json(&sweep_bench));
+        return Ok(());
+    }
+
+    eprintln!(
+        "benchmarking: engine stress trace ({} passes x {} blocks, {} disks)...",
+        bench::STRESS_PASSES,
+        bench::STRESS_LOOP_BLOCKS,
+        bench::STRESS_DISKS
+    );
+    let engine_bench = bench::run_engine_bench(Some(alloc));
+    for (policy, stage) in &engine_bench.runs {
+        eprintln!(
+            "{policy}: {} events in {:.2}s ({:.0} events/sec)",
+            stage.units,
+            stage.wall_secs,
+            stage.per_sec()
+        );
+    }
+
+    for (path, contents) in [
+        ("BENCH_sweep.json", bench::sweep_bench_json(&sweep_bench)),
+        ("BENCH_engine.json", bench::engine_bench_json(&engine_bench)),
+    ] {
+        std::fs::write(path, contents + "\n")
+            .map_err(|e| CliError::Io(format!("failed to write {path}: {e}")))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn print_histograms(policy: &str, disks: usize, m: &RunMetrics) {
     println!("--- {policy} on {disks} disk(s) ---");
     print!(
@@ -424,6 +575,9 @@ fn real_main() -> Result<(), CliError> {
     if let Some(cases) = opts.fuzz {
         fuzz_main(&opts, cases);
         return Ok(());
+    }
+    if opts.bench || opts.bench_smoke {
+        return bench_main(&opts);
     }
     if opts.sweep {
         return sweep_main(&opts);

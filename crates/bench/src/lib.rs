@@ -9,13 +9,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod experiments;
 pub mod fuzz;
 pub mod paper;
 pub mod report;
 pub mod runner;
+pub mod sha256;
 pub mod sweep;
 
+pub use bench::{run_engine_bench, run_sweep_bench, EngineBench, SweepBench};
 pub use experiments::{comparison, comparison_on, comparison_with, Algo};
 pub use fuzz::{fuzz, FuzzCase, FuzzFailure, FuzzReport};
 pub use paper::{paper_cells, paper_elapsed};
@@ -23,6 +26,7 @@ pub use report::{breakdown_table, percent, BreakdownRow};
 pub use runner::{
     best_reverse, best_reverse_search, paper_disk_counts, run, trace, DISK_COUNTS, SEED,
 };
+pub use sha256::{sha256, sha256_hex};
 pub use sweep::{
     default_threads, run_indexed, run_sweep, run_sweep_audited, run_sweep_cells_audited,
     run_sweep_probed, sweep_csv, sweep_json, CellOutcome, SweepCell, SweepEntry, SweepSpec,

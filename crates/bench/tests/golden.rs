@@ -1,0 +1,46 @@
+//! Golden-output regression test.
+//!
+//! The full appendix-A sweep CSV — 332 cells, every trace × algorithm ×
+//! array size — must stay byte-for-byte identical across refactors: the
+//! simulator is deterministic, so *any* CSV change means either an
+//! intentional model change or an accidental behavioral regression.
+//! This test hashes the CSV with the workspace's own SHA-256 and
+//! compares against the committed fixture.
+//!
+//! The sweep takes tens of seconds, so the test is `#[ignore]`d by
+//! default; CI runs it explicitly with `-- --ignored`.
+//!
+//! **Updating the fixture** (only after an intentional model change —
+//! see DESIGN.md "Golden outputs"): regenerate with
+//!
+//! ```sh
+//! cargo run --release --bin parcache-run -- --sweep | sha256sum
+//! ```
+//!
+//! and replace the digest in `tests/fixtures/appendix_a_sweep.sha256`,
+//! noting the model change in the commit message.
+
+use parcache_bench::sweep::{self, SweepSpec};
+use parcache_disk::FaultPlan;
+
+/// Committed digest of the appendix-A sweep CSV.
+const GOLDEN: &str = include_str!("fixtures/appendix_a_sweep.sha256");
+
+#[test]
+#[ignore = "full 332-cell sweep; run with -- --ignored (CI does)"]
+fn appendix_a_sweep_csv_matches_committed_digest() {
+    let threads = sweep::default_threads();
+    let spec = SweepSpec::appendix_a(threads);
+    let cells = spec.cells();
+    assert_eq!(cells.len(), 332, "appendix-A grid changed size");
+    let outcomes = sweep::run_sweep_cells(&cells, threads, false, &FaultPlan::default());
+    let csv = sweep::sweep_csv(&outcomes);
+    let digest = parcache_bench::sha256_hex(csv.as_bytes());
+    assert_eq!(
+        digest,
+        GOLDEN.trim(),
+        "appendix-A sweep CSV diverged from the committed golden digest; \
+         if this is an intentional model change, follow the fixture \
+         update procedure in DESIGN.md (\"Golden outputs\")"
+    );
+}

@@ -17,6 +17,7 @@ use crate::policy::Policy;
 #[derive(Debug)]
 pub struct Aggressive {
     batch_size: usize,
+    scratch: BatchScratch,
 }
 
 impl Aggressive {
@@ -24,13 +25,27 @@ impl Aggressive {
     /// gives the paper's defaults by array size).
     pub fn new(batch_size: usize) -> Aggressive {
         assert!(batch_size > 0, "the batch size must be positive");
-        Aggressive { batch_size }
+        Aggressive {
+            batch_size,
+            scratch: BatchScratch::default(),
+        }
     }
 
     /// The configured batch size.
     pub fn batch_size(&self) -> usize {
         self.batch_size
     }
+}
+
+/// Reusable per-disk working vectors for [`fill_free_disk_batches`]. The
+/// function runs at every decision point; owning the buffers in the policy
+/// keeps the hot path free of per-call allocation.
+#[derive(Debug, Default)]
+pub(crate) struct BatchScratch {
+    /// Remaining batch budget for each free disk.
+    budget: Vec<Option<usize>>,
+    /// Per-disk scan positions over the missing-block index.
+    from: Vec<usize>,
 }
 
 /// Builds batches for every currently-free disk: missing blocks are taken
@@ -41,45 +56,48 @@ pub(crate) fn fill_free_disk_batches(
     ctx: &mut Ctx<'_>,
     batch_size: usize,
     only_disk: Option<usize>,
+    scratch: &mut BatchScratch,
 ) {
     let cursor = ctx.cursor;
-    // Remaining batch budget for each free disk.
-    let mut budget: Vec<Option<usize>> = (0..ctx.config.disks)
-        .map(|d| {
-            let eligible = only_disk.is_none_or(|o| o == d);
-            (eligible && ctx.array.is_free(parcache_types::DiskId(d))).then_some(batch_size)
-        })
-        .collect();
-    if budget.iter().all(|b| b.is_none()) {
+    let disks = ctx.config.disks;
+    scratch.budget.clear();
+    scratch.budget.extend((0..disks).map(|d| {
+        let eligible = only_disk.is_none_or(|o| o == d);
+        (eligible && ctx.array.is_free(parcache_types::DiskId(d))).then_some(batch_size)
+    }));
+    if scratch.budget.iter().all(|b| b.is_none()) {
         return;
     }
-    // Per-disk scan positions over the missing-block index.
-    let mut from: Vec<usize> = vec![cursor; ctx.config.disks];
+    scratch.from.clear();
+    scratch.from.resize(disks, cursor);
     loop {
         // The earliest missing block among disks with budget.
         let mut best: Option<(usize, usize)> = None; // (pos, disk)
-        for d in 0..ctx.config.disks {
-            if budget[d].is_none_or(|b| b == 0) {
+        for d in 0..disks {
+            if scratch.budget[d].is_none_or(|b| b == 0) {
                 continue;
             }
-            if let Some(p) = ctx.missing.first_missing_on_disk(d, from[d]) {
+            if let Some(p) = ctx.missing.first_missing_on_disk(d, scratch.from[d]) {
                 if best.is_none_or(|(bp, _)| p < bp) {
                     best = Some((p, d));
                 }
             }
         }
         let Some((pos, disk)) = best else { return };
-        let block = ctx.oracle.block_at(pos);
-        debug_assert_eq!(ctx.oracle.disk_of(block).index(), disk);
+        let idx = ctx
+            .oracle
+            .index_at(pos)
+            .expect("missing-tracker positions are disclosed");
+        debug_assert_eq!(ctx.oracle.disk_of(ctx.oracle.block_of(idx)).index(), disk);
 
         if ctx.cache.has_free_frame() {
-            ctx.issue_fetch(block, None);
+            ctx.issue_fetch_idx(idx, None);
         } else {
             match ctx.cache.furthest_resident(cursor, ctx.oracle) {
                 // Do no harm: only evict a block whose next reference is
                 // after the fetched block's.
                 Some((victim, key)) if key > pos => {
-                    ctx.issue_fetch(block, Some(victim));
+                    ctx.issue_fetch_idx(idx, Some(victim));
                 }
                 // The rule disallows any further fetch: every remaining
                 // candidate's position is even later... no — later
@@ -88,8 +106,8 @@ pub(crate) fn fill_free_disk_batches(
                 _ => return,
             }
         }
-        *budget[disk].as_mut().expect("disk had budget") -= 1;
-        from[disk] = pos + 1;
+        *scratch.budget[disk].as_mut().expect("disk had budget") -= 1;
+        scratch.from[disk] = pos + 1;
     }
 }
 
@@ -99,7 +117,7 @@ impl Policy for Aggressive {
     }
 
     fn decide(&mut self, ctx: &mut Ctx<'_>) {
-        fill_free_disk_batches(ctx, self.batch_size, None);
+        fill_free_disk_batches(ctx, self.batch_size, None, &mut self.scratch);
     }
 }
 

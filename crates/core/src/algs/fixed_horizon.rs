@@ -47,15 +47,18 @@ impl Policy for FixedHorizon {
             if pos >= end {
                 return;
             }
-            let block = ctx.oracle.block_at(pos);
+            let idx = ctx
+                .oracle
+                .index_at(pos)
+                .expect("missing-tracker positions are disclosed");
             if ctx.cache.has_free_frame() {
-                ctx.issue_fetch(block, None);
+                ctx.issue_fetch_idx(idx, None);
                 continue;
             }
             match ctx.cache.furthest_resident(cursor, ctx.oracle) {
                 // Replace only a block not needed within the horizon.
                 Some((victim, key)) if key == NEVER || key > end => {
-                    ctx.issue_fetch(block, Some(victim));
+                    ctx.issue_fetch_idx(idx, Some(victim));
                 }
                 _ => return,
             }

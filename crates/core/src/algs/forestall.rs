@@ -17,7 +17,7 @@
 //! and F' = 4F otherwise, per §5's "practical considerations". A static
 //! multiplier can be configured instead (appendix H).
 
-use crate::algs::aggressive::fill_free_disk_batches;
+use crate::algs::aggressive::{fill_free_disk_batches, BatchScratch};
 use crate::algs::fixed_horizon::FixedHorizon;
 use crate::engine::Ctx;
 use crate::policy::Policy;
@@ -40,6 +40,7 @@ pub struct Forestall {
     horizon_rule: FixedHorizon,
     /// Static F' multiplier; `None` selects the dynamic 1x/4x rule.
     static_multiplier: Option<f64>,
+    scratch: BatchScratch,
 }
 
 impl Forestall {
@@ -49,6 +50,7 @@ impl Forestall {
             batch_size: config.batch_size,
             horizon_rule: FixedHorizon::new(config.horizon),
             static_multiplier: config.forestall_static_f,
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -79,7 +81,18 @@ impl Forestall {
     fn stall_predicted(&self, ctx: &Ctx<'_>, disk: usize) -> bool {
         let f_prime = self.f_prime(ctx, disk);
         let cursor = ctx.cursor;
-        let window_end = cursor.saturating_add(LOOKAHEAD_CACHES * ctx.cache.capacity());
+        let window = LOOKAHEAD_CACHES * ctx.cache.capacity();
+        let window_end = cursor.saturating_add(window);
+        let far = window.saturating_sub(1) as f64;
+        // Early-exit gap: a later j-th missing block at distance d_j has
+        // j <= i + (d_j - d_i) (positions are distinct), so a trigger
+        // needs (i + d_j - d_i) * F' >= d_j, i.e. d_i - i <= d_j (1 -
+        // 1/F') <= far (1 - 1/F'). Once the running gap d_i - i exceeds
+        // that bound, nothing in the window can trigger and the scan's
+        // answer is already false. The +1 margin keeps the exit sound
+        // against the division's rounding; where the exit fires affects
+        // only scan cost, never the returned value.
+        let exit_gap = far - far / f_prime + 1.0;
         let mut i = 0u64;
         for pos in ctx
             .missing
@@ -89,6 +102,9 @@ impl Forestall {
             let distance = (pos - cursor) as f64;
             if i as f64 * f_prime >= distance {
                 return true;
+            }
+            if distance - i as f64 > exit_gap {
+                return false;
             }
         }
         false
@@ -104,7 +120,7 @@ impl Policy for Forestall {
         // Aggressive-style batches on every free disk that would stall.
         for d in 0..ctx.config.disks {
             if ctx.array.is_free(DiskId(d)) && self.stall_predicted(ctx, d) {
-                fill_free_disk_batches(ctx, self.batch_size, Some(d));
+                fill_free_disk_batches(ctx, self.batch_size, Some(d), &mut self.scratch);
             }
         }
         // Fixed horizon's rule: never let a block inside H go unfetched

@@ -33,9 +33,9 @@ use crate::oracle::{Oracle, NEVER};
 use crate::policy::{demand_fetch, Policy};
 use parcache_disk::Layout;
 use parcache_trace::Trace;
-use parcache_types::{BlockId, DiskId};
+use parcache_types::{BlockId, DiskId, FastMap};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// One scheduled forward fetch/eviction pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,8 +81,20 @@ pub struct ReverseAggressive {
     /// Pending pair indexes per disk, in key order.
     per_disk: Vec<VecDeque<usize>>,
     /// Pending pair indexes per block (for demand misses).
-    by_block: HashMap<BlockId, VecDeque<usize>>,
+    by_block: FastMap<BlockId, VecDeque<usize>>,
     batch_size: usize,
+    /// Scratch for unreleased pairs pulled during a decide scan; reused
+    /// across decision points to avoid a per-disk allocation.
+    requeue: Vec<usize>,
+    /// Disk each scheduled pair's fetch lives on.
+    pair_disk: Vec<u32>,
+    /// Per disk: a scan is needed. Cleared when a scan changes nothing,
+    /// set again when a pair on the disk is consumed out of band.
+    scan_dirty: Vec<bool>,
+    /// Per disk: when `scan_dirty` is clear, the earliest cursor at which
+    /// a pending pair in the probe window becomes released. Until then a
+    /// rescan would observably do nothing, so `decide` skips it.
+    next_release: Vec<usize>,
 }
 
 impl ReverseAggressive {
@@ -102,10 +114,13 @@ impl ReverseAggressive {
             &config.hints,
         );
         let mut per_disk: Vec<VecDeque<usize>> = vec![VecDeque::new(); config.disks];
-        let mut by_block: HashMap<BlockId, VecDeque<usize>> = HashMap::new();
+        let mut by_block: FastMap<BlockId, VecDeque<usize>> = FastMap::default();
+        let mut pair_disk: Vec<u32> = Vec::with_capacity(schedule.len());
         for (i, p) in schedule.iter().enumerate() {
-            per_disk[layout.disk_of(p.block).index()].push_back(i);
+            let d = layout.disk_of(p.block).index();
+            per_disk[d].push_back(i);
             by_block.entry(p.block).or_default().push_back(i);
+            pair_disk.push(d as u32);
         }
         ReverseAggressive {
             consumed: vec![false; schedule.len()],
@@ -113,6 +128,10 @@ impl ReverseAggressive {
             per_disk,
             by_block,
             batch_size: config.reverse_batch_size,
+            requeue: Vec::new(),
+            pair_disk,
+            scan_dirty: vec![true; config.disks],
+            next_release: vec![0; config.disks],
         }
     }
 
@@ -124,13 +143,28 @@ impl ReverseAggressive {
     /// Attempts to issue pair `i`, repairing a stale eviction.
     fn issue_pair(&mut self, ctx: &mut Ctx<'_>, i: usize) -> IssueOutcome {
         let pair = self.schedule[i];
-        if ctx.cache.resident(pair.block) || ctx.cache.inflight(pair.block) {
+        let idx = ctx
+            .oracle
+            .index_of(pair.block)
+            .expect("scheduled block outside the indexed universe");
+        if ctx.cache.resident(idx) || ctx.cache.inflight(idx) {
             self.consumed[i] = true; // already handled (e.g. demand fetch)
+            return IssueOutcome::Skipped;
+        }
+        // Deviations from the planned schedule (demand consumption of an
+        // earlier pair, eviction repair, an abandoned faulted fetch) can
+        // leave a pair pending after the block's last disclosed use has
+        // been served from residency. Issuing it then would fetch data
+        // nothing will ever reference — wasted bandwidth mid-run, and a
+        // fetch that never completes if it happens at the end of the run.
+        if ctx.oracle.next_occurrence_idx(idx, ctx.cursor) == NEVER {
+            self.consumed[i] = true;
             return IssueOutcome::Skipped;
         }
         // Resolve the eviction: prefer the scheduled victim, fall back to
         // a free frame or the current furthest-future resident.
-        let evict = match pair.evict {
+        let scheduled_evict = pair.evict.and_then(|e| ctx.oracle.index_of(e));
+        let evict = match scheduled_evict {
             Some(e) if ctx.cache.resident(e) && Some(e) != ctx.cache.pinned() => Some(e),
             _ if ctx.cache.has_free_frame() => None,
             _ => match ctx.cache.furthest_resident(ctx.cursor, ctx.oracle) {
@@ -140,7 +174,7 @@ impl ReverseAggressive {
             },
         };
         self.consumed[i] = true;
-        ctx.issue_fetch(pair.block, evict);
+        ctx.issue_fetch_idx(idx, evict);
         IssueOutcome::Issued
     }
 }
@@ -155,39 +189,61 @@ impl Policy for ReverseAggressive {
             if !ctx.array.is_free(DiskId(d)) {
                 continue;
             }
+            // A previous scan proved the probe window holds only
+            // unreleased pairs; until the cursor reaches the earliest of
+            // their releases (or a pair on this disk is consumed out of
+            // band, widening the window) a rescan would do nothing.
+            if !self.scan_dirty[d] && ctx.cursor < self.next_release[d] {
+                continue;
+            }
             let mut issued = 0;
+            let mut mutated = false;
+            let mut min_release = usize::MAX;
             // Scan this disk's pending pairs in key order, issuing the
             // released ones. Releases are near-sorted by construction, so
             // stop at the first pair released well in the future.
-            let mut requeue: Vec<usize> = Vec::new();
+            self.requeue.clear();
             while issued < self.batch_size {
                 let Some(i) = self.per_disk[d].pop_front() else {
                     break;
                 };
                 if self.consumed[i] {
+                    mutated = true;
                     continue;
                 }
                 if self.schedule[i].release > ctx.cursor {
-                    requeue.push(i);
+                    self.requeue.push(i);
+                    min_release = min_release.min(self.schedule[i].release);
                     // Unreleased; deeper pairs release even later in the
                     // common case. Probe a bounded window then stop.
-                    if requeue.len() > 2 * self.batch_size {
+                    if self.requeue.len() > 2 * self.batch_size {
                         break;
                     }
                     continue;
                 }
                 match self.issue_pair(ctx, i) {
-                    IssueOutcome::Issued => issued += 1,
-                    IssueOutcome::Skipped => {}
+                    IssueOutcome::Issued => {
+                        issued += 1;
+                        mutated = true;
+                    }
+                    IssueOutcome::Skipped => mutated = true,
                     IssueOutcome::Blocked => {
-                        requeue.push(i);
+                        self.requeue.push(i);
+                        mutated = true;
                         break;
                     }
                 }
             }
             // Put unreleased pairs back, preserving order.
-            for &i in requeue.iter().rev() {
+            for j in (0..self.requeue.len()).rev() {
+                let i = self.requeue[j];
                 self.per_disk[d].push_front(i);
+            }
+            if !mutated {
+                // Nothing issued, consumed, or blocked: the window is
+                // stable until `min_release` or out-of-band consumption.
+                self.scan_dirty[d] = false;
+                self.next_release[d] = min_release;
             }
         }
     }
@@ -198,6 +254,9 @@ impl Policy for ReverseAggressive {
             while let Some(i) = queue.pop_front() {
                 if !self.consumed[i] {
                     self.consumed[i] = true;
+                    // Consuming a pair widens another scan's probe
+                    // window, so that disk must rescan.
+                    self.scan_dirty[self.pair_disk[i] as usize] = true;
                     break;
                 }
             }
@@ -243,7 +302,7 @@ fn build_schedule(
             // Reverse eviction -> forward fetch keyed by the evicted
             // block's most recent reverse use before the eviction point,
             // which is its next forward use after the fetch.
-            if let Some(last_use) = last_occurrence_before(&rev_oracle, ev, e.cursor) {
+            if let Some(last_use) = rev_oracle.last_occurrence_before(ev, e.cursor) {
                 fetches.push((n - 1 - last_use, ev));
             }
             // No prior reverse use: the fetch would serve no forward
@@ -255,7 +314,8 @@ fn build_schedule(
         let first = rev_oracle.next_occurrence(b, 0);
         if first != NEVER {
             // Last reverse occurrence = first forward occurrence.
-            let last = last_occurrence_before(&rev_oracle, b, rev_oracle.len())
+            let last = rev_oracle
+                .last_occurrence_before(b, rev_oracle.len())
                 .expect("resident block was referenced");
             fetches.push((n - 1 - last, b));
         }
@@ -287,25 +347,6 @@ fn build_schedule(
     pairs
 }
 
-/// The last position `< before` at which `block` is referenced.
-fn last_occurrence_before(oracle: &Oracle, block: BlockId, before: usize) -> Option<usize> {
-    // Scan via next_occurrence ranges: binary search on the occurrence
-    // list through the oracle's public API.
-    let first = oracle.next_occurrence(block, 0);
-    if first == NEVER || first >= before {
-        return None;
-    }
-    // Exponential + binary search over occurrence positions.
-    let mut lo = first; // known occurrence < before
-    loop {
-        let next = oracle.next_occurrence(block, lo + 1);
-        if next == NEVER || next >= before {
-            return Some(lo);
-        }
-        lo = next;
-    }
-}
-
 /// Simulates batched aggressive over the reversed sequence in the uniform
 /// fetch-time model. Returns the issue events and the final cache
 /// contents.
@@ -315,34 +356,45 @@ fn reverse_pass(
     fetch_time: u64,
     batch_size: usize,
 ) -> (Vec<RevEvent>, Vec<BlockId>) {
+    /// Sentinel in `completion_of` for "no pending fetch".
+    const NO_COMPLETION: u64 = u64::MAX;
+
     let n = oracle.len();
     let disks = oracle.layout().disks();
-    let mut cache = Cache::new(cache_blocks);
+    let mut cache = Cache::new(cache_blocks, oracle.num_blocks());
     let mut missing = MissingTracker::new(oracle);
     let mut events: Vec<RevEvent> = Vec::new();
 
     let mut time: u64 = 0;
     let mut cursor: usize = 0;
     let mut busy_until: Vec<u64> = vec![0; disks];
-    // Pending completions: (time, block), min-heap.
-    let mut completions: BinaryHeap<Reverse<(u64, BlockId)>> = BinaryHeap::new();
-    let mut completion_of: HashMap<BlockId, u64> = HashMap::new();
+    // Pending completions: (time, block, index), min-heap. The block id
+    // sits in the middle so ties order exactly as they did before the
+    // compact index existed; the index rides along for the dense lookups.
+    let mut completions: BinaryHeap<Reverse<(u64, BlockId, u32)>> = BinaryHeap::new();
+    // Pending completion time per compact index.
+    let mut completion_of: Vec<u64> = vec![NO_COMPLETION; oracle.num_blocks()];
 
     // Applies all completions due by `time`.
     let advance = |time: u64,
-                   completions: &mut BinaryHeap<Reverse<(u64, BlockId)>>,
-                   completion_of: &mut HashMap<BlockId, u64>,
+                   completions: &mut BinaryHeap<Reverse<(u64, BlockId, u32)>>,
+                   completion_of: &mut Vec<u64>,
                    cache: &mut Cache,
                    cursor: usize| {
-        while let Some(&Reverse((t, b))) = completions.peek() {
+        while let Some(&Reverse((t, _, idx))) = completions.peek() {
             if t > time {
                 break;
             }
             completions.pop();
-            completion_of.remove(&b);
-            cache.complete_fetch(b, cursor, oracle);
+            completion_of[idx as usize] = NO_COMPLETION;
+            cache.complete_fetch(idx, cursor, oracle);
         }
     };
+
+    // Per-disk working vectors for the batch-filling pass, hoisted out of
+    // the per-reference loop.
+    let mut budget: Vec<usize> = vec![0; disks];
+    let mut from: Vec<usize> = vec![0; disks];
 
     // Fills batches on free disks, aggressive-style.
     #[allow(clippy::too_many_arguments)]
@@ -352,19 +404,20 @@ fn reverse_pass(
         missing: &mut MissingTracker,
         events: &mut Vec<RevEvent>,
         busy_until: &mut [u64],
-        completions: &mut BinaryHeap<Reverse<(u64, BlockId)>>,
-        completion_of: &mut HashMap<BlockId, u64>,
+        completions: &mut BinaryHeap<Reverse<(u64, BlockId, u32)>>,
+        completion_of: &mut [u64],
+        budget: &mut [usize],
+        from: &mut [usize],
         time: u64,
         cursor: usize,
         fetch_time: u64,
         batch_size: usize,
     ) {
         let disks = busy_until.len();
-        let mut budget: Vec<usize> = busy_until
-            .iter()
-            .map(|&u| if u <= time { batch_size } else { 0 })
-            .collect();
-        let mut from: Vec<usize> = vec![cursor; disks];
+        for d in 0..disks {
+            budget[d] = if busy_until[d] <= time { batch_size } else { 0 };
+            from[d] = cursor;
+        }
         loop {
             let mut best: Option<(usize, usize)> = None;
             for d in 0..disks {
@@ -378,7 +431,10 @@ fn reverse_pass(
                 }
             }
             let Some((pos, disk)) = best else { return };
-            let block = oracle.block_at(pos);
+            let idx = oracle
+                .index_at(pos)
+                .expect("missing-tracker positions are disclosed");
+            let block = oracle.block_of(idx);
             let evict = if cache.has_free_frame() {
                 None
             } else {
@@ -387,18 +443,18 @@ fn reverse_pass(
                     _ => return, // do no harm: stop entirely
                 }
             };
-            cache.start_fetch(block, evict);
-            missing.on_fetch_issued(block, cursor, oracle);
+            cache.start_fetch(idx, evict);
+            missing.on_fetch_issued_idx(idx, cursor, oracle);
             if let Some(e) = evict {
-                missing.on_evicted(e, cursor, oracle);
+                missing.on_evicted_idx(e, cursor, oracle);
             }
             let done = busy_until[disk].max(time) + fetch_time;
             busy_until[disk] = done;
-            completions.push(Reverse((done, block)));
-            completion_of.insert(block, done);
+            completions.push(Reverse((done, block, idx)));
+            completion_of[idx as usize] = done;
             events.push(RevEvent {
                 fetched: block,
-                evicted: evict,
+                evicted: evict.map(|e| oracle.block_of(e)),
                 cursor,
                 target: pos,
             });
@@ -410,11 +466,11 @@ fn reverse_pass(
     for i in 0..n {
         // Undisclosed references are invisible to the offline planner:
         // they cost their compute step but trigger nothing.
-        if oracle.block_at(i) == crate::oracle::UNKNOWN_BLOCK {
+        let Some(bi) = oracle.index_at(i) else {
             cursor = i + 1;
             time += 1;
             continue;
-        }
+        };
         advance(
             time,
             &mut completions,
@@ -430,14 +486,16 @@ fn reverse_pass(
             &mut busy_until,
             &mut completions,
             &mut completion_of,
+            &mut budget,
+            &mut from,
             time,
             cursor,
             fetch_time,
             batch_size,
         );
-        let b = oracle.block_at(i);
-        if !cache.resident(b) {
-            if !cache.inflight(b) {
+        if !cache.resident(bi) {
+            if !cache.inflight(bi) {
+                let b = oracle.block_of(bi);
                 // Demand fetch with the best possible eviction.
                 let evict = if cache.has_free_frame() {
                     None
@@ -447,26 +505,24 @@ fn reverse_pass(
                         .map(|(victim, _)| victim)
                 };
                 let disk = oracle.disk_of(b).index();
-                cache.start_fetch(b, evict);
-                missing.on_fetch_issued(b, cursor, oracle);
+                cache.start_fetch(bi, evict);
+                missing.on_fetch_issued_idx(bi, cursor, oracle);
                 if let Some(e) = evict {
-                    missing.on_evicted(e, cursor, oracle);
+                    missing.on_evicted_idx(e, cursor, oracle);
                 }
                 let done = busy_until[disk].max(time) + fetch_time;
                 busy_until[disk] = done;
-                completions.push(Reverse((done, b)));
-                completion_of.insert(b, done);
+                completions.push(Reverse((done, b, bi)));
+                completion_of[bi as usize] = done;
                 events.push(RevEvent {
                     fetched: b,
-                    evicted: evict,
+                    evicted: evict.map(|e| oracle.block_of(e)),
                     cursor,
                     target: i,
                 });
             }
-            let arrival = completion_of
-                .get(&b)
-                .copied()
-                .expect("stalled block has a pending fetch");
+            let arrival = completion_of[bi as usize];
+            assert_ne!(arrival, NO_COMPLETION, "stalled block has a pending fetch");
             time = time.max(arrival);
             advance(
                 time,
@@ -476,12 +532,15 @@ fn reverse_pass(
                 cursor,
             );
         }
-        cache.on_reference(b, i, oracle);
+        cache.on_reference(bi, i, oracle);
         cursor = i + 1;
         time += 1;
     }
 
-    let final_cache: Vec<BlockId> = cache.resident_blocks().collect();
+    let final_cache: Vec<BlockId> = cache
+        .resident_indices()
+        .map(|i| oracle.block_of(i))
+        .collect();
     (events, final_cache)
 }
 
@@ -586,11 +645,35 @@ mod tests {
     fn last_occurrence_before_works() {
         let t = trace_of(&[1, 2, 1, 3, 1], 4);
         let o = Oracle::new(&t, Layout::striped(1));
-        assert_eq!(last_occurrence_before(&o, BlockId(1), 5), Some(4));
-        assert_eq!(last_occurrence_before(&o, BlockId(1), 4), Some(2));
-        assert_eq!(last_occurrence_before(&o, BlockId(1), 1), Some(0));
-        assert_eq!(last_occurrence_before(&o, BlockId(1), 0), None);
-        assert_eq!(last_occurrence_before(&o, BlockId(9), 5), None);
+        assert_eq!(o.last_occurrence_before(BlockId(1), 5), Some(4));
+        assert_eq!(o.last_occurrence_before(BlockId(1), 4), Some(2));
+        assert_eq!(o.last_occurrence_before(BlockId(1), 1), Some(0));
+        assert_eq!(o.last_occurrence_before(BlockId(1), 0), None);
+        assert_eq!(o.last_occurrence_before(BlockId(9), 5), None);
+    }
+
+    #[test]
+    fn last_occurrence_before_matches_naive_scan() {
+        // Property test: the binary-searched answer must equal a naive
+        // backward scan over fuzzer-style randomized traces.
+        let mut rng = parcache_types::rng::Rng::seed_from_u64(0x5eed_1996);
+        for case in 0..200 {
+            let len = rng.gen_range(1usize..=60);
+            let universe = rng.gen_range(1u64..=20);
+            let blocks: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..universe)).collect();
+            let t = trace_of(&blocks, 4);
+            let o = Oracle::new(&t, Layout::striped(rng.gen_range(1usize..=4)));
+            for before in 0..=len {
+                for b in 0..universe {
+                    let naive = (0..before).rev().find(|&i| blocks[i] == b);
+                    assert_eq!(
+                        o.last_occurrence_before(BlockId(b), before),
+                        naive,
+                        "case {case}: block {b} before {before} in {blocks:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

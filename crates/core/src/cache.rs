@@ -5,50 +5,63 @@
 //! frame immediately — the evicted block becomes unavailable at issue time
 //! and the incoming block becomes available at completion; neither is
 //! accessible in between. `resident + in-flight <= K` always.
+//!
+//! All per-block state is keyed by the oracle's compact block index
+//! (`u32`): residency and in-flight are bitsets, the LRU recency estimate
+//! is a slot array. Membership tests on the reference hot path are a load
+//! and a mask, with no hashing.
 
 use crate::oracle::{Oracle, NEVER};
-use parcache_types::BlockId;
-use std::collections::{BinaryHeap, HashSet};
+use parcache_types::{BitSet, BlockId, PosSet};
+use std::collections::BinaryHeap;
+
+/// Sentinel in the `last_use` slot array for "never used".
+const NO_USE: usize = usize::MAX;
 
 /// The cache state.
 #[derive(Debug)]
 pub struct Cache {
     capacity: usize,
-    resident: HashSet<BlockId>,
-    inflight: HashSet<BlockId>,
+    resident: BitSet,
+    inflight: BitSet,
     /// Lazy max-heap over resident blocks keyed by next-reference
     /// position. Entries go stale as the cursor advances or blocks are
-    /// evicted; they are validated against the oracle when popped.
-    belady: BinaryHeap<(usize, BlockId)>,
+    /// evicted; they are validated against the oracle when popped. The
+    /// `BlockId` stays in the entry so tie-breaking on equal keys is
+    /// identical to the pre-index implementation; the trailing compact
+    /// index never influences the order because equal `(key, block)`
+    /// implies an equal index.
+    belady: BinaryHeap<(usize, BlockId, u32)>,
     /// The block the application is about to reference, exempt from
     /// eviction. Without this, a block demand-fetched for an
     /// *undisclosed* reference (whose policy-visible next use is NEVER)
     /// would be evicted the instant it arrived, re-demanded, and the
     /// simulation would livelock — a real OS never evicts a page with an
     /// outstanding demand on it.
-    pinned: Option<BlockId>,
+    pinned: Option<u32>,
     /// Under incomplete hints, value blocks with no *disclosed* future by
     /// LRU recency (`last use + capacity`) instead of "never used again",
     /// the way TIP2 values unhinted pages. Off in the fully-hinted
     /// setting, where absence of a future reference is exact knowledge.
     lru_estimate: bool,
-    /// Most recent reference (or fetch) position per block, for the LRU
-    /// estimate. Only maintained when `lru_estimate` is on.
-    last_use: std::collections::HashMap<BlockId, usize>,
+    /// Most recent reference (or fetch) position per compact index, for
+    /// the LRU estimate. Only maintained when `lru_estimate` is on.
+    last_use: Vec<usize>,
 }
 
 impl Cache {
-    /// Creates an empty cache of `capacity` frames.
-    pub fn new(capacity: usize) -> Cache {
+    /// Creates an empty cache of `capacity` frames whose block universe
+    /// holds `universe` compact indices (see [`Oracle::num_blocks`]).
+    pub fn new(capacity: usize, universe: usize) -> Cache {
         assert!(capacity > 0, "cache must hold at least one block");
         Cache {
             capacity,
-            resident: HashSet::new(),
-            inflight: HashSet::new(),
+            resident: BitSet::with_capacity(universe),
+            inflight: BitSet::with_capacity(universe),
             belady: BinaryHeap::new(),
             pinned: None,
             lru_estimate: false,
-            last_use: std::collections::HashMap::new(),
+            last_use: vec![NO_USE; universe],
         }
     }
 
@@ -58,28 +71,32 @@ impl Cache {
         self.lru_estimate = true;
     }
 
-    /// The Belady key of `block` for an event at position `pos`: its next
-    /// disclosed occurrence, or — under the LRU estimate — its last use
-    /// plus the cache capacity.
-    fn key_for(&self, block: BlockId, pos: usize, oracle: &Oracle) -> usize {
-        let next = oracle.next_occurrence(block, pos);
+    /// The Belady key of block `idx` given its next occurrence `next`:
+    /// that occurrence, or — under the LRU estimate — its last use plus
+    /// the cache capacity.
+    fn key_from_next(&self, idx: u32, next: usize) -> usize {
         if next != NEVER || !self.lru_estimate {
             return next;
         }
-        self.last_use
-            .get(&block)
-            .map(|&lu| lu.saturating_add(self.capacity))
-            .unwrap_or(NEVER)
+        match self.last_use[idx as usize] {
+            NO_USE => NEVER,
+            lu => lu.saturating_add(self.capacity),
+        }
     }
 
-    /// Pins `block` against eviction (the engine pins the current
+    /// The Belady key of block `idx` for an event at position `pos`.
+    fn key_for(&self, idx: u32, pos: usize, oracle: &Oracle) -> usize {
+        self.key_from_next(idx, oracle.next_occurrence_idx(idx, pos))
+    }
+
+    /// Pins block `idx` against eviction (the engine pins the current
     /// reference); `None` unpins.
-    pub fn pin(&mut self, block: Option<BlockId>) {
-        self.pinned = block;
+    pub fn pin(&mut self, idx: Option<u32>) {
+        self.pinned = idx;
     }
 
     /// The currently pinned block, if any.
-    pub fn pinned(&self) -> Option<BlockId> {
+    pub fn pinned(&self) -> Option<u32> {
         self.pinned
     }
 
@@ -88,14 +105,16 @@ impl Cache {
         self.capacity
     }
 
-    /// True when `block` is available in the cache.
-    pub fn resident(&self, block: BlockId) -> bool {
-        self.resident.contains(&block)
+    /// True when block `idx` is available in the cache.
+    #[inline]
+    pub fn resident(&self, idx: u32) -> bool {
+        self.resident.contains(idx)
     }
 
-    /// True when a fetch of `block` has been issued but not completed.
-    pub fn inflight(&self, block: BlockId) -> bool {
-        self.inflight.contains(&block)
+    /// True when a fetch of block `idx` has been issued but not completed.
+    #[inline]
+    pub fn inflight(&self, idx: u32) -> bool {
+        self.inflight.contains(idx)
     }
 
     /// Number of resident blocks.
@@ -113,18 +132,21 @@ impl Cache {
         self.resident.len() + self.inflight.len() < self.capacity
     }
 
-    /// Begins a fetch of `block`, evicting `evict` if given.
+    /// Begins a fetch of block `idx`, evicting `evict` if given.
     ///
     /// # Panics
     ///
     /// Panics on violated invariants: fetching a resident or in-flight
     /// block, evicting a non-resident block, or fetching without a frame.
-    pub fn start_fetch(&mut self, block: BlockId, evict: Option<BlockId>) {
-        assert!(!self.resident(block), "fetching resident {block}");
-        assert!(!self.inflight(block), "duplicate fetch of {block}");
+    pub fn start_fetch(&mut self, idx: u32, evict: Option<u32>) {
+        assert!(!self.resident(idx), "fetching resident block index {idx}");
+        assert!(!self.inflight(idx), "duplicate fetch of block index {idx}");
         if let Some(e) = evict {
-            assert!(Some(e) != self.pinned, "evicting pinned {e}");
-            assert!(self.resident.remove(&e), "evicting non-resident {e}");
+            assert!(Some(e) != self.pinned, "evicting pinned block index {e}");
+            assert!(
+                self.resident.remove(e),
+                "evicting non-resident block index {e}"
+            );
             // The heap entry for `e` goes stale and is skipped on pop.
         } else {
             assert!(
@@ -132,45 +154,56 @@ impl Cache {
                 "no free frame and no eviction"
             );
         }
-        self.inflight.insert(block);
+        self.inflight.insert(idx);
     }
 
-    /// Completes the fetch of `block` at cursor position `cursor`: the
-    /// block becomes resident and enters the Belady heap.
+    /// Completes the fetch of block `idx` at cursor position `cursor`:
+    /// the block becomes resident and enters the Belady heap.
     ///
     /// # Panics
     ///
-    /// Panics if no fetch of `block` was in flight.
-    pub fn complete_fetch(&mut self, block: BlockId, cursor: usize, oracle: &Oracle) {
-        assert!(self.inflight.remove(&block), "completing unfetched {block}");
-        self.resident.insert(block);
-        if self.lru_estimate {
-            self.last_use.entry(block).or_insert(cursor);
+    /// Panics if no fetch of block `idx` was in flight.
+    pub fn complete_fetch(&mut self, idx: u32, cursor: usize, oracle: &Oracle) {
+        assert!(
+            self.inflight.remove(idx),
+            "completing unfetched block index {idx}"
+        );
+        self.resident.insert(idx);
+        if self.lru_estimate && self.last_use[idx as usize] == NO_USE {
+            self.last_use[idx as usize] = cursor;
         }
         self.belady
-            .push((self.key_for(block, cursor, oracle), block));
+            .push((self.key_for(idx, cursor, oracle), oracle.block_of(idx), idx));
     }
 
-    /// Abandons the in-flight fetch of `block`: the reserved frame is
+    /// Abandons the in-flight fetch of block `idx`: the reserved frame is
     /// released and the block is neither resident nor in flight (the
     /// driver gave up on the request; see the engine's retry policy).
     ///
     /// # Panics
     ///
-    /// Panics if no fetch of `block` was in flight.
-    pub fn cancel_fetch(&mut self, block: BlockId) {
-        assert!(self.inflight.remove(&block), "cancelling unfetched {block}");
+    /// Panics if no fetch of block `idx` was in flight.
+    pub fn cancel_fetch(&mut self, idx: u32) {
+        assert!(
+            self.inflight.remove(idx),
+            "cancelling unfetched block index {idx}"
+        );
     }
 
-    /// Records that the application consumed `block` at position `pos`:
-    /// refreshes its Belady key to the next occurrence after `pos`.
-    pub fn on_reference(&mut self, block: BlockId, pos: usize, oracle: &Oracle) {
-        debug_assert!(self.resident(block), "consumed non-resident {block}");
+    /// Records that the application consumed block `idx` at position
+    /// `pos`: refreshes its Belady key to the next occurrence after `pos`
+    /// (an O(1) next-pointer walk when `pos` references `idx`, which it
+    /// always does on this path).
+    pub fn on_reference(&mut self, idx: u32, pos: usize, oracle: &Oracle) {
+        debug_assert!(
+            self.resident(idx),
+            "consumed non-resident block index {idx}"
+        );
         if self.lru_estimate {
-            self.last_use.insert(block, pos + 1);
+            self.last_use[idx as usize] = pos + 1;
         }
-        self.belady
-            .push((self.key_for(block, pos + 1, oracle), block));
+        let key = self.key_from_next(idx, oracle.next_after_idx(idx, pos));
+        self.belady.push((key, oracle.block_of(idx), idx));
     }
 
     /// The evictable resident block whose next reference (at or after
@@ -179,29 +212,25 @@ impl Cache {
     /// resident. The pinned block is never returned.
     ///
     /// Lazily repairs stale heap entries; amortized cost is logarithmic.
-    pub fn furthest_resident(
-        &mut self,
-        cursor: usize,
-        oracle: &Oracle,
-    ) -> Option<(BlockId, usize)> {
-        let mut stash: Option<(usize, BlockId)> = None;
+    pub fn furthest_resident(&mut self, cursor: usize, oracle: &Oracle) -> Option<(u32, usize)> {
+        let mut stash: Option<(usize, BlockId, u32)> = None;
         let mut found = None;
-        while let Some((key, block)) = self.belady.pop() {
-            if !self.resident(block) {
+        while let Some((key, block, idx)) = self.belady.pop() {
+            if !self.resident(idx) {
                 continue; // evicted since this entry was pushed
             }
-            let actual = self.key_for(block, cursor, oracle);
+            let actual = self.key_for(idx, cursor, oracle);
             if actual != key {
-                self.belady.push((actual, block));
+                self.belady.push((actual, block, idx));
                 continue;
             }
-            if Some(block) == self.pinned {
+            if Some(idx) == self.pinned {
                 // Valid entry, but exempt: set it aside and keep looking.
-                stash = Some((key, block));
+                stash = Some((key, block, idx));
                 continue;
             }
-            self.belady.push((key, block));
-            found = Some((block, key));
+            self.belady.push((key, block, idx));
+            found = Some((idx, key));
             break;
         }
         if let Some(entry) = stash {
@@ -210,24 +239,25 @@ impl Cache {
         found
     }
 
-    /// Iterates over resident blocks (unordered).
-    pub fn resident_blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
-        self.resident.iter().copied()
+    /// Iterates over resident block indices, ascending.
+    pub fn resident_indices(&self) -> impl Iterator<Item = u32> + '_ {
+        self.resident.ones()
     }
 }
 
 /// Dynamic index of *missing* blocks' next occurrences.
 ///
 /// For every block that is neither resident nor in flight, the tracker
-/// holds the position of its next reference, globally and per disk. This
-/// is what lets every policy find "the first missing block (on disk D)"
-/// in logarithmic time instead of scanning the future.
+/// holds the position of its next reference, globally and per disk, in
+/// [`PosSet`] bitsets over the trace's positions. This is what lets every
+/// policy find "the first missing block (on disk D)" in near-constant
+/// time instead of scanning the future.
 #[derive(Debug)]
 pub struct MissingTracker {
     /// Next-occurrence positions of missing blocks, global.
-    global: std::collections::BTreeSet<usize>,
+    global: PosSet,
     /// The same positions partitioned by disk.
-    per_disk: Vec<std::collections::BTreeSet<usize>>,
+    per_disk: Vec<PosSet>,
 }
 
 impl MissingTracker {
@@ -235,8 +265,8 @@ impl MissingTracker {
     /// missing at its first occurrence.
     pub fn new(oracle: &Oracle) -> MissingTracker {
         let mut t = MissingTracker {
-            global: Default::default(),
-            per_disk: vec![Default::default(); oracle.layout().disks()],
+            global: PosSet::new(oracle.len()),
+            per_disk: vec![PosSet::new(oracle.len()); oracle.layout().disks()],
         };
         for (block, pos) in oracle.first_occurrences() {
             t.insert(block, pos, oracle);
@@ -253,14 +283,34 @@ impl MissingTracker {
         self.per_disk[oracle.disk_of(block).index()].insert(pos);
     }
 
+    /// [`MissingTracker::insert`] by compact index (no hashing).
+    fn insert_idx(&mut self, idx: u32, pos: usize, oracle: &Oracle) {
+        if pos == NEVER {
+            return;
+        }
+        debug_assert_eq!(oracle.block_at(pos), oracle.block_of(idx));
+        self.global.insert(pos);
+        self.per_disk[oracle.disk_of(oracle.block_of(idx)).index()].insert(pos);
+    }
+
     /// A fetch of `block` was issued: it is no longer missing.
     pub fn on_fetch_issued(&mut self, block: BlockId, cursor: usize, oracle: &Oracle) {
         let pos = oracle.next_occurrence(block, cursor);
         if pos == NEVER {
             return;
         }
-        self.global.remove(&pos);
-        self.per_disk[oracle.disk_of(block).index()].remove(&pos);
+        self.global.remove(pos);
+        self.per_disk[oracle.disk_of(block).index()].remove(pos);
+    }
+
+    /// [`MissingTracker::on_fetch_issued`] by compact index (no hashing).
+    pub fn on_fetch_issued_idx(&mut self, idx: u32, cursor: usize, oracle: &Oracle) {
+        let pos = oracle.next_occurrence_idx(idx, cursor);
+        if pos == NEVER {
+            return;
+        }
+        self.global.remove(pos);
+        self.per_disk[oracle.disk_of(oracle.block_of(idx)).index()].remove(pos);
     }
 
     /// `block` was evicted at cursor position `cursor`: it is missing
@@ -270,20 +320,28 @@ impl MissingTracker {
         self.insert(block, pos, oracle);
     }
 
+    /// [`MissingTracker::on_evicted`] by compact index (no hashing).
+    pub fn on_evicted_idx(&mut self, idx: u32, cursor: usize, oracle: &Oracle) {
+        let pos = oracle.next_occurrence_idx(idx, cursor);
+        self.insert_idx(idx, pos, oracle);
+    }
+
     /// The first position `>= from` whose block is missing, globally.
+    #[inline]
     pub fn first_missing(&self, from: usize) -> Option<usize> {
-        self.global.range(from..).next().copied()
+        self.global.next_at_or_after(from)
     }
 
     /// The first position `>= from` whose block is missing and lives on
     /// `disk`.
+    #[inline]
     pub fn first_missing_on_disk(&self, disk: usize, from: usize) -> Option<usize> {
-        self.per_disk[disk].range(from..).next().copied()
+        self.per_disk[disk].next_at_or_after(from)
     }
 
     /// Positions of missing blocks in `[from, to)`, globally, ascending.
     pub fn missing_in_window(&self, from: usize, to: usize) -> impl Iterator<Item = usize> + '_ {
-        self.global.range(from..to).copied()
+        self.global.iter_from(from).take_while(move |&p| p < to)
     }
 
     /// Positions of missing blocks in `[from, to)` on `disk`, ascending.
@@ -293,7 +351,9 @@ impl MissingTracker {
         from: usize,
         to: usize,
     ) -> impl Iterator<Item = usize> + '_ {
-        self.per_disk[disk].range(from..to).copied()
+        self.per_disk[disk]
+            .iter_from(from)
+            .take_while(move |&p| p < to)
     }
 
     /// Total missing-block entries (diagnostics).
@@ -314,6 +374,24 @@ mod tests {
     use parcache_trace::{Request, Trace};
     use parcache_types::Nanos;
 
+    /// Oracle over `blocks`, with `extras` given compact indices despite
+    /// never being referenced (the way the engine indexes the full trace
+    /// universe under incomplete hints).
+    fn oracle_with_extras(blocks: &[u64], disks: usize, extras: &[u64]) -> Oracle {
+        let entries: Vec<(usize, BlockId)> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i, BlockId(b)))
+            .collect();
+        let universe: Vec<BlockId> = extras.iter().map(|&b| BlockId(b)).collect();
+        Oracle::from_positions_with_universe(
+            blocks.len(),
+            entries,
+            &universe,
+            Layout::striped(disks),
+        )
+    }
+
     fn oracle_of(blocks: &[u64], disks: usize) -> Oracle {
         let t = Trace::new(
             "t",
@@ -329,106 +407,115 @@ mod tests {
         Oracle::new(&t, Layout::striped(disks))
     }
 
+    fn idx(o: &Oracle, b: u64) -> u32 {
+        o.index_of(BlockId(b)).unwrap()
+    }
+
     #[test]
     fn fetch_lifecycle() {
         let o = oracle_of(&[1, 2, 1], 1);
-        let mut c = Cache::new(2);
+        let mut c = Cache::new(2, o.num_blocks());
+        let b1 = idx(&o, 1);
         assert!(c.has_free_frame());
-        c.start_fetch(BlockId(1), None);
-        assert!(c.inflight(BlockId(1)));
-        assert!(!c.resident(BlockId(1)));
-        c.complete_fetch(BlockId(1), 0, &o);
-        assert!(c.resident(BlockId(1)));
-        assert!(!c.inflight(BlockId(1)));
+        c.start_fetch(b1, None);
+        assert!(c.inflight(b1));
+        assert!(!c.resident(b1));
+        c.complete_fetch(b1, 0, &o);
+        assert!(c.resident(b1));
+        assert!(!c.inflight(b1));
         assert_eq!(c.resident_count(), 1);
     }
 
     #[test]
     fn frames_are_reserved_at_issue() {
         let o = oracle_of(&[1, 2, 3], 1);
-        let mut c = Cache::new(2);
-        c.start_fetch(BlockId(1), None);
-        c.start_fetch(BlockId(2), None);
+        let mut c = Cache::new(2, o.num_blocks());
+        let (b1, b2, b3) = (idx(&o, 1), idx(&o, 2), idx(&o, 3));
+        c.start_fetch(b1, None);
+        c.start_fetch(b2, None);
         assert!(!c.has_free_frame());
-        c.complete_fetch(BlockId(1), 0, &o);
-        c.complete_fetch(BlockId(2), 0, &o);
+        c.complete_fetch(b1, 0, &o);
+        c.complete_fetch(b2, 0, &o);
         // Full cache: must evict to fetch.
-        c.start_fetch(BlockId(3), Some(BlockId(1)));
-        assert!(!c.resident(BlockId(1)));
+        c.start_fetch(b3, Some(b1));
+        assert!(!c.resident(b1));
         assert_eq!(c.resident_count() + c.inflight_count(), 2);
     }
 
     #[test]
     #[should_panic(expected = "no free frame")]
     fn overcommit_panics() {
-        let mut c = Cache::new(1);
-        c.start_fetch(BlockId(1), None);
-        c.start_fetch(BlockId(2), None);
+        let mut c = Cache::new(1, 4);
+        c.start_fetch(0, None);
+        c.start_fetch(1, None);
     }
 
     #[test]
     fn cancel_fetch_releases_the_frame() {
         let o = oracle_of(&[1, 2], 1);
-        let mut c = Cache::new(1);
-        c.start_fetch(BlockId(1), None);
+        let mut c = Cache::new(1, o.num_blocks());
+        let b1 = idx(&o, 1);
+        c.start_fetch(b1, None);
         assert!(!c.has_free_frame());
-        c.cancel_fetch(BlockId(1));
-        assert!(!c.inflight(BlockId(1)));
-        assert!(!c.resident(BlockId(1)));
+        c.cancel_fetch(b1);
+        assert!(!c.inflight(b1));
+        assert!(!c.resident(b1));
         // The frame is reusable, including for the same block again.
-        c.start_fetch(BlockId(1), None);
-        c.complete_fetch(BlockId(1), 0, &o);
-        assert!(c.resident(BlockId(1)));
+        c.start_fetch(b1, None);
+        c.complete_fetch(b1, 0, &o);
+        assert!(c.resident(b1));
     }
 
     #[test]
     #[should_panic(expected = "cancelling unfetched")]
     fn cancel_of_unfetched_block_panics() {
-        let mut c = Cache::new(2);
-        c.cancel_fetch(BlockId(1));
+        let mut c = Cache::new(2, 4);
+        c.cancel_fetch(1);
     }
 
     #[test]
     #[should_panic(expected = "duplicate fetch")]
     fn duplicate_fetch_panics() {
-        let mut c = Cache::new(2);
-        c.start_fetch(BlockId(1), None);
-        c.start_fetch(BlockId(1), None);
+        let mut c = Cache::new(2, 4);
+        c.start_fetch(1, None);
+        c.start_fetch(1, None);
     }
 
     #[test]
     fn belady_picks_furthest() {
-        // Sequence: 1 2 3 1 2 3 ... block 9 never referenced.
-        let o = oracle_of(&[1, 2, 3, 1, 2, 3], 1);
-        let mut c = Cache::new(4);
+        // Sequence: 1 2 3 1 2 3 ... blocks 9 and 42 never referenced but
+        // part of the indexed universe.
+        let o = oracle_with_extras(&[1, 2, 3, 1, 2, 3], 1, &[9, 42]);
+        let mut c = Cache::new(4, o.num_blocks());
         for b in [1u64, 2, 3, 9] {
-            c.start_fetch(BlockId(b), None);
-            c.complete_fetch(BlockId(b), 0, &o);
+            c.start_fetch(idx(&o, b), None);
+            c.complete_fetch(idx(&o, b), 0, &o);
         }
         // Block 9 is never referenced: furthest.
         let (b, key) = c.furthest_resident(0, &o).unwrap();
-        assert_eq!(b, BlockId(9));
+        assert_eq!(b, idx(&o, 9));
         assert_eq!(key, NEVER);
-        c.start_fetch(BlockId(42), Some(BlockId(9)));
+        c.start_fetch(idx(&o, 42), Some(idx(&o, 9)));
         // Now block 3 (next ref at 2) is furthest among 1(0), 2(1), 3(2).
         let (b, key) = c.furthest_resident(0, &o).unwrap();
-        assert_eq!((b, key), (BlockId(3), 2));
+        assert_eq!((b, key), (idx(&o, 3), 2));
     }
 
     #[test]
     fn belady_keys_refresh_as_cursor_advances() {
         let o = oracle_of(&[1, 2, 1, 2], 1);
-        let mut c = Cache::new(2);
-        for b in [1u64, 2] {
-            c.start_fetch(BlockId(b), None);
-            c.complete_fetch(BlockId(b), 0, &o);
+        let mut c = Cache::new(2, o.num_blocks());
+        let (b1, b2) = (idx(&o, 1), idx(&o, 2));
+        for b in [b1, b2] {
+            c.start_fetch(b, None);
+            c.complete_fetch(b, 0, &o);
         }
         // At cursor 0: block 2 next at 1... block 1 at 0; furthest is 2.
-        assert_eq!(c.furthest_resident(0, &o).unwrap().0, BlockId(2));
+        assert_eq!(c.furthest_resident(0, &o).unwrap().0, b2);
         // Consume positions 0 and 1; at cursor 2, next refs are 1->2, 2->3.
-        c.on_reference(BlockId(1), 0, &o);
-        c.on_reference(BlockId(2), 1, &o);
-        assert_eq!(c.furthest_resident(2, &o).unwrap(), (BlockId(2), 3));
+        c.on_reference(b1, 0, &o);
+        c.on_reference(b2, 1, &o);
+        assert_eq!(c.furthest_resident(2, &o).unwrap(), (b2, 3));
         // At cursor 4 both are NEVER; either may win but the key is NEVER.
         assert_eq!(c.furthest_resident(4, &o).unwrap().1, NEVER);
     }
@@ -436,8 +523,22 @@ mod tests {
     #[test]
     fn empty_cache_has_no_furthest() {
         let o = oracle_of(&[1], 1);
-        let mut c = Cache::new(2);
+        let mut c = Cache::new(2, o.num_blocks());
         assert_eq!(c.furthest_resident(0, &o), None);
+    }
+
+    #[test]
+    fn resident_indices_are_ascending() {
+        let o = oracle_of(&[1, 2, 3], 1);
+        let mut c = Cache::new(3, o.num_blocks());
+        for b in [3u64, 1, 2] {
+            c.start_fetch(idx(&o, b), None);
+            c.complete_fetch(idx(&o, b), 0, &o);
+        }
+        let got: Vec<u32> = c.resident_indices().collect();
+        let mut want = vec![idx(&o, 1), idx(&o, 2), idx(&o, 3)];
+        want.sort_unstable();
+        assert_eq!(got, want);
     }
 
     #[test]
@@ -460,6 +561,27 @@ mod tests {
         t.on_evicted(BlockId(5), 1, &o);
         assert_eq!(t.first_missing(0), Some(1));
         assert_eq!(t.first_missing(2), Some(2));
+    }
+
+    #[test]
+    fn tracker_idx_variants_match_block_variants() {
+        let o = oracle_of(&[5, 6, 5, 7], 2);
+        let mut a = MissingTracker::new(&o);
+        let mut b = MissingTracker::new(&o);
+        a.on_fetch_issued(BlockId(5), 0, &o);
+        b.on_fetch_issued_idx(idx(&o, 5), 0, &o);
+        a.on_evicted(BlockId(5), 1, &o);
+        b.on_evicted_idx(idx(&o, 5), 1, &o);
+        for from in 0..4 {
+            assert_eq!(a.first_missing(from), b.first_missing(from));
+            for d in 0..2 {
+                assert_eq!(
+                    a.first_missing_on_disk(d, from),
+                    b.first_missing_on_disk(d, from)
+                );
+            }
+        }
+        assert_eq!(a.len(), b.len());
     }
 
     #[test]

@@ -44,33 +44,45 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 const HISTORY: usize = 100;
 
 /// Recent fetch-time and compute-time observations, for forestall.
+///
+/// Window sums are maintained incrementally — an observation is added on
+/// push and subtracted when it slides out — so the averages and ratio the
+/// estimator reads at every decision point are O(1) instead of re-summing
+/// up to [`HISTORY`] entries. The arithmetic is exact (`u64` adds and
+/// subtracts), so results are bit-identical to re-summing the window.
 #[derive(Debug)]
 pub struct FetchHistory {
     per_disk_fetch: Vec<VecDeque<Nanos>>,
+    per_disk_sum: Vec<Nanos>,
     compute: VecDeque<Nanos>,
+    compute_sum: Nanos,
 }
 
 impl FetchHistory {
     fn new(disks: usize) -> FetchHistory {
         FetchHistory {
             per_disk_fetch: vec![VecDeque::with_capacity(HISTORY); disks],
+            per_disk_sum: vec![Nanos::ZERO; disks],
             compute: VecDeque::with_capacity(HISTORY),
+            compute_sum: Nanos::ZERO,
         }
     }
 
     fn push_fetch(&mut self, disk: usize, t: Nanos) {
         let q = &mut self.per_disk_fetch[disk];
         if q.len() == HISTORY {
-            q.pop_front();
+            self.per_disk_sum[disk] -= q.pop_front().expect("non-empty window");
         }
         q.push_back(t);
+        self.per_disk_sum[disk] += t;
     }
 
     fn push_compute(&mut self, t: Nanos) {
         if self.compute.len() == HISTORY {
-            self.compute.pop_front();
+            self.compute_sum -= self.compute.pop_front().expect("non-empty window");
         }
         self.compute.push_back(t);
+        self.compute_sum += t;
     }
 
     /// Mean of the recent fetch times on `disk`, rounded to the nearest
@@ -80,7 +92,7 @@ impl FetchHistory {
         if q.is_empty() {
             return None;
         }
-        Some(q.iter().copied().sum::<Nanos>().div_rounded(q.len() as u64))
+        Some(self.per_disk_sum[disk].div_rounded(q.len() as u64))
     }
 
     /// Mean of the recent inter-reference compute times, rounded to the
@@ -89,26 +101,19 @@ impl FetchHistory {
         if self.compute.is_empty() {
             return None;
         }
-        Some(
-            self.compute
-                .iter()
-                .copied()
-                .sum::<Nanos>()
-                .div_rounded(self.compute.len() as u64),
-        )
+        Some(self.compute_sum.div_rounded(self.compute.len() as u64))
     }
 
     /// The ratio of recent fetch-time sum to recent compute-time sum on
     /// `disk` — forestall's dynamic F — or `None` without history.
     pub fn fetch_compute_ratio(&self, disk: usize) -> Option<f64> {
-        let fetch_sum: Nanos = self.per_disk_fetch[disk].iter().copied().sum();
-        let compute_sum: Nanos = self.compute.iter().copied().sum();
-        if self.per_disk_fetch[disk].is_empty() || compute_sum == Nanos::ZERO {
+        if self.per_disk_fetch[disk].is_empty() || self.compute_sum == Nanos::ZERO {
             return None;
         }
         // Normalize: both windows may hold fewer than HISTORY entries.
-        let f_avg = fetch_sum.as_nanos() as f64 / self.per_disk_fetch[disk].len() as f64;
-        let c_avg = compute_sum.as_nanos() as f64 / self.compute.len() as f64;
+        let f_avg =
+            self.per_disk_sum[disk].as_nanos() as f64 / self.per_disk_fetch[disk].len() as f64;
+        let c_avg = self.compute_sum.as_nanos() as f64 / self.compute.len() as f64;
         Some(f_avg / c_avg)
     }
 }
@@ -152,19 +157,46 @@ pub struct Ctx<'a> {
 
 impl Ctx<'_> {
     /// Issues a fetch of `block`, evicting `evict` (required when the
+    /// cache has no free frame). Convenience wrapper over
+    /// [`Ctx::issue_fetch_idx`] for callers holding `BlockId`s; costs one
+    /// hash lookup per id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on cache-invariant violations (fetching a resident block,
+    /// evicting a non-resident block, overcommitting frames), or if a
+    /// block is outside the oracle's indexed universe.
+    pub fn issue_fetch(&mut self, block: BlockId, evict: Option<BlockId>) {
+        let idx = self
+            .oracle
+            .index_of(block)
+            .expect("fetched block outside the indexed universe");
+        let evict_idx = evict.map(|e| {
+            self.oracle
+                .index_of(e)
+                .expect("evicted block outside the indexed universe")
+        });
+        self.issue_fetch_idx(idx, evict_idx);
+    }
+
+    /// Issues a fetch of block `idx`, evicting `evict` (required when the
     /// cache has no free frame). Charges driver overhead to the CPU
-    /// timeline and enqueues the request on the block's disk.
+    /// timeline and enqueues the request on the block's disk. This is the
+    /// hot-path entry: everything stays in compact-index space except the
+    /// O(1) index-to-block translations the disks and probes need.
     ///
     /// # Panics
     ///
     /// Panics on cache-invariant violations (fetching a resident block,
     /// evicting a non-resident block, overcommitting frames).
-    pub fn issue_fetch(&mut self, block: BlockId, evict: Option<BlockId>) {
-        self.cache.start_fetch(block, evict);
+    pub fn issue_fetch_idx(&mut self, idx: u32, evict_idx: Option<u32>) {
+        let block = self.oracle.block_of(idx);
+        let evict = evict_idx.map(|e| self.oracle.block_of(e));
+        self.cache.start_fetch(idx, evict_idx);
         self.missing
-            .on_fetch_issued(block, self.cursor, self.oracle);
-        if let Some(e) = evict {
-            self.missing.on_evicted(e, self.cursor, self.oracle);
+            .on_fetch_issued_idx(idx, self.cursor, self.oracle);
+        if let Some(e) = evict_idx {
+            self.missing.on_evicted_idx(e, self.cursor, self.oracle);
         }
         *self.driver_time += self.config.driver_overhead;
         *self.cpu_done = (*self.cpu_done).max(self.now) + self.config.driver_overhead;
@@ -449,6 +481,9 @@ struct Engine<'t> {
     trace: &'t Trace,
     config: &'t SimConfig,
     oracle: Oracle,
+    /// Compact index of each trace reference, precomputed so the main
+    /// loop's residency checks and Belady refreshes never hash.
+    ref_idx: Vec<u32>,
     cache: Cache,
     missing: MissingTracker,
     array: DiskArray,
@@ -490,6 +525,9 @@ impl<'t> Engine<'t> {
         let layout = Layout::striped(config.disks);
         // Policies only know what the application disclosed: under
         // incomplete hints their oracle indexes the hinted subsequence.
+        // Undisclosed blocks still receive compact indices (with empty
+        // occurrence lists) so the cache can track them densely when the
+        // application demand-misses on them.
         let oracle = match config.hints {
             crate::hints::HintSpec::Full => Oracle::new(trace, layout),
             ref spec => {
@@ -497,6 +535,15 @@ impl<'t> Engine<'t> {
                 crate::hints::hinted_oracle(trace, layout, &mask)
             }
         };
+        let ref_idx: Vec<u32> = trace
+            .requests
+            .iter()
+            .map(|r| {
+                oracle
+                    .index_of(r.block)
+                    .expect("every trace block is in the indexed universe")
+            })
+            .collect();
         let missing = MissingTracker::new(&oracle);
         let array = DiskArray::new(config.disks, config.discipline, |i| build_model(config, i));
         let mut boundaries: Vec<(Nanos, DiskId, bool)> = Vec::new();
@@ -507,7 +554,7 @@ impl<'t> Engine<'t> {
             }
         }
         boundaries.sort_by_key(|&(t, d, entering)| (t, d.index(), entering));
-        let mut cache = Cache::new(config.cache_blocks);
+        let mut cache = Cache::new(config.cache_blocks, oracle.num_blocks());
         if config.hints.nominal_fraction() < 1.0 {
             // Value blocks with no disclosed future by LRU recency, as
             // TIP2 does for unhinted pages.
@@ -517,6 +564,7 @@ impl<'t> Engine<'t> {
             trace,
             config,
             oracle,
+            ref_idx,
             cache,
             missing,
             array,
@@ -688,8 +736,12 @@ impl<'t> Engine<'t> {
                 });
             }
             self.retrying.remove(&block);
-            self.cache.cancel_fetch(block);
-            self.missing.on_evicted(block, self.cursor, &self.oracle);
+            let idx = self
+                .oracle
+                .index_of(block)
+                .expect("abandoned block outside the indexed universe");
+            self.cache.cancel_fetch(idx);
+            self.missing.on_evicted_idx(idx, self.cursor, &self.oracle);
         }
     }
 
@@ -781,8 +833,11 @@ impl<'t> Engine<'t> {
                 if done.outcome.is_ok() {
                     self.retrying.remove(&done.block);
                     self.history.push_fetch(d.index(), done.service);
-                    self.cache
-                        .complete_fetch(done.block, self.cursor, &self.oracle);
+                    let idx = self
+                        .oracle
+                        .index_of(done.block)
+                        .expect("completed block outside the indexed universe");
+                    self.cache.complete_fetch(idx, self.cursor, &self.oracle);
                 } else {
                     // A media error: the platter time was spent but no
                     // data arrived. The frame stays reserved pending the
@@ -863,9 +918,10 @@ impl<'t> Engine<'t> {
 
         for i in 0..self.trace.requests.len() {
             let req = self.trace.requests[i];
+            let req_idx = self.ref_idx[i];
             // The block about to be referenced may not be evicted (see
             // Cache::pin); critical under incomplete hints.
-            self.cache.pin(Some(req.block));
+            self.cache.pin(Some(req_idx));
             // The application computes before the reference.
             self.history.push_compute(req.compute);
             self.cpu_done = self.cpu_done.max(self.now) + req.compute;
@@ -875,7 +931,7 @@ impl<'t> Engine<'t> {
             // application references it. The pin above guarantees a
             // resident block stays resident, so this is decided once.
             let stall_from = if P::ENABLED {
-                let resident = self.cache.resident(req.block);
+                let resident = self.cache.resident(req_idx);
                 let e = if resident {
                     Event::CacheHit {
                         now: self.now,
@@ -904,14 +960,14 @@ impl<'t> Engine<'t> {
             // The reference: stall until the block is available and the
             // CPU backlog (driver work issued meanwhile) has drained.
             loop {
-                if self.cache.resident(req.block) {
+                if self.cache.resident(req_idx) {
                     if self.now < self.cpu_done {
                         self.advance_cpu(policy, probe);
                         continue;
                     }
                     break;
                 }
-                if !self.cache.inflight(req.block) {
+                if !self.cache.inflight(req_idx) {
                     self.miss(policy, probe, req.block);
                 }
                 self.pop_event(policy, probe);
@@ -930,7 +986,7 @@ impl<'t> Engine<'t> {
             // Consume. The reference is satisfied, so the pin lifts: the
             // just-used block is an ordinary eviction candidate again.
             self.cache.pin(None);
-            self.cache.on_reference(req.block, i, &self.oracle);
+            self.cache.on_reference(req_idx, i, &self.oracle);
             self.cursor = i + 1;
             // Write-behind extension: periodically flush the block the
             // application just updated. The app does not wait for it, but
@@ -1169,6 +1225,52 @@ mod tests {
         // Disk 1 has no history.
         assert_eq!(h.avg_fetch(1), None);
         assert_eq!(h.fetch_compute_ratio(1), None);
+    }
+
+    #[test]
+    fn fetch_history_rolling_sums_match_naive_recomputation() {
+        // Property test: after every push in a randomized observation
+        // stream, the O(1) incrementally-maintained averages and ratio
+        // must equal recomputing them from the raw windows.
+        let mut rng = parcache_types::rng::Rng::seed_from_u64(0x0f5e_2026);
+        let disks = 3;
+        let mut h = FetchHistory::new(disks);
+        let mut naive_fetch: Vec<Vec<u64>> = vec![Vec::new(); disks];
+        let mut naive_compute: Vec<u64> = Vec::new();
+        for _ in 0..2_000 {
+            if rng.gen_bool(0.5) {
+                let d = rng.gen_range(0usize..disks);
+                let t = rng.gen_range(0u64..50_000_000);
+                h.push_fetch(d, Nanos(t));
+                naive_fetch[d].push(t);
+            } else {
+                let t = rng.gen_range(0u64..5_000_000);
+                h.push_compute(Nanos(t));
+                naive_compute.push(t);
+            }
+            let window =
+                |xs: &[u64]| -> Vec<u64> { xs[xs.len().saturating_sub(HISTORY)..].to_vec() };
+            let avg = |xs: &[u64]| -> Option<Nanos> {
+                if xs.is_empty() {
+                    return None;
+                }
+                Some(Nanos(xs.iter().sum::<u64>()).div_rounded(xs.len() as u64))
+            };
+            let cw = window(&naive_compute);
+            assert_eq!(h.avg_compute(), avg(&cw));
+            for (d, fetches) in naive_fetch.iter().enumerate() {
+                let fw = window(fetches);
+                assert_eq!(h.avg_fetch(d), avg(&fw), "disk {d}");
+                let expect_ratio = if fw.is_empty() || cw.iter().sum::<u64>() == 0 {
+                    None
+                } else {
+                    let f = fw.iter().sum::<u64>() as f64 / fw.len() as f64;
+                    let c = cw.iter().sum::<u64>() as f64 / cw.len() as f64;
+                    Some(f / c)
+                };
+                assert_eq!(h.fetch_compute_ratio(d), expect_ratio, "disk {d}");
+            }
+        }
     }
 
     #[test]

@@ -133,7 +133,10 @@ impl SplitMix {
 /// Builds the policy-visible oracle for a trace under a hint mask: only
 /// hinted references are indexed. Positions keep their original indices,
 /// so cursor arithmetic is unchanged; `next_occurrence` means "next
-/// *disclosed* occurrence".
+/// *disclosed* occurrence". Every trace block — disclosed or not — is
+/// given a compact index (undisclosed ones with empty occurrence lists),
+/// so the engine can resolve demand misses on unhinted references without
+/// falling outside the indexed universe.
 pub fn hinted_oracle(trace: &Trace, layout: Layout, mask: &[bool]) -> Oracle {
     assert_eq!(mask.len(), trace.requests.len(), "mask length mismatch");
     let masked: Vec<(usize, BlockId)> = trace
@@ -143,7 +146,8 @@ pub fn hinted_oracle(trace: &Trace, layout: Layout, mask: &[bool]) -> Oracle {
         .filter(|&(i, _)| mask[i])
         .map(|(i, r)| (i, r.block))
         .collect();
-    Oracle::from_positions(trace.requests.len(), masked, layout)
+    let universe: Vec<BlockId> = trace.requests.iter().map(|r| r.block).collect();
+    Oracle::from_positions_with_universe(trace.requests.len(), masked, &universe, layout)
 }
 
 #[cfg(test)]

@@ -1,16 +1,21 @@
 //! The next-reference oracle.
 //!
 //! All four prefetching algorithms assume full advance knowledge of the
-//! request sequence (§1). The oracle answers the two queries they need in
-//! logarithmic time: *when is block B next referenced at or after position
-//! p?* (for Belady replacement and the do-no-harm rule), and *which
-//! positions reference blocks on disk D?* (for per-disk prefetch
-//! candidates).
+//! request sequence (§1). The oracle answers the two queries they need —
+//! *when is block B next referenced at or after position p?* (for Belady
+//! replacement and the do-no-harm rule), and *which positions reference
+//! blocks on disk D?* (for per-disk prefetch candidates).
+//!
+//! Internally every block is assigned a dense **compact index** (`u32`),
+//! so the hot paths work over plain arrays instead of hash maps: occurrence
+//! lists are indexed by compact index, cursor advances follow a
+//! precomputed next-pointer array in O(1), and the cache keys its bitsets
+//! and slot arrays by the same index. The only hash lookup left is the
+//! cold [`Oracle::index_of`] boundary used to enter the dense world.
 
 use parcache_disk::layout::Layout;
 use parcache_trace::Trace;
-use parcache_types::{BlockId, DiskId};
-use std::collections::HashMap;
+use parcache_types::{BlockId, DiskId, FastMap};
 
 /// Sentinel position for "never referenced again" — compares greater than
 /// every real position, which is exactly what Belady comparisons want.
@@ -20,13 +25,33 @@ pub const NEVER: usize = usize::MAX;
 /// positions (see [`Oracle::from_positions`]). Never equals a real block.
 pub const UNKNOWN_BLOCK: BlockId = BlockId(u64::MAX);
 
+/// Internal sentinel for "no compact index" / "no next occurrence" in the
+/// `u32`-packed arrays.
+const NONE32: u32 = u32::MAX;
+
 /// Precomputed full-knowledge index of one trace under one disk layout.
 #[derive(Debug)]
 pub struct Oracle {
     /// The reference sequence, by position.
     sequence: Vec<BlockId>,
-    /// Every position at which each block is referenced, ascending.
-    occurrences: HashMap<BlockId, Vec<usize>>,
+    /// Compact index of the block at each position (`NONE32` for
+    /// undisclosed positions).
+    seq_idx: Vec<u32>,
+    /// Next position strictly after `p` referencing the same block as
+    /// `p`, or `NONE32` — the O(1) cursor-advance next pointer.
+    next_same: Vec<u32>,
+    /// Compact index assignment. Disclosed blocks come first, in
+    /// first-appearance order; universe-only blocks (known to exist but
+    /// never disclosed) follow.
+    index: FastMap<BlockId, u32>,
+    /// Inverse of `index`.
+    blocks: Vec<BlockId>,
+    /// Number of leading entries of `blocks` that actually occur in the
+    /// disclosed sequence.
+    disclosed: usize,
+    /// Every position at which each block is referenced, ascending, by
+    /// compact index. Universe-only blocks have empty lists.
+    occurrences: Vec<Vec<u32>>,
     /// Positions whose block lives on each disk, ascending.
     disk_positions: Vec<Vec<usize>>,
     /// Disk of each block (cached from the layout).
@@ -55,23 +80,67 @@ impl Oracle {
     ///
     /// [`block_at`]: Oracle::block_at
     pub fn from_positions(len: usize, entries: Vec<(usize, BlockId)>, layout: Layout) -> Oracle {
+        Oracle::from_positions_with_universe(len, entries, &[], layout)
+    }
+
+    /// [`Oracle::from_positions`], additionally assigning compact indices
+    /// to every block of `universe` (deduplicated against the disclosed
+    /// blocks). The engine uses this so blocks the application references
+    /// without disclosing them still live in the dense index space: their
+    /// cache state can then be tracked by bitset like any other block,
+    /// while their (empty) occurrence lists keep them invisible to
+    /// policies.
+    pub fn from_positions_with_universe(
+        len: usize,
+        mut entries: Vec<(usize, BlockId)>,
+        universe: &[BlockId],
+        layout: Layout,
+    ) -> Oracle {
+        assert!(
+            len < NONE32 as usize,
+            "sequence length must fit the u32 position encoding"
+        );
+        if !entries.is_sorted_by_key(|&(pos, _)| pos) {
+            entries.sort_by_key(|&(pos, _)| pos);
+        }
         let mut sequence = vec![UNKNOWN_BLOCK; len];
-        let mut occurrences: HashMap<BlockId, Vec<usize>> = HashMap::new();
+        let mut seq_idx = vec![NONE32; len];
+        let mut next_same = vec![NONE32; len];
+        let mut index: FastMap<BlockId, u32> =
+            FastMap::with_capacity_and_hasher(entries.len(), Default::default());
+        let mut blocks: Vec<BlockId> = Vec::new();
+        let mut occurrences: Vec<Vec<u32>> = Vec::new();
         let mut disk_positions: Vec<Vec<usize>> = vec![Vec::new(); layout.disks()];
         for &(pos, block) in &entries {
             assert!(pos < len, "entry position {pos} out of range");
             sequence[pos] = block;
-            occurrences.entry(block).or_default().push(pos);
+            let idx = *index.entry(block).or_insert_with(|| {
+                blocks.push(block);
+                occurrences.push(Vec::new());
+                (blocks.len() - 1) as u32
+            });
+            seq_idx[pos] = idx;
+            if let Some(&prev) = occurrences[idx as usize].last() {
+                next_same[prev as usize] = pos as u32;
+            }
+            occurrences[idx as usize].push(pos as u32);
             disk_positions[layout.disk_of(block).index()].push(pos);
         }
-        for occ in occurrences.values_mut() {
-            occ.sort_unstable();
-        }
-        for dp in &mut disk_positions {
-            dp.sort_unstable();
+        let disclosed = blocks.len();
+        for &block in universe {
+            index.entry(block).or_insert_with(|| {
+                blocks.push(block);
+                occurrences.push(Vec::new());
+                (blocks.len() - 1) as u32
+            });
         }
         Oracle {
             sequence,
+            seq_idx,
+            next_same,
+            index,
+            blocks,
+            disclosed,
             occurrences,
             disk_positions,
             layout,
@@ -88,6 +157,13 @@ impl Oracle {
         self.sequence.is_empty()
     }
 
+    /// Number of blocks holding a compact index (disclosed plus
+    /// universe-only). This is the capacity the cache sizes its dense
+    /// structures to.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
     /// The block referenced at `pos`.
     ///
     /// # Panics
@@ -95,6 +171,27 @@ impl Oracle {
     /// Panics if `pos` is out of range.
     pub fn block_at(&self, pos: usize) -> BlockId {
         self.sequence[pos]
+    }
+
+    /// The compact index of the (disclosed) block at `pos`, or `None`
+    /// for an undisclosed position. O(1).
+    #[inline]
+    pub fn index_at(&self, pos: usize) -> Option<u32> {
+        let i = self.seq_idx[pos];
+        (i != NONE32).then_some(i)
+    }
+
+    /// The compact index of `block`, if it has one. This is the single
+    /// remaining hash lookup; hot paths resolve it once per block and
+    /// stay in index space afterwards.
+    pub fn index_of(&self, block: BlockId) -> Option<u32> {
+        self.index.get(&block).copied()
+    }
+
+    /// The block holding compact index `idx`. O(1).
+    #[inline]
+    pub fn block_of(&self, idx: u32) -> BlockId {
+        self.blocks[idx as usize]
     }
 
     /// The layout used to build this oracle.
@@ -111,13 +208,46 @@ impl Oracle {
     ///
     /// Blocks that never appear in the trace return [`NEVER`].
     pub fn next_occurrence(&self, block: BlockId, at: usize) -> usize {
-        match self.occurrences.get(&block) {
+        match self.index_of(block) {
             None => NEVER,
-            Some(occ) => {
-                let i = occ.partition_point(|&p| p < at);
-                occ.get(i).copied().unwrap_or(NEVER)
-            }
+            Some(idx) => self.next_occurrence_idx(idx, at),
         }
+    }
+
+    /// [`Oracle::next_occurrence`] by compact index: binary search over
+    /// the block's dense occurrence list, no hashing.
+    pub fn next_occurrence_idx(&self, idx: u32, at: usize) -> usize {
+        let occ = &self.occurrences[idx as usize];
+        let i = occ.partition_point(|&p| (p as usize) < at);
+        occ.get(i).map_or(NEVER, |&p| p as usize)
+    }
+
+    /// The first position strictly after `pos` referencing block `idx`.
+    ///
+    /// When `pos` itself references block `idx` — the cursor-advance
+    /// pattern: the application just consumed the block at `pos` — the
+    /// answer comes from the precomputed next-pointer array in O(1).
+    #[inline]
+    pub fn next_after_idx(&self, idx: u32, pos: usize) -> usize {
+        if pos < self.seq_idx.len() && self.seq_idx[pos] == idx {
+            let n = self.next_same[pos];
+            if n == NONE32 {
+                NEVER
+            } else {
+                n as usize
+            }
+        } else {
+            self.next_occurrence_idx(idx, pos + 1)
+        }
+    }
+
+    /// The last position `< before` referencing `block`, or `None` —
+    /// binary search over the block's sorted occurrence list.
+    pub fn last_occurrence_before(&self, block: BlockId, before: usize) -> Option<usize> {
+        let idx = self.index_of(block)?;
+        let occ = &self.occurrences[idx as usize];
+        let i = occ.partition_point(|&p| (p as usize) < before);
+        i.checked_sub(1).map(|i| occ[i] as usize)
     }
 
     /// All positions referencing blocks on `disk`, ascending.
@@ -128,21 +258,13 @@ impl Oracle {
     /// The distinct *disclosed* blocks of the sequence, in
     /// first-appearance order. Undisclosed positions are skipped.
     pub fn distinct_blocks(&self) -> Vec<BlockId> {
-        let mut seen = std::collections::HashSet::new();
-        let mut out = Vec::new();
-        for &b in &self.sequence {
-            if b != UNKNOWN_BLOCK && seen.insert(b) {
-                out.push(b);
-            }
-        }
-        out
+        self.blocks[..self.disclosed].to_vec()
     }
 
     /// First occurrence position of every distinct block.
     pub fn first_occurrences(&self) -> Vec<(BlockId, usize)> {
-        self.distinct_blocks()
-            .into_iter()
-            .map(|b| (b, self.next_occurrence(b, 0)))
+        (0..self.disclosed)
+            .map(|i| (self.blocks[i], self.occurrences[i][0] as usize))
             .collect()
     }
 }
@@ -214,5 +336,78 @@ mod tests {
     #[test]
     fn never_sentinel_orders_after_everything() {
         const { assert!(NEVER > 1_000_000_000) };
+    }
+
+    #[test]
+    fn compact_indices_cover_the_sequence() {
+        let t = trace_of(&[5, 3, 5, 7, 3]);
+        let o = Oracle::new(&t, Layout::striped(2));
+        assert_eq!(o.num_blocks(), 3);
+        for pos in 0..o.len() {
+            let idx = o.index_at(pos).expect("fully disclosed");
+            assert_eq!(o.block_of(idx), o.block_at(pos));
+            assert_eq!(o.index_of(o.block_at(pos)), Some(idx));
+        }
+        assert_eq!(o.index_of(BlockId(99)), None);
+    }
+
+    #[test]
+    fn next_after_idx_matches_binary_search() {
+        let t = trace_of(&[1, 2, 1, 3, 1, 2]);
+        let o = Oracle::new(&t, Layout::striped(1));
+        for pos in 0..o.len() {
+            let idx = o.index_at(pos).unwrap();
+            assert_eq!(
+                o.next_after_idx(idx, pos),
+                o.next_occurrence_idx(idx, pos + 1),
+                "pos {pos}"
+            );
+        }
+        // Off-position queries fall back to the search.
+        let idx1 = o.index_of(BlockId(1)).unwrap();
+        assert_eq!(o.next_after_idx(idx1, 1), 2);
+        assert_eq!(o.next_after_idx(idx1, 4), NEVER);
+    }
+
+    #[test]
+    fn universe_blocks_get_indices_without_occurrences() {
+        let entries = vec![(0, BlockId(4)), (2, BlockId(6))];
+        let o = Oracle::from_positions_with_universe(
+            3,
+            entries,
+            &[BlockId(6), BlockId(9)],
+            Layout::striped(1),
+        );
+        assert_eq!(o.num_blocks(), 3, "6 deduplicates, 9 appended");
+        let nine = o.index_of(BlockId(9)).expect("universe block indexed");
+        assert_eq!(o.next_occurrence_idx(nine, 0), NEVER);
+        assert_eq!(o.block_of(nine), BlockId(9));
+        // Universe-only blocks stay invisible to disclosed-world queries.
+        assert_eq!(o.distinct_blocks(), vec![BlockId(4), BlockId(6)]);
+        assert_eq!(o.block_at(1), UNKNOWN_BLOCK);
+        assert_eq!(o.index_at(1), None);
+    }
+
+    #[test]
+    fn unsorted_entries_are_normalized() {
+        let entries = vec![(3, BlockId(1)), (0, BlockId(1)), (2, BlockId(5))];
+        let o = Oracle::from_positions(4, entries, Layout::striped(1));
+        assert_eq!(o.next_occurrence(BlockId(1), 0), 0);
+        assert_eq!(o.next_occurrence(BlockId(1), 1), 3);
+        assert_eq!(o.distinct_blocks(), vec![BlockId(1), BlockId(5)]);
+        let idx = o.index_of(BlockId(1)).unwrap();
+        assert_eq!(o.next_after_idx(idx, 0), 3);
+    }
+
+    #[test]
+    fn last_occurrence_before_binary_search() {
+        let t = trace_of(&[1, 2, 1, 3, 1]);
+        let o = Oracle::new(&t, Layout::striped(1));
+        assert_eq!(o.last_occurrence_before(BlockId(1), 5), Some(4));
+        assert_eq!(o.last_occurrence_before(BlockId(1), 4), Some(2));
+        assert_eq!(o.last_occurrence_before(BlockId(1), 1), Some(0));
+        assert_eq!(o.last_occurrence_before(BlockId(1), 0), None);
+        assert_eq!(o.last_occurrence_before(BlockId(9), 5), None);
+        assert_eq!(o.last_occurrence_before(BlockId(3), NEVER), Some(3));
     }
 }

@@ -30,16 +30,20 @@ pub trait Policy {
 /// The default demand-miss reaction: fetch the block now, evicting the
 /// resident block whose next reference is furthest in the future.
 pub fn demand_fetch(ctx: &mut Ctx<'_>, block: BlockId) {
-    if ctx.cache.resident(block) || ctx.cache.inflight(block) {
+    let idx = ctx
+        .oracle
+        .index_of(block)
+        .expect("demand-missed block outside the indexed universe");
+    if ctx.cache.resident(idx) || ctx.cache.inflight(idx) {
         return;
     }
     if ctx.cache.has_free_frame() {
-        ctx.issue_fetch(block, None);
+        ctx.issue_fetch_idx(idx, None);
         return;
     }
     let cursor = ctx.cursor;
     if let Some((victim, _)) = ctx.cache.furthest_resident(cursor, ctx.oracle) {
-        ctx.issue_fetch(block, Some(victim));
+        ctx.issue_fetch_idx(idx, Some(victim));
     }
     // Otherwise every frame is in flight; the engine retries after the
     // next completion.

@@ -123,6 +123,9 @@ pub struct Disk {
     in_service: Option<InService>,
     next_seq: u64,
     stats: DiskStats,
+    /// Scratch for per-candidate cylinder numbers during selection;
+    /// reused across service starts so the hot path allocates nothing.
+    cyl_scratch: Vec<u64>,
 }
 
 impl Disk {
@@ -136,6 +139,7 @@ impl Disk {
             in_service: None,
             next_seq: 0,
             stats: DiskStats::default(),
+            cyl_scratch: Vec::new(),
         }
     }
 
@@ -235,15 +239,16 @@ impl Disk {
         if self.in_service.is_some() || self.queue.is_empty() {
             return;
         }
-        let cylinders: Vec<u64> = self
-            .queue
-            .iter()
-            .map(|p| self.model.cylinder_of(p.span.start))
-            .collect();
+        self.cyl_scratch.clear();
+        self.cyl_scratch.extend(
+            self.queue
+                .iter()
+                .map(|p| self.model.cylinder_of(p.span.start)),
+        );
         let head = self.model.head_cylinder();
         let idx = self
             .discipline
-            .select(&self.queue, &cylinders, head)
+            .select(&self.queue, &self.cyl_scratch, head)
             .expect("non-empty queue must select a request");
         let request = self.queue.swap_remove(idx);
         // A request already in the queue when an outage begins is not

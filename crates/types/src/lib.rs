@@ -8,9 +8,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
+pub mod hash;
+pub mod posset;
 pub mod rng;
 mod time;
 
+pub use bitset::BitSet;
+pub use hash::{FastBuildHasher, FastMap};
+pub use posset::PosSet;
 pub use time::Nanos;
 
 /// Size of one data block in bytes (the paper uses 8 KB file blocks).

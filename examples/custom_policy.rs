@@ -49,15 +49,20 @@ impl Policy for ReadaheadN {
         // an eviction is available.
         for step in 1..=self.depth {
             let candidate = BlockId(current.raw() + step);
-            if ctx.cache.resident(candidate) || ctx.cache.inflight(candidate) {
+            // Only blocks the trace ever references have cache frames;
+            // readahead of anything else would be pure waste anyway.
+            let Some(idx) = ctx.oracle.index_of(candidate) else {
+                continue;
+            };
+            if ctx.cache.resident(idx) || ctx.cache.inflight(idx) {
                 continue;
             }
             if ctx.cache.has_free_frame() {
-                ctx.issue_fetch(candidate, None);
+                ctx.issue_fetch_idx(idx, None);
             } else {
                 let cursor = ctx.cursor;
                 match ctx.cache.furthest_resident(cursor, ctx.oracle) {
-                    Some((victim, _)) => ctx.issue_fetch(candidate, Some(victim)),
+                    Some((victim, _)) => ctx.issue_fetch_idx(idx, Some(victim)),
                     None => break,
                 }
             }
