@@ -45,12 +45,33 @@ cargo run --release -q -p parcache-bench --bin parcache-run -- \
 
 echo "== faulted sweep is byte-identical across thread counts =="
 tmp1=$(mktemp); tmp2=$(mktemp)
-trap 'rm -f "$tmp1" "$tmp2"' EXIT
+trap 'rm -f "$tmp1" "$tmp2" "$tmp2.folded"' EXIT
 cargo run --release -q -p parcache-bench --bin parcache-run -- \
     --sweep synth all 1,2 --threads 1 --faults "$FAULTS" > "$tmp1"
 cargo run --release -q -p parcache-bench --bin parcache-run -- \
     --sweep synth all 1,2 --threads 2 --faults "$FAULTS" > "$tmp2"
 diff "$tmp1" "$tmp2"
+
+echo "== explain sweep smoke (per-cause stall columns, audited) =="
+cargo run --release -q -p parcache-bench --bin parcache-run -- \
+    --sweep synth all 1,2 --explain --audit --threads 2 > "$tmp1" 2> /dev/null
+grep -q 'stall_late_prefetch_s,stall_no_prefetch_s,stall_congestion_s' "$tmp1"
+
+echo "== profile smoke (folded stacks parse; span self-times sum <= wall) =="
+cargo run --release -q -p parcache-bench --bin parcache-run -- \
+    --sweep synth all 1,2 --threads 2 --profile "$tmp2" > /dev/null 2>&1
+# Every folded line is "path sample_count"; self times must sum to no
+# more than the profiled wall clock. Anchor on the document start: each
+# worker object carries its own (smaller, per-thread) "wall_us" key.
+wall=$(sed -n 's/^{"wall_us":\([0-9]*\).*/\1/p' "$tmp2")
+awk -v wall="$wall" '
+    NF != 2 || $2 !~ /^[0-9]+$/ { print "bad folded line: " $0; bad = 1 }
+    { sum += $2 }
+    END {
+        if (bad) exit 1
+        if (sum > wall) { print "span sum " sum " > wall " wall; exit 1 }
+    }' "$tmp2.folded"
+grep -q '"workers":\[{"items":' "$tmp2"
 
 echo "== golden appendix-A sweep digest =="
 cargo test --release -q -p parcache-bench --test golden -- --ignored

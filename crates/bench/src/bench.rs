@@ -26,6 +26,7 @@
 //! neighbours, and debug-adjacent codegen differences produce swings in
 //! the 10–20% range; a genuine hot-path regression shows up far larger.
 
+use crate::prof::{detect_parallelism, EffectiveParallelism};
 use crate::sweep::{self, SweepSpec};
 use crate::Algo;
 use parcache_core::engine::simulate_probed;
@@ -81,9 +82,15 @@ impl Stage {
 /// Results of the sweep bench.
 #[derive(Debug)]
 pub struct SweepBench {
+    /// What the environment can actually run in parallel. Recorded with
+    /// every bench document so scaling rows are interpretable: on an
+    /// effectively single-core container multi-thread numbers measure
+    /// timeslicing, not scaling.
+    pub parallelism: EffectiveParallelism,
     /// The smoke subset (always present; the CI gate keys off this).
     pub smoke: Stage,
-    /// Full appendix-A grid per thread count (empty in smoke-only mode).
+    /// Full appendix-A grid per thread count (empty in smoke-only mode;
+    /// only the single-thread row when scaling is not measurable here).
     pub scaling: Vec<(usize, Stage)>,
 }
 
@@ -121,6 +128,7 @@ pub fn smoke_spec(threads: usize) -> SweepSpec {
 /// Runs the sweep bench. With `full`, also replays the complete
 /// appendix-A grid at every [`SCALING_THREADS`] count.
 pub fn run_sweep_bench(full: bool, alloc: AllocReader<'_>) -> SweepBench {
+    let parallelism = detect_parallelism();
     let faults = FaultPlan::default();
     let spec = smoke_spec(1);
     let cells = spec.cells();
@@ -136,7 +144,16 @@ pub fn run_sweep_bench(full: bool, alloc: AllocReader<'_>) -> SweepBench {
 
     let mut scaling = Vec::new();
     if full {
-        for &threads in &SCALING_THREADS {
+        // On an effectively single-core machine the multi-thread rows
+        // would record timeslicing overhead as negative scaling; run
+        // only the single-thread row and let the recorded parallelism
+        // say why.
+        let thread_counts: &[usize] = if parallelism.scaling_measurable() {
+            &SCALING_THREADS
+        } else {
+            &SCALING_THREADS[..1]
+        };
+        for &threads in thread_counts {
             let spec = SweepSpec::appendix_a(threads);
             let cells = spec.cells();
             let n = cells.len() as u64;
@@ -153,7 +170,11 @@ pub fn run_sweep_bench(full: bool, alloc: AllocReader<'_>) -> SweepBench {
             ));
         }
     }
-    SweepBench { smoke, scaling }
+    SweepBench {
+        parallelism,
+        smoke,
+        scaling,
+    }
 }
 
 /// Event-counting probe: one `u64` bump per simulation event.
@@ -213,9 +234,13 @@ pub fn sweep_bench_json(b: &SweepBench) -> String {
         .iter()
         .map(|(threads, s)| format!(r#"{{"threads":{threads},{}"#, &stage_json(s, "cells")[1..]))
         .collect();
+    // `parallelism` sits before `smoke`: `baseline_smoke_cells_per_sec`
+    // is positional (split on the `"smoke"` key), so new fields must not
+    // appear after it.
     format!(
         "{{\"schema\":\"parcache-bench-sweep-v1\",\"grid\":\"appendix-a\",\
-         \"smoke_traces\":[{}],\"smoke\":{},\"scaling\":[{}]}}",
+         \"parallelism\":{},\"smoke_traces\":[{}],\"smoke\":{},\"scaling\":[{}]}}",
+        b.parallelism.to_json(),
         SMOKE_TRACES
             .iter()
             .map(|t| format!("\"{}\"", json_escape(t)))
@@ -327,6 +352,11 @@ mod tests {
     #[test]
     fn json_round_trips_cells_per_sec() {
         let b = SweepBench {
+            parallelism: EffectiveParallelism {
+                available: 4,
+                cgroup_quota: Some(1.5),
+                effective: 1.5,
+            },
             smoke: Stage {
                 units: 42,
                 wall_secs: 0.5,
@@ -342,15 +372,20 @@ mod tests {
             )],
         };
         let json = sweep_bench_json(&b);
+        // The positional smoke parser must survive the parallelism
+        // object that now precedes the "smoke" key.
         assert_eq!(baseline_smoke_cells_per_sec(&json), Some(84.0));
         assert!(json.contains("\"threads\":1"));
         assert!(json.contains("\"allocations\":1234"));
         assert!(json.contains("\"allocations\":null"));
+        assert!(json.contains("\"parallelism\":{\"available\":4"), "{json}");
+        assert!(json.contains("\"scaling_measurable\":false"), "{json}");
     }
 
     #[test]
     fn regression_gate_triggers_only_past_tolerance() {
         let base = SweepBench {
+            parallelism: detect_parallelism(),
             smoke: Stage {
                 units: 100,
                 wall_secs: 1.0,

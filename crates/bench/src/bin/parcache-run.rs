@@ -21,6 +21,9 @@
 //! parcache-run glimpse forestall 4 --audit           # audited single runs
 //! parcache-run glimpse forestall 4 --faults outage:0:100:400
 //! parcache-run --sweep --faults flaky:*:0.01,seed:7  # degraded-array sweep
+//! parcache-run glimpse all 4 --explain               # stall-by-cause table
+//! parcache-run --sweep --explain                     # CSV with per-cause columns
+//! parcache-run --sweep --profile prof.json           # harness self-profile
 //! ```
 //!
 //! The trace argument is one of the paper's trace names, or a path to a
@@ -69,8 +72,26 @@
 //!   `outage:<disk|*>:<from_ms>:<until_ms>`, and `seed:<u64>` clauses;
 //!   reports and sweep CSV grow fault-accounting fields. Output stays
 //!   byte-identical across `--threads` values.
+//! * `--explain` breaks the stall column down by cause (late prefetch,
+//!   no prefetch, congestion, fault retry, eviction refetch): single
+//!   runs append a per-policy stall-by-cause table, and sweeps emit CSV
+//!   with `stall_<cause>_s` columns plus per-trace tables on stderr.
+//!   The default sweep CSV is untouched — the extra columns exist only
+//!   under this flag. (`--json` output always carries
+//!   `stall_by_cause`, so the flag changes nothing there.)
+//! * `--profile <path>` profiles the harness itself: hierarchical span
+//!   self-times with per-span allocation counts, per-worker busy/idle
+//!   telemetry for sweeps, trace-cache hit/miss counts, and the
+//!   detected effective parallelism, written as one JSON document to
+//!   `path` plus flamegraph-compatible folded stacks to `path.folded`.
+//!   Without the flag the profiling code monomorphizes away entirely
+//!   (the same zero-cost trick as the engine's no-op probe), so default
+//!   runs pay nothing.
 
 use parcache_bench::bench;
+use parcache_bench::prof::{detect_parallelism, NoopProf, Prof, WallProf, WorkerStats};
+use parcache_bench::report::explain_table;
+use parcache_bench::runner::trace_cache_stats;
 use parcache_bench::sweep::{self, SweepAggregate, SweepEntry, SweepSpec};
 use parcache_bench::{breakdown_table, run, trace, Algo, BreakdownRow, DISK_COUNTS};
 use parcache_core::engine::simulate_probed;
@@ -131,11 +152,13 @@ fn alloc_count() -> u64 {
 /// One-screen usage summary, printed alongside argument errors.
 const USAGE: &str = "\
 usage: parcache-run <trace> [policy] [disks] [--json] [--hist] [--audit]
-                    [--events <path>] [--faults <spec>]
+                    [--explain] [--events <path>] [--faults <spec>]
+                    [--profile <path>]
        parcache-run --sweep [traces] [algos] [disks] [--threads N]
-                    [--json] [--hist] [--audit] [--faults <spec>]
-       parcache-run --fuzz <n> [--seed <s>] [--threads N]
-       parcache-run --bench
+                    [--json] [--hist] [--audit] [--explain]
+                    [--faults <spec>] [--profile <path>]
+       parcache-run --fuzz <n> [--seed <s>] [--threads N] [--profile <path>]
+       parcache-run --bench [--profile <path>]
        parcache-run --bench-smoke [--baseline <BENCH_sweep.json>]
 
 traces:  paper trace names (or `all`), or a path to a trace file
@@ -203,6 +226,7 @@ struct Options {
     hist: bool,
     sweep: bool,
     audit: bool,
+    explain: bool,
     fuzz: Option<usize>,
     bench: bool,
     bench_smoke: bool,
@@ -210,6 +234,7 @@ struct Options {
     seed: u64,
     threads: Option<usize>,
     events: Option<String>,
+    profile: Option<String>,
     faults: FaultPlan,
     positional: Vec<String>,
 }
@@ -220,6 +245,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
         hist: false,
         sweep: false,
         audit: false,
+        explain: false,
         fuzz: None,
         bench: false,
         bench_smoke: false,
@@ -227,6 +253,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
         seed: parcache_bench::SEED,
         threads: None,
         events: None,
+        profile: None,
         faults: FaultPlan::default(),
         positional: Vec::new(),
     };
@@ -237,6 +264,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
             "--hist" => opts.hist = true,
             "--sweep" => opts.sweep = true,
             "--audit" => opts.audit = true,
+            "--explain" => opts.explain = true,
             "--fuzz" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n > 0 => opts.fuzz = Some(n),
                 _ => {
@@ -275,6 +303,14 @@ fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
                 Some(p) => opts.events = Some(p),
                 None => return Err(CliError::Usage("--events requires a path".to_string())),
             },
+            "--profile" => match it.next() {
+                Some(p) => opts.profile = Some(p),
+                None => {
+                    return Err(CliError::Usage(
+                        "--profile requires an output path".to_string(),
+                    ))
+                }
+            },
             "--faults" => match it.next() {
                 Some(spec) => {
                     opts.faults = FaultPlan::parse(&spec)
@@ -289,8 +325,9 @@ fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
             f if f.starts_with("--") => {
                 return Err(CliError::Usage(format!(
                     "unknown flag {f}; known flags: --json --hist --sweep --audit \
-                     --fuzz <n> --bench --bench-smoke --baseline <path> \
-                     --seed <s> --threads <n> --events <path> --faults <spec>"
+                     --explain --fuzz <n> --bench --bench-smoke --baseline <path> \
+                     --seed <s> --threads <n> --events <path> --faults <spec> \
+                     --profile <path>"
                 )))
             }
             _ => opts.positional.push(a),
@@ -328,9 +365,22 @@ fn resolve_trace(name: &str) -> Result<Arc<parcache_trace::Trace>, CliError> {
     )))
 }
 
+/// Telemetry gathered along the way that belongs in the `--profile`
+/// document but is produced deep inside a mode's run (per-worker sweep
+/// stats). Stays empty when profiling is off.
+#[derive(Default)]
+struct ProfileExtras {
+    workers: Vec<WorkerStats>,
+}
+
 /// `--sweep` mode: expand the grid, run it on the worker pool, print CSV
 /// or JSON. The output is byte-identical for every thread count.
-fn sweep_main(opts: &Options) -> Result<(), CliError> {
+fn sweep_main<P: Prof>(
+    opts: &Options,
+    prof: &P,
+    extras: &mut ProfileExtras,
+) -> Result<(), CliError> {
+    let _span = prof.span("sweep");
     if opts.events.is_some() {
         return Err(CliError::Usage(
             "--events is not supported with --sweep; run the cell on its own instead".to_string(),
@@ -384,27 +434,67 @@ fn sweep_main(opts: &Options) -> Result<(), CliError> {
         SweepSpec { entries, algos }
     };
 
-    let cells = spec.cells();
+    let cells = {
+        let _span = prof.span("expand");
+        spec.cells()
+    };
     let wall = Instant::now();
+    let cells_span = prof.span("cells");
+    // Profiled runs go through the worker-stats-collecting variants;
+    // the unprofiled path is the exact code it always was. Results are
+    // identical either way — only telemetry differs.
     let (outcomes, audits) = if opts.audit {
-        let (outcomes, audits) =
-            sweep::run_sweep_cells_audited(&cells, threads, opts.hist, &opts.faults);
+        let (outcomes, audits) = if P::ENABLED {
+            let (outcomes, audits, workers) =
+                sweep::run_sweep_cells_audited_profiled(&cells, threads, opts.hist, &opts.faults);
+            extras.workers = workers;
+            (outcomes, audits)
+        } else {
+            sweep::run_sweep_cells_audited(&cells, threads, opts.hist, &opts.faults)
+        };
         (outcomes, Some(audits))
+    } else if P::ENABLED {
+        let (outcomes, workers) =
+            sweep::run_sweep_cells_profiled(&cells, threads, opts.hist, &opts.faults);
+        extras.workers = workers;
+        (outcomes, None)
     } else {
         (
             sweep::run_sweep_cells(&cells, threads, opts.hist, &opts.faults),
             None,
         )
     };
+    drop(cells_span);
     let elapsed = wall.elapsed();
 
+    let _span = prof.span("render");
     if opts.json {
         println!("{}", sweep::sweep_json(&outcomes));
     } else {
-        print!("{}", sweep::sweep_csv(&outcomes));
+        let csv = if opts.explain {
+            sweep::sweep_csv_explain(&outcomes)
+        } else {
+            sweep::sweep_csv(&outcomes)
+        };
+        print!("{csv}");
         if let Some(agg) = SweepAggregate::fold(&outcomes) {
             println!();
             print!("{}", agg.render_ascii());
+        }
+    }
+    if opts.explain && !opts.json {
+        // Per-trace stall-by-cause tables on stderr, so stdout stays
+        // machine-readable CSV.
+        let mut tables: Vec<(String, Vec<BreakdownRow>)> = Vec::new();
+        for o in &outcomes {
+            let row = BreakdownRow::new(o.report.clone());
+            match tables.iter_mut().find(|(t, _)| *t == o.report.trace) {
+                Some((_, rows)) => rows.push(row),
+                None => tables.push((o.report.trace.clone(), vec![row])),
+            }
+        }
+        for (trace_name, rows) in &tables {
+            eprint!("{}", explain_table(trace_name, rows));
         }
     }
     eprintln!(
@@ -441,7 +531,8 @@ fn sweep_main(opts: &Options) -> Result<(), CliError> {
 
 /// `--fuzz` mode: run the differential fuzzer and exit nonzero on any
 /// audit violation or audited/unaudited divergence.
-fn fuzz_main(opts: &Options, cases: usize) {
+fn fuzz_main<P: Prof>(opts: &Options, cases: usize, prof: &P) {
+    let _span = prof.span("fuzz");
     let threads = opts.threads.unwrap_or_else(sweep::default_threads);
     let wall = Instant::now();
     let report = parcache_bench::fuzz(opts.seed, cases, threads);
@@ -465,14 +556,17 @@ fn fuzz_main(opts: &Options, cases: usize) {
 /// cells/sec regression gate. Full mode additionally replays the
 /// complete appendix-A grid at 1/2/4 threads and the engine stress
 /// trace, writing `BENCH_sweep.json` and `BENCH_engine.json`.
-fn bench_main(opts: &Options) -> Result<(), CliError> {
+fn bench_main<P: Prof>(opts: &Options, prof: &P) -> Result<(), CliError> {
+    let _span = prof.span("bench");
     let alloc: &dyn Fn() -> u64 = &alloc_count;
     let full = opts.bench;
     eprintln!(
         "benchmarking: smoke sweep ({} traces)...",
         bench::SMOKE_TRACES.len()
     );
+    let sweep_span = prof.span("sweep-bench");
     let sweep_bench = bench::run_sweep_bench(full, Some(alloc));
+    drop(sweep_span);
     eprintln!(
         "smoke: {} cells in {:.2}s ({:.1} cells/sec)",
         sweep_bench.smoke.units,
@@ -485,6 +579,18 @@ fn bench_main(opts: &Options) -> Result<(), CliError> {
             stage.units,
             stage.wall_secs,
             stage.per_sec()
+        );
+    }
+    if full && !sweep_bench.parallelism.scaling_measurable() {
+        eprintln!(
+            "note: effective parallelism {:.2} (available {}, cgroup quota {}) — \
+             scaling not measurable; full grid ran single-threaded only",
+            sweep_bench.parallelism.effective,
+            sweep_bench.parallelism.available,
+            sweep_bench
+                .parallelism
+                .cgroup_quota
+                .map_or("unbounded".to_string(), |q| format!("{q:.2}")),
         );
     }
 
@@ -511,7 +617,9 @@ fn bench_main(opts: &Options) -> Result<(), CliError> {
         bench::STRESS_LOOP_BLOCKS,
         bench::STRESS_DISKS
     );
+    let engine_span = prof.span("engine-bench");
     let engine_bench = bench::run_engine_bench(Some(alloc));
+    drop(engine_span);
     for (policy, stage) in &engine_bench.runs {
         eprintln!(
             "{policy}: {} events in {:.2}s ({:.0} events/sec)",
@@ -572,16 +680,63 @@ fn main() {
 
 fn real_main() -> Result<(), CliError> {
     let opts = parse_args(std::env::args().skip(1).collect())?;
+    match opts.profile.clone() {
+        // No --profile: monomorphize every mode with the no-op profiler,
+        // compiling the instrumentation out entirely.
+        None => dispatch(&opts, &NoopProf, &mut ProfileExtras::default()),
+        Some(path) => {
+            let prof = WallProf::with_alloc_sampler(alloc_count);
+            let mut extras = ProfileExtras::default();
+            let result = dispatch(&opts, &prof, &mut extras);
+            write_profile(&path, &prof, &extras)?;
+            result
+        }
+    }
+}
+
+/// Routes the parsed command line to its mode, generic over the
+/// profiler so the default path pays nothing for instrumentation.
+fn dispatch<P: Prof>(opts: &Options, prof: &P, extras: &mut ProfileExtras) -> Result<(), CliError> {
     if let Some(cases) = opts.fuzz {
-        fuzz_main(&opts, cases);
+        fuzz_main(opts, cases, prof);
         return Ok(());
     }
     if opts.bench || opts.bench_smoke {
-        return bench_main(&opts);
+        return bench_main(opts, prof);
     }
     if opts.sweep {
-        return sweep_main(&opts);
+        return sweep_main(opts, prof, extras);
     }
+    single_main(opts, prof)
+}
+
+/// Writes the `--profile` outputs: the JSON document to `path` and the
+/// flamegraph-compatible folded stacks to `path.folded`.
+fn write_profile(path: &str, prof: &WallProf, extras: &ProfileExtras) -> Result<(), CliError> {
+    let folded = prof.folded();
+    let workers: Vec<String> = extras.workers.iter().map(|w| w.to_json()).collect();
+    let (hits, misses) = trace_cache_stats();
+    let json = format!(
+        r#"{{"wall_us":{},"parallelism":{},"trace_cache":{{"hits":{},"misses":{}}},"workers":[{}],"spans":{}}}"#,
+        prof.wall_us(),
+        detect_parallelism().to_json(),
+        hits,
+        misses,
+        workers.join(","),
+        prof.spans_json(),
+    );
+    std::fs::write(path, json + "\n")
+        .map_err(|e| CliError::Io(format!("failed to write {path}: {e}")))?;
+    let folded_path = format!("{path}.folded");
+    std::fs::write(&folded_path, folded)
+        .map_err(|e| CliError::Io(format!("failed to write {folded_path}: {e}")))?;
+    eprintln!("profile: wrote {path} and {folded_path}");
+    Ok(())
+}
+
+/// Single-run mode: one trace, one or more policies and array sizes.
+fn single_main<P: Prof>(opts: &Options, prof: &P) -> Result<(), CliError> {
+    let _span = prof.span("single");
     let trace_name = opts
         .positional
         .first()
@@ -602,7 +757,9 @@ fn real_main() -> Result<(), CliError> {
     }
 
     // A path loads a user trace file; otherwise use the paper's traces.
+    let trace_span = prof.span("trace");
     let t = resolve_trace(trace_name)?;
+    drop(trace_span);
     let stats = t.stats();
     if !opts.json {
         println!(
@@ -626,6 +783,7 @@ fn real_main() -> Result<(), CliError> {
     let mut results: Vec<(Report, Option<RunMetrics>)> = Vec::new();
     let mut audit_failures: Vec<String> = Vec::new();
     let wall = Instant::now();
+    let runs_span = prof.span("runs");
     for &d in &disks {
         let cfg = SimConfig::for_trace(d, &t);
         // An empty --faults plan leaves the config untouched, keeping
@@ -671,6 +829,7 @@ fn real_main() -> Result<(), CliError> {
             results.push((report, metrics));
         }
     }
+    drop(runs_span);
     let elapsed = wall.elapsed();
 
     if let Some(w) = event_log.as_mut() {
@@ -679,6 +838,7 @@ fn real_main() -> Result<(), CliError> {
         }
     }
 
+    let _render = prof.span("render");
     if opts.json {
         let runs: Vec<String> = results
             .iter()
@@ -705,6 +865,9 @@ fn real_main() -> Result<(), CliError> {
             .map(|(r, _)| BreakdownRow::new(r.clone()))
             .collect();
         println!("{}", breakdown_table(trace_name, &rows));
+        if opts.explain {
+            println!("{}", explain_table(trace_name, &rows));
+        }
         if opts.hist {
             for (report, metrics) in &results {
                 if let Some(m) = metrics {

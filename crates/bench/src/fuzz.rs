@@ -219,6 +219,9 @@ fn fingerprint_report(mut h: u64, r: &Report) -> u64 {
     h = mix(h, r.compute.as_nanos());
     h = mix(h, r.driver.as_nanos());
     h = mix(h, r.stall.as_nanos());
+    for &cause in &parcache_core::probe::StallCause::ALL {
+        h = mix(h, r.stall_by_cause.get(cause).as_nanos());
+    }
     h = mix(h, r.fetches);
     h = mix(h, r.writes);
     h = mix(h, r.avg_fetch_time.as_nanos());
@@ -258,6 +261,16 @@ fn run_case(case: &FuzzCase) -> (Vec<FuzzFailure>, u64) {
             details.push(format!(
                 "audited report diverged: elapsed {} vs {}, fetches {} vs {}",
                 audited.elapsed, plain.elapsed, audited.fetches, plain.fetches
+            ));
+        }
+        // Stall provenance conservation, checked directly on the plain
+        // (unprobed) report too: the audit enforces it against the event
+        // stream, but the property must hold with no probe attached.
+        let attributed = plain.stall_by_cause.total();
+        if attributed != plain.stall {
+            details.push(format!(
+                "per-cause stall {attributed} != report stall {} on the unprobed run",
+                plain.stall
             ));
         }
         if !details.is_empty() {

@@ -63,6 +63,55 @@ pub fn breakdown_table(title: &str, rows: &[BreakdownRow]) -> String {
     out
 }
 
+/// Formats rows as a stall-provenance table (`--explain`): per disk
+/// count and policy, the total stall and its five per-cause components,
+/// each with its share of the stall. This is the paper's why-narrative
+/// in one table — e.g. forestall beating aggressive shows up as stall
+/// moving out of `no-prefetch` without piling into `congestion`.
+pub fn explain_table(title: &str, rows: &[BreakdownRow]) -> String {
+    use parcache_core::probe::StallCause;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title}: stall by cause ==");
+    let _ = writeln!(
+        out,
+        "{:<6} {:<20} {:>10} {:>14} {:>14} {:>14} {:>14} {:>16}",
+        "disks", "policy", "stall(s)", "late-pf", "no-pf", "congestion", "retry", "evict-refetch"
+    );
+    for row in rows {
+        let r = &row.report;
+        let mut cols = String::new();
+        for &cause in &StallCause::ALL {
+            let t = r.stall_by_cause.get(cause);
+            let share = if r.stall == Nanos::ZERO {
+                0.0
+            } else {
+                t.as_nanos() as f64 / r.stall.as_nanos() as f64 * 100.0
+            };
+            let width = if cause == StallCause::EvictionRefetch {
+                16
+            } else {
+                14
+            };
+            let _ = write!(
+                cols,
+                " {:>w$}",
+                format!("{:.2}s {:>3.0}%", t.as_secs_f64(), share),
+                w = width
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<6} {:<20} {:>10.3}{}",
+            row.disks,
+            row.policy,
+            r.stall.as_secs_f64(),
+            cols,
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +135,21 @@ mod tests {
         assert!(s.contains("== test =="));
         assert!(s.contains("demand"));
         assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    fn explain_table_shares_sum_to_the_stall() {
+        // A single disk under demand fetching stalls on every miss, and
+        // demand never prefetches: the whole stall is no-prefetch (first
+        // touches) plus eviction-refetch (re-misses after eviction).
+        let t = parcache_trace::synth::synth_trace(2, 80, 3);
+        let cfg = SimConfig::for_trace(1, &t);
+        let r = parcache_core::simulate(&t, PolicyKind::Demand, &cfg);
+        assert!(r.stall > Nanos::ZERO);
+        assert_eq!(r.stall_by_cause.total(), r.stall);
+        let s = explain_table("test", &[BreakdownRow::new(r)]);
+        assert!(s.contains("stall by cause"), "{s}");
+        assert!(s.contains("no-pf"), "{s}");
+        assert!(s.contains("demand"), "{s}");
     }
 }

@@ -6,7 +6,23 @@ use parcache_core::policy::PolicyKind;
 use parcache_core::SimConfig;
 use parcache_trace::Trace;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide trace-cache hit count (lookups served an already
+/// generated trace). Profiling telemetry only — never consulted by the
+/// harness's control flow.
+static TRACE_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide trace-cache miss count (lookups that generated).
+static TRACE_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// `(hits, misses)` of the process-wide trace cache so far.
+pub fn trace_cache_stats() -> (u64, u64) {
+    (
+        TRACE_CACHE_HITS.load(Ordering::Relaxed),
+        TRACE_CACHE_MISSES.load(Ordering::Relaxed),
+    )
+}
 
 /// The seed used for every published experiment, so all tables and
 /// figures run against identical traces.
@@ -36,12 +52,20 @@ pub fn trace(name: &str) -> Arc<Trace> {
         let mut map = cache.lock().expect("trace cache poisoned");
         Arc::clone(map.entry(name.to_string()).or_default())
     };
-    Arc::clone(slot.get_or_init(|| {
+    let mut generated = false;
+    let t = Arc::clone(slot.get_or_init(|| {
+        generated = true;
         Arc::new(
             parcache_trace::trace_by_name(name, SEED)
                 .unwrap_or_else(|| panic!("unknown trace {name}")),
         )
-    }))
+    }));
+    if generated {
+        TRACE_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        TRACE_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+    }
+    t
 }
 
 /// Runs one simulation.

@@ -15,6 +15,7 @@
 //! std-only, consistent with the workspace's hermetic-build rule.
 
 use crate::experiments::Algo;
+use crate::prof::WorkerStats;
 use crate::runner::{best_reverse_search, trace};
 use parcache_core::audit::{simulate_audited, AuditOutcome, AuditViolation};
 use parcache_core::engine::{simulate_probed, Report};
@@ -83,6 +84,76 @@ where
     // scheduler's interleaving.
     collected.sort_by_key(|&(i, _)| i);
     collected.into_iter().map(|(_, t)| t).collect()
+}
+
+/// [`run_indexed`] with per-worker wall-clock telemetry: how many items
+/// each worker ran, how long it was busy inside them, and its total
+/// thread lifetime (idle = wall − busy covers queue waits and the tail
+/// after the queue drains). Results are identical to [`run_indexed`];
+/// only the second return value is new. The serial path reports one
+/// worker.
+pub fn run_indexed_profiled<T, F>(n: usize, threads: usize, run: F) -> (Vec<T>, Vec<WorkerStats>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    use std::time::Instant;
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        let from = Instant::now();
+        let mut busy_us = 0u64;
+        let out: Vec<T> = (0..n)
+            .map(|i| {
+                let t0 = Instant::now();
+                let r = run(i);
+                busy_us += t0.elapsed().as_micros() as u64;
+                r
+            })
+            .collect();
+        let stats = WorkerStats {
+            items: n as u64,
+            busy_us,
+            wall_us: from.elapsed().as_micros() as u64,
+        };
+        return (out, vec![stats]);
+    }
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, T)> = Vec::with_capacity(n);
+    let mut workers: Vec<WorkerStats> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let from = Instant::now();
+                    let mut local = Vec::new();
+                    let mut stats = WorkerStats::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        local.push((i, run(i)));
+                        stats.busy_us += t0.elapsed().as_micros() as u64;
+                        stats.items += 1;
+                    }
+                    stats.wall_us = from.elapsed().as_micros() as u64;
+                    (local, stats)
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok((part, stats)) => {
+                    collected.extend(part);
+                    workers.push(stats);
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    collected.sort_by_key(|&(i, _)| i);
+    (collected.into_iter().map(|(_, t)| t).collect(), workers)
 }
 
 /// One trace of a sweep, with the array sizes to run it at.
@@ -320,6 +391,32 @@ pub fn run_sweep_cells_audited(
     pairs.into_iter().unzip()
 }
 
+/// [`run_sweep_cells`] with per-worker telemetry (for `--profile`).
+pub fn run_sweep_cells_profiled(
+    cells: &[SweepCell],
+    threads: usize,
+    probed: bool,
+    faults: &FaultPlan,
+) -> (Vec<CellOutcome>, Vec<WorkerStats>) {
+    run_indexed_profiled(cells.len(), threads, |i| {
+        run_cell(&cells[i], probed, faults)
+    })
+}
+
+/// [`run_sweep_cells_audited`] with per-worker telemetry.
+pub fn run_sweep_cells_audited_profiled(
+    cells: &[SweepCell],
+    threads: usize,
+    probed: bool,
+    faults: &FaultPlan,
+) -> (Vec<CellOutcome>, Vec<AuditOutcome>, Vec<WorkerStats>) {
+    let (pairs, workers) = run_indexed_profiled(cells.len(), threads, |i| {
+        run_cell_audited(&cells[i], probed, faults)
+    });
+    let (outcomes, audits) = pairs.into_iter().unzip();
+    (outcomes, audits, workers)
+}
+
 /// [`run_sweep`] with every cell audited.
 pub fn run_sweep_audited(
     spec: &SweepSpec,
@@ -421,6 +518,21 @@ pub fn sweep_csv(outcomes: &[CellOutcome]) -> String {
     out
 }
 
+/// [`sweep_csv`] with the five per-cause stall columns appended to every
+/// row (`--explain`). A separate function, not a flag on [`sweep_csv`]:
+/// the default document's bytes are golden-pinned and must not change.
+pub fn sweep_csv_explain(outcomes: &[CellOutcome]) -> String {
+    let faulted = outcomes.iter().any(|o| o.report.fault.is_some());
+    let mut out = String::with_capacity(outcomes.len() * 128 + 160);
+    out.push_str(&Report::csv_header_explain(faulted));
+    out.push('\n');
+    for o in outcomes {
+        out.push_str(&o.report.to_csv_row_explain());
+        out.push('\n');
+    }
+    out
+}
+
 /// The outcomes as one JSON document: `{"cells":[...]}`, each cell's
 /// report (and metrics, when probed) in cell order, plus the aggregate
 /// over probed cells when present.
@@ -480,6 +592,49 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn run_indexed_profiled_matches_run_indexed() {
+        for threads in [1, 3] {
+            let (out, workers) = run_indexed_profiled(23, threads, |i| i * 3);
+            assert_eq!(out, (0..23).map(|i| i * 3).collect::<Vec<_>>());
+            assert_eq!(workers.len(), threads);
+            assert_eq!(workers.iter().map(|w| w.items).sum::<u64>(), 23);
+            for w in &workers {
+                assert!(w.wall_us >= w.busy_us, "{w:?}");
+            }
+        }
+        let (out, workers) = run_indexed_profiled(0, 4, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(workers.len(), 1);
+    }
+
+    #[test]
+    fn explain_csv_appends_cause_columns_without_touching_default() {
+        let t = Arc::new(parcache_trace::synth::synth_trace(2, 60, 5));
+        let spec = SweepSpec {
+            entries: vec![SweepEntry {
+                trace: t,
+                disks: vec![1],
+            }],
+            algos: vec![Algo::Demand, Algo::Aggressive],
+        };
+        let outcomes = run_sweep(&spec, 1);
+        let plain = sweep_csv(&outcomes);
+        let explain = sweep_csv_explain(&outcomes);
+        let plain_cols = plain.lines().next().unwrap().split(',').count();
+        for (p, e) in plain.lines().zip(explain.lines()) {
+            // Every explain row is its default row plus five columns —
+            // the default bytes are a strict prefix.
+            assert!(e.starts_with(p), "{e}\nvs\n{p}");
+            assert_eq!(e.split(',').count(), plain_cols + 5);
+        }
+        assert!(explain
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("stall_late_prefetch_s,stall_no_prefetch_s,stall_congestion_s,stall_retry_s,stall_eviction_refetch_s"));
     }
 
     #[test]

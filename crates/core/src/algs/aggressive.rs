@@ -211,6 +211,22 @@ mod tests {
     }
 
     #[test]
+    fn stall_is_charged_to_late_prefetches() {
+        // Pinned stall provenance: on an I/O-bound sequential scan over
+        // one disk, aggressive has already issued every block's fetch by
+        // the time the app catches up, and FCFS serves blocks in
+        // reference order — so each stall finds its block's fetch on the
+        // platter. The prefetches were late, never absent.
+        use crate::probe::StallCause;
+        let blocks: Vec<u64> = (0..30).collect();
+        let t = trace_of(&blocks, 8);
+        let r = simulate_with(&t, &mut Aggressive::new(4), &cfg(1, 8, 4, 4));
+        assert!(r.stall > Nanos::ZERO);
+        assert_eq!(r.stall_by_cause.get(StallCause::LatePrefetch), r.stall);
+        assert_eq!(r.stall_by_cause.total(), r.stall);
+    }
+
+    #[test]
     #[should_panic(expected = "positive")]
     fn zero_batch_rejected() {
         Aggressive::new(0);

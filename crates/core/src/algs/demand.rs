@@ -77,4 +77,33 @@ mod tests {
         let r = simulate_with(&t, &mut Demand, &cfg(3));
         assert_eq!(r.fetches, 2);
     }
+
+    #[test]
+    fn stall_splits_into_first_touch_and_eviction_refetch() {
+        // Pinned stall provenance for the no-prefetch policy. Cache of 1
+        // over 1 2 1: the first two misses are first touches (no fetch
+        // was ever issued for those blocks — `no_prefetch`), while the
+        // re-miss of 1 exists only because fetching 2 evicted it
+        // (`eviction_refetch`). Each miss stalls the full 2ms fetch.
+        use crate::probe::StallCause;
+        let t = trace_of(&[1, 2, 1]);
+        let r = simulate_with(&t, &mut Demand, &cfg(1));
+        assert_eq!(r.stall, Nanos::from_millis(6));
+        assert_eq!(
+            r.stall_by_cause.get(StallCause::NoPrefetch),
+            Nanos::from_millis(4)
+        );
+        assert_eq!(
+            r.stall_by_cause.get(StallCause::EvictionRefetch),
+            Nanos::from_millis(2)
+        );
+        // Demand never issues early fetches, so no stall can be merely
+        // "late": the in-flight causes must stay empty.
+        assert_eq!(r.stall_by_cause.get(StallCause::LatePrefetch), Nanos::ZERO);
+        assert_eq!(
+            r.stall_by_cause.get(StallCause::DiskCongestion),
+            Nanos::ZERO
+        );
+        assert_eq!(r.stall_by_cause.total(), r.stall);
+    }
 }

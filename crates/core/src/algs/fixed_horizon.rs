@@ -172,6 +172,30 @@ mod tests {
     }
 
     #[test]
+    fn degraded_drive_stalls_are_congestion_not_late_prefetch() {
+        // Pinned stall provenance: a fail-slow window covering the whole
+        // run degrades the only drive. Stalls still begin with the
+        // block's fetch in flight, but a degraded drive is contention by
+        // the provenance rules (the prefetch was issued in time; the
+        // drive could not keep up), so the stall charges to
+        // `congestion`, not `late_prefetch`. Fail-slow injects no media
+        // errors, so nothing can classify as a fault retry.
+        use crate::probe::StallCause;
+        use parcache_disk::FaultPlan;
+        let blocks: Vec<u64> = (0..20).collect();
+        let t = trace_of(&blocks, 8);
+        let c = cfg(1, 8, 2, 4)
+            .with_faults(FaultPlan::parse("slow:0:0:10000:3").expect("valid fault plan"));
+        let mut p = FixedHorizon::new(c.horizon);
+        let r = simulate_with(&t, &mut p, &c);
+        assert!(r.stall > Nanos::ZERO);
+        assert!(r.stall_by_cause.get(StallCause::DiskCongestion) > Nanos::ZERO);
+        assert_eq!(r.stall_by_cause.get(StallCause::LatePrefetch), Nanos::ZERO);
+        assert_eq!(r.stall_by_cause.get(StallCause::FaultRetry), Nanos::ZERO);
+        assert_eq!(r.stall_by_cause.total(), r.stall);
+    }
+
+    #[test]
     #[should_panic(expected = "positive")]
     fn zero_horizon_rejected() {
         FixedHorizon::new(0);

@@ -225,4 +225,25 @@ mod tests {
         assert_eq!(r.elapsed, r.compute + r.driver + r.stall);
         assert!(r.fetches >= 10);
     }
+
+    #[test]
+    fn outage_stalls_are_charged_to_fault_retries() {
+        // Pinned stall provenance: a hard outage covering the start of
+        // the run rejects every early fetch, so the driver retries with
+        // backoff while the app stalls on the first blocks. A stall that
+        // sees a fault on its block (or begins with a retry pending)
+        // charges to `retry`, taking precedence over the in-flight and
+        // demand-miss causes.
+        use crate::probe::StallCause;
+        use parcache_disk::FaultPlan;
+        let blocks: Vec<u64> = (0..20).collect();
+        let t = trace_of(&blocks, 1, 8);
+        let c =
+            cfg(1, 8, 2).with_faults(FaultPlan::parse("outage:0:0:50").expect("valid fault plan"));
+        let mut p = Forestall::new(&c);
+        let r = simulate_with(&t, &mut p, &c);
+        assert!(r.stall > Nanos::ZERO);
+        assert!(r.stall_by_cause.get(StallCause::FaultRetry) > Nanos::ZERO);
+        assert_eq!(r.stall_by_cause.total(), r.stall);
+    }
 }

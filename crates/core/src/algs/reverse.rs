@@ -683,4 +683,22 @@ mod tests {
         let p = ReverseAggressive::new(&t, &c);
         assert!(p.schedule().is_empty());
     }
+
+    #[test]
+    fn stall_is_charged_to_late_prefetches() {
+        // Pinned stall provenance: reverse aggressive's forward replay
+        // issues every block's fetch from its precomputed schedule, and
+        // on an I/O-bound single-disk scan the app only ever catches up
+        // to a fetch already on the platter. All stall is a prefetch
+        // that was merely late — none of it a missing or evicted fetch.
+        use crate::probe::StallCause;
+        let blocks: Vec<u64> = (0..30).collect();
+        let t = trace_of(&blocks, 8);
+        let c = cfg(1, 8, 4);
+        let mut p = ReverseAggressive::new(&t, &c);
+        let r = simulate_with(&t, &mut p, &c);
+        assert!(r.stall > Nanos::ZERO);
+        assert_eq!(r.stall_by_cause.get(StallCause::LatePrefetch), r.stall);
+        assert_eq!(r.stall_by_cause.total(), r.stall);
+    }
 }

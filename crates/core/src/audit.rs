@@ -18,7 +18,7 @@
 use crate::config::{DiskModelKind, SimConfig};
 use crate::engine::Report;
 use crate::policy::PolicyKind;
-use crate::probe::{Event, FaultCause, Probe};
+use crate::probe::{Event, FaultCause, Probe, StallCause};
 use crate::theory::uniform_elapsed_lower_bound;
 use parcache_trace::Trace;
 use parcache_types::{BlockId, Nanos};
@@ -106,6 +106,10 @@ pub struct AuditProbe {
     stalls_begun: u64,
     stalls_ended: u64,
     total_stall_window: Nanos,
+    /// Charged stall folded per cause from [`Event::StallEnd`], indexed
+    /// by [`StallCause::index`]; reconciled against the report's
+    /// breakdown and its `stall` total at finish.
+    stall_charged: [Nanos; 5],
     fetches_issued: u64,
     writes_issued: u64,
     reads_completed: u64,
@@ -138,6 +142,7 @@ impl AuditProbe {
             stalls_begun: 0,
             stalls_ended: 0,
             total_stall_window: Nanos::ZERO,
+            stall_charged: [Nanos::ZERO; 5],
             fetches_issued: 0,
             writes_issued: 0,
             reads_completed: 0,
@@ -265,6 +270,39 @@ impl AuditProbe {
                     report.stall, self.total_stall_window
                 ),
             );
+        }
+        // Stall provenance conservation: the per-cause charges folded
+        // from the event stream sum to the reported stall exactly — no
+        // stall nanosecond unattributed, none double-counted — and match
+        // the report's own breakdown cause for cause.
+        let charged_sum = self
+            .stall_charged
+            .iter()
+            .try_fold(Nanos::ZERO, |acc, &c| acc.checked_add(c));
+        match charged_sum {
+            Some(sum) if sum == report.stall => {}
+            sum => self.violate(
+                t,
+                "stall-attribution",
+                format!(
+                    "per-cause stall charges sum to {sum:?}, report says stall {}",
+                    report.stall
+                ),
+            ),
+        }
+        for &cause in &StallCause::ALL {
+            let observed = self.stall_charged[cause.index()];
+            let reported = report.stall_by_cause.get(cause);
+            if observed != reported {
+                self.violate(
+                    t,
+                    "stall-attribution",
+                    format!(
+                        "event stream charged {observed} to {}, report says {reported}",
+                        cause.name()
+                    ),
+                );
+            }
         }
 
         if report.fetches != self.fetches_issued {
@@ -709,8 +747,28 @@ impl Probe for AuditProbe {
                 }
                 self.stalled = Some((block, now));
             }
-            Event::StallEnd { block, stalled, .. } => {
+            Event::StallEnd {
+                block,
+                stalled,
+                cause,
+                charged,
+                ..
+            } => {
                 self.stalls_ended += 1;
+                // The charged part of a stall is the window minus driver
+                // work issued inside it — it can never exceed the window.
+                if charged > stalled {
+                    self.violate(
+                        now,
+                        "stall-attribution",
+                        format!(
+                            "stall on block {} charged {charged} to {} but its window was only {stalled}",
+                            block.raw(),
+                            cause.name()
+                        ),
+                    );
+                }
+                self.stall_charged[cause.index()] += charged;
                 match self.stalled.take() {
                     Some((open, since)) if open == block => {
                         let window = now - since;
@@ -933,6 +991,7 @@ mod tests {
             compute: Nanos::ZERO,
             driver: Nanos::ZERO,
             stall: Nanos::ZERO,
+            stall_by_cause: crate::engine::StallBreakdown::ZERO,
             fetches: 1,
             writes: 0,
             avg_fetch_time: Nanos::ZERO,
@@ -1007,6 +1066,8 @@ mod tests {
             now: Nanos::from_millis(1),
             block: BlockId(3),
             stalled: Nanos::from_millis(1),
+            cause: StallCause::NoPrefetch,
+            charged: Nanos::from_millis(1),
         });
         assert_eq!(rules(&p), vec!["stall-balance"]);
     }
@@ -1139,6 +1200,7 @@ mod tests {
             compute: Nanos::ZERO,
             driver: Nanos::ZERO,
             stall: Nanos::ZERO,
+            stall_by_cause: crate::engine::StallBreakdown::ZERO,
             fetches: 0,
             writes: 0,
             avg_fetch_time: Nanos::ZERO,

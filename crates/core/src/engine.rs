@@ -25,7 +25,7 @@ use crate::config::{DiskModelKind, SimConfig};
 use crate::metrics::json_escape;
 use crate::oracle::Oracle;
 use crate::policy::{Policy, PolicyKind};
-use crate::probe::{Event, FaultCause, NoopProbe, Probe};
+use crate::probe::{Event, FaultCause, NoopProbe, Probe, StallCause};
 use parcache_disk::coarse::CoarseDisk;
 use parcache_disk::disk::DiskStats;
 use parcache_disk::fault::FaultyDisk;
@@ -153,6 +153,11 @@ pub struct Ctx<'a> {
     /// policy call; the engine converts them into driver faults after the
     /// call returns (see `Engine::settle_rejections`).
     rejected: &'a mut Vec<BlockId>,
+    /// One bit per compact block index, set on eviction: stall provenance
+    /// uses it to tell a re-miss on a once-resident block
+    /// ([`StallCause::EvictionRefetch`]) from a plain
+    /// [`StallCause::NoPrefetch`] miss.
+    evicted_ever: &'a mut Vec<u64>,
 }
 
 impl Ctx<'_> {
@@ -197,6 +202,10 @@ impl Ctx<'_> {
             .on_fetch_issued_idx(idx, self.cursor, self.oracle);
         if let Some(e) = evict_idx {
             self.missing.on_evicted_idx(e, self.cursor, self.oracle);
+            // Every eviction of a resident block flows through here
+            // (abandoning an in-flight fetch is not an eviction: the
+            // block was never resident).
+            self.evicted_ever[e as usize / 64] |= 1 << (e % 64);
         }
         *self.driver_time += self.config.driver_overhead;
         *self.cpu_done = (*self.cpu_done).max(self.now) + self.config.driver_overhead;
@@ -250,6 +259,11 @@ pub struct Report {
     pub driver: Nanos,
     /// I/O stall time.
     pub stall: Nanos,
+    /// The stall decomposed by cause. The engine attributes every charged
+    /// stall nanosecond to exactly one [`StallCause`], so
+    /// `stall_by_cause.total() == stall` always (panic-enforced at the
+    /// end of every run).
+    pub stall_by_cause: StallBreakdown,
     /// Fetches issued.
     pub fetches: u64,
     /// Write-behind flushes issued (0 in the paper's read-only setting).
@@ -314,6 +328,82 @@ impl FaultSummary {
     }
 }
 
+/// Stall time decomposed by [`StallCause`].
+///
+/// Each stall window is charged to exactly one cause, and only the part
+/// of the window not accounted to driver overhead is charged — so the
+/// five components sum to the report's `stall` field exactly, with no
+/// rounding or residue. See DESIGN.md "Stall provenance".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// A fetch was issued but still in flight at the reference, with the
+    /// block itself on the platter of a healthy drive.
+    pub late_prefetch: Nanos,
+    /// A demand miss on a block never fetched (nor previously resident).
+    pub no_prefetch: Nanos,
+    /// The awaited fetch was queued behind other work, or its drive was
+    /// inside a declared degraded window.
+    pub congestion: Nanos,
+    /// The stall overlapped driver retry/backoff for the awaited block.
+    pub retry: Nanos,
+    /// A demand miss on a block that was resident earlier, then evicted.
+    pub eviction_refetch: Nanos,
+}
+
+impl StallBreakdown {
+    /// All-zero breakdown (the state before any stall is charged).
+    pub const ZERO: StallBreakdown = StallBreakdown {
+        late_prefetch: Nanos::ZERO,
+        no_prefetch: Nanos::ZERO,
+        congestion: Nanos::ZERO,
+        retry: Nanos::ZERO,
+        eviction_refetch: Nanos::ZERO,
+    };
+
+    /// The component charged to `cause`.
+    pub fn get(&self, cause: StallCause) -> Nanos {
+        match cause {
+            StallCause::LatePrefetch => self.late_prefetch,
+            StallCause::NoPrefetch => self.no_prefetch,
+            StallCause::DiskCongestion => self.congestion,
+            StallCause::FaultRetry => self.retry,
+            StallCause::EvictionRefetch => self.eviction_refetch,
+        }
+    }
+
+    /// Charges `t` to `cause`.
+    pub fn add(&mut self, cause: StallCause, t: Nanos) {
+        match cause {
+            StallCause::LatePrefetch => self.late_prefetch += t,
+            StallCause::NoPrefetch => self.no_prefetch += t,
+            StallCause::DiskCongestion => self.congestion += t,
+            StallCause::FaultRetry => self.retry += t,
+            StallCause::EvictionRefetch => self.eviction_refetch += t,
+        }
+    }
+
+    /// Sum of all components; equals the report's `stall` exactly.
+    pub fn total(&self) -> Nanos {
+        StallCause::ALL.iter().map(|&c| self.get(c)).sum()
+    }
+
+    /// This breakdown as a JSON object keyed by cause name, in
+    /// nanoseconds.
+    pub fn to_json(&self) -> String {
+        let fields: Vec<String> = StallCause::ALL
+            .iter()
+            .map(|&c| format!(r#""{}":{}"#, c.name(), self.get(c).as_nanos()))
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+impl Default for StallBreakdown {
+    fn default() -> StallBreakdown {
+        StallBreakdown::ZERO
+    }
+}
+
 impl Report {
     /// Elapsed time in seconds (the paper's reporting unit).
     pub fn elapsed_secs(&self) -> f64 {
@@ -364,6 +454,33 @@ impl Report {
         row
     }
 
+    /// Column names for [`to_csv_row_explain`](Report::to_csv_row_explain):
+    /// the default columns plus one per stall cause. Kept separate from
+    /// [`csv_header`](Report::csv_header) so the default CSV schema stays
+    /// byte-identical — explain columns appear only behind `--explain`.
+    pub fn csv_header_explain(faulted: bool) -> String {
+        let base = if faulted {
+            Report::csv_header_faulted()
+        } else {
+            Report::csv_header()
+        };
+        let causes: Vec<String> = StallCause::ALL
+            .iter()
+            .map(|c| format!("stall_{}_s", c.name()))
+            .collect();
+        format!("{},{}", base, causes.join(","))
+    }
+
+    /// This report as one CSV row matching
+    /// [`csv_header_explain`](Report::csv_header_explain).
+    pub fn to_csv_row_explain(&self) -> String {
+        let causes: Vec<String> = StallCause::ALL
+            .iter()
+            .map(|&c| format!("{:.6}", self.stall_by_cause.get(c).as_secs_f64()))
+            .collect();
+        format!("{},{}", self.to_csv_row(), causes.join(","))
+    }
+
     /// This report as a JSON object (hand-rolled; the workspace has no
     /// serialization dependency).
     pub fn to_json(&self) -> String {
@@ -395,6 +512,7 @@ impl Report {
             concat!(
                 r#"{{"trace":"{}","policy":"{}","disks":{},"#,
                 r#""elapsed_s":{:.6},"compute_s":{:.6},"driver_s":{:.6},"stall_s":{:.6},"#,
+                r#""stall_by_cause":{},"#,
                 r#""fetches":{},"writes":{},"avg_fetch_ms":{:.4},"avg_disk_utilization":{:.4},"#,
                 r#""per_disk":[{}]{}}}"#
             ),
@@ -405,6 +523,7 @@ impl Report {
             self.compute.as_secs_f64(),
             self.driver.as_secs_f64(),
             self.stall.as_secs_f64(),
+            self.stall_by_cause.to_json(),
             self.fetches,
             self.writes,
             self.avg_fetch_time.as_millis_f64(),
@@ -477,6 +596,34 @@ struct RetryState {
     first_fault: Nanos,
 }
 
+/// Bookkeeping for the stall window currently open, captured at stall
+/// begin and resolved into one [`StallCause`] at stall end. Tracked
+/// unconditionally (not probe-gated) so probed and unprobed runs report
+/// identical per-cause totals.
+#[derive(Debug, Clone, Copy)]
+struct StallOpen {
+    /// Compact index of the awaited block.
+    idx: u32,
+    /// The awaited block.
+    block: BlockId,
+    /// When the stall began.
+    from: Nanos,
+    /// Driver time already accumulated at stall begin; the delta at stall
+    /// end is the driver work issued inside the window, which is charged
+    /// to `driver`, never to the stall.
+    driver0: Nanos,
+    /// A fetch of the block was already in flight at stall begin.
+    began_inflight: bool,
+    /// At stall begin the block itself was being read off the platter of
+    /// a drive outside any declared degraded window — the defining shape
+    /// of a late prefetch (vs. congestion: queued, or degraded service).
+    on_platter: bool,
+    /// The driver was already mid-retry on this block at stall begin.
+    was_retrying: bool,
+    /// A read fault was charged to this block while the window was open.
+    fault_seen: bool,
+}
+
 struct Engine<'t> {
     trace: &'t Trace,
     config: &'t SimConfig,
@@ -511,6 +658,19 @@ struct Engine<'t> {
     faults_injected: u64,
     retries: u64,
     abandoned: u64,
+    /// The stall window currently open, if any (at most one: the
+    /// application blocks on one reference at a time).
+    stall_open: Option<StallOpen>,
+    /// Per-cause stall totals, maintained unconditionally; the run's end
+    /// enforces that they sum to the accounted stall exactly.
+    stall_by_cause: StallBreakdown,
+    /// Declared degraded windows per disk (sorted, disjoint), precomputed
+    /// so stall-begin can ask "was this drive degraded at t?" without
+    /// re-deriving the plan. Empty vectors for healthy runs.
+    degraded_windows: Vec<Vec<(Nanos, Nanos)>>,
+    /// One bit per compact block index, set when the block is evicted
+    /// after real residency (see [`Ctx::issue_fetch_idx`]).
+    evicted_ever: Vec<u64>,
 }
 
 impl<'t> Engine<'t> {
@@ -546,14 +706,18 @@ impl<'t> Engine<'t> {
             .collect();
         let missing = MissingTracker::new(&oracle);
         let array = DiskArray::new(config.disks, config.discipline, |i| build_model(config, i));
+        let degraded_windows: Vec<Vec<(Nanos, Nanos)>> = (0..config.disks)
+            .map(|i| config.faults.degraded_windows(i))
+            .collect();
         let mut boundaries: Vec<(Nanos, DiskId, bool)> = Vec::new();
-        for i in 0..config.disks {
-            for (from, until) in config.faults.degraded_windows(i) {
+        for (i, windows) in degraded_windows.iter().enumerate() {
+            for &(from, until) in windows {
                 boundaries.push((from, DiskId(i), true));
                 boundaries.push((until, DiskId(i), false));
             }
         }
         boundaries.sort_by_key(|&(t, d, entering)| (t, d.index(), entering));
+        let evicted_ever = vec![0u64; oracle.num_blocks().div_ceil(64)];
         let mut cache = Cache::new(config.cache_blocks, oracle.num_blocks());
         if config.hints.nominal_fraction() < 1.0 {
             // Value blocks with no disclosed future by LRU recency, as
@@ -583,7 +747,79 @@ impl<'t> Engine<'t> {
             faults_injected: 0,
             retries: 0,
             abandoned: 0,
+            stall_open: None,
+            stall_by_cause: StallBreakdown::ZERO,
+            degraded_windows,
+            evicted_ever,
         }
+    }
+
+    /// Whether `disk` is inside a declared degraded window at `t`. The
+    /// window lists are tiny (usually empty); a linear scan is cheaper
+    /// than anything clever.
+    fn degraded_at(&self, disk: DiskId, t: Nanos) -> bool {
+        self.degraded_windows[disk.index()]
+            .iter()
+            .any(|&(from, until)| from <= t && t < until)
+    }
+
+    /// Whether block `idx` has ever been evicted after real residency.
+    fn was_evicted(&self, idx: u32) -> bool {
+        self.evicted_ever[idx as usize / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// Opens the stall window for a reference to missing block `idx`,
+    /// capturing the state that classifies the stall at close: whether a
+    /// fetch was in flight and where it physically was, and whether the
+    /// driver was mid-retry on it.
+    fn open_stall(&mut self, idx: u32, block: BlockId) {
+        let began_inflight = self.cache.inflight(idx);
+        // `in_service` checks short-circuit behind the inflight test:
+        // demand misses never touch the disk lookup.
+        let on_platter = began_inflight
+            && self.array.in_service(block)
+            && !self.degraded_at(self.array.disk_of(block), self.now);
+        let was_retrying = !self.retrying.is_empty() && self.retrying.contains_key(&block);
+        self.stall_open = Some(StallOpen {
+            idx,
+            block,
+            from: self.now,
+            driver0: self.driver_time,
+            began_inflight,
+            on_platter,
+            was_retrying,
+            fault_seen: false,
+        });
+    }
+
+    /// Closes the open stall window (if any): computes the charged time
+    /// (window minus driver work issued inside it), resolves the cause,
+    /// and accumulates into the per-cause totals. Returns what the
+    /// [`Event::StallEnd`] needs, or `None` when no window was open.
+    fn close_stall(&mut self) -> Option<(Nanos, StallCause, Nanos)> {
+        let open = self.stall_open.take()?;
+        let window = self.now - open.from;
+        let in_driver = self.driver_time - open.driver0;
+        let charged = window.checked_sub(in_driver).unwrap_or_else(|| {
+            panic!(
+                "stall window {window} shorter than the driver work {in_driver} issued inside it"
+            )
+        });
+        let cause = if open.fault_seen || open.was_retrying {
+            StallCause::FaultRetry
+        } else if open.began_inflight {
+            if open.on_platter {
+                StallCause::LatePrefetch
+            } else {
+                StallCause::DiskCongestion
+            }
+        } else if self.was_evicted(open.idx) {
+            StallCause::EvictionRefetch
+        } else {
+            StallCause::NoPrefetch
+        };
+        self.stall_by_cause.add(cause, charged);
+        Some((window, cause, charged))
     }
 
     /// Emits every degraded-window boundary at or before `upto` (probed
@@ -632,6 +868,7 @@ impl<'t> Engine<'t> {
             probe_on: P::ENABLED,
             demand: false,
             rejected: &mut self.rejected_buf,
+            evicted_ever: &mut self.evicted_ever,
         };
         policy.decide(&mut ctx);
         self.drain_probe_buf(probe);
@@ -656,6 +893,7 @@ impl<'t> Engine<'t> {
             probe_on: P::ENABLED,
             demand: true,
             rejected: &mut self.rejected_buf,
+            evicted_ever: &mut self.evicted_ever,
         };
         policy.on_miss(&mut ctx, block);
         self.drain_probe_buf(probe);
@@ -699,6 +937,14 @@ impl<'t> Engine<'t> {
         probe: &mut P,
     ) {
         let now = self.now;
+        if let Some(open) = &mut self.stall_open {
+            if open.block == block {
+                // The application is waiting on this very block: whatever
+                // the stall looked like at begin, retry/backoff is now
+                // holding it open.
+                open.fault_seen = true;
+            }
+        }
         let state = self.retrying.entry(block).or_insert(RetryState {
             attempts: 0,
             first_fault: now,
@@ -930,8 +1176,10 @@ impl<'t> Engine<'t> {
             // A stall starts if the block has not arrived by the time the
             // application references it. The pin above guarantees a
             // resident block stays resident, so this is decided once.
-            let stall_from = if P::ENABLED {
-                let resident = self.cache.resident(req_idx);
+            // Provenance bookkeeping is unconditional — the per-cause
+            // breakdown is part of the report, probe or no probe.
+            let resident = self.cache.resident(req_idx);
+            if P::ENABLED {
                 let e = if resident {
                     Event::CacheHit {
                         now: self.now,
@@ -944,18 +1192,16 @@ impl<'t> Engine<'t> {
                     }
                 };
                 probe.on_event(&e);
-                if resident {
-                    None
-                } else {
+                if !resident {
                     probe.on_event(&Event::StallBegin {
                         now: self.now,
                         block: req.block,
                     });
-                    Some(self.now)
                 }
-            } else {
-                None
-            };
+            }
+            if !resident {
+                self.open_stall(req_idx, req.block);
+            }
 
             // The reference: stall until the block is available and the
             // CPU backlog (driver work issued meanwhile) has drained.
@@ -973,12 +1219,14 @@ impl<'t> Engine<'t> {
                 self.pop_event(policy, probe);
             }
 
-            if P::ENABLED {
-                if let Some(from) = stall_from {
+            if let Some((stalled, cause, charged)) = self.close_stall() {
+                if P::ENABLED {
                     probe.on_event(&Event::StallEnd {
                         now: self.now,
                         block: req.block,
-                        stalled: self.now - from,
+                        stalled,
+                        cause,
+                        charged,
                     });
                 }
             }
@@ -1049,6 +1297,15 @@ impl<'t> Engine<'t> {
                     elapsed, compute, self.driver_time
                 )
             });
+        // Provenance conservation: every charged stall nanosecond was
+        // attributed to exactly one cause. This holds by construction
+        // (non-stall segments advance the clock by exactly their compute
+        // and driver charges), so any imbalance is an engine bug.
+        let attributed = self.stall_by_cause.total();
+        assert!(
+            attributed == stall,
+            "stall attribution leaked: per-cause total {attributed} != accounted stall {stall}"
+        );
         let fault = if self.config.faults.is_empty() {
             None
         } else {
@@ -1078,6 +1335,7 @@ impl<'t> Engine<'t> {
             compute,
             driver: self.driver_time,
             stall,
+            stall_by_cause: self.stall_by_cause,
             fetches: self.fetches,
             writes: self.writes,
             avg_fetch_time: self.array.avg_fetch_time(),

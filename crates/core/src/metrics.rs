@@ -686,6 +686,7 @@ pub fn json_escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::probe::StallCause;
     use parcache_types::{BlockId, DiskId};
 
     #[test]
@@ -914,6 +915,8 @@ mod tests {
             now: Nanos::from_millis(6),
             block: BlockId(1),
             stalled: Nanos::from_millis(5),
+            cause: StallCause::NoPrefetch,
+            charged: Nanos::from_millis(5),
         });
         let m = p.finish();
         assert_eq!(m.counters.decisions, 1);

@@ -32,6 +32,83 @@ impl FaultCause {
             FaultCause::Rejected => "rejected",
         }
     }
+
+    /// The cause whose [`FaultCause::name`] is `name`, if any.
+    pub fn from_name(name: &str) -> Option<FaultCause> {
+        match name {
+            "media_error" => Some(FaultCause::MediaError),
+            "rejected" => Some(FaultCause::Rejected),
+            _ => None,
+        }
+    }
+}
+
+/// Why the application stalled: the typed provenance of one stall
+/// interval, decided by the engine from the state of the awaited block at
+/// the moment the stall began (and from faults charged to it while the
+/// stall was open). Exactly one cause is assigned per stall, so the
+/// per-cause charged-stall totals partition the report's stall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// A prefetch was issued in time to be on the platter, but had not
+    /// finished when the application arrived: the policy acted, just not
+    /// early enough.
+    LatePrefetch,
+    /// No fetch of the block was in flight when the reference arrived and
+    /// the block had never been resident: the policy never acted (demand
+    /// misses land here by construction).
+    NoPrefetch,
+    /// A fetch was in flight but sat in its drive's queue behind other
+    /// work — or the drive was inside a declared degraded window — when
+    /// the reference arrived: the array, not the policy's timing, is the
+    /// bottleneck.
+    DiskCongestion,
+    /// The wait was bound up with driver fault handling: a fault was
+    /// charged to the awaited block while the stall was open, or the
+    /// block was already mid-retry when the stall began.
+    FaultRetry,
+    /// The block was resident earlier, lost its frame to an eviction, and
+    /// the application missed on it again with no fetch in flight: a
+    /// caching (replacement) failure rather than a prefetching one.
+    EvictionRefetch,
+}
+
+impl StallCause {
+    /// Every cause, in the order the per-cause accounting arrays use.
+    pub const ALL: [StallCause; 5] = [
+        StallCause::LatePrefetch,
+        StallCause::NoPrefetch,
+        StallCause::DiskCongestion,
+        StallCause::FaultRetry,
+        StallCause::EvictionRefetch,
+    ];
+
+    /// A short machine-readable tag.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StallCause::LatePrefetch => "late_prefetch",
+            StallCause::NoPrefetch => "no_prefetch",
+            StallCause::DiskCongestion => "congestion",
+            StallCause::FaultRetry => "retry",
+            StallCause::EvictionRefetch => "eviction_refetch",
+        }
+    }
+
+    /// Index into [`StallCause::ALL`]-ordered accounting arrays.
+    pub fn index(&self) -> usize {
+        match self {
+            StallCause::LatePrefetch => 0,
+            StallCause::NoPrefetch => 1,
+            StallCause::DiskCongestion => 2,
+            StallCause::FaultRetry => 3,
+            StallCause::EvictionRefetch => 4,
+        }
+    }
+
+    /// The cause whose [`StallCause::name`] is `name`, if any.
+    pub fn from_name(name: &str) -> Option<StallCause> {
+        StallCause::ALL.into_iter().find(|c| c.name() == name)
+    }
 }
 
 /// One simulation event, stamped with the simulated time it occurred.
@@ -148,8 +225,15 @@ pub enum Event {
         now: Nanos,
         /// The block that arrived.
         block: BlockId,
-        /// How long the wait lasted.
+        /// How long the wait lasted (the full window, including driver
+        /// overhead charged while it was open).
         stalled: Nanos,
+        /// Why the application stalled.
+        cause: StallCause,
+        /// Stall time charged to `cause`: the window minus the driver
+        /// overhead charged inside it. Summed over all stalls this equals
+        /// the report's stall component exactly.
+        charged: Nanos,
     },
     /// A fault was charged to a request: a media error on completion, or
     /// an out-of-service drive rejecting the issue.
@@ -375,11 +459,19 @@ impl Event {
                     s.push_str(r#","faulted":true"#);
                 }
             }
-            Event::StallEnd { block, stalled, .. } => {
+            Event::StallEnd {
+                block,
+                stalled,
+                cause,
+                charged,
+                ..
+            } => {
                 s.push_str(&format!(
-                    r#","block":{},"stalled_ns":{}"#,
+                    r#","block":{},"stalled_ns":{},"cause":"{}","charged_ns":{}"#,
                     block.raw(),
-                    stalled.as_nanos()
+                    stalled.as_nanos(),
+                    cause.name(),
+                    charged.as_nanos()
                 ));
             }
             Event::FaultInjected {
@@ -429,6 +521,139 @@ impl Event {
         s.push('}');
         s
     }
+
+    /// Parses one [`Event::to_json`] line back into an [`Event`]: the
+    /// exact inverse over every variant, so a JSONL event log round-trips
+    /// losslessly. Returns `None` on anything `to_json` cannot emit.
+    pub fn from_json(line: &str) -> Option<Event> {
+        let kind = json_field_str(line, "event")?;
+        let now = Nanos(json_field_u64(line, "t_ns")?);
+        let block = |k: &str| json_field_u64(line, k).map(BlockId);
+        let disk = || json_field_u64(line, "disk").map(|d| DiskId(d as usize));
+        Some(match kind {
+            "policy_decision" => Event::PolicyDecision {
+                now,
+                cursor: json_field_u64(line, "cursor")? as usize,
+            },
+            "cache_hit" => Event::CacheHit {
+                now,
+                block: block("block")?,
+            },
+            "cache_miss" => Event::CacheMiss {
+                now,
+                block: block("block")?,
+            },
+            "eviction" => Event::Eviction {
+                now,
+                block: block("block")?,
+            },
+            "fetch_issued" => Event::FetchIssued {
+                now,
+                block: block("block")?,
+                disk: disk()?,
+                demand: json_field_bool(line, "demand")?,
+                evicted: block("evicted"),
+            },
+            "write_issued" => Event::WriteIssued {
+                now,
+                block: block("block")?,
+                disk: disk()?,
+            },
+            "queue_depth" => Event::QueueDepth {
+                now,
+                disk: disk()?,
+                depth: json_field_u64(line, "depth")? as usize,
+            },
+            "fetch_started" => Event::FetchStarted {
+                now,
+                block: block("block")?,
+                disk: disk()?,
+                write: json_field_bool(line, "write")?,
+                head_cylinder: json_field_u64(line, "head_cylinder")?,
+                completes: Nanos(json_field_u64(line, "completes_ns")?),
+            },
+            "fetch_completed" => Event::FetchCompleted {
+                now,
+                block: block("block")?,
+                disk: disk()?,
+                write: json_field_bool(line, "write")?,
+                service: Nanos(json_field_u64(line, "service_ns")?),
+                response: Nanos(json_field_u64(line, "response_ns")?),
+                head_cylinder: json_field_u64(line, "head_cylinder")?,
+                depth: json_field_u64(line, "depth")? as usize,
+                // Omitted from healthy-run logs, so absent means false.
+                faulted: json_field_bool(line, "faulted").unwrap_or(false),
+            },
+            "stall_begin" => Event::StallBegin {
+                now,
+                block: block("block")?,
+            },
+            "stall_end" => Event::StallEnd {
+                now,
+                block: block("block")?,
+                stalled: Nanos(json_field_u64(line, "stalled_ns")?),
+                cause: StallCause::from_name(json_field_str(line, "cause")?)?,
+                charged: Nanos(json_field_u64(line, "charged_ns")?),
+            },
+            "fault_injected" => Event::FaultInjected {
+                now,
+                block: block("block")?,
+                disk: disk()?,
+                write: json_field_bool(line, "write")?,
+                cause: FaultCause::from_name(json_field_str(line, "cause")?)?,
+                attempt: json_field_u64(line, "attempt")? as u32,
+            },
+            "retry_issued" => Event::RetryIssued {
+                now,
+                block: block("block")?,
+                disk: disk()?,
+                attempt: json_field_u64(line, "attempt")? as u32,
+            },
+            "request_abandoned" => Event::RequestAbandoned {
+                now,
+                block: block("block")?,
+                disk: disk()?,
+                write: json_field_bool(line, "write")?,
+                attempts: json_field_u64(line, "attempts")? as u32,
+            },
+            "disk_degraded" => Event::DiskDegraded { now, disk: disk()? },
+            "disk_recovered" => Event::DiskRecovered { now, disk: disk()? },
+            _ => return None,
+        })
+    }
+}
+
+/// Extracts the raw text after `"key":` in a flat one-line JSON object.
+/// Event lines never nest objects or escape strings, so a plain scan is
+/// an exact parse for them.
+fn json_field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)?;
+    Some(&line[at + pat.len()..])
+}
+
+fn json_field_u64(line: &str, key: &str) -> Option<u64> {
+    let rest = json_field_raw(line, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn json_field_bool(line: &str, key: &str) -> Option<bool> {
+    let rest = json_field_raw(line, key)?;
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn json_field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = json_field_raw(line, key)?;
+    rest.strip_prefix('"')?.split('"').next()
 }
 
 /// An observer of the engine's event stream.
@@ -504,6 +729,154 @@ mod tests {
         assert!(j.contains(r#""demand":true"#), "{j}");
         assert!(j.contains(r#""evicted":3"#), "{j}");
         assert!(j.ends_with('}'), "{j}");
+    }
+
+    #[test]
+    fn fault_events_round_trip_through_json() {
+        // The five fault events must survive JSONL serialization exactly:
+        // a degraded-run event log is only useful if it parses back.
+        let events = [
+            Event::FaultInjected {
+                now: Nanos::from_millis(3),
+                block: BlockId(9),
+                disk: DiskId(1),
+                write: false,
+                cause: FaultCause::MediaError,
+                attempt: 2,
+            },
+            Event::RetryIssued {
+                now: Nanos::from_millis(4),
+                block: BlockId(9),
+                disk: DiskId(1),
+                attempt: 2,
+            },
+            Event::RequestAbandoned {
+                now: Nanos::from_millis(5),
+                block: BlockId(9),
+                disk: DiskId(1),
+                write: true,
+                attempts: 3,
+            },
+            Event::DiskDegraded {
+                now: Nanos::from_millis(6),
+                disk: DiskId(0),
+            },
+            Event::DiskRecovered {
+                now: Nanos::from_millis(7),
+                disk: DiskId(0),
+            },
+        ];
+        for e in events {
+            let parsed = Event::from_json(&e.to_json());
+            assert_eq!(parsed, Some(e), "{}", e.to_json());
+        }
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        let events = [
+            Event::PolicyDecision {
+                now: Nanos(17),
+                cursor: 5,
+            },
+            Event::CacheHit {
+                now: Nanos(18),
+                block: BlockId(1),
+            },
+            Event::CacheMiss {
+                now: Nanos(19),
+                block: BlockId(2),
+            },
+            Event::Eviction {
+                now: Nanos(20),
+                block: BlockId(3),
+            },
+            Event::FetchIssued {
+                now: Nanos(21),
+                block: BlockId(4),
+                disk: DiskId(2),
+                demand: false,
+                evicted: None,
+            },
+            Event::FetchIssued {
+                now: Nanos(22),
+                block: BlockId(5),
+                disk: DiskId(0),
+                demand: true,
+                evicted: Some(BlockId(6)),
+            },
+            Event::WriteIssued {
+                now: Nanos(23),
+                block: BlockId(7),
+                disk: DiskId(1),
+            },
+            Event::QueueDepth {
+                now: Nanos(24),
+                disk: DiskId(3),
+                depth: 4,
+            },
+            Event::FetchStarted {
+                now: Nanos(25),
+                block: BlockId(8),
+                disk: DiskId(0),
+                write: false,
+                head_cylinder: 77,
+                completes: Nanos(99),
+            },
+            Event::FetchCompleted {
+                now: Nanos(26),
+                block: BlockId(8),
+                disk: DiskId(0),
+                write: false,
+                service: Nanos(40),
+                response: Nanos(60),
+                head_cylinder: 77,
+                depth: 0,
+                faulted: false,
+            },
+            Event::FetchCompleted {
+                now: Nanos(27),
+                block: BlockId(8),
+                disk: DiskId(0),
+                write: true,
+                service: Nanos(40),
+                response: Nanos(60),
+                head_cylinder: 77,
+                depth: 1,
+                faulted: true,
+            },
+            Event::StallBegin {
+                now: Nanos(28),
+                block: BlockId(9),
+            },
+            Event::StallEnd {
+                now: Nanos(29),
+                block: BlockId(9),
+                stalled: Nanos(1_000),
+                cause: StallCause::LatePrefetch,
+                charged: Nanos(500),
+            },
+        ];
+        for e in events {
+            let parsed = Event::from_json(&e.to_json());
+            assert_eq!(parsed, Some(e), "{}", e.to_json());
+        }
+        assert_eq!(Event::from_json("not json"), None);
+        assert_eq!(Event::from_json(r#"{"event":"nope","t_ns":1}"#), None);
+    }
+
+    #[test]
+    fn stall_causes_name_and_index_round_trip() {
+        for (i, c) in StallCause::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(StallCause::from_name(c.name()), Some(c));
+        }
+        assert_eq!(StallCause::from_name("bogus"), None);
+        assert_eq!(
+            FaultCause::from_name("rejected"),
+            Some(FaultCause::Rejected)
+        );
+        assert_eq!(FaultCause::from_name("bogus"), None);
     }
 
     #[test]

@@ -187,6 +187,20 @@ impl DiskArray {
         sum / self.disks.len() as f64
     }
 
+    /// The block the given drive is servicing right now, if any (see
+    /// [`Disk::in_service_block`]).
+    pub fn in_service_block(&self, disk: DiskId) -> Option<BlockId> {
+        self.disks[disk.index()].in_service_block()
+    }
+
+    /// True when `block`'s drive is servicing a *read* of `block` right
+    /// now — as opposed to the fetch sitting in the queue behind other
+    /// work. Used for stall provenance: a wait on an in-service fetch is
+    /// a late prefetch, a wait on a queued fetch is disk congestion.
+    pub fn in_service(&self, block: BlockId) -> bool {
+        self.disks[self.disk_of(block).index()].in_service_read() == Some(block)
+    }
+
     /// Blocks outstanding (queued or in service) on any drive.
     pub fn outstanding(&self) -> Vec<BlockId> {
         self.disks.iter().flat_map(|d| d.outstanding()).collect()
@@ -339,6 +353,23 @@ mod tests {
         let out = a.outstanding();
         assert_eq!(out.len(), 2);
         assert!(out.contains(&BlockId(0)) && out.contains(&BlockId(2)));
+    }
+
+    #[test]
+    fn in_service_distinguishes_platter_from_queue() {
+        let mut a = uniform_array(2, 10);
+        assert_eq!(a.in_service_block(DiskId(0)), None);
+        assert!(!a.in_service(BlockId(0)));
+        // Blocks 0 and 2 both stripe to disk 0: the first is taken onto
+        // the platter immediately, the second waits in the queue.
+        a.enqueue(Nanos::ZERO, BlockId(0)).accepted();
+        a.enqueue(Nanos::ZERO, BlockId(2)).accepted();
+        assert_eq!(a.in_service_block(DiskId(0)), Some(BlockId(0)));
+        assert!(a.in_service(BlockId(0)));
+        assert!(!a.in_service(BlockId(2)), "queued, not in service");
+        let (t, d) = a.next_event().unwrap();
+        a.complete(t, d);
+        assert!(a.in_service(BlockId(2)), "head moved on to the queue");
     }
 
     #[test]

@@ -380,6 +380,24 @@ impl Disk {
         self.discipline
     }
 
+    /// The block the drive is servicing right now, if any. Queued blocks
+    /// are not in service: a stalled-on request that is merely queued is
+    /// waiting on head contention, not on its own platter time — the
+    /// distinction the engine's stall provenance needs.
+    pub fn in_service_block(&self) -> Option<BlockId> {
+        self.in_service.as_ref().map(|s| s.request.block)
+    }
+
+    /// The block of the read the drive is servicing right now, `None`
+    /// when idle or servicing a write-behind flush. A write delivers no
+    /// data to a waiter, so provenance treats it as contention.
+    pub fn in_service_read(&self) -> Option<BlockId> {
+        self.in_service
+            .as_ref()
+            .filter(|s| s.request.kind == ReqKind::Read)
+            .map(|s| s.request.block)
+    }
+
     /// Blocks currently queued or in service (the drive's outstanding set).
     pub fn outstanding(&self) -> impl Iterator<Item = BlockId> + '_ {
         self.queue
