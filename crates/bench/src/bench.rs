@@ -25,9 +25,16 @@
 //! (25%) against the committed baseline. Single-core runners, noisy
 //! neighbours, and debug-adjacent codegen differences produce swings in
 //! the 10–20% range; a genuine hot-path regression shows up far larger.
+//!
+//! A second gate watches *scaling*: on machines with at least two
+//! effective cores, cells/sec at [`SCALING_GATE_THREADS`] threads must
+//! reach [`SCALING_EFFICIENCY_FLOOR`] of perfect linear scaling over the
+//! 1-thread rate ([`check_scaling`]). Effectively single-core
+//! environments skip with an explicit note instead of timing the
+//! scheduler.
 
 use crate::prof::{detect_parallelism, EffectiveParallelism};
-use crate::sweep::{self, SweepSpec};
+use crate::sweep::{self, SweepCell, SweepSpec, ThreadAllocSampler};
 use crate::Algo;
 use parcache_core::engine::simulate_probed;
 use parcache_core::metrics::json_escape;
@@ -35,15 +42,27 @@ use parcache_core::policy::PolicyKind;
 use parcache_core::probe::{Event, Probe};
 use parcache_core::SimConfig;
 use parcache_disk::FaultPlan;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Thread counts the full sweep bench records scaling for.
 pub const SCALING_THREADS: [usize; 3] = [1, 2, 4];
+
+/// The thread count the scaling-efficiency gate measures at.
+pub const SCALING_GATE_THREADS: usize = 2;
 
 /// Relative cells/sec drop versus the baseline that fails the CI gate.
 /// 25%: big enough to ignore scheduler noise on shared single-core
 /// runners, small enough to catch any real hot-path regression.
 pub const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// Minimum acceptable scaling efficiency at [`SCALING_GATE_THREADS`]
+/// threads — cells/sec at N threads ÷ (N × cells/sec at 1 thread) — on
+/// machines whose detected effective parallelism is ≥ 2. Two workers on
+/// two real cores should come close to 1.0; the committed sweep once
+/// scored *negative* scaling (0.39 at 2 threads), so the floor sits
+/// well above any contention regression while leaving room for shared
+/// runners.
+pub const SCALING_EFFICIENCY_FLOOR: f64 = 0.75;
 
 /// Traces of the smoke subset: small, fast, and together exercising
 /// every algorithm including the 8-configuration tuned-reverse search.
@@ -62,17 +81,29 @@ pub const STRESS_DISKS: usize = 4;
 pub struct Stage {
     /// Work units completed (cells or simulated events).
     pub units: u64,
-    /// Wall-clock seconds for the stage.
-    pub wall_secs: f64,
-    /// Heap allocations during the stage, when countable.
+    /// Wall-clock time for the stage at full [`Instant`] resolution.
+    /// Rates derive from this unrounded duration; rounding happens only
+    /// at the JSON/display edge.
+    pub wall: Duration,
+    /// Heap allocations attributable to the work itself, when countable.
+    /// For sweep stages this is the sum of per-cell counts sampled on
+    /// the worker threads — a pure function of the cell set, identical
+    /// at any `--threads`. For engine stages (single-threaded) it is the
+    /// process-wide delta.
     pub allocations: Option<u64>,
+    /// Allocations the harness spent *around* the work (process-wide
+    /// delta minus [`Stage::allocations`]): queue bookkeeping, result
+    /// collection, output assembly. Thread-count-dependent by nature, so
+    /// kept out of the comparable number.
+    pub harness_allocations: Option<u64>,
 }
 
 impl Stage {
-    /// Work units per wall-clock second.
+    /// Work units per wall-clock second, from the unrounded duration.
     pub fn per_sec(&self) -> f64 {
-        if self.wall_secs > 0.0 {
-            self.units as f64 / self.wall_secs
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.units as f64 / secs
         } else {
             0.0
         }
@@ -87,11 +118,40 @@ pub struct SweepBench {
     /// effectively single-core container multi-thread numbers measure
     /// timeslicing, not scaling.
     pub parallelism: EffectiveParallelism,
-    /// The smoke subset (always present; the CI gate keys off this).
+    /// The smoke subset at one thread (always present; the CI regression
+    /// gate keys off this).
     pub smoke: Stage,
+    /// The smoke subset re-run at [`SCALING_GATE_THREADS`] threads —
+    /// the cheap input to the scaling-efficiency gate, recorded in
+    /// smoke-only mode on machines where scaling is measurable.
+    pub smoke_scaling: Option<Stage>,
     /// Full appendix-A grid per thread count (empty in smoke-only mode;
     /// only the single-thread row when scaling is not measurable here).
     pub scaling: Vec<(usize, Stage)>,
+}
+
+impl SweepBench {
+    /// Scaling efficiency of the full grid at `threads`: cells/sec at
+    /// `threads` ÷ (`threads` × cells/sec at one thread). 1.0 is
+    /// perfect scaling; the 1-thread row scores exactly 1.0.
+    pub fn scaling_efficiency(&self, threads: usize) -> Option<f64> {
+        let base = self.scaling.iter().find(|(t, _)| *t == 1)?.1;
+        let row = self.scaling.iter().find(|(t, _)| *t == threads)?.1;
+        efficiency(&base, threads, &row)
+    }
+
+    /// Scaling efficiency of the smoke grid at [`SCALING_GATE_THREADS`],
+    /// when the re-run was recorded.
+    pub fn smoke_efficiency(&self) -> Option<f64> {
+        let s = self.smoke_scaling.as_ref()?;
+        efficiency(&self.smoke, SCALING_GATE_THREADS, s)
+    }
+}
+
+/// Rate at `threads` ÷ (`threads` × rate at one thread).
+fn efficiency(base: &Stage, threads: usize, at_n: &Stage) -> Option<f64> {
+    let denom = threads as f64 * base.per_sec();
+    (denom > 0.0).then(|| at_n.per_sec() / denom)
 }
 
 /// Results of the engine bench: one entry per policy.
@@ -107,16 +167,16 @@ pub struct EngineBench {
 /// installed by the embedding binary.
 pub type AllocReader<'a> = Option<&'a dyn Fn() -> u64>;
 
-fn timed<R>(alloc: AllocReader<'_>, f: impl FnOnce() -> R) -> (R, f64, Option<u64>) {
+fn timed<R>(alloc: AllocReader<'_>, f: impl FnOnce() -> R) -> (R, Duration, Option<u64>) {
     let before = alloc.map(|a| a());
     let start = Instant::now();
     let r = f();
-    let secs = start.elapsed().as_secs_f64();
+    let wall = start.elapsed();
     let allocs = match (before, alloc) {
         (Some(b), Some(a)) => Some(a().saturating_sub(b)),
         _ => None,
     };
-    (r, secs, allocs)
+    (r, wall, allocs)
 }
 
 /// The smoke subset: [`SMOKE_TRACES`] × every appendix-A algorithm at
@@ -127,20 +187,25 @@ pub fn smoke_spec(threads: usize) -> SweepSpec {
 
 /// Runs the sweep bench. With `full`, also replays the complete
 /// appendix-A grid at every [`SCALING_THREADS`] count.
-pub fn run_sweep_bench(full: bool, alloc: AllocReader<'_>) -> SweepBench {
+///
+/// `thread_alloc` reads the *calling thread's* allocation count (the
+/// thread-local counter of the embedding binary's counting allocator);
+/// when provided, every stage's comparable `allocations` figure is the
+/// sum of per-cell counts sampled on the worker threads, which is
+/// identical at any thread count.
+pub fn run_sweep_bench(
+    full: bool,
+    alloc: AllocReader<'_>,
+    thread_alloc: ThreadAllocSampler,
+) -> SweepBench {
     let parallelism = detect_parallelism();
     let faults = FaultPlan::default();
-    let spec = smoke_spec(1);
-    let cells = spec.cells();
-    let n = cells.len() as u64;
-    let (_, wall, allocs) = timed(alloc, || {
-        sweep::run_sweep_cells(&cells, 1, false, &faults);
-    });
-    let smoke = Stage {
-        units: n,
-        wall_secs: wall,
-        allocations: allocs,
-    };
+    // Traces are generated and grids expanded before any clock starts:
+    // the first timed region used to pay for generating every trace in
+    // its grid, inflating the smoke row and charging the scaling table's
+    // whole generation cost to the 1-thread row.
+    let smoke_cells = smoke_spec(sweep::default_threads()).cells();
+    let smoke = timed_cells(&smoke_cells, 1, &faults, alloc, thread_alloc);
 
     let mut scaling = Vec::new();
     if full {
@@ -153,27 +218,61 @@ pub fn run_sweep_bench(full: bool, alloc: AllocReader<'_>) -> SweepBench {
         } else {
             &SCALING_THREADS[..1]
         };
+        let cells = SweepSpec::appendix_a(sweep::default_threads()).cells();
         for &threads in thread_counts {
-            let spec = SweepSpec::appendix_a(threads);
-            let cells = spec.cells();
-            let n = cells.len() as u64;
-            let (_, wall, allocs) = timed(alloc, || {
-                sweep::run_sweep_cells(&cells, threads, false, &faults);
-            });
             scaling.push((
                 threads,
-                Stage {
-                    units: n,
-                    wall_secs: wall,
-                    allocations: allocs,
-                },
+                timed_cells(&cells, threads, &faults, alloc, thread_alloc),
             ));
         }
     }
+    // The efficiency gate needs a measurement at SCALING_GATE_THREADS;
+    // in smoke-only mode on a multi-core machine, re-run the smoke
+    // subset there (seconds, not minutes).
+    let smoke_scaling = (parallelism.scaling_measurable() && scaling.is_empty()).then(|| {
+        timed_cells(
+            &smoke_cells,
+            SCALING_GATE_THREADS,
+            &faults,
+            alloc,
+            thread_alloc,
+        )
+    });
     SweepBench {
         parallelism,
         smoke,
+        smoke_scaling,
         scaling,
+    }
+}
+
+/// Times one sweep over `cells` at `threads` workers, splitting the
+/// allocation count into the comparable per-cell work figure and the
+/// thread-count-dependent harness overhead.
+fn timed_cells(
+    cells: &[SweepCell],
+    threads: usize,
+    faults: &FaultPlan,
+    alloc: AllocReader<'_>,
+    thread_alloc: ThreadAllocSampler,
+) -> Stage {
+    let ((_, workers), wall, total) = timed(alloc, || {
+        sweep::run_sweep_cells_profiled(cells, threads, false, faults, thread_alloc)
+    });
+    let work: Option<u64> = thread_alloc
+        .is_some()
+        .then(|| workers.iter().map(|w| w.work_allocs).sum());
+    let harness = match (total, work) {
+        (Some(t), Some(w)) => Some(t.saturating_sub(w)),
+        _ => None,
+    };
+    Stage {
+        units: cells.len() as u64,
+        wall,
+        // Without a per-thread sampler, fall back to the process-wide
+        // delta rather than reporting nothing.
+        allocations: work.or(total),
+        harness_allocations: harness,
     }
 }
 
@@ -203,8 +302,9 @@ pub fn run_engine_bench(alloc: AllocReader<'_>) -> EngineBench {
             kind.name(),
             Stage {
                 units: probe.events,
-                wall_secs: wall,
+                wall,
                 allocations: allocs,
+                harness_allocations: None,
             },
         ));
     }
@@ -219,12 +319,25 @@ fn stage_json(s: &Stage, unit: &str) -> String {
         Some(a) => a.to_string(),
         None => "null".to_string(),
     };
+    let harness = match s.harness_allocations {
+        Some(a) => a.to_string(),
+        None => "null".to_string(),
+    };
+    // `wall_secs` is rounded for display only; `{unit}_per_sec` comes
+    // from the unrounded nanoseconds via `Stage::per_sec`.
     format!(
-        r#"{{"{unit}":{},"wall_secs":{:.3},"{unit}_per_sec":{:.1},"allocations":{allocs}}}"#,
+        r#"{{"{unit}":{},"wall_secs":{:.3},"{unit}_per_sec":{:.3},"allocations":{allocs},"harness_allocations":{harness}}}"#,
         s.units,
-        s.wall_secs,
+        s.wall.as_secs_f64(),
         s.per_sec(),
     )
+}
+
+fn opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(e) => format!("{e:.3}"),
+        None => "null".to_string(),
+    }
 }
 
 /// Serializes a [`SweepBench`] as the `BENCH_sweep.json` document.
@@ -232,14 +345,30 @@ pub fn sweep_bench_json(b: &SweepBench) -> String {
     let scaling: Vec<String> = b
         .scaling
         .iter()
-        .map(|(threads, s)| format!(r#"{{"threads":{threads},{}"#, &stage_json(s, "cells")[1..]))
+        .map(|(threads, s)| {
+            format!(
+                r#"{{"threads":{threads},"efficiency":{},{}"#,
+                opt_f64(b.scaling_efficiency(*threads)),
+                &stage_json(s, "cells")[1..]
+            )
+        })
         .collect();
+    let smoke_scaling = match &b.smoke_scaling {
+        Some(s) => format!(
+            r#"{{"threads":{SCALING_GATE_THREADS},"efficiency":{},{}"#,
+            opt_f64(b.smoke_efficiency()),
+            &stage_json(s, "cells")[1..]
+        ),
+        None => "null".to_string(),
+    };
     // `parallelism` sits before `smoke`: `baseline_smoke_cells_per_sec`
     // is positional (split on the `"smoke"` key), so new fields must not
-    // appear after it.
+    // appear after it. (`smoke_scaling` and `smoke_traces` are safe: the
+    // split pattern is the quoted key `"smoke":`, which matches neither.)
     format!(
-        "{{\"schema\":\"parcache-bench-sweep-v1\",\"grid\":\"appendix-a\",\
-         \"parallelism\":{},\"smoke_traces\":[{}],\"smoke\":{},\"scaling\":[{}]}}",
+        "{{\"schema\":\"parcache-bench-sweep-v2\",\"grid\":\"appendix-a\",\
+         \"parallelism\":{},\"smoke_traces\":[{}],\"smoke\":{},\
+         \"smoke_scaling\":{},\"scaling\":[{}]}}",
         b.parallelism.to_json(),
         SMOKE_TRACES
             .iter()
@@ -247,6 +376,7 @@ pub fn sweep_bench_json(b: &SweepBench) -> String {
             .collect::<Vec<_>>()
             .join(","),
         stage_json(&b.smoke, "cells"),
+        smoke_scaling,
         scaling.join(",")
     )
 }
@@ -315,9 +445,63 @@ pub fn check_regression(current: &Stage, baseline_json: &str) -> Result<String, 
     }
 }
 
+/// Applies the scaling-efficiency gate to a sweep bench.
+///
+/// `Ok` carries a human-readable verdict — including an explicit
+/// skip-with-note on machines whose effective parallelism is below 2,
+/// where a multi-thread run would time the scheduler, not the harness.
+/// `Err` means efficiency at [`SCALING_GATE_THREADS`] threads fell
+/// below [`SCALING_EFFICIENCY_FLOOR`]. The full grid's measurement is
+/// preferred; the smoke re-run is the fallback in smoke-only mode.
+pub fn check_scaling(b: &SweepBench) -> Result<String, String> {
+    if !b.parallelism.scaling_measurable() {
+        return Ok(format!(
+            "scaling gate skipped: effective parallelism {:.2} < 2 \
+             (multi-thread timing here would measure timeslicing)",
+            b.parallelism.effective
+        ));
+    }
+    let (source, eff) = if let Some(e) = b.scaling_efficiency(SCALING_GATE_THREADS) {
+        ("full grid", e)
+    } else if let Some(e) = b.smoke_efficiency() {
+        ("smoke grid", e)
+    } else {
+        return Err(format!(
+            "scaling gate: no {SCALING_GATE_THREADS}-thread measurement to judge"
+        ));
+    };
+    let verdict = format!(
+        "scaling: {source} efficiency {eff:.3} at {SCALING_GATE_THREADS} threads \
+         (floor {SCALING_EFFICIENCY_FLOOR:.2})"
+    );
+    if eff < SCALING_EFFICIENCY_FLOOR {
+        Err(format!("{verdict} — below the committed floor"))
+    } else {
+        Ok(verdict)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A stage with the given units and wall milliseconds, no counters.
+    fn stage(units: u64, millis: u64) -> Stage {
+        Stage {
+            units,
+            wall: Duration::from_millis(millis),
+            allocations: None,
+            harness_allocations: None,
+        }
+    }
+
+    fn multi_core() -> EffectiveParallelism {
+        EffectiveParallelism {
+            available: 4,
+            cgroup_quota: None,
+            effective: 4.0,
+        }
+    }
 
     #[test]
     fn smoke_spec_covers_all_algorithms() {
@@ -335,18 +519,41 @@ mod tests {
 
     #[test]
     fn stage_math() {
+        assert_eq!(stage(100, 2000).per_sec(), 50.0);
+        assert_eq!(stage(5, 0).per_sec(), 0.0);
+    }
+
+    #[test]
+    fn per_sec_uses_unrounded_nanos() {
+        // A sub-millisecond stage: had the rate been computed from the
+        // 3-decimal `wall_secs` that lands in the JSON, this would be a
+        // division by 0.000. The rate must come from the full-resolution
+        // duration, with rounding confined to the display edge.
         let s = Stage {
-            units: 100,
-            wall_secs: 2.0,
+            units: 10,
+            wall: Duration::from_micros(400),
             allocations: None,
+            harness_allocations: None,
         };
-        assert_eq!(s.per_sec(), 50.0);
-        let z = Stage {
-            units: 5,
-            wall_secs: 0.0,
-            allocations: None,
+        assert_eq!(s.per_sec(), 25_000.0);
+        let json = stage_json(&s, "cells");
+        assert!(json.contains("\"wall_secs\":0.000"), "{json}");
+        assert!(json.contains("\"cells_per_sec\":25000.000"), "{json}");
+    }
+
+    #[test]
+    fn efficiency_math() {
+        let b = SweepBench {
+            parallelism: multi_core(),
+            smoke: stage(100, 1000),              // 100 cells/sec
+            smoke_scaling: Some(stage(100, 625)), // 160 cells/sec at 2 threads
+            scaling: vec![(1, stage(332, 1000)), (2, stage(332, 550))],
         };
-        assert_eq!(z.per_sec(), 0.0);
+        let eff = b.scaling_efficiency(2).unwrap();
+        assert!((eff - 1.0 / 0.55 / 2.0).abs() < 1e-9, "{eff}");
+        assert!((b.scaling_efficiency(1).unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(b.scaling_efficiency(4), None);
+        assert!((b.smoke_efficiency().unwrap() - 0.8).abs() < 1e-9);
     }
 
     #[test]
@@ -359,68 +566,125 @@ mod tests {
             },
             smoke: Stage {
                 units: 42,
-                wall_secs: 0.5,
+                wall: Duration::from_millis(500),
                 allocations: Some(1234),
+                harness_allocations: Some(56),
             },
-            scaling: vec![(
-                1,
-                Stage {
-                    units: 332,
-                    wall_secs: 10.0,
-                    allocations: None,
-                },
-            )],
+            smoke_scaling: None,
+            scaling: vec![(1, stage(332, 10_000))],
         };
         let json = sweep_bench_json(&b);
         // The positional smoke parser must survive the parallelism
-        // object that now precedes the "smoke" key.
+        // object and the smoke_scaling key around the "smoke" key.
         assert_eq!(baseline_smoke_cells_per_sec(&json), Some(84.0));
-        assert!(json.contains("\"threads\":1"));
+        assert!(
+            json.contains("\"schema\":\"parcache-bench-sweep-v2\""),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"threads\":1,\"efficiency\":1.000"),
+            "{json}"
+        );
+        assert!(json.contains("\"smoke_scaling\":null"), "{json}");
         assert!(json.contains("\"allocations\":1234"));
+        assert!(json.contains("\"harness_allocations\":56"));
         assert!(json.contains("\"allocations\":null"));
         assert!(json.contains("\"parallelism\":{\"available\":4"), "{json}");
         assert!(json.contains("\"scaling_measurable\":false"), "{json}");
     }
 
     #[test]
+    fn json_records_smoke_scaling_with_efficiency() {
+        let b = SweepBench {
+            parallelism: multi_core(),
+            smoke: stage(100, 1000),
+            smoke_scaling: Some(stage(100, 625)),
+            scaling: Vec::new(),
+        };
+        let json = sweep_bench_json(&b);
+        assert!(
+            json.contains("\"smoke_scaling\":{\"threads\":2,\"efficiency\":0.800"),
+            "{json}"
+        );
+        // The smoke re-run must not confuse the positional baseline
+        // parser: the plain "smoke" object still wins.
+        assert_eq!(baseline_smoke_cells_per_sec(&json), Some(100.0));
+    }
+
+    #[test]
     fn regression_gate_triggers_only_past_tolerance() {
         let base = SweepBench {
             parallelism: detect_parallelism(),
-            smoke: Stage {
-                units: 100,
-                wall_secs: 1.0,
-                allocations: None,
-            },
+            smoke: stage(100, 1000),
+            smoke_scaling: None,
             scaling: Vec::new(),
         };
         let json = sweep_bench_json(&base);
-        let ok = Stage {
-            units: 80,
-            wall_secs: 1.0,
-            allocations: None,
-        }; // -20%: inside tolerance
+        let ok = stage(80, 1000); // -20%: inside tolerance
         assert!(check_regression(&ok, &json).is_ok());
-        let bad = Stage {
-            units: 70,
-            wall_secs: 1.0,
-            allocations: None,
-        }; // -30%: outside
+        let bad = stage(70, 1000); // -30%: outside
         assert!(check_regression(&bad, &json).is_err());
-        let better = Stage {
-            units: 200,
-            wall_secs: 1.0,
-            allocations: None,
-        };
+        let better = stage(200, 1000);
         assert!(check_regression(&better, &json).is_ok());
     }
 
     #[test]
-    fn malformed_baseline_is_an_error() {
-        let s = Stage {
-            units: 1,
-            wall_secs: 1.0,
-            allocations: None,
+    fn scaling_gate_skips_below_two_effective_cores() {
+        let b = SweepBench {
+            parallelism: EffectiveParallelism {
+                available: 1,
+                cgroup_quota: None,
+                effective: 1.0,
+            },
+            smoke: stage(100, 1000),
+            smoke_scaling: None,
+            scaling: vec![(1, stage(332, 1000))],
         };
+        let note = check_scaling(&b).unwrap();
+        assert!(note.contains("skipped"), "{note}");
+    }
+
+    #[test]
+    fn scaling_gate_enforces_the_floor() {
+        // Healthy scaling (0.909 at 2 threads) passes on the full grid.
+        let good = SweepBench {
+            parallelism: multi_core(),
+            smoke: stage(100, 1000),
+            smoke_scaling: None,
+            scaling: vec![(1, stage(332, 1000)), (2, stage(332, 550))],
+        };
+        assert!(check_scaling(&good).unwrap().contains("full grid"));
+        // The committed bug's shape — *slower* with two threads — fails.
+        let inverse = SweepBench {
+            parallelism: multi_core(),
+            smoke: stage(100, 1000),
+            smoke_scaling: None,
+            scaling: vec![(1, stage(332, 1000)), (2, stage(332, 1800))],
+        };
+        let err = check_scaling(&inverse).unwrap_err();
+        assert!(err.contains("below the committed floor"), "{err}");
+        // Smoke-only mode falls back to the smoke re-run.
+        let smoke_only = SweepBench {
+            parallelism: multi_core(),
+            smoke: stage(100, 1000),
+            smoke_scaling: Some(stage(100, 625)),
+            scaling: Vec::new(),
+        };
+        assert!(check_scaling(&smoke_only).unwrap().contains("smoke grid"));
+        // Measurable machine but no 2-thread point at all: an error, not
+        // a silent pass.
+        let missing = SweepBench {
+            parallelism: multi_core(),
+            smoke: stage(100, 1000),
+            smoke_scaling: None,
+            scaling: Vec::new(),
+        };
+        assert!(check_scaling(&missing).is_err());
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        let s = stage(1, 1000);
         assert!(check_regression(&s, "{}").is_err());
         assert!(check_regression(&s, "not json at all").is_err());
     }

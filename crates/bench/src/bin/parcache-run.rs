@@ -65,7 +65,11 @@
 //! * `--bench-smoke` runs only the smoke subset and prints its JSON to
 //!   stdout; with `--baseline <path>` it compares cells/sec against a
 //!   committed `BENCH_sweep.json` and exits 1 on a regression beyond
-//!   the harness tolerance (25%).
+//!   the harness tolerance (25%). Both bench modes also apply the
+//!   scaling-efficiency gate: on machines with at least two effective
+//!   cores, 2-thread cells/sec must reach 75% of linear scaling over
+//!   the 1-thread rate (effectively single-core machines skip with a
+//!   note).
 //! * `--faults <spec>` runs everything under a deterministic fault plan
 //!   (single runs and sweeps). The spec is comma-separated
 //!   `flaky:<disk|*>:<p>`, `slow:<disk|*>:<from_ms>:<until_ms>:<factor>`,
@@ -107,21 +111,88 @@ use std::time::Instant;
 /// A pass-through global allocator that counts allocation calls, so the
 /// benchmark harness can report per-stage allocation totals. The library
 /// crates stay `forbid(unsafe_code)`; the counter lives only in this
-/// binary. One relaxed atomic increment per allocation is noise next to
-/// the allocation itself.
+/// binary.
+///
+/// The count is kept twice:
+///
+/// * a *sharded* global — each thread bumps its own cache-line-padded
+///   stripe, summed on read. A single shared atomic used to bounce its
+///   cache line between every worker on every allocation (~10.8M times
+///   per full bench), which showed up as negative thread scaling in the
+///   sweep bench. Striping makes the write purely thread-local in the
+///   cache; reads are rare (a handful per bench stage).
+/// * an *exact per-thread* counter — a plain thread-local `Cell`, read
+///   by the sweep's per-cell sampling so comparable allocation figures
+///   are a pure function of the cell set, independent of `--threads`.
 mod counting_alloc {
     use std::alloc::{GlobalAlloc, Layout, System};
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-    /// Total allocation calls (alloc + realloc + alloc_zeroed) so far.
-    pub static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+    /// Stripes the global total is sharded over: comfortably more than
+    /// any plausible worker count, so concurrent threads land on
+    /// different cache lines.
+    const STRIPES: usize = 64;
+
+    /// One padded counter. 128 bytes covers the spatial-prefetcher pair
+    /// of 64-byte lines on current x86.
+    #[repr(align(128))]
+    struct Stripe(AtomicU64);
+
+    /// Total allocation calls (alloc + realloc + alloc_zeroed), sharded.
+    static STRIPE_COUNTS: [Stripe; STRIPES] = [const { Stripe(AtomicU64::new(0)) }; STRIPES];
+
+    /// Round-robin stripe assignment for threads.
+    static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+    thread_local! {
+        /// This thread's assigned stripe; `usize::MAX` until first use.
+        static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+        /// Allocation calls made by this thread. `u64` has no
+        /// destructor and the init is const, so touching it from inside
+        /// the allocator cannot recurse into the allocator.
+        static LOCAL: Cell<u64> = const { Cell::new(0) };
+    }
+
+    #[inline]
+    fn bump() {
+        // `try_with` covers TLS teardown: late allocations fall back to
+        // stripe 0 and drop out of the (already sampled) local count.
+        let idx = STRIPE
+            .try_with(|s| {
+                let mut idx = s.get();
+                if idx == usize::MAX {
+                    idx = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % STRIPES;
+                    s.set(idx);
+                }
+                idx
+            })
+            .unwrap_or(0);
+        STRIPE_COUNTS[idx].0.fetch_add(1, Ordering::Relaxed);
+        let _ = LOCAL.try_with(|l| l.set(l.get() + 1));
+    }
+
+    /// Process-wide allocation calls so far: the sum over all stripes.
+    /// Monotonic, but an unsynchronized snapshot — fine for deltas
+    /// around quiesced stages.
+    pub fn total() -> u64 {
+        STRIPE_COUNTS
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Allocation calls made by the calling thread so far.
+    pub fn thread_total() -> u64 {
+        LOCAL.try_with(Cell::get).unwrap_or(0)
+    }
 
     /// The counting wrapper around the system allocator.
     pub struct CountingAlloc;
 
     unsafe impl GlobalAlloc for CountingAlloc {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            bump();
             unsafe { System.alloc(layout) }
         }
 
@@ -130,12 +201,12 @@ mod counting_alloc {
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            bump();
             unsafe { System.realloc(ptr, layout, new_size) }
         }
 
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            bump();
             unsafe { System.alloc_zeroed(layout) }
         }
     }
@@ -146,7 +217,13 @@ static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
 
 /// Reads the process-wide allocation counter.
 fn alloc_count() -> u64 {
-    counting_alloc::ALLOCATIONS.load(std::sync::atomic::Ordering::Relaxed)
+    counting_alloc::total()
+}
+
+/// Reads the calling thread's allocation counter — the sampler the sweep
+/// threads through to per-cell work accounting.
+fn thread_alloc_count() -> u64 {
+    counting_alloc::thread_total()
 }
 
 /// One-screen usage summary, printed alongside argument errors.
@@ -445,8 +522,13 @@ fn sweep_main<P: Prof>(
     // identical either way — only telemetry differs.
     let (outcomes, audits) = if opts.audit {
         let (outcomes, audits) = if P::ENABLED {
-            let (outcomes, audits, workers) =
-                sweep::run_sweep_cells_audited_profiled(&cells, threads, opts.hist, &opts.faults);
+            let (outcomes, audits, workers) = sweep::run_sweep_cells_audited_profiled(
+                &cells,
+                threads,
+                opts.hist,
+                &opts.faults,
+                Some(thread_alloc_count),
+            );
             extras.workers = workers;
             (outcomes, audits)
         } else {
@@ -454,8 +536,13 @@ fn sweep_main<P: Prof>(
         };
         (outcomes, Some(audits))
     } else if P::ENABLED {
-        let (outcomes, workers) =
-            sweep::run_sweep_cells_profiled(&cells, threads, opts.hist, &opts.faults);
+        let (outcomes, workers) = sweep::run_sweep_cells_profiled(
+            &cells,
+            threads,
+            opts.hist,
+            &opts.faults,
+            Some(thread_alloc_count),
+        );
         extras.workers = workers;
         (outcomes, None)
     } else {
@@ -555,7 +642,9 @@ fn fuzz_main<P: Prof>(opts: &Options, cases: usize, prof: &P) {
 /// `--baseline` names a committed `BENCH_sweep.json`, applies the 25%
 /// cells/sec regression gate. Full mode additionally replays the
 /// complete appendix-A grid at 1/2/4 threads and the engine stress
-/// trace, writing `BENCH_sweep.json` and `BENCH_engine.json`.
+/// trace, writing `BENCH_sweep.json` and `BENCH_engine.json`. Both
+/// modes apply the scaling-efficiency gate on machines with at least
+/// two effective cores (elsewhere it skips with a note).
 fn bench_main<P: Prof>(opts: &Options, prof: &P) -> Result<(), CliError> {
     let _span = prof.span("bench");
     let alloc: &dyn Fn() -> u64 = &alloc_count;
@@ -565,19 +654,32 @@ fn bench_main<P: Prof>(opts: &Options, prof: &P) -> Result<(), CliError> {
         bench::SMOKE_TRACES.len()
     );
     let sweep_span = prof.span("sweep-bench");
-    let sweep_bench = bench::run_sweep_bench(full, Some(alloc));
+    let sweep_bench = bench::run_sweep_bench(full, Some(alloc), Some(thread_alloc_count));
     drop(sweep_span);
     eprintln!(
         "smoke: {} cells in {:.2}s ({:.1} cells/sec)",
         sweep_bench.smoke.units,
-        sweep_bench.smoke.wall_secs,
+        sweep_bench.smoke.wall.as_secs_f64(),
         sweep_bench.smoke.per_sec()
     );
-    for (threads, stage) in &sweep_bench.scaling {
+    if let Some(stage) = &sweep_bench.smoke_scaling {
         eprintln!(
-            "full grid @ {threads} thread(s): {} cells in {:.2}s ({:.1} cells/sec)",
+            "smoke @ {} threads: {} cells in {:.2}s ({:.1} cells/sec)",
+            bench::SCALING_GATE_THREADS,
             stage.units,
-            stage.wall_secs,
+            stage.wall.as_secs_f64(),
+            stage.per_sec()
+        );
+    }
+    for (threads, stage) in &sweep_bench.scaling {
+        let eff = match sweep_bench.scaling_efficiency(*threads) {
+            Some(e) => format!(", efficiency {e:.3}"),
+            None => String::new(),
+        };
+        eprintln!(
+            "full grid @ {threads} thread(s): {} cells in {:.2}s ({:.1} cells/sec{eff})",
+            stage.units,
+            stage.wall.as_secs_f64(),
             stage.per_sec()
         );
     }
@@ -606,6 +708,14 @@ fn bench_main<P: Prof>(opts: &Options, prof: &P) -> Result<(), CliError> {
         }
     }
 
+    match bench::check_scaling(&sweep_bench) {
+        Ok(verdict) => eprintln!("{verdict}"),
+        Err(verdict) => {
+            eprintln!("BENCH SCALING: {verdict}");
+            std::process::exit(1);
+        }
+    }
+
     if !full {
         println!("{}", bench::sweep_bench_json(&sweep_bench));
         return Ok(());
@@ -624,7 +734,7 @@ fn bench_main<P: Prof>(opts: &Options, prof: &P) -> Result<(), CliError> {
         eprintln!(
             "{policy}: {} events in {:.2}s ({:.0} events/sec)",
             stage.units,
-            stage.wall_secs,
+            stage.wall.as_secs_f64(),
             stage.per_sec()
         );
     }
@@ -892,4 +1002,85 @@ fn single_main<P: Prof>(opts: &Options, prof: &P) -> Result<(), CliError> {
         eprintln!("audit: all {} runs clean", results.len());
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_counters_observe_an_allocation() {
+        let before_total = alloc_count();
+        let before_local = thread_alloc_count();
+        let v: Vec<u64> = Vec::with_capacity(32);
+        assert!(alloc_count() > before_total);
+        assert!(thread_alloc_count() > before_local);
+        drop(v);
+    }
+
+    #[test]
+    fn thread_counter_starts_fresh_per_thread() {
+        // Warm the main thread's counter well past zero.
+        let _v: Vec<u64> = Vec::with_capacity(8);
+        assert!(thread_alloc_count() > 0);
+        let (before, after) = std::thread::spawn(|| {
+            let before = thread_alloc_count();
+            let v: Vec<u64> = Vec::with_capacity(8);
+            let after = thread_alloc_count();
+            drop(v);
+            (before, after)
+        })
+        .join()
+        .unwrap();
+        assert!(after > before);
+        // A fresh thread's counter reflects only its own few startup
+        // allocations, not the process history.
+        assert!(before < 100, "fresh thread counter started at {before}");
+    }
+
+    #[test]
+    fn sharded_total_sees_every_thread() {
+        let before = alloc_count();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let v: Vec<u8> = Vec::with_capacity(128);
+                    drop(v);
+                });
+            }
+        });
+        assert!(alloc_count() >= before + 4);
+    }
+
+    #[test]
+    fn work_allocs_are_thread_count_invariant_under_real_allocator() {
+        // Each item allocates a deterministic amount; the summed
+        // per-item figure sampled from the real thread-local counter
+        // must not depend on the worker count. This is the pinned form
+        // of the old drift bug, where the comparable bench number moved
+        // by dozens of allocations between --threads values.
+        let run = |i: usize| -> usize {
+            let mut v = Vec::new();
+            for k in 0..(i % 5) + 1 {
+                v.push(vec![k as u8; 64]);
+            }
+            v.len()
+        };
+        let totals: Vec<u64> = [1usize, 2, 4]
+            .iter()
+            .map(|&threads| {
+                let (results, workers) = parcache_bench::run_indexed_measured(
+                    12,
+                    threads,
+                    Some(thread_alloc_count),
+                    run,
+                );
+                assert_eq!(results.len(), 12);
+                workers.iter().map(|w| w.work_allocs).sum()
+            })
+            .collect();
+        assert!(totals[0] > 0);
+        assert_eq!(totals[0], totals[1]);
+        assert_eq!(totals[0], totals[2]);
+    }
 }

@@ -19,20 +19,23 @@ pub mod runner;
 pub mod sha256;
 pub mod sweep;
 
-pub use bench::{run_engine_bench, run_sweep_bench, EngineBench, SweepBench};
+pub use bench::{
+    check_scaling, run_engine_bench, run_sweep_bench, EngineBench, SweepBench,
+    SCALING_EFFICIENCY_FLOOR, SCALING_GATE_THREADS,
+};
 pub use experiments::{comparison, comparison_on, comparison_with, Algo};
 pub use fuzz::{fuzz, FuzzCase, FuzzFailure, FuzzReport};
 pub use paper::{paper_cells, paper_elapsed};
 pub use prof::{detect_parallelism, EffectiveParallelism, NoopProf, Prof, WallProf, WorkerStats};
 pub use report::{breakdown_table, explain_table, percent, BreakdownRow};
 pub use runner::{
-    best_reverse, best_reverse_search, paper_disk_counts, run, trace, trace_cache_stats,
-    DISK_COUNTS, SEED,
+    best_reverse, best_reverse_search, paper_disk_counts, run, trace, trace_cache_stats, try_trace,
+    TraceError, DISK_COUNTS, SEED,
 };
 pub use sha256::{sha256, sha256_hex};
 pub use sweep::{
-    default_threads, run_indexed, run_indexed_profiled, run_sweep, run_sweep_audited,
-    run_sweep_cells_audited, run_sweep_cells_audited_profiled, run_sweep_cells_profiled,
-    run_sweep_probed, sweep_csv, sweep_csv_explain, sweep_json, CellOutcome, SweepCell, SweepEntry,
-    SweepSpec,
+    default_threads, run_indexed, run_indexed_measured, run_indexed_profiled, run_sweep,
+    run_sweep_audited, run_sweep_cells_audited, run_sweep_cells_audited_profiled,
+    run_sweep_cells_profiled, run_sweep_probed, sweep_csv, sweep_csv_explain, sweep_json,
+    CellOutcome, SweepCell, SweepEntry, SweepSpec, ThreadAllocSampler,
 };

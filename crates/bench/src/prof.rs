@@ -260,6 +260,12 @@ pub struct WorkerStats {
     pub busy_us: u64,
     /// Microseconds from thread start to thread end.
     pub wall_us: u64,
+    /// Heap allocations made *inside* item closures, sampled from a
+    /// thread-local counter when the embedding binary provides one
+    /// (0 otherwise). Excludes worker setup — thread spawn, queue
+    /// bookkeeping, result collection — so summed over workers it is a
+    /// pure function of the item set, identical at any thread count.
+    pub work_allocs: u64,
 }
 
 impl WorkerStats {
@@ -272,11 +278,12 @@ impl WorkerStats {
     /// These stats as a JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            r#"{{"items":{},"busy_us":{},"idle_us":{},"wall_us":{}}}"#,
+            r#"{{"items":{},"busy_us":{},"idle_us":{},"wall_us":{},"work_allocs":{}}}"#,
             self.items,
             self.busy_us,
             self.idle_us(),
-            self.wall_us
+            self.wall_us,
+            self.work_allocs
         )
     }
 }
@@ -482,11 +489,12 @@ mod tests {
             items: 3,
             busy_us: 40,
             wall_us: 100,
+            work_allocs: 12,
         };
         assert_eq!(w.idle_us(), 60);
         assert_eq!(
             w.to_json(),
-            r#"{"items":3,"busy_us":40,"idle_us":60,"wall_us":100}"#
+            r#"{"items":3,"busy_us":40,"idle_us":60,"wall_us":100,"work_allocs":12}"#
         );
     }
 }

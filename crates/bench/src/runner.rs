@@ -36,36 +36,101 @@ pub fn paper_disk_counts() -> impl Iterator<Item = usize> {
     DISK_COUNTS.into_iter()
 }
 
+/// Why a trace lookup failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The name is not in the registry.
+    Unknown(String),
+    /// Generation itself panicked (e.g. a malformed registry entry). The
+    /// panic is caught and cached, so later lookups of the same name get
+    /// this error instead of a poisoned lock.
+    Generation {
+        /// The trace whose generator panicked.
+        name: String,
+        /// The panic payload, when it was a string.
+        panic: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Unknown(name) => write!(f, "unknown trace {name}"),
+            TraceError::Generation { name, panic } => {
+                write!(f, "generating trace {name} panicked: {panic}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// Returns the named trace, generated once per process and cached.
 ///
 /// The cache hands out [`Arc`] clones, so repeated lookups share one
 /// generated trace instead of deep-copying hundreds of thousands of
 /// requests per call. Each entry is its own [`OnceLock`], so the map's
-/// mutex is held only to find the entry: sweep workers resolving
-/// *different* traces generate them concurrently, while workers racing on
-/// the *same* trace generate it exactly once.
-pub fn trace(name: &str) -> Arc<Trace> {
-    type Slot = Arc<OnceLock<Arc<Trace>>>;
+/// mutex is held only to find the entry: callers resolving *different*
+/// traces generate them concurrently, while callers racing on the *same*
+/// trace generate it exactly once. (Sweep workers never get here at all:
+/// the grid pre-generates its traces before workers spawn, and cells
+/// carry `Arc<Trace>` — see `SweepSpec::named`.)
+///
+/// The slot caches a `Result`: an unknown name or a panicking generator
+/// is stored as a typed [`TraceError`], so later lookups of the same
+/// name see the same error instead of hanging on a lock the failed
+/// initialization poisoned.
+pub fn try_trace(name: &str) -> Result<Arc<Trace>, TraceError> {
+    type Slot = Arc<OnceLock<Result<Arc<Trace>, TraceError>>>;
     static CACHE: OnceLock<Mutex<HashMap<String, Slot>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let slot = {
-        let mut map = cache.lock().expect("trace cache poisoned");
+        // The critical section only finds the entry; recover the map
+        // rather than propagating a poison that nothing here can cause.
+        let mut map = cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Arc::clone(map.entry(name.to_string()).or_default())
     };
     let mut generated = false;
-    let t = Arc::clone(slot.get_or_init(|| {
-        generated = true;
-        Arc::new(
-            parcache_trace::trace_by_name(name, SEED)
-                .unwrap_or_else(|| panic!("unknown trace {name}")),
-        )
-    }));
+    let result = slot
+        .get_or_init(|| {
+            generated = true;
+            // Catch generation panics so they cannot poison the slot:
+            // the error is cached and typed, never a wedged lock.
+            match std::panic::catch_unwind(|| parcache_trace::trace_by_name(name, SEED)) {
+                Ok(Some(t)) => Ok(Arc::new(t)),
+                Ok(None) => Err(TraceError::Unknown(name.to_string())),
+                Err(payload) => Err(TraceError::Generation {
+                    name: name.to_string(),
+                    panic: panic_message(&payload),
+                }),
+            }
+        })
+        .clone();
     if generated {
         TRACE_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
     } else {
         TRACE_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
     }
-    t
+    result
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`try_trace`], panicking on failure — the convenience entry point for
+/// experiment code where every name is a registry constant.
+pub fn trace(name: &str) -> Arc<Trace> {
+    try_trace(name).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Runs one simulation.
@@ -130,6 +195,41 @@ mod tests {
     #[should_panic(expected = "unknown trace")]
     fn unknown_trace_panics() {
         trace("nope");
+    }
+
+    #[test]
+    fn failed_lookup_is_typed_and_repeatable() {
+        // The first failure caches a typed error; the second lookup must
+        // see the same error again — not a poisoned lock or a hang.
+        let e1 = try_trace("no-such-trace").unwrap_err();
+        let e2 = try_trace("no-such-trace").unwrap_err();
+        assert_eq!(e1, TraceError::Unknown("no-such-trace".to_string()));
+        assert_eq!(e1, e2);
+        assert!(e1.to_string().contains("unknown trace no-such-trace"));
+        // And a failed name never wedges *other* names.
+        assert!(try_trace("synth").is_ok());
+    }
+
+    #[test]
+    fn generation_error_formats_with_cause() {
+        let e = TraceError::Generation {
+            name: "broken".to_string(),
+            panic: "index out of bounds".to_string(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "generating trace broken panicked: index out of bounds"
+        );
+    }
+
+    #[test]
+    fn panic_payloads_render_as_text() {
+        let boxed: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(boxed.as_ref()), "boom");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new("boom".to_string());
+        assert_eq!(panic_message(boxed.as_ref()), "boom");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(17u32);
+        assert_eq!(panic_message(boxed.as_ref()), "non-string panic payload");
     }
 
     #[test]

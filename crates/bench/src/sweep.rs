@@ -61,7 +61,10 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 s.spawn(|| {
-                    let mut local = Vec::new();
+                    // Sized for an even split up front: result collection
+                    // should almost never grow mid-loop, keeping worker
+                    // allocator traffic out of the items' way.
+                    let mut local = Vec::with_capacity(n / threads + 1);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
@@ -86,6 +89,13 @@ where
     collected.into_iter().map(|(_, t)| t).collect()
 }
 
+/// Samples a *thread-local* allocation counter: the embedding binary's
+/// counting allocator maintains one exact counter per thread, so a
+/// worker reading it before and after an item sees exactly the item's
+/// own allocations — no cross-thread noise, no shared cache line.
+/// `None` disables allocation accounting (the counters read 0).
+pub type ThreadAllocSampler = Option<fn() -> u64>;
+
 /// [`run_indexed`] with per-worker wall-clock telemetry: how many items
 /// each worker ran, how long it was busy inside them, and its total
 /// thread lifetime (idle = wall − busy covers queue waits and the tail
@@ -97,15 +107,40 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_measured(n, threads, None, run)
+}
+
+/// [`run_indexed_profiled`] with per-item allocation accounting: when a
+/// sampler is given, each item's allocations are read off the worker's
+/// own thread-local counter and accumulated into
+/// [`WorkerStats::work_allocs`]. Worker *setup* — thread spawn, the
+/// result vector, queue bookkeeping — falls outside the sampled windows,
+/// so `work_allocs` summed over workers is a pure function of the item
+/// set: identical at any thread count (the committed bench baselines
+/// used to drift by a few dozen allocations per extra worker).
+pub fn run_indexed_measured<T, F>(
+    n: usize,
+    threads: usize,
+    sampler: ThreadAllocSampler,
+    run: F,
+) -> (Vec<T>, Vec<WorkerStats>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     use std::time::Instant;
+    let sample = move || sampler.map_or(0, |f| f());
     let threads = threads.max(1).min(n.max(1));
     if threads == 1 {
         let from = Instant::now();
         let mut busy_us = 0u64;
+        let mut work_allocs = 0u64;
         let out: Vec<T> = (0..n)
             .map(|i| {
                 let t0 = Instant::now();
+                let a0 = sample();
                 let r = run(i);
+                work_allocs += sample().saturating_sub(a0);
                 busy_us += t0.elapsed().as_micros() as u64;
                 r
             })
@@ -114,6 +149,7 @@ where
             items: n as u64,
             busy_us,
             wall_us: from.elapsed().as_micros() as u64,
+            work_allocs,
         };
         return (out, vec![stats]);
     }
@@ -125,7 +161,7 @@ where
             .map(|_| {
                 s.spawn(|| {
                     let from = Instant::now();
-                    let mut local = Vec::new();
+                    let mut local = Vec::with_capacity(n / threads + 1);
                     let mut stats = WorkerStats::default();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -133,9 +169,12 @@ where
                             break;
                         }
                         let t0 = Instant::now();
-                        local.push((i, run(i)));
+                        let a0 = sample();
+                        let r = run(i);
+                        stats.work_allocs += sample().saturating_sub(a0);
                         stats.busy_us += t0.elapsed().as_micros() as u64;
                         stats.items += 1;
+                        local.push((i, r));
                     }
                     stats.wall_us = from.elapsed().as_micros() as u64;
                     (local, stats)
@@ -391,14 +430,17 @@ pub fn run_sweep_cells_audited(
     pairs.into_iter().unzip()
 }
 
-/// [`run_sweep_cells`] with per-worker telemetry (for `--profile`).
+/// [`run_sweep_cells`] with per-worker telemetry (for `--profile` and
+/// the bench harness). A `sampler` attributes each cell's allocations to
+/// [`WorkerStats::work_allocs`]; see [`run_indexed_measured`].
 pub fn run_sweep_cells_profiled(
     cells: &[SweepCell],
     threads: usize,
     probed: bool,
     faults: &FaultPlan,
+    sampler: ThreadAllocSampler,
 ) -> (Vec<CellOutcome>, Vec<WorkerStats>) {
-    run_indexed_profiled(cells.len(), threads, |i| {
+    run_indexed_measured(cells.len(), threads, sampler, |i| {
         run_cell(&cells[i], probed, faults)
     })
 }
@@ -409,8 +451,9 @@ pub fn run_sweep_cells_audited_profiled(
     threads: usize,
     probed: bool,
     faults: &FaultPlan,
+    sampler: ThreadAllocSampler,
 ) -> (Vec<CellOutcome>, Vec<AuditOutcome>, Vec<WorkerStats>) {
-    let (pairs, workers) = run_indexed_profiled(cells.len(), threads, |i| {
+    let (pairs, workers) = run_indexed_measured(cells.len(), threads, sampler, |i| {
         run_cell_audited(&cells[i], probed, faults)
     });
     let (outcomes, audits) = pairs.into_iter().unzip();
@@ -608,6 +651,34 @@ mod tests {
         let (out, workers) = run_indexed_profiled(0, 4, |i| i);
         assert!(out.is_empty());
         assert_eq!(workers.len(), 1);
+    }
+
+    #[test]
+    fn measured_work_allocs_are_thread_count_invariant() {
+        use std::cell::Cell;
+        thread_local! {
+            static FAKE: Cell<u64> = const { Cell::new(0) };
+        }
+        fn read_fake() -> u64 {
+            FAKE.with(Cell::get)
+        }
+        // Each item "allocates" i + 1 ticks on whichever worker runs it;
+        // anything outside the items never touches the counter, so the
+        // summed figure must be a pure function of the item set.
+        let run = |i: usize| {
+            FAKE.with(|c| c.set(c.get() + i as u64 + 1));
+            i * 2
+        };
+        let expected: u64 = (1..=40).sum();
+        for threads in [1, 2, 4] {
+            let (out, workers) = run_indexed_measured(40, threads, Some(read_fake), run);
+            assert_eq!(out, (0..40).map(|i| i * 2).collect::<Vec<_>>());
+            let total: u64 = workers.iter().map(|w| w.work_allocs).sum();
+            assert_eq!(total, expected, "{threads} threads");
+        }
+        // Without a sampler the counters stay zero.
+        let (_, workers) = run_indexed_measured(8, 2, None, |i| i);
+        assert!(workers.iter().all(|w| w.work_allocs == 0));
     }
 
     #[test]

@@ -29,6 +29,46 @@ pub const UNKNOWN_BLOCK: BlockId = BlockId(u64::MAX);
 /// `u32`-packed arrays.
 const NONE32: u32 = u32::MAX;
 
+/// Compact row storage: all rows concatenated into one flat allocation,
+/// sliced by an offsets table. The oracle's occurrence and disk-position
+/// lists used to be one `Vec` per block; at hundreds to thousands of
+/// blocks per trace that dominated the per-simulation allocation count
+/// (and, in the multi-threaded sweep, the allocator contention). Two
+/// counted passes build the same lists in exactly two allocations.
+#[derive(Debug)]
+struct Rows<T> {
+    /// `offsets[i]..offsets[i + 1]` delimits row `i` in `data`.
+    offsets: Vec<u32>,
+    /// All rows, concatenated.
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Rows<T> {
+    /// An all-default store with row `i` sized to `counts[i]`, ready to
+    /// be filled in place.
+    fn from_counts(counts: &[u32]) -> Rows<T> {
+        let total: usize = counts.iter().map(|&c| c as usize).sum();
+        assert!(total < u32::MAX as usize, "row data must fit u32 offsets");
+        let mut offsets = Vec::with_capacity(counts.len() + 1);
+        let mut at = 0u32;
+        offsets.push(0);
+        for &c in counts {
+            at += c;
+            offsets.push(at);
+        }
+        Rows {
+            offsets,
+            data: vec![T::default(); total],
+        }
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    fn row(&self, i: usize) -> &[T] {
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
 /// Precomputed full-knowledge index of one trace under one disk layout.
 #[derive(Debug)]
 pub struct Oracle {
@@ -50,10 +90,10 @@ pub struct Oracle {
     /// disclosed sequence.
     disclosed: usize,
     /// Every position at which each block is referenced, ascending, by
-    /// compact index. Universe-only blocks have empty lists.
-    occurrences: Vec<Vec<u32>>,
+    /// compact index. Universe-only blocks have empty rows.
+    occurrences: Rows<u32>,
     /// Positions whose block lives on each disk, ascending.
-    disk_positions: Vec<Vec<usize>>,
+    disk_positions: Rows<usize>,
     /// Disk of each block (cached from the layout).
     layout: Layout,
 }
@@ -109,30 +149,54 @@ impl Oracle {
         let mut index: FastMap<BlockId, u32> =
             FastMap::with_capacity_and_hasher(entries.len(), Default::default());
         let mut blocks: Vec<BlockId> = Vec::new();
-        let mut occurrences: Vec<Vec<u32>> = Vec::new();
-        let mut disk_positions: Vec<Vec<usize>> = vec![Vec::new(); layout.disks()];
+        // Pass 1: assign compact indices and count each block's and each
+        // disk's entries, so the occurrence and disk-position lists can
+        // be laid out flat (one allocation each) instead of one growing
+        // `Vec` per block.
+        let mut counts: Vec<u32> = Vec::new();
+        let mut disk_counts: Vec<u32> = vec![0; layout.disks()];
+        let mut entry_idx: Vec<u32> = Vec::with_capacity(entries.len());
         for &(pos, block) in &entries {
             assert!(pos < len, "entry position {pos} out of range");
             sequence[pos] = block;
             let idx = *index.entry(block).or_insert_with(|| {
                 blocks.push(block);
-                occurrences.push(Vec::new());
+                counts.push(0);
                 (blocks.len() - 1) as u32
             });
             seq_idx[pos] = idx;
-            if let Some(&prev) = occurrences[idx as usize].last() {
-                next_same[prev as usize] = pos as u32;
-            }
-            occurrences[idx as usize].push(pos as u32);
-            disk_positions[layout.disk_of(block).index()].push(pos);
+            entry_idx.push(idx);
+            counts[idx as usize] += 1;
+            disk_counts[layout.disk_of(block).index()] += 1;
         }
         let disclosed = blocks.len();
         for &block in universe {
             index.entry(block).or_insert_with(|| {
                 blocks.push(block);
-                occurrences.push(Vec::new());
+                counts.push(0);
                 (blocks.len() - 1) as u32
             });
+        }
+        // Pass 2: fill the flat stores in place. Entries are ascending by
+        // position, so each row fills in ascending order, and the next
+        // pointer of a block's previous occurrence is the slot just
+        // written before the cursor.
+        let mut occurrences = Rows::<u32>::from_counts(&counts);
+        let mut disk_positions = Rows::<usize>::from_counts(&disk_counts);
+        let mut occ_cursor: Vec<u32> = occurrences.offsets[..counts.len()].to_vec();
+        let mut disk_cursor: Vec<u32> = disk_positions.offsets[..disk_counts.len()].to_vec();
+        for (&(pos, block), &idx) in entries.iter().zip(&entry_idx) {
+            let at = occ_cursor[idx as usize] as usize;
+            if at > occurrences.offsets[idx as usize] as usize {
+                let prev = occurrences.data[at - 1];
+                next_same[prev as usize] = pos as u32;
+            }
+            occurrences.data[at] = pos as u32;
+            occ_cursor[idx as usize] += 1;
+            let disk = layout.disk_of(block).index();
+            let d_at = disk_cursor[disk] as usize;
+            disk_positions.data[d_at] = pos;
+            disk_cursor[disk] += 1;
         }
         Oracle {
             sequence,
@@ -217,7 +281,7 @@ impl Oracle {
     /// [`Oracle::next_occurrence`] by compact index: binary search over
     /// the block's dense occurrence list, no hashing.
     pub fn next_occurrence_idx(&self, idx: u32, at: usize) -> usize {
-        let occ = &self.occurrences[idx as usize];
+        let occ = self.occurrences.row(idx as usize);
         let i = occ.partition_point(|&p| (p as usize) < at);
         occ.get(i).map_or(NEVER, |&p| p as usize)
     }
@@ -245,14 +309,14 @@ impl Oracle {
     /// binary search over the block's sorted occurrence list.
     pub fn last_occurrence_before(&self, block: BlockId, before: usize) -> Option<usize> {
         let idx = self.index_of(block)?;
-        let occ = &self.occurrences[idx as usize];
+        let occ = self.occurrences.row(idx as usize);
         let i = occ.partition_point(|&p| (p as usize) < before);
         i.checked_sub(1).map(|i| occ[i] as usize)
     }
 
     /// All positions referencing blocks on `disk`, ascending.
     pub fn positions_on_disk(&self, disk: DiskId) -> &[usize] {
-        &self.disk_positions[disk.index()]
+        self.disk_positions.row(disk.index())
     }
 
     /// The distinct *disclosed* blocks of the sequence, in
@@ -264,7 +328,7 @@ impl Oracle {
     /// First occurrence position of every distinct block.
     pub fn first_occurrences(&self) -> Vec<(BlockId, usize)> {
         (0..self.disclosed)
-            .map(|i| (self.blocks[i], self.occurrences[i][0] as usize))
+            .map(|i| (self.blocks[i], self.occurrences.row(i)[0] as usize))
             .collect()
     }
 }
