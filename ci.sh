@@ -52,6 +52,19 @@ cargo run --release -q -p parcache-bench --bin parcache-run -- \
     --sweep synth all 1,2 --threads 2 --faults "$FAULTS" > "$tmp2"
 diff "$tmp1" "$tmp2"
 
+echo "== predictor sweep smoke (hints axis, every policy, audited) =="
+cargo run --release -q -p parcache-bench --bin parcache-run -- \
+    --sweep synth all 1,2 --hints oracle,seq,markov,mithril --audit --threads 2 \
+    > "$tmp1" 2> /dev/null
+head -n 1 "$tmp1" | grep -q ',hints$'
+
+echo "== predicted sweep is byte-identical across thread counts =="
+cargo run --release -q -p parcache-bench --bin parcache-run -- \
+    --sweep synth all 1,2 --hints seq,markov,mithril --threads 1 > "$tmp1"
+cargo run --release -q -p parcache-bench --bin parcache-run -- \
+    --sweep synth all 1,2 --hints seq,markov,mithril --threads 4 > "$tmp2"
+diff "$tmp1" "$tmp2"
+
 echo "== explain sweep smoke (per-cause stall columns, audited) =="
 cargo run --release -q -p parcache-bench --bin parcache-run -- \
     --sweep synth all 1,2 --explain --audit --threads 2 > "$tmp1" 2> /dev/null
@@ -75,6 +88,19 @@ grep -q '"workers":\[{"items":' "$tmp2"
 
 echo "== golden appendix-A sweep digest =="
 cargo test --release -q -p parcache-bench --test golden -- --ignored
+
+echo "== golden digest via the CLI (default sweep CSV, hash pinned) =="
+# The default (oracle-hint) 332-cell sweep CSV must hash to the committed
+# fixture even through the CLI path: the CSV is everything before the
+# blank line that separates it from the aggregate table.
+cargo run --release -q -p parcache-bench --bin parcache-run -- \
+    --sweep > "$tmp1" 2> /dev/null
+cli_digest=$(awk '/^$/ { exit } { print }' "$tmp1" | sha256sum | cut -d' ' -f1)
+golden=$(cat crates/bench/tests/fixtures/appendix_a_sweep.sha256)
+if [ "$cli_digest" != "$golden" ]; then
+    echo "default sweep CSV digest $cli_digest != committed $golden"
+    exit 1
+fi
 
 # Benchmark smoke: replay the smoke sweep subset and fail on a >25%
 # cells/sec drop against the committed BENCH_sweep.json. The tolerance

@@ -24,6 +24,8 @@
 //! parcache-run glimpse all 4 --explain               # stall-by-cause table
 //! parcache-run --sweep --explain                     # CSV with per-cause columns
 //! parcache-run --sweep --profile prof.json           # harness self-profile
+//! parcache-run synth forestall 4 --hints markov      # online predicted hints
+//! parcache-run --sweep synth all 4 --hints oracle,seq,markov,mithril
 //! ```
 //!
 //! The trace argument is one of the paper's trace names, or a path to a
@@ -83,6 +85,15 @@
 //!   The default sweep CSV is untouched — the extra columns exist only
 //!   under this flag. (`--json` output always carries
 //!   `stall_by_cause`, so the flag changes nothing there.)
+//! * `--hints <list>` swaps the disclosed-future oracle for an online
+//!   predictor (`seq`, `markov`, `mithril`; `oracle` is the default
+//!   disclosed future). Single runs take one source and print its
+//!   precision/recall; sweeps accept a comma-separated list as an extra
+//!   grid axis and gain a `hints` CSV column (plus
+//!   `hint_precision`/`hint_recall` under `--explain`).
+//! * Contradictory flag combinations (`--bench --sweep`, `--seed`
+//!   without `--fuzz`, `--explain` under `--fuzz`, ...) are rejected up
+//!   front with exit status 2 instead of being silently ignored.
 //! * `--profile <path>` profiles the harness itself: hierarchical span
 //!   self-times with per-span allocation counts, per-worker busy/idle
 //!   telemetry for sweeps, trace-cache hit/miss counts, and the
@@ -101,6 +112,7 @@ use parcache_bench::{breakdown_table, run, trace, Algo, BreakdownRow, DISK_COUNT
 use parcache_core::engine::simulate_probed;
 use parcache_core::metrics::{MetricsProbe, RunMetrics, Unit};
 use parcache_core::policy::PolicyKind;
+use parcache_core::predict::HintMode;
 use parcache_core::probe::{Event, Probe};
 use parcache_core::{Report, SimConfig};
 use parcache_disk::FaultPlan;
@@ -230,17 +242,19 @@ fn thread_alloc_count() -> u64 {
 const USAGE: &str = "\
 usage: parcache-run <trace> [policy] [disks] [--json] [--hist] [--audit]
                     [--explain] [--events <path>] [--faults <spec>]
-                    [--profile <path>]
+                    [--hints <source>] [--profile <path>]
        parcache-run --sweep [traces] [algos] [disks] [--threads N]
                     [--json] [--hist] [--audit] [--explain]
-                    [--faults <spec>] [--profile <path>]
+                    [--faults <spec>] [--hints <list>] [--profile <path>]
        parcache-run --fuzz <n> [--seed <s>] [--threads N] [--profile <path>]
        parcache-run --bench [--profile <path>]
        parcache-run --bench-smoke [--baseline <BENCH_sweep.json>]
 
 traces:  paper trace names (or `all`), or a path to a trace file
 faults:  comma-separated flaky:<disk|*>:<p>, slow:<disk|*>:<from_ms>:<until_ms>:<factor>,
-         outage:<disk|*>:<from_ms>:<until_ms>, seed:<u64>";
+         outage:<disk|*>:<from_ms>:<until_ms>, seed:<u64>
+hints:   oracle (disclosed future, the default), seq, markov, mithril —
+         comma-separated under --sweep to add a hint-source sweep axis";
 
 /// What stopped the CLI: a bad invocation (exit 2, with usage) or a
 /// runtime I/O failure (exit 1).
@@ -308,11 +322,15 @@ struct Options {
     bench: bool,
     bench_smoke: bool,
     baseline: Option<String>,
-    seed: u64,
+    /// `--seed` as given; `None` means the flag was absent, so the
+    /// fuzzer falls back to its default stream.
+    seed: Option<u64>,
     threads: Option<usize>,
     events: Option<String>,
     profile: Option<String>,
     faults: FaultPlan,
+    /// `--hints` as given; `None` means the flag was absent (oracle).
+    hints: Option<Vec<HintMode>>,
     positional: Vec<String>,
 }
 
@@ -327,11 +345,12 @@ fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
         bench: false,
         bench_smoke: false,
         baseline: None,
-        seed: parcache_bench::SEED,
+        seed: None,
         threads: None,
         events: None,
         profile: None,
         faults: FaultPlan::default(),
+        hints: None,
         positional: Vec::new(),
     };
     let mut it = args.into_iter();
@@ -361,7 +380,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
                 }
             },
             "--seed" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
-                Some(s) => opts.seed = s,
+                Some(s) => opts.seed = Some(s),
                 None => {
                     return Err(CliError::Usage(
                         "--seed requires an unsigned integer".to_string(),
@@ -399,18 +418,125 @@ fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
                     ))
                 }
             },
+            "--hints" => match it.next() {
+                Some(list) => {
+                    let modes = list
+                        .split(',')
+                        .map(|n| {
+                            HintMode::by_name(n).ok_or_else(|| {
+                                CliError::Usage(format!(
+                                    "unknown hint source {n:?}; choose from: {}",
+                                    HintMode::ALL
+                                        .iter()
+                                        .map(|m| m.name())
+                                        .collect::<Vec<_>>()
+                                        .join(" ")
+                                ))
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    opts.hints = Some(modes);
+                }
+                None => {
+                    return Err(CliError::Usage(
+                        "--hints requires a comma-separated source list".to_string(),
+                    ))
+                }
+            },
             f if f.starts_with("--") => {
                 return Err(CliError::Usage(format!(
                     "unknown flag {f}; known flags: --json --hist --sweep --audit \
                      --explain --fuzz <n> --bench --bench-smoke --baseline <path> \
                      --seed <s> --threads <n> --events <path> --faults <spec> \
-                     --profile <path>"
+                     --hints <list> --profile <path>"
                 )))
             }
             _ => opts.positional.push(a),
         }
     }
     Ok(opts)
+}
+
+/// Rejects contradictory flag combinations up front, before any mode
+/// runs. The dispatcher used to pick the first matching mode and the
+/// losing flags were silently ignored — `--bench --sweep` benched,
+/// `--fuzz --seed`-less sweeps accepted `--seed`, and so on. Every
+/// rejected combination exits 2 with the usage text, like any other
+/// malformed command line.
+fn validate(opts: &Options) -> Result<(), CliError> {
+    let usage = |msg: &str| Err(CliError::Usage(msg.to_string()));
+    let bench_mode = opts.bench || opts.bench_smoke;
+    let fuzzing = opts.fuzz.is_some();
+    if opts.bench && opts.bench_smoke {
+        return usage("--bench and --bench-smoke are mutually exclusive; pick one");
+    }
+    if bench_mode && opts.sweep {
+        return usage(
+            "--bench/--bench-smoke and --sweep are mutually exclusive; run one mode at a time",
+        );
+    }
+    if bench_mode && fuzzing {
+        return usage(
+            "--bench/--bench-smoke and --fuzz are mutually exclusive; run one mode at a time",
+        );
+    }
+    if fuzzing && opts.sweep {
+        return usage("--fuzz and --sweep are mutually exclusive; run one mode at a time");
+    }
+    if opts.baseline.is_some() && !opts.bench_smoke {
+        return usage("--baseline only applies to --bench-smoke");
+    }
+    if opts.seed.is_some() && !fuzzing {
+        return usage("--seed only applies to --fuzz; sweeps and single runs are deterministic");
+    }
+    if opts.threads.is_some() && !opts.sweep && !fuzzing {
+        return usage("--threads only applies to --sweep and --fuzz");
+    }
+    if opts.events.is_some() {
+        if opts.sweep {
+            return usage(
+                "--events is not supported with --sweep; run the cell on its own instead",
+            );
+        }
+        if fuzzing || bench_mode {
+            return usage("--events only applies to single runs");
+        }
+    }
+    if opts.explain && (fuzzing || bench_mode) {
+        return usage("--explain only applies to single runs and --sweep");
+    }
+    if opts.audit && (fuzzing || bench_mode) {
+        return usage(
+            "--audit only applies to single runs and --sweep; --fuzz already audits every case",
+        );
+    }
+    if opts.hist && (fuzzing || bench_mode) {
+        return usage("--hist only applies to single runs and --sweep");
+    }
+    if opts.json && (fuzzing || bench_mode) {
+        return usage("--json only applies to single runs and --sweep");
+    }
+    if !opts.faults.is_empty() && (fuzzing || bench_mode) {
+        return usage(
+            "--faults only applies to single runs and --sweep; --fuzz draws its own fault plans",
+        );
+    }
+    if let Some(hints) = opts.hints.as_deref() {
+        if fuzzing || bench_mode {
+            return usage(
+                "--hints only applies to single runs and --sweep; --fuzz cycles hint sources on its own",
+            );
+        }
+        if !opts.sweep && hints.len() != 1 {
+            return usage(
+                "single runs take exactly one --hints source; use --sweep to compare several",
+            );
+        }
+    }
+    if !opts.positional.is_empty() && (fuzzing || bench_mode) {
+        return usage("--fuzz/--bench take no trace/policy/disks arguments");
+    }
+    Ok(())
 }
 
 fn parse_disks(s: &str) -> Result<Vec<usize>, CliError> {
@@ -458,11 +584,6 @@ fn sweep_main<P: Prof>(
     extras: &mut ProfileExtras,
 ) -> Result<(), CliError> {
     let _span = prof.span("sweep");
-    if opts.events.is_some() {
-        return Err(CliError::Usage(
-            "--events is not supported with --sweep; run the cell on its own instead".to_string(),
-        ));
-    }
     let threads = opts.threads.unwrap_or_else(sweep::default_threads);
     let trace_arg = opts.positional.first().map(String::as_str).unwrap_or("all");
     let algo_arg = opts.positional.get(1).map(String::as_str).unwrap_or("all");
@@ -492,7 +613,7 @@ fn sweep_main<P: Prof>(
     } else {
         trace_arg.split(',').collect()
     };
-    let spec = if names
+    let mut spec = if names
         .iter()
         .all(|n| parcache_trace::TRACE_NAMES.contains(n))
     {
@@ -508,8 +629,18 @@ fn sweep_main<P: Prof>(
                 })
             })
             .collect::<Result<_, CliError>>()?;
-        SweepSpec { entries, algos }
+        SweepSpec {
+            entries,
+            algos,
+            hints: Vec::new(),
+        }
     };
+    // An absent --hints leaves the spec's default (oracle-only) grid,
+    // keeping the flag-less sweep CSV byte-identical to what it always
+    // was.
+    if let Some(hints) = opts.hints.clone() {
+        spec.hints = hints;
+    }
 
     let cells = {
         let _span = prof.span("expand");
@@ -622,7 +753,8 @@ fn fuzz_main<P: Prof>(opts: &Options, cases: usize, prof: &P) {
     let _span = prof.span("fuzz");
     let threads = opts.threads.unwrap_or_else(sweep::default_threads);
     let wall = Instant::now();
-    let report = parcache_bench::fuzz(opts.seed, cases, threads);
+    let seed = opts.seed.unwrap_or(parcache_bench::SEED);
+    let report = parcache_bench::fuzz(seed, cases, threads);
     println!("{report}");
     eprintln!("({} runs in {:.2?})", report.runs, wall.elapsed());
     if !report.is_clean() {
@@ -790,6 +922,7 @@ fn main() {
 
 fn real_main() -> Result<(), CliError> {
     let opts = parse_args(std::env::args().skip(1).collect())?;
+    validate(&opts)?;
     match opts.profile.clone() {
         // No --profile: monomorphize every mode with the no-op profiler,
         // compiling the instrumentation out entirely.
@@ -894,8 +1027,14 @@ fn single_main<P: Prof>(opts: &Options, prof: &P) -> Result<(), CliError> {
     let mut audit_failures: Vec<String> = Vec::new();
     let wall = Instant::now();
     let runs_span = prof.span("runs");
+    // validate() has already pinned --hints to at most one source here.
+    let hint_mode = opts
+        .hints
+        .as_deref()
+        .and_then(|h| h.first().copied())
+        .unwrap_or(HintMode::Oracle);
     for &d in &disks {
-        let cfg = SimConfig::for_trace(d, &t);
+        let cfg = SimConfig::for_trace(d, &t).with_hint_mode(hint_mode);
         // An empty --faults plan leaves the config untouched, keeping
         // healthy-run output byte-identical.
         let cfg = if opts.faults.is_empty() {
@@ -975,6 +1114,22 @@ fn single_main<P: Prof>(opts: &Options, prof: &P) -> Result<(), CliError> {
             .map(|(r, _)| BreakdownRow::new(r.clone()))
             .collect();
         println!("{}", breakdown_table(trace_name, &rows));
+        for (report, _) in &results {
+            if let Some(h) = &report.hints {
+                println!(
+                    "hints {}: {}/{} predictions correct over {} references \
+                     (precision {:.4}, recall {:.4}) for {} on {} disk(s)",
+                    h.source,
+                    h.correct,
+                    h.predicted,
+                    h.references,
+                    h.precision(),
+                    h.recall(),
+                    report.policy,
+                    report.disks
+                );
+            }
+        }
         if opts.explain {
             println!("{}", explain_table(trace_name, &rows));
         }
@@ -1007,6 +1162,95 @@ fn single_main<P: Prof>(opts: &Options, prof: &P) -> Result<(), CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parcache_core::predict::PredictorKind;
+
+    fn parsed(args: &[&str]) -> Result<Options, CliError> {
+        parse_args(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Parses and validates, the way `real_main` does.
+    fn checked(args: &[&str]) -> Result<Options, CliError> {
+        let opts = parsed(args)?;
+        validate(&opts)?;
+        Ok(opts)
+    }
+
+    fn assert_usage(args: &[&str]) {
+        match checked(args) {
+            Err(e @ CliError::Usage(_)) => assert_eq!(e.exit_code(), 2, "{args:?}"),
+            Err(e) => panic!("{args:?} should be a usage error, got {e}"),
+            Ok(_) => panic!("{args:?} should be rejected as a usage error"),
+        }
+    }
+
+    #[test]
+    fn hints_flag_parses_a_source_list() {
+        let opts = parsed(&["--sweep", "--hints", "oracle,seq,markov,mithril"]).unwrap();
+        assert_eq!(
+            opts.hints,
+            Some(vec![
+                HintMode::Oracle,
+                HintMode::Predicted(PredictorKind::Sequential),
+                HintMode::Predicted(PredictorKind::Markov),
+                HintMode::Predicted(PredictorKind::Mithril),
+            ])
+        );
+        assert!(parsed(&["--hints"]).is_err());
+        assert!(parsed(&["--hints", "psychic"]).is_err());
+    }
+
+    #[test]
+    fn contradictory_flag_combinations_exit_2() {
+        // Mode flags are mutually exclusive.
+        assert_usage(&["--bench", "--sweep"]);
+        assert_usage(&["--bench-smoke", "--sweep"]);
+        assert_usage(&["--bench", "--bench-smoke"]);
+        assert_usage(&["--bench", "--fuzz", "10"]);
+        assert_usage(&["--fuzz", "10", "--sweep"]);
+        // Flags that only make sense for one mode.
+        assert_usage(&["--sweep", "--baseline", "BENCH_sweep.json"]);
+        assert_usage(&["--sweep", "--seed", "7"]);
+        assert_usage(&["synth", "all", "4", "--seed", "7"]);
+        assert_usage(&["synth", "--threads", "4"]);
+        assert_usage(&["--bench", "--threads", "4"]);
+        assert_usage(&["--sweep", "--events", "out.jsonl"]);
+        assert_usage(&["--fuzz", "10", "--events", "out.jsonl"]);
+        assert_usage(&["--fuzz", "10", "--explain"]);
+        assert_usage(&["--bench", "--explain"]);
+        assert_usage(&["--fuzz", "10", "--audit"]);
+        assert_usage(&["--fuzz", "10", "--hist"]);
+        assert_usage(&["--fuzz", "10", "--json"]);
+        assert_usage(&["--fuzz", "10", "--faults", "flaky:*:0.01"]);
+        assert_usage(&["--fuzz", "10", "--hints", "seq"]);
+        assert_usage(&["--bench", "--hints", "seq"]);
+        assert_usage(&["--fuzz", "10", "synth"]);
+        assert_usage(&["--bench", "synth"]);
+        // Single runs take exactly one hint source.
+        assert_usage(&["synth", "all", "4", "--hints", "seq,markov"]);
+    }
+
+    #[test]
+    fn well_formed_invocations_validate() {
+        for args in [
+            &["--sweep", "--threads", "4", "--hints", "seq,markov"][..],
+            &["--sweep", "synth", "all", "1,2", "--audit", "--explain"],
+            &["--fuzz", "10", "--seed", "7", "--threads", "2"],
+            &["--bench-smoke", "--baseline", "BENCH_sweep.json"],
+            &["synth", "forestall", "4", "--hints", "mithril", "--json"],
+            &["synth", "all", "1,2", "--faults", "flaky:*:0.01,seed:7"],
+        ] {
+            assert!(checked(args).is_ok(), "{args:?} should validate");
+        }
+    }
+
+    #[test]
+    fn single_run_picks_up_the_one_allowed_hint_source() {
+        let opts = checked(&["synth", "all", "4", "--hints", "markov"]).unwrap();
+        assert_eq!(
+            opts.hints.as_deref().and_then(|h| h.first().copied()),
+            Some(HintMode::Predicted(PredictorKind::Markov))
+        );
+    }
 
     #[test]
     fn allocation_counters_observe_an_allocation() {

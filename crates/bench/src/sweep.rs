@@ -21,6 +21,7 @@ use parcache_core::audit::{simulate_audited, AuditOutcome, AuditViolation};
 use parcache_core::engine::{simulate_probed, Report};
 use parcache_core::metrics::{Counters, Histogram, MetricsProbe, RunMetrics, Unit};
 use parcache_core::policy::PolicyKind;
+use parcache_core::predict::HintMode;
 use parcache_core::SimConfig;
 use parcache_disk::FaultPlan;
 use parcache_trace::Trace;
@@ -211,6 +212,10 @@ pub struct SweepSpec {
     pub entries: Vec<SweepEntry>,
     /// Algorithms to run at every (trace, disks) point, in output order.
     pub algos: Vec<Algo>,
+    /// Hint sources to run every grid point under, in output order. An
+    /// empty list means the default oracle source, so pre-existing specs
+    /// expand to exactly the cells they always did.
+    pub hints: Vec<HintMode>,
 }
 
 /// One expanded grid point.
@@ -224,6 +229,8 @@ pub struct SweepCell {
     pub algo: Algo,
     /// The array size.
     pub disks: usize,
+    /// Where the policy's hints come from.
+    pub hints: HintMode,
 }
 
 /// One finished cell: the cell, its report, and (for probed sweeps) the
@@ -277,22 +284,33 @@ impl SweepSpec {
         SweepSpec {
             entries,
             algos: algos.to_vec(),
+            hints: Vec::new(),
         }
     }
 
-    /// Expands the grid into indexed cells: traces outermost, then array
-    /// sizes, then algorithms — the appendix tables' row order.
+    /// Expands the grid into indexed cells: traces outermost, then hint
+    /// sources, then array sizes, then algorithms — the appendix tables'
+    /// row order, repeated per hint source.
     pub fn cells(&self) -> Vec<SweepCell> {
+        let default_hints = [HintMode::Oracle];
+        let hints: &[HintMode] = if self.hints.is_empty() {
+            &default_hints
+        } else {
+            &self.hints
+        };
         let mut cells = Vec::new();
         for entry in &self.entries {
-            for &d in &entry.disks {
-                for &algo in &self.algos {
-                    cells.push(SweepCell {
-                        index: cells.len(),
-                        trace: Arc::clone(&entry.trace),
-                        algo,
-                        disks: d,
-                    });
+            for &h in hints {
+                for &d in &entry.disks {
+                    for &algo in &self.algos {
+                        cells.push(SweepCell {
+                            index: cells.len(),
+                            trace: Arc::clone(&entry.trace),
+                            algo,
+                            disks: d,
+                            hints: h,
+                        });
+                    }
                 }
             }
         }
@@ -308,7 +326,7 @@ fn run_cell_inner(
     probed: bool,
     faults: &FaultPlan,
 ) -> (CellOutcome, PolicyKind, SimConfig) {
-    let cfg = SimConfig::for_trace(cell.disks, &cell.trace);
+    let cfg = SimConfig::for_trace(cell.disks, &cell.trace).with_hint_mode(cell.hints);
     // An empty plan leaves the config untouched, so healthy sweeps stay
     // byte-identical to builds without fault support.
     let cfg = if faults.is_empty() {
@@ -541,10 +559,20 @@ impl SweepAggregate {
     }
 }
 
+/// Whether any outcome ran under a predicted hint source. Gates the
+/// `hints` CSV columns the same way fault accounting gates the fault
+/// columns: oracle-only sweeps keep the exact historical bytes.
+fn any_hinted(outcomes: &[CellOutcome]) -> bool {
+    outcomes
+        .iter()
+        .any(|o| o.cell.hints != HintMode::Oracle || o.report.hints.is_some())
+}
+
 /// The outcomes as a CSV document (header plus one row per cell, in cell
 /// order). Identical input produces identical bytes, whatever the thread
 /// count that computed it.
 pub fn sweep_csv(outcomes: &[CellOutcome]) -> String {
+    let hinted = any_hinted(outcomes);
     let mut out = String::with_capacity(outcomes.len() * 96 + 128);
     // Fault columns appear only when a cell carries fault accounting, so
     // healthy sweeps keep the exact historical header and row bytes.
@@ -553,24 +581,51 @@ pub fn sweep_csv(outcomes: &[CellOutcome]) -> String {
     } else {
         out.push_str(Report::csv_header());
     }
+    if hinted {
+        out.push_str(",hints");
+    }
     out.push('\n');
     for o in outcomes {
         out.push_str(&o.report.to_csv_row());
+        if hinted {
+            out.push(',');
+            out.push_str(o.cell.hints.name());
+        }
         out.push('\n');
     }
     out
 }
 
 /// [`sweep_csv`] with the five per-cause stall columns appended to every
-/// row (`--explain`). A separate function, not a flag on [`sweep_csv`]:
-/// the default document's bytes are golden-pinned and must not change.
+/// row (`--explain`), plus — when any cell ran on predicted hints — the
+/// hint source and its prediction precision/recall. A separate function,
+/// not a flag on [`sweep_csv`]: the default document's bytes are
+/// golden-pinned and must not change.
 pub fn sweep_csv_explain(outcomes: &[CellOutcome]) -> String {
     let faulted = outcomes.iter().any(|o| o.report.fault.is_some());
+    let hinted = any_hinted(outcomes);
     let mut out = String::with_capacity(outcomes.len() * 128 + 160);
     out.push_str(&Report::csv_header_explain(faulted));
+    if hinted {
+        out.push_str(",hints,hint_precision,hint_recall");
+    }
     out.push('\n');
     for o in outcomes {
         out.push_str(&o.report.to_csv_row_explain());
+        if hinted {
+            // The oracle source is by definition perfectly precise and
+            // complete; predicted cells report measured figures.
+            let (precision, recall) = match &o.report.hints {
+                Some(stats) => (stats.precision(), stats.recall()),
+                None => (1.0, 1.0),
+            };
+            out.push_str(&format!(
+                ",{},{:.4},{:.4}",
+                o.cell.hints.name(),
+                precision,
+                recall
+            ));
+        }
         out.push('\n');
     }
     out
@@ -690,6 +745,7 @@ mod tests {
                 disks: vec![1],
             }],
             algos: vec![Algo::Demand, Algo::Aggressive],
+            hints: Vec::new(),
         };
         let outcomes = run_sweep(&spec, 1);
         let plain = sweep_csv(&outcomes);
@@ -717,9 +773,11 @@ mod tests {
                 disks: vec![1, 2],
             }],
             algos: vec![Algo::Demand, Algo::FixedHorizon],
+            hints: Vec::new(),
         };
         let cells = spec.cells();
         assert_eq!(cells.len(), 4);
+        assert!(cells.iter().all(|c| c.hints == HintMode::Oracle));
         let order: Vec<(usize, &str)> = cells.iter().map(|c| (c.disks, c.algo.name())).collect();
         assert_eq!(
             order,
@@ -731,6 +789,48 @@ mod tests {
             ]
         );
         assert!(cells.iter().enumerate().all(|(i, c)| c.index == i));
+    }
+
+    #[test]
+    fn hint_axis_multiplies_the_grid_and_gates_the_csv_columns() {
+        use parcache_core::predict::PredictorKind;
+        let t = Arc::new(parcache_trace::synth::synth_trace(2, 60, 5));
+        let spec = SweepSpec {
+            entries: vec![SweepEntry {
+                trace: t,
+                disks: vec![1],
+            }],
+            algos: vec![Algo::Demand, Algo::Aggressive],
+            hints: vec![
+                HintMode::Oracle,
+                HintMode::Predicted(PredictorKind::Sequential),
+            ],
+        };
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 4);
+        let order: Vec<&str> = cells.iter().map(|c| c.hints.name()).collect();
+        assert_eq!(order, vec!["oracle", "oracle", "seq", "seq"]);
+        let outcomes = run_sweep(&spec, 1);
+        // Oracle cells stay stats-free; predicted cells carry stats.
+        assert!(outcomes[0].report.hints.is_none());
+        assert!(outcomes[2].report.hints.is_some());
+        let csv = sweep_csv(&outcomes);
+        assert!(csv.lines().next().unwrap().ends_with(",hints"));
+        assert!(csv.lines().nth(1).unwrap().ends_with(",oracle"));
+        assert!(csv.lines().nth(3).unwrap().ends_with(",seq"));
+        let explain = sweep_csv_explain(&outcomes);
+        let header = explain.lines().next().unwrap();
+        assert!(header.ends_with(",hints,hint_precision,hint_recall"));
+        // Oracle rows render as perfectly precise and complete.
+        assert!(explain
+            .lines()
+            .nth(1)
+            .unwrap()
+            .contains(",oracle,1.0000,1.0000"));
+        // The plain document for an oracle-only subset keeps its
+        // historical bytes: no hints column at all.
+        let oracle_only = sweep_csv(&outcomes[..2]);
+        assert!(!oracle_only.contains("hints"));
     }
 
     #[test]

@@ -65,6 +65,7 @@ fn audited_sweep_is_byte_identical_to_unaudited() {
             disks: vec![1, 3],
         }],
         algos: vec![Algo::Demand, Algo::Aggressive, Algo::TunedReverse],
+        hints: Vec::new(),
     };
     let plain = run_sweep(&spec, 2);
     let (audited, audits) = run_sweep_audited(&spec, 2);
@@ -125,6 +126,7 @@ fn faulted_spec() -> (SweepSpec, FaultPlan) {
             disks: vec![1, 3],
         }],
         algos: vec![Algo::Demand, Algo::Aggressive, Algo::TunedReverse],
+        hints: Vec::new(),
     };
     let plan =
         FaultPlan::parse("flaky:*:0.05,slow:0:0:200:2,outage:0:50:120,seed:3").expect("parses");

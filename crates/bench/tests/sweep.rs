@@ -27,6 +27,7 @@ fn small_spec() -> SweepSpec {
             },
         ],
         algos: vec![Algo::Demand, Algo::Aggressive, Algo::TunedReverse],
+        hints: Vec::new(),
     }
 }
 

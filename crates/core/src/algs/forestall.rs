@@ -22,6 +22,7 @@ use crate::algs::fixed_horizon::FixedHorizon;
 use crate::engine::Ctx;
 use crate::policy::Policy;
 use parcache_types::{DiskId, Nanos};
+use std::cmp::Ordering;
 
 /// Disks averaging under this per-access time use the low F' multiplier.
 const FAST_DISK_THRESHOLD: Nanos = Nanos::from_millis(5);
@@ -83,31 +84,67 @@ impl Forestall {
         let cursor = ctx.cursor;
         let window = LOOKAHEAD_CACHES * ctx.cache.capacity();
         let window_end = cursor.saturating_add(window);
-        let far = window.saturating_sub(1) as f64;
-        // Early-exit gap: a later j-th missing block at distance d_j has
+        // `window >= 2`: the cache holds at least one block.
+        let far = (window - 1) as u64;
+        // Early exit: a later j-th missing block at distance d_j has
         // j <= i + (d_j - d_i) (positions are distinct), so a trigger
-        // needs (i + d_j - d_i) * F' >= d_j, i.e. d_i - i <= d_j (1 -
-        // 1/F') <= far (1 - 1/F'). Once the running gap d_i - i exceeds
-        // that bound, nothing in the window can trigger and the scan's
-        // answer is already false. The +1 margin keeps the exit sound
-        // against the division's rounding; where the exit fires affects
-        // only scan cost, never the returned value.
-        let exit_gap = far - far / f_prime + 1.0;
+        // there needs (i + d_j - d_i) * F' >= d_j. The slack in that
+        // inequality is monotone in d_j for F' >= 1, so its value at the
+        // window edge d_j = far decides the whole tail: once
+        // (i + far - d_i) * F' < far, nothing ahead can trigger and the
+        // scan's answer is already false. Both the trigger and the exit
+        // compare a count times F' against a distance in exact integer
+        // arithmetic (`scaled_cmp`), so distances beyond 2^53 or
+        // platform FP differences can never flip a prefetch decision.
         let mut i = 0u64;
         for pos in ctx
             .missing
             .missing_on_disk_in_window(disk, cursor, window_end)
         {
             i += 1;
-            let distance = (pos - cursor) as f64;
-            if i as f64 * f_prime >= distance {
+            let distance = (pos - cursor) as u64;
+            if scaled_cmp(u128::from(i), f_prime, distance) != Ordering::Less {
                 return true;
             }
-            if distance - i as f64 > exit_gap {
+            if scaled_cmp(u128::from(i) + u128::from(far - distance), f_prime, far)
+                == Ordering::Less
+            {
                 return false;
             }
         }
         false
+    }
+}
+
+/// Compares `a * f` with `b` exactly, for finite `f >= 1.0`.
+///
+/// `f` is decomposed into its IEEE-754 mantissa and exponent (`f = m *
+/// 2^e` with `2^52 <= m < 2^53`, and `e >= -52` because `f >= 1`), so
+/// the product `a * m` and the power-of-two rescaling are carried out
+/// in `u128` with no rounding at any magnitude. Overflow can only mean
+/// the left side dwarfs any `u64` right side (`b * 2^-e < 2^116`), so
+/// it decides as `Greater`.
+fn scaled_cmp(a: u128, f: f64, b: u64) -> Ordering {
+    debug_assert!(f.is_finite() && f >= 1.0, "factor must be finite and >= 1");
+    let bits = f.to_bits();
+    let exp = ((bits >> 52) & 0x7FF) as i32 - 1075;
+    let m = u128::from((bits & ((1u64 << 52) - 1)) | (1u64 << 52));
+    let lhs = match a.checked_mul(m) {
+        Some(l) => l,
+        None => return Ordering::Greater,
+    };
+    if exp >= 0 {
+        if lhs == 0 {
+            return 0u128.cmp(&u128::from(b));
+        }
+        if exp as u32 > lhs.leading_zeros() {
+            // lhs * 2^exp >= 2^128 > b.
+            return Ordering::Greater;
+        }
+        (lhs << exp).cmp(&u128::from(b))
+    } else {
+        // -exp <= 52, so b * 2^-exp < 2^116 fits u128.
+        lhs.cmp(&(u128::from(b) << (-exp) as u32))
     }
 }
 
@@ -224,6 +261,75 @@ mod tests {
         let r = simulate_with(&t, &mut p, &c);
         assert_eq!(r.elapsed, r.compute + r.driver + r.stall);
         assert!(r.fetches >= 10);
+    }
+
+    #[test]
+    fn scaled_cmp_is_exact_where_f64_rounding_flips_the_decision() {
+        // Boundary regression for the old `i as f64 * f_prime >=
+        // distance as f64` trigger: 2^53 + 3 is not representable in
+        // f64 and rounds *up* to 2^53 + 4 (ties-to-even), so the f64
+        // comparison claims i * 1.0 >= d — a phantom stall prediction.
+        let a = (1u128 << 53) + 3;
+        let b = (1u64 << 53) + 4;
+        assert!(
+            (((1u64 << 53) + 3) as f64) >= (b as f64),
+            "the f64 path really does flip at this boundary"
+        );
+        assert_eq!(scaled_cmp(a, 1.0, b), Ordering::Less);
+        // And one ulp the other way: 2^53 + 5 rounds down to 2^53 + 4.
+        assert!((((1u64 << 53) + 5) as f64) <= (b as f64 + 0.0));
+        assert_eq!(scaled_cmp((1u128 << 53) + 5, 1.0, b), Ordering::Greater);
+    }
+
+    #[test]
+    fn scaled_cmp_matches_exact_rational_arithmetic() {
+        // Every factor here is dyadic (num / 2^k exactly representable
+        // in f64), so cross-multiplication in u128 is the ground truth.
+        let factors: &[(f64, u128, u128)] = &[
+            (1.0, 1, 1),
+            (1.25, 5, 4),
+            (1.5, 3, 2),
+            (2.0, 2, 1),
+            (3.0, 3, 1),
+            (4.5, 9, 2),
+            (1.0 + f64::EPSILON, (1 << 52) + 1, 1 << 52),
+        ];
+        let values: &[u64] = &[
+            0,
+            1,
+            2,
+            3,
+            7,
+            62,
+            1 << 30,
+            (1 << 53) - 1,
+            1 << 53,
+            (1 << 53) + 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &(f, num, den) in factors {
+            for &a in values {
+                for &b in values {
+                    let exact = (u128::from(a) * num).cmp(&(u128::from(b) * den));
+                    assert_eq!(scaled_cmp(u128::from(a), f, b), exact, "{a} * {f} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_cmp_survives_extreme_magnitudes() {
+        // Huge factors overflow the u128 product path and must decide
+        // Greater (the true product dwarfs any u64), except when a = 0.
+        assert_eq!(scaled_cmp(1, 1e300, u64::MAX), Ordering::Greater);
+        assert_eq!(scaled_cmp(u128::MAX, 4.0, u64::MAX), Ordering::Greater);
+        assert_eq!(scaled_cmp(0, 1e300, 5), Ordering::Less);
+        assert_eq!(scaled_cmp(0, 1e300, 0), Ordering::Equal);
+        assert_eq!(scaled_cmp(0, 1.0, 0), Ordering::Equal);
+        // Large exponent against a large a: 2^64 * 2^64 overflows into
+        // the checked_mul arm.
+        assert_eq!(scaled_cmp(1u128 << 100, 2.0, u64::MAX), Ordering::Greater);
     }
 
     #[test]

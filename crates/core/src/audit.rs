@@ -998,6 +998,7 @@ mod tests {
             avg_disk_utilization: 0.0,
             per_disk: vec![Default::default()],
             fault: None,
+            hints: None,
         };
         let out = p.finish(&report);
         assert!(!out.is_clean());
@@ -1207,6 +1208,7 @@ mod tests {
             avg_disk_utilization: 0.0,
             per_disk: vec![Default::default()],
             fault: None,
+            hints: None,
         };
         let out = p.finish(&report);
         assert!(out.suppressed >= 10, "{}", out.suppressed);

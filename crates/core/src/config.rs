@@ -62,6 +62,12 @@ pub struct SimConfig {
     /// How much of the access sequence the application disclosed (the
     /// paper's main setting is full disclosure; see `crate::hints`).
     pub hints: crate::hints::HintSpec,
+    /// Where hints come from: the application's disclosed sequence (the
+    /// paper's setting) or an online predictor that learns the demand
+    /// stream as it arrives (see `crate::predict`). Under a predicted
+    /// mode the disclosure spec in `hints` is ignored — there is no
+    /// disclosed sequence to mask, only the predictor's own output.
+    pub hint_mode: crate::predict::HintMode,
     /// Write-behind load (the §6 writes extension): one flush of the
     /// just-consumed block every `n` reads; `None` (the paper's setting)
     /// means a read-only run.
@@ -154,6 +160,7 @@ impl SimConfig {
             reverse_batch_size: default_batch_size(disks),
             forestall_static_f: None,
             hints: crate::hints::HintSpec::Full,
+            hint_mode: crate::predict::HintMode::Oracle,
             write_behind_period: None,
             faults: FaultPlan::default(),
             retry: RetryPolicy::default(),
@@ -215,6 +222,12 @@ impl SimConfig {
     /// Sets the hint disclosure (defaults to full disclosure).
     pub fn with_hints(mut self, hints: crate::hints::HintSpec) -> SimConfig {
         self.hints = hints;
+        self
+    }
+
+    /// Sets the hint source (defaults to the disclosed oracle).
+    pub fn with_hint_mode(mut self, mode: crate::predict::HintMode) -> SimConfig {
+        self.hint_mode = mode;
         self
     }
 

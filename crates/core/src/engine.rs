@@ -25,6 +25,7 @@ use crate::config::{DiskModelKind, SimConfig};
 use crate::metrics::json_escape;
 use crate::oracle::Oracle;
 use crate::policy::{Policy, PolicyKind};
+use crate::predict::HintStats;
 use crate::probe::{Event, FaultCause, NoopProbe, Probe, StallCause};
 use parcache_disk::coarse::CoarseDisk;
 use parcache_disk::disk::DiskStats;
@@ -280,6 +281,13 @@ pub struct Report {
     /// healthy-run reports render byte-identically to reports from before
     /// fault support existed.
     pub fault: Option<FaultSummary>,
+    /// Prediction accounting; `Some` exactly when the run used a
+    /// predicted hint source ([`HintMode::Predicted`]), so oracle-hint
+    /// reports render byte-identically to reports from before hint
+    /// sources existed.
+    ///
+    /// [`HintMode::Predicted`]: crate::predict::HintMode::Predicted
+    pub hints: Option<HintStats>,
 }
 
 /// Fault, retry, and degraded-time accounting for a run executed under a
@@ -508,13 +516,17 @@ impl Report {
             None => String::new(),
             Some(f) => format!(r#","fault":{}"#, f.to_json()),
         };
+        let hints = match &self.hints {
+            None => String::new(),
+            Some(h) => format!(r#","hints":{}"#, h.to_json()),
+        };
         format!(
             concat!(
                 r#"{{"trace":"{}","policy":"{}","disks":{},"#,
                 r#""elapsed_s":{:.6},"compute_s":{:.6},"driver_s":{:.6},"stall_s":{:.6},"#,
                 r#""stall_by_cause":{},"#,
                 r#""fetches":{},"writes":{},"avg_fetch_ms":{:.4},"avg_disk_utilization":{:.4},"#,
-                r#""per_disk":[{}]{}}}"#
+                r#""per_disk":[{}]{}{}}}"#
             ),
             json_escape(&self.trace),
             json_escape(&self.policy),
@@ -530,6 +542,7 @@ impl Report {
             self.avg_disk_utilization,
             per_disk.join(","),
             fault,
+            hints,
         )
     }
 }
@@ -671,6 +684,9 @@ struct Engine<'t> {
     /// One bit per compact block index, set when the block is evicted
     /// after real residency (see [`Ctx::issue_fetch_idx`]).
     evicted_ever: Vec<u64>,
+    /// Prediction accounting from the hint-source pre-pass; `Some`
+    /// exactly when the run uses a predicted hint mode.
+    hint_stats: Option<HintStats>,
 }
 
 impl<'t> Engine<'t> {
@@ -683,16 +699,34 @@ impl<'t> Engine<'t> {
             config.retry.validate();
         }
         let layout = Layout::striped(config.disks);
-        // Policies only know what the application disclosed: under
-        // incomplete hints their oracle indexes the hinted subsequence.
-        // Undisclosed blocks still receive compact indices (with empty
-        // occurrence lists) so the cache can track them densely when the
-        // application demand-misses on them.
-        let oracle = match config.hints {
-            crate::hints::HintSpec::Full => Oracle::new(trace, layout),
-            ref spec => {
-                let mask = spec.mask(trace.requests.len());
-                crate::hints::hinted_oracle(trace, layout, &mask)
+        // Policies only know what the hint source told them. Under the
+        // oracle mode that is the application's disclosed subsequence;
+        // under a predicted mode it is the epoch pre-pass of an online
+        // predictor (wrong guesses included — the policy prefetches
+        // them, paying the wasted bandwidth). Undisclosed blocks still
+        // receive compact indices (with empty occurrence lists) so the
+        // cache can track them densely when the application
+        // demand-misses on them.
+        let (oracle, hint_stats) = match config.hint_mode {
+            crate::predict::HintMode::Oracle => {
+                let oracle = match config.hints {
+                    crate::hints::HintSpec::Full => Oracle::new(trace, layout),
+                    ref spec => {
+                        let mask = spec.mask(trace.requests.len());
+                        crate::hints::hinted_oracle(trace, layout, &mask)
+                    }
+                };
+                (oracle, None)
+            }
+            crate::predict::HintMode::Predicted(kind) => {
+                let mut source = kind.build();
+                let (oracle, stats) = crate::predict::predicted_oracle(
+                    trace,
+                    layout,
+                    source.as_mut(),
+                    crate::predict::DEFAULT_EPOCH,
+                );
+                (oracle, Some(stats))
             }
         };
         let ref_idx: Vec<u32> = trace
@@ -719,9 +753,13 @@ impl<'t> Engine<'t> {
         boundaries.sort_by_key(|&(t, d, entering)| (t, d.index(), entering));
         let evicted_ever = vec![0u64; oracle.num_blocks().div_ceil(64)];
         let mut cache = Cache::new(config.cache_blocks, oracle.num_blocks());
-        if config.hints.nominal_fraction() < 1.0 {
+        let fully_hinted = matches!(config.hint_mode, crate::predict::HintMode::Oracle)
+            && config.hints.fully_disclosing(trace.requests.len());
+        if !fully_hinted {
             // Value blocks with no disclosed future by LRU recency, as
-            // TIP2 does for unhinted pages.
+            // TIP2 does for unhinted pages. Predicted hints are never
+            // complete knowledge — the predictor can go silent or guess
+            // wrong — so predicted runs always keep the LRU estimate.
             cache.enable_lru_estimate();
         }
         Engine {
@@ -751,6 +789,7 @@ impl<'t> Engine<'t> {
             stall_by_cause: StallBreakdown::ZERO,
             degraded_windows,
             evicted_ever,
+            hint_stats,
         }
     }
 
@@ -1344,6 +1383,7 @@ impl<'t> Engine<'t> {
             // run ends contributes its partial service time to `busy`.
             per_disk: self.array.stats_at(elapsed),
             fault,
+            hints: self.hint_stats.clone(),
         }
     }
 }
@@ -1543,6 +1583,93 @@ mod tests {
             // demand-missed with a full F=4 stall.
             assert_eq!(r.fetches, 4, "{kind}");
             assert_eq!(r.stall, Nanos::from_millis(16), "{kind}");
+        }
+    }
+
+    #[test]
+    fn hint_stream_ending_mid_run_is_not_full_disclosure() {
+        // A hint stream that stops mid-run (an application that quits
+        // hinting, a predictor gone silent) must leave the engine
+        // believing *nothing* about the tail — not that the tail holds
+        // no future references. Regression for the disclosure
+        // bookkeeping: the complete-knowledge gate now asks
+        // `fully_disclosing(n)`, which a mid-run prefix never satisfies.
+        use crate::hints::HintSpec;
+        // Four distinct blocks through a three-frame cache, with block 0
+        // referenced once early and again only after the cutoff. Full
+        // disclosure sees that far reuse; a stream ending at 9 must fall
+        // back to the recency estimate for it, so replacement genuinely
+        // depends on how much of the future is known and a cutoff
+        // changes the outcome — for every policy, demand included.
+        let blocks = [0, 1, 2, 3, 2, 1, 2, 2, 1, 3, 0];
+        let t = unit_trace(&blocks, 8);
+        for kind in PolicyKind::ALL {
+            let cfg = |spec: HintSpec| {
+                let mut c = theory_config(2, 3, 4);
+                c.hints = spec;
+                c
+            };
+            let full = simulate(&t, kind, &cfg(HintSpec::Full));
+            let none = simulate(&t, kind, &cfg(HintSpec::None));
+            // The degenerate prefixes are exactly the closed-form specs.
+            assert_eq!(
+                simulate(&t, kind, &cfg(HintSpec::Prefix { disclosed: 0 })),
+                none,
+                "{kind}: an immediately-exhausted stream is no hints at all"
+            );
+            assert_eq!(
+                simulate(
+                    &t,
+                    kind,
+                    &cfg(HintSpec::Prefix {
+                        disclosed: blocks.len()
+                    })
+                ),
+                full,
+                "{kind}: a stream covering the whole trace is full disclosure"
+            );
+            // A mid-run cutoff is strictly partial knowledge: the policy
+            // cannot do better than full disclosure, and the audited run
+            // must satisfy every conservation invariant.
+            let (half, outcome) =
+                crate::audit::simulate_audited(&t, kind, &cfg(HintSpec::Prefix { disclosed: 9 }));
+            outcome.assert_clean();
+            assert_ne!(half, full, "{kind}: exhausted stream treated as omniscient");
+            assert!(
+                half.elapsed >= full.elapsed,
+                "{kind}: partial hints beat full disclosure"
+            );
+            assert_eq!(half.elapsed, half.compute + half.driver + half.stall);
+        }
+    }
+
+    #[test]
+    fn predicted_hint_modes_run_every_policy_audit_clean() {
+        // Smoke the predictor path end to end at engine level: each
+        // online source drives each policy through the audited engine,
+        // stats are attached, and the accounting identity holds. A
+        // looping trace gives the predictors something learnable.
+        use crate::predict::{HintMode, PredictorKind};
+        let blocks: Vec<u64> = (0..4).flat_map(|_| 0..12u64).collect();
+        let t = unit_trace(&blocks, 2);
+        for kind in PolicyKind::ALL {
+            for pk in PredictorKind::ALL {
+                let mut cfg = theory_config(2, 6, 4);
+                cfg.hint_mode = HintMode::Predicted(pk);
+                let (r, outcome) = crate::audit::simulate_audited(&t, kind, &cfg);
+                outcome.assert_clean();
+                let stats = r.hints.as_ref().unwrap_or_else(|| {
+                    panic!("{kind}/{}: predicted run must carry HintStats", pk.name())
+                });
+                assert_eq!(stats.source, pk.name());
+                assert_eq!(stats.references, blocks.len() as u64);
+                assert!(stats.correct <= stats.predicted);
+                assert_eq!(r.elapsed, r.compute + r.driver + r.stall, "{kind}");
+            }
+            // Oracle mode stays stats-free so its reports render
+            // byte-identically to pre-hint-source builds.
+            let cfg = theory_config(2, 6, 4);
+            assert!(simulate(&t, kind, &cfg).hints.is_none());
         }
     }
 

@@ -45,6 +45,16 @@ pub enum HintSpec {
         /// Sampling seed.
         seed: u64,
     },
+    /// Only the first `disclosed` references are hinted; the stream then
+    /// stops mid-run. This models a hint source that exhausts itself —
+    /// an application that stops hinting, or an online predictor that
+    /// goes silent — and pins the engine's end-of-hints bookkeeping: an
+    /// exhausted source must *not* be treated as "all future blocks
+    /// disclosed".
+    Prefix {
+        /// Number of leading references disclosed.
+        disclosed: usize,
+    },
     /// Nothing is disclosed: every policy degenerates to demand fetching
     /// (with no future knowledge, even replacement turns blind).
     None,
@@ -56,6 +66,7 @@ impl HintSpec {
         match *self {
             HintSpec::Full => vec![true; n],
             HintSpec::None => vec![false; n],
+            HintSpec::Prefix { disclosed } => (0..n).map(|i| i < disclosed).collect(),
             HintSpec::Fraction { fraction, seed } => {
                 assert!(
                     (0.0..=1.0).contains(&fraction),
@@ -94,12 +105,37 @@ impl HintSpec {
     }
 
     /// The fraction of references disclosed (1.0 for `Full`).
+    ///
+    /// `Prefix` reports 0.0 regardless of its length: the fraction is
+    /// length-relative and this method has no access to the trace, so it
+    /// stays conservative. Use [`HintSpec::fully_disclosing`] — which
+    /// *does* know the trace length — for "is everything disclosed?"
+    /// decisions.
     pub fn nominal_fraction(&self) -> f64 {
         match *self {
             HintSpec::Full => 1.0,
             HintSpec::None => 0.0,
+            HintSpec::Prefix { .. } => 0.0,
             HintSpec::Fraction { fraction, .. } => fraction,
             HintSpec::Segments { fraction, .. } => fraction,
+        }
+    }
+
+    /// Whether a trace of `n` references is disclosed in its entirety.
+    ///
+    /// This is the engine's gate for trusting the oracle as complete
+    /// knowledge (e.g. exact Belady replacement instead of the LRU
+    /// estimate for undisclosed blocks). It errs on the side of `false`:
+    /// `Segments` is never fully disclosing (its fraction is strictly
+    /// below 1), and a `Prefix` only qualifies when it covers the whole
+    /// trace.
+    pub fn fully_disclosing(&self, n: usize) -> bool {
+        match *self {
+            HintSpec::Full => true,
+            HintSpec::None => n == 0,
+            HintSpec::Prefix { disclosed } => disclosed >= n,
+            HintSpec::Fraction { fraction, .. } => fraction >= 1.0,
+            HintSpec::Segments { .. } => false,
         }
     }
 }
@@ -177,6 +213,67 @@ mod tests {
         assert_eq!(HintSpec::None.mask(2), vec![false, false]);
         assert_eq!(HintSpec::Full.nominal_fraction(), 1.0);
         assert_eq!(HintSpec::None.nominal_fraction(), 0.0);
+    }
+
+    #[test]
+    fn prefix_masks_and_disclosure_bounds() {
+        assert_eq!(
+            HintSpec::Prefix { disclosed: 2 }.mask(4),
+            vec![true, true, false, false]
+        );
+        assert_eq!(
+            HintSpec::Prefix { disclosed: 0 }.mask(2),
+            vec![false, false]
+        );
+        // A prefix longer than the trace is just full disclosure.
+        assert_eq!(HintSpec::Prefix { disclosed: 9 }.mask(3), vec![true; 3]);
+        assert_eq!(HintSpec::Prefix { disclosed: 5 }.nominal_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fully_disclosing_matches_the_materialized_mask() {
+        let specs = [
+            HintSpec::Full,
+            HintSpec::None,
+            HintSpec::Prefix { disclosed: 0 },
+            HintSpec::Prefix { disclosed: 3 },
+            HintSpec::Prefix { disclosed: 8 },
+            HintSpec::Fraction {
+                fraction: 1.0,
+                seed: 7,
+            },
+            HintSpec::Fraction {
+                fraction: 0.4,
+                seed: 7,
+            },
+            HintSpec::Segments {
+                fraction: 0.5,
+                mean_run: 4,
+                seed: 7,
+            },
+        ];
+        for spec in &specs {
+            for n in [0usize, 1, 3, 8] {
+                let all_true = spec.mask(n).iter().all(|&h| h);
+                // `fully_disclosing` may be conservative (false even when
+                // a sampled mask happens to be all-true) but must never
+                // claim full disclosure that the mask contradicts.
+                if spec.fully_disclosing(n) {
+                    assert!(all_true, "{spec:?} claimed full disclosure at n={n}");
+                }
+            }
+        }
+        // And the claims the engine depends on are exact, not just safe:
+        assert!(HintSpec::Full.fully_disclosing(100));
+        assert!(HintSpec::Prefix { disclosed: 100 }.fully_disclosing(100));
+        assert!(!HintSpec::Prefix { disclosed: 99 }.fully_disclosing(100));
+        assert!(HintSpec::Fraction {
+            fraction: 1.0,
+            seed: 0
+        }
+        .fully_disclosing(100));
+        assert!(!HintSpec::None.fully_disclosing(1));
+        assert!(HintSpec::None.fully_disclosing(0));
     }
 
     #[test]

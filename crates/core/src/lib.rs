@@ -19,6 +19,11 @@
 //!   model (§2.1), in which compute steps are unit time.
 //! * [`hints`] — incomplete disclosure (the §6 extension): policies see
 //!   only a hinted subsequence.
+//! * [`predict`] — hint delivery behind the [`predict::HintSource`]
+//!   trait: the disclosed-oracle path plus online predictors
+//!   (sequential/stride, first-order Markov, MITHRIL-style sporadic
+//!   association) that learn the demand stream and feed *predicted*
+//!   hints into the same engine.
 //! * [`config`] — run parameters with the paper's defaults, plus the
 //!   deterministic fault plan and the driver's retry/backoff policy.
 //! * [`probe`] / [`metrics`] — the observability layer: a typed event
@@ -42,6 +47,7 @@ pub mod hints;
 pub mod metrics;
 pub mod oracle;
 pub mod policy;
+pub mod predict;
 pub mod probe;
 pub mod theory;
 
@@ -52,4 +58,5 @@ pub use engine::{
 };
 pub use metrics::{Histogram, MetricsProbe, RunMetrics};
 pub use policy::{Policy, PolicyKind};
+pub use predict::{HintMode, HintSource, HintStats, PredictorKind};
 pub use probe::{Event, FaultCause, NoopProbe, Probe};
