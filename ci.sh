@@ -45,7 +45,8 @@ cargo run --release -q -p parcache-bench --bin parcache-run -- \
 
 echo "== faulted sweep is byte-identical across thread counts =="
 tmp1=$(mktemp); tmp2=$(mktemp)
-trap 'rm -f "$tmp1" "$tmp2" "$tmp2.folded"' EXIT
+faildir=$(mktemp -d); killdir=$(mktemp -d)
+trap 'rm -rf "$tmp1" "$tmp2" "$tmp2.folded" "$faildir" "$killdir"' EXIT
 cargo run --release -q -p parcache-bench --bin parcache-run -- \
     --sweep synth all 1,2 --threads 1 --faults "$FAULTS" > "$tmp1"
 cargo run --release -q -p parcache-bench --bin parcache-run -- \
@@ -85,6 +86,58 @@ awk -v wall="$wall" '
         if (sum > wall) { print "span sum " sum " > wall " wall; exit 1 }
     }' "$tmp2.folded"
 grep -q '"workers":\[{"items":' "$tmp2"
+
+echo "== crash-injected sweep smoke (fail-soft isolation, manifest, resume) =="
+# Uninterrupted baseline document, written atomically via --out.
+./target/release/parcache-run --sweep synth all 1,2 --threads 2 \
+    --out "$faildir/base.csv" 2> /dev/null
+# Inject a panic into cell 3: the run must complete every other cell,
+# publish the partial CSV plus a failure manifest, and exit nonzero.
+if PARCACHE_FAIL_CELL=panic:3 RUST_BACKTRACE=0 ./target/release/parcache-run \
+    --sweep synth all 1,2 --threads 2 --out "$faildir/part.csv" 2> /dev/null
+then
+    echo "crash-injected sweep should exit nonzero"; exit 1
+fi
+grep -q '"status":"panicked"' "$faildir/part.csv.manifest.json"
+# Both artifacts were renamed into place; no write temporary lingers.
+if ls "$faildir"/.*.tmp.* 2> /dev/null; then
+    echo "leftover write temporaries after injected failure"; exit 1
+fi
+# Resume re-runs only the failed cell and reproduces the baseline
+# byte for byte.
+./target/release/parcache-run --sweep synth all 1,2 --threads 2 \
+    --resume "$faildir/part.csv.manifest.json" --out "$faildir/resumed.csv" \
+    2> /dev/null
+diff "$faildir/base.csv" "$faildir/resumed.csv"
+# A stale manifest (different grid) is rejected up front with exit 2.
+status=0
+./target/release/parcache-run --sweep synth all 1,4 --threads 2 \
+    --resume "$faildir/part.csv.manifest.json" --out "$faildir/stale.csv" \
+    > /dev/null 2>&1 || status=$?
+if [ "$status" != "2" ]; then
+    echo "stale --resume manifest should exit 2, got $status"; exit 1
+fi
+
+echo "== SIGKILL mid-sweep leaves no truncated artifacts =="
+# The full-grid sweep runs for tens of seconds; killing it two seconds
+# in lands long before anything is published. Invoke the binary
+# directly (cargo run would leave the child alive when the wrapper
+# dies).
+./target/release/parcache-run --sweep --threads 2 --out "$killdir/kill.csv" \
+    > /dev/null 2>&1 &
+victim=$!
+sleep 2
+kill -9 "$victim" 2> /dev/null || true
+wait "$victim" 2> /dev/null || true
+for f in "$killdir/kill.csv" "$killdir/kill.csv.manifest.json"; do
+    if [ -e "$f" ]; then
+        echo "unexpected artifact $f after SIGKILL (should be absent, never truncated)"
+        exit 1
+    fi
+done
+if ls "$killdir"/.*.tmp.* 2> /dev/null; then
+    echo "leftover write temporaries after SIGKILL"; exit 1
+fi
 
 echo "== golden appendix-A sweep digest =="
 cargo test --release -q -p parcache-bench --test golden -- --ignored

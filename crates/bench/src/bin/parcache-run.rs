@@ -26,6 +26,9 @@
 //! parcache-run --sweep --profile prof.json           # harness self-profile
 //! parcache-run synth forestall 4 --hints markov      # online predicted hints
 //! parcache-run --sweep synth all 4 --hints oracle,seq,markov,mithril
+//! parcache-run --sweep --out sweep.csv               # atomic CSV + failure manifest
+//! parcache-run --sweep --cell-timeout 5000 --max-cell-retries 1 --out sweep.csv
+//! parcache-run --sweep --resume sweep.csv.manifest.json --out sweep.csv
 //! ```
 //!
 //! The trace argument is one of the paper's trace names, or a path to a
@@ -102,12 +105,39 @@
 //!   Without the flag the profiling code monomorphizes away entirely
 //!   (the same zero-cost trick as the engine's no-op probe), so default
 //!   runs pay nothing.
+//!
+//! Sweeps execute fail-soft: each cell runs behind an unwind boundary,
+//! so one panicking cell costs that cell, not the sweep. The surviving
+//! rows keep their exact clean-run bytes; the exit status becomes 1.
+//!
+//! * `--out <path>` writes the sweep document to `path` atomically
+//!   (write-temp-then-rename) instead of stdout, and — in CSV modes —
+//!   a failure manifest to `<path>.manifest.json` recording every
+//!   cell's outcome, attempts, and panic payloads, plus a grid hash.
+//! * `--resume <manifest>` re-runs only the cells a previous manifest
+//!   records as failed, skipped, or missing, splices the stored rows
+//!   back in cell order, and produces a document byte-identical to an
+//!   uninterrupted run at any `--threads`. A manifest from a different
+//!   grid, flag set, or trace content is rejected up front (exit 2).
+//! * `--cell-timeout <ms>` puts each cell attempt under a wall-clock
+//!   watchdog; an attempt that overruns is recorded as timed out.
+//! * `--max-cell-retries <n>` retries a panicked or timed-out cell up
+//!   to `n` more times before recording the failure.
+//! * `--fail-fast` restores the historical abort semantics: stop
+//!   dispatching new cells after the first failure (undispatched cells
+//!   are recorded as skipped, so `--resume` picks them up).
+//!
+//! All file outputs (sweep documents, manifests, bench baselines,
+//! profiles, event logs) are written atomically, so a killed process
+//! never leaves a truncated artifact under a destination name.
 
 use parcache_bench::bench;
+use parcache_bench::fsio::{write_atomic, AtomicFile};
+use parcache_bench::manifest::{self, ManifestCell, SweepManifest};
 use parcache_bench::prof::{detect_parallelism, NoopProf, Prof, WallProf, WorkerStats};
-use parcache_bench::report::explain_table;
-use parcache_bench::runner::trace_cache_stats;
-use parcache_bench::sweep::{self, SweepAggregate, SweepEntry, SweepSpec};
+use parcache_bench::report::{explain_table, failsoft_summary};
+use parcache_bench::runner::{trace_cache_stats, TraceError};
+use parcache_bench::sweep::{self, CellRow, SweepAggregate, SweepEntry, SweepSpec};
 use parcache_bench::{breakdown_table, run, trace, Algo, BreakdownRow, DISK_COUNTS};
 use parcache_core::engine::simulate_probed;
 use parcache_core::metrics::{MetricsProbe, RunMetrics, Unit};
@@ -116,6 +146,7 @@ use parcache_core::predict::HintMode;
 use parcache_core::probe::{Event, Probe};
 use parcache_core::{Report, SimConfig};
 use parcache_disk::FaultPlan;
+use std::collections::HashMap;
 use std::io::Write;
 use std::sync::Arc;
 use std::time::Instant;
@@ -246,6 +277,8 @@ usage: parcache-run <trace> [policy] [disks] [--json] [--hist] [--audit]
        parcache-run --sweep [traces] [algos] [disks] [--threads N]
                     [--json] [--hist] [--audit] [--explain]
                     [--faults <spec>] [--hints <list>] [--profile <path>]
+                    [--out <path>] [--resume <manifest>] [--cell-timeout <ms>]
+                    [--max-cell-retries <n>] [--fail-fast]
        parcache-run --fuzz <n> [--seed <s>] [--threads N] [--profile <path>]
        parcache-run --bench [--profile <path>]
        parcache-run --bench-smoke [--baseline <BENCH_sweep.json>]
@@ -297,7 +330,7 @@ fn parse_policies(arg: &str) -> Vec<PolicyKind> {
 /// metrics, and optionally streams each event as a JSON line.
 struct CliProbe<'a> {
     metrics: MetricsProbe,
-    log: Option<&'a mut std::io::BufWriter<std::fs::File>>,
+    log: Option<&'a mut std::io::BufWriter<AtomicFile>>,
 }
 
 impl Probe for CliProbe<'_> {
@@ -331,6 +364,18 @@ struct Options {
     faults: FaultPlan,
     /// `--hints` as given; `None` means the flag was absent (oracle).
     hints: Option<Vec<HintMode>>,
+    /// `--out`: write the sweep document here (atomically) instead of
+    /// stdout, plus a failure manifest alongside in CSV modes.
+    out: Option<String>,
+    /// `--resume`: a manifest from a previous `--out` run whose
+    /// finished rows are carried forward.
+    resume: Option<String>,
+    /// `--cell-timeout` in milliseconds; `None` means no watchdog.
+    cell_timeout: Option<u64>,
+    /// `--max-cell-retries`; 0 means one attempt per cell.
+    max_cell_retries: u32,
+    /// `--fail-fast`: stop dispatching cells after the first failure.
+    fail_fast: bool,
     positional: Vec<String>,
 }
 
@@ -351,6 +396,11 @@ fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
         profile: None,
         faults: FaultPlan::default(),
         hints: None,
+        out: None,
+        resume: None,
+        cell_timeout: None,
+        max_cell_retries: 0,
+        fail_fast: false,
         positional: Vec::new(),
     };
     let mut it = args.into_iter();
@@ -443,12 +493,43 @@ fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
                     ))
                 }
             },
+            "--out" => match it.next() {
+                Some(p) => opts.out = Some(p),
+                None => return Err(CliError::Usage("--out requires an output path".to_string())),
+            },
+            "--resume" => match it.next() {
+                Some(p) => opts.resume = Some(p),
+                None => {
+                    return Err(CliError::Usage(
+                        "--resume requires a manifest path".to_string(),
+                    ))
+                }
+            },
+            "--cell-timeout" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(ms) if ms > 0 => opts.cell_timeout = Some(ms),
+                _ => {
+                    return Err(CliError::Usage(
+                        "--cell-timeout requires a positive millisecond count".to_string(),
+                    ))
+                }
+            },
+            "--max-cell-retries" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) => opts.max_cell_retries = n,
+                None => {
+                    return Err(CliError::Usage(
+                        "--max-cell-retries requires an unsigned integer".to_string(),
+                    ))
+                }
+            },
+            "--fail-fast" => opts.fail_fast = true,
             f if f.starts_with("--") => {
                 return Err(CliError::Usage(format!(
                     "unknown flag {f}; known flags: --json --hist --sweep --audit \
                      --explain --fuzz <n> --bench --bench-smoke --baseline <path> \
                      --seed <s> --threads <n> --events <path> --faults <spec> \
-                     --hints <list> --profile <path>"
+                     --hints <list> --profile <path> --out <path> \
+                     --resume <manifest> --cell-timeout <ms> \
+                     --max-cell-retries <n> --fail-fast"
                 )))
             }
             _ => opts.positional.push(a),
@@ -536,6 +617,22 @@ fn validate(opts: &Options) -> Result<(), CliError> {
     if !opts.positional.is_empty() && (fuzzing || bench_mode) {
         return usage("--fuzz/--bench take no trace/policy/disks arguments");
     }
+    if opts.out.is_some() && !opts.sweep {
+        return usage("--out only applies to --sweep; single runs print to stdout");
+    }
+    if (opts.cell_timeout.is_some() || opts.max_cell_retries > 0 || opts.fail_fast) && !opts.sweep {
+        return usage("--cell-timeout/--max-cell-retries/--fail-fast only apply to --sweep");
+    }
+    if opts.resume.is_some() {
+        if !opts.sweep {
+            return usage("--resume only applies to --sweep");
+        }
+        if opts.json || opts.hist {
+            return usage(
+                "--resume splices stored CSV rows and is incompatible with --json and --hist",
+            );
+        }
+    }
     Ok(())
 }
 
@@ -618,7 +715,12 @@ fn sweep_main<P: Prof>(
         .all(|n| parcache_trace::TRACE_NAMES.contains(n))
     {
         // Paper traces: generated in parallel through the shared cache.
-        SweepSpec::named(&names, &algos, disks.as_deref(), threads)
+        // A generator panic surfaces as a typed error here instead of
+        // unwinding a worker thread.
+        SweepSpec::try_named(&names, &algos, disks.as_deref(), threads).map_err(|e| match &e {
+            TraceError::Unknown(_) => CliError::Usage(e.to_string()),
+            TraceError::Generation { .. } => CliError::Io(e.to_string()),
+        })?
     } else {
         let entries = names
             .iter()
@@ -646,65 +748,165 @@ fn sweep_main<P: Prof>(
         let _span = prof.span("expand");
         spec.cells()
     };
+    let gates = sweep::CsvGates::for_grid(&cells, &opts.faults, opts.explain);
+    let inject = sweep::Injection::from_env()
+        .map_err(|e| CliError::Usage(format!("bad PARCACHE_FAIL_CELL: {e}")))?;
+    let failsoft = sweep::FailSoft {
+        cell_timeout: opts.cell_timeout.map(std::time::Duration::from_millis),
+        max_retries: opts.max_cell_retries,
+        fail_fast: opts.fail_fast,
+        inject,
+    };
+
+    // Manifests describe CSV-rendered sweeps; the grid hash keys both
+    // reading one (--resume validation) and writing one (--out).
+    let write_manifest = opts.out.is_some() && !opts.json;
+    let grid_hash = if opts.resume.is_some() || write_manifest {
+        Some(manifest::grid_hash(&cells, &opts.faults))
+    } else {
+        None
+    };
+
+    // A --resume manifest carries finished rows forward; everything it
+    // records as failed, skipped, or missing (and, without a manifest,
+    // everything) runs now.
+    let (stored, to_run): (HashMap<usize, ManifestCell>, Vec<usize>) = match opts.resume.as_deref()
+    {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| {
+                CliError::Io(format!("failed to read --resume manifest {path}: {e}"))
+            })?;
+            let man = SweepManifest::parse(&text)
+                .map_err(|e| CliError::Usage(format!("cannot resume from {path}: {e}")))?;
+            let plan = manifest::plan_resume(
+                &man,
+                cells.len(),
+                grid_hash.as_deref().expect("hash computed for --resume"),
+                gates,
+                opts.audit,
+            )
+            .map_err(|e| CliError::Usage(format!("cannot resume from {path}: {e}")))?;
+            if !plan.stale_audit_failures.is_empty() {
+                eprintln!(
+                    "resume: re-running {} cell(s) whose recorded audit failed",
+                    plan.stale_audit_failures.len()
+                );
+            }
+            eprintln!(
+                "resume: {} of {} cells carried forward from {path}, {} to run",
+                plan.stored.len(),
+                cells.len(),
+                plan.to_run.len()
+            );
+            (plan.stored, plan.to_run)
+        }
+        None => (HashMap::new(), (0..cells.len()).collect()),
+    };
+    let run_cells: Vec<sweep::SweepCell> = to_run.iter().map(|&i| cells[i].clone()).collect();
+
     let wall = Instant::now();
     let cells_span = prof.span("cells");
-    // Profiled runs go through the worker-stats-collecting variants;
-    // the unprofiled path is the exact code it always was. Results are
-    // identical either way — only telemetry differs.
-    let (outcomes, audits) = if opts.audit {
-        let (outcomes, audits) = if P::ENABLED {
-            let (outcomes, audits, workers) = sweep::run_sweep_cells_audited_profiled(
-                &cells,
-                threads,
-                opts.hist,
-                &opts.faults,
-                Some(thread_alloc_count),
-            );
-            extras.workers = workers;
-            (outcomes, audits)
-        } else {
-            sweep::run_sweep_cells_audited(&cells, threads, opts.hist, &opts.faults)
-        };
-        (outcomes, Some(audits))
-    } else if P::ENABLED {
-        let (outcomes, workers) = sweep::run_sweep_cells_profiled(
-            &cells,
-            threads,
-            opts.hist,
-            &opts.faults,
-            Some(thread_alloc_count),
-        );
-        extras.workers = workers;
-        (outcomes, None)
+    // The fail-soft executor isolates every cell; profiled runs also
+    // thread the per-thread allocation sampler through so worker
+    // telemetry carries comparable figures. Results are identical
+    // either way — only telemetry differs.
+    let sampler: sweep::ThreadAllocSampler = if P::ENABLED {
+        Some(thread_alloc_count)
     } else {
-        (
-            sweep::run_sweep_cells(&cells, threads, opts.hist, &opts.faults),
-            None,
-        )
+        None
     };
+    let run = sweep::run_cells_failsoft(
+        &run_cells,
+        threads,
+        opts.hist,
+        opts.audit,
+        &opts.faults,
+        &failsoft,
+        sampler,
+    );
+    if P::ENABLED {
+        extras.workers = run.workers.clone();
+    }
     drop(cells_span);
     let elapsed = wall.elapsed();
 
     let _span = prof.span("render");
-    if opts.json {
-        println!("{}", sweep::sweep_json(&outcomes));
+    let document = if opts.json {
+        // --resume is CSV-only (validated), so every row here is fresh.
+        let rows: Vec<CellRow> = run.rows().cloned().collect();
+        sweep::sweep_json(&rows) + "\n"
     } else {
-        let csv = if opts.explain {
-            sweep::sweep_csv_explain(&outcomes)
-        } else {
-            sweep::sweep_csv(&outcomes)
-        };
-        print!("{csv}");
-        if let Some(agg) = SweepAggregate::fold(&outcomes) {
-            println!();
-            print!("{}", agg.render_ascii());
+        // Splice in cell-index order: a fresh row where this run
+        // produced one, the stored row where the manifest carried one
+        // forward. A failed cell leaves no row — the CSV is the partial
+        // result, the manifest records why.
+        let fresh: HashMap<usize, &CellRow> = run
+            .executions
+            .iter()
+            .filter_map(|e| e.outcome.row().map(|r| (e.index, r)))
+            .collect();
+        let per_row = if opts.explain { 128 } else { 96 };
+        let mut doc = String::with_capacity(cells.len() * per_row + 160);
+        doc.push_str(&gates.header());
+        for i in 0..cells.len() {
+            if let Some(row) = fresh.get(&i) {
+                doc.push_str(&gates.row(row));
+            } else if let Some(row) = stored.get(&i).and_then(|m| m.status.row()) {
+                doc.push_str(row);
+                doc.push('\n');
+            }
         }
+        doc
+    };
+    let aggregate = if !opts.json && opts.hist {
+        let rows: Vec<CellRow> = run.rows().cloned().collect();
+        SweepAggregate::fold(&rows).map(|agg| agg.render_ascii())
+    } else {
+        None
+    };
+
+    if let Some(path) = opts.out.as_deref() {
+        write_atomic(path, document.as_bytes())
+            .map_err(|e| CliError::Io(format!("failed to write {path}: {e}")))?;
+        eprintln!("wrote {path}");
+    } else {
+        print!("{document}");
+        if aggregate.is_some() {
+            println!();
+        }
+    }
+    if let Some(agg) = &aggregate {
+        print!("{agg}");
+    }
+    if write_manifest {
+        let out = opts.out.as_deref().expect("write_manifest implies --out");
+        let fresh: HashMap<usize, &sweep::CellExecution> =
+            run.executions.iter().map(|e| (e.index, e)).collect();
+        let mut entries: Vec<ManifestCell> = Vec::with_capacity(cells.len());
+        for i in 0..cells.len() {
+            if let Some(e) = fresh.get(&i) {
+                entries.push(ManifestCell::from_execution(e, gates));
+            } else if let Some(m) = stored.get(&i) {
+                entries.push(m.clone());
+            }
+        }
+        let man = SweepManifest {
+            grid_hash: grid_hash.clone().expect("hash computed for --out"),
+            cells: cells.len(),
+            gates,
+            audited: opts.audit,
+            outcomes: entries,
+        };
+        let man_path = format!("{out}.manifest.json");
+        write_atomic(&man_path, man.to_json())
+            .map_err(|e| CliError::Io(format!("failed to write {man_path}: {e}")))?;
+        eprintln!("wrote {man_path}");
     }
     if opts.explain && !opts.json {
         // Per-trace stall-by-cause tables on stderr, so stdout stays
         // machine-readable CSV.
         let mut tables: Vec<(String, Vec<BreakdownRow>)> = Vec::new();
-        for o in &outcomes {
+        for o in run.rows() {
             let row = BreakdownRow::new(o.report.clone());
             match tables.iter_mut().find(|(t, _)| *t == o.report.trace) {
                 Some((_, rows)) => rows.push(row),
@@ -717,32 +919,51 @@ fn sweep_main<P: Prof>(
     }
     eprintln!(
         "({} cells on {} thread(s) in {:.2?})",
-        outcomes.len(),
+        run.executions.len(),
         threads,
         elapsed
     );
-    if let Some(audits) = audits {
+    let failures = run.failures();
+    if failures > 0 {
+        eprint!("{}", failsoft_summary(&cells, &run.executions));
+        match opts.out.as_deref() {
+            Some(out) if !opts.json => eprintln!("resume with: --resume {out}.manifest.json"),
+            _ => eprintln!("hint: add --out <path> to get a resumable failure manifest"),
+        }
+    }
+    if opts.audit {
+        // Carried-forward cells were already audited clean (dirty ones
+        // re-ran); fresh rows carry their verdicts.
         let mut bad = 0usize;
-        for (outcome, audit) in outcomes.iter().zip(&audits) {
-            if !audit.is_clean() {
-                bad += 1;
-                eprintln!(
-                    "audit FAILED for {}/{}/{} disk(s):",
-                    outcome.report.trace, outcome.report.policy, outcome.report.disks
-                );
-                for v in &audit.violations {
-                    eprintln!("  {v}");
-                }
-                if audit.suppressed > 0 {
-                    eprintln!("  ... and {} more suppressed", audit.suppressed);
+        let mut audited_cells = stored.len();
+        for e in &run.executions {
+            if let (Some(row), Some(audit)) = (e.outcome.row(), e.audit.as_ref()) {
+                audited_cells += 1;
+                if !audit.is_clean() {
+                    bad += 1;
+                    eprintln!(
+                        "audit FAILED for {}/{}/{} disk(s):",
+                        row.report.trace, row.report.policy, row.report.disks
+                    );
+                    for v in &audit.violations {
+                        eprintln!("  {v}");
+                    }
+                    if audit.suppressed > 0 {
+                        eprintln!("  ... and {} more suppressed", audit.suppressed);
+                    }
                 }
             }
         }
         if bad > 0 {
-            eprintln!("audit: {bad}/{} cells FAILED", audits.len());
+            eprintln!("audit: {bad}/{audited_cells} cells FAILED");
             std::process::exit(1);
         }
-        eprintln!("audit: all {} cells clean", audits.len());
+        eprintln!("audit: all {audited_cells} cells clean");
+    }
+    if failures > 0 {
+        // Partial results (and, with --out, the manifest) are already on
+        // disk; the exit status still says the sweep did not finish.
+        std::process::exit(1);
     }
     Ok(())
 }
@@ -875,7 +1096,7 @@ fn bench_main<P: Prof>(opts: &Options, prof: &P) -> Result<(), CliError> {
         ("BENCH_sweep.json", bench::sweep_bench_json(&sweep_bench)),
         ("BENCH_engine.json", bench::engine_bench_json(&engine_bench)),
     ] {
-        std::fs::write(path, contents + "\n")
+        write_atomic(path, contents + "\n")
             .map_err(|e| CliError::Io(format!("failed to write {path}: {e}")))?;
         println!("wrote {path}");
     }
@@ -968,10 +1189,10 @@ fn write_profile(path: &str, prof: &WallProf, extras: &ProfileExtras) -> Result<
         workers.join(","),
         prof.spans_json(),
     );
-    std::fs::write(path, json + "\n")
+    write_atomic(path, json + "\n")
         .map_err(|e| CliError::Io(format!("failed to write {path}: {e}")))?;
     let folded_path = format!("{path}.folded");
-    std::fs::write(&folded_path, folded)
+    write_atomic(&folded_path, folded)
         .map_err(|e| CliError::Io(format!("failed to write {folded_path}: {e}")))?;
     eprintln!("profile: wrote {path} and {folded_path}");
     Ok(())
@@ -1016,7 +1237,7 @@ fn single_main<P: Prof>(opts: &Options, prof: &P) -> Result<(), CliError> {
 
     let probed = opts.json || opts.hist || opts.events.is_some();
     let mut event_log = match opts.events.as_ref() {
-        Some(path) => match std::fs::File::create(path) {
+        Some(path) => match AtomicFile::create(path) {
             Ok(f) => Some(std::io::BufWriter::new(f)),
             Err(e) => return Err(CliError::Io(format!("failed to create {path}: {e}"))),
         },
@@ -1081,10 +1302,14 @@ fn single_main<P: Prof>(opts: &Options, prof: &P) -> Result<(), CliError> {
     drop(runs_span);
     let elapsed = wall.elapsed();
 
-    if let Some(w) = event_log.as_mut() {
-        if let Err(e) = w.flush() {
-            return Err(CliError::Io(format!("failed to flush event log: {e}")));
-        }
+    if let Some(w) = event_log.take() {
+        // Publish the event log: flush the buffer, then rename the
+        // temporary into place.
+        let file = w
+            .into_inner()
+            .map_err(|e| CliError::Io(format!("failed to flush event log: {e}")))?;
+        file.commit()
+            .map_err(|e| CliError::Io(format!("failed to publish event log: {e}")))?;
     }
 
     let _render = prof.span("render");
@@ -1227,6 +1452,20 @@ mod tests {
         assert_usage(&["--bench", "synth"]);
         // Single runs take exactly one hint source.
         assert_usage(&["synth", "all", "4", "--hints", "seq,markov"]);
+        // Fail-soft flags are sweep-only.
+        assert_usage(&["synth", "all", "4", "--out", "x.csv"]);
+        assert_usage(&["--bench", "--out", "x.csv"]);
+        assert_usage(&["synth", "all", "4", "--cell-timeout", "1000"]);
+        assert_usage(&["--fuzz", "10", "--cell-timeout", "1000"]);
+        assert_usage(&["synth", "all", "4", "--max-cell-retries", "2"]);
+        assert_usage(&["synth", "all", "4", "--fail-fast"]);
+        assert_usage(&["--bench", "--fail-fast"]);
+        assert_usage(&["synth", "all", "4", "--resume", "x.csv.manifest.json"]);
+        assert_usage(&["--fuzz", "10", "--resume", "x.csv.manifest.json"]);
+        // --resume splices CSV rows; JSON and histogram modes have no
+        // stored form to splice into.
+        assert_usage(&["--sweep", "--resume", "m.json", "--json"]);
+        assert_usage(&["--sweep", "--resume", "m.json", "--hist"]);
     }
 
     #[test]
@@ -1238,9 +1477,48 @@ mod tests {
             &["--bench-smoke", "--baseline", "BENCH_sweep.json"],
             &["synth", "forestall", "4", "--hints", "mithril", "--json"],
             &["synth", "all", "1,2", "--faults", "flaky:*:0.01,seed:7"],
+            &["--sweep", "--out", "sweep.csv", "--cell-timeout", "5000"],
+            &["--sweep", "--max-cell-retries", "2", "--fail-fast"],
+            &[
+                "--sweep",
+                "--resume",
+                "sweep.csv.manifest.json",
+                "--out",
+                "sweep.csv",
+            ],
+            &["--sweep", "--resume", "m.json", "--audit", "--explain"],
+            &["--sweep", "--out", "sweep.json", "--json"],
         ] {
             assert!(checked(args).is_ok(), "{args:?} should validate");
         }
+    }
+
+    #[test]
+    fn failsoft_flags_parse_their_values() {
+        let opts = parsed(&[
+            "--sweep",
+            "--out",
+            "sweep.csv",
+            "--resume",
+            "old.csv.manifest.json",
+            "--cell-timeout",
+            "2500",
+            "--max-cell-retries",
+            "3",
+            "--fail-fast",
+        ])
+        .unwrap();
+        assert_eq!(opts.out.as_deref(), Some("sweep.csv"));
+        assert_eq!(opts.resume.as_deref(), Some("old.csv.manifest.json"));
+        assert_eq!(opts.cell_timeout, Some(2500));
+        assert_eq!(opts.max_cell_retries, 3);
+        assert!(opts.fail_fast);
+        // Malformed values are rejected at parse time.
+        assert!(parsed(&["--sweep", "--cell-timeout", "0"]).is_err());
+        assert!(parsed(&["--sweep", "--cell-timeout", "soon"]).is_err());
+        assert!(parsed(&["--sweep", "--max-cell-retries", "-1"]).is_err());
+        assert!(parsed(&["--sweep", "--out"]).is_err());
+        assert!(parsed(&["--sweep", "--resume"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Atomic file output: write-temp-then-rename.
+//!
+//! Every artifact the harness writes (sweep CSV/JSON, failure manifests,
+//! profiles, bench baselines, event logs) goes through this module, so a
+//! process killed mid-write never leaves a truncated file under the
+//! destination name — readers either see the complete old contents, the
+//! complete new contents, or nothing. The temporary lives in the
+//! destination's directory (same filesystem, so the final `rename` is
+//! atomic) and is fsynced before the rename.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The temporary name an in-flight write uses: a dot-hidden sibling
+/// tagged with the writer's pid, so concurrent writers (or the debris of
+/// a killed one) never collide with each other or the destination.
+fn tmp_path(dest: &Path) -> PathBuf {
+    let name = dest
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    dest.with_file_name(format!(".{name}.tmp.{}", std::process::id()))
+}
+
+/// Writes `contents` to `path` atomically: the destination either keeps
+/// its old bytes or gets all the new ones, never a prefix.
+pub fn write_atomic(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    let mut file = AtomicFile::create(path)?;
+    file.write_all(contents.as_ref())?;
+    file.commit()
+}
+
+/// An incrementally-written atomic file: accumulate with [`Write`], then
+/// [`commit`](AtomicFile::commit) to fsync and rename into place. Dropped
+/// without committing — including via a panic — it removes its temporary
+/// and leaves the destination untouched.
+#[derive(Debug)]
+pub struct AtomicFile {
+    tmp: PathBuf,
+    dest: PathBuf,
+    /// `None` once committed (the guard for Drop's cleanup).
+    file: Option<File>,
+}
+
+impl AtomicFile {
+    /// Opens a temporary alongside `dest` for writing.
+    pub fn create(dest: impl AsRef<Path>) -> io::Result<AtomicFile> {
+        let dest = dest.as_ref().to_path_buf();
+        let tmp = tmp_path(&dest);
+        let file = File::create(&tmp)?;
+        Ok(AtomicFile {
+            tmp,
+            dest,
+            file: Some(file),
+        })
+    }
+
+    /// Durably publishes the accumulated bytes under the destination
+    /// name: fsync the temporary, then rename it into place.
+    pub fn commit(mut self) -> io::Result<()> {
+        let file = self.file.take().expect("commit consumes the file");
+        file.sync_all()?;
+        fs::rename(&self.tmp, &self.dest)
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.file.as_mut().expect("not committed").write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.as_mut().expect("not committed").flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            // Uncommitted: abandon the write. Best-effort — debris here
+            // is cosmetic (dot-hidden, pid-tagged), never a truncated
+            // artifact under the destination name.
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("parcache-fsio-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_atomic_round_trips_and_leaves_no_temp() {
+        let path = scratch("round-trip.txt");
+        write_atomic(&path, "hello\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "hello\n");
+        // Overwrite is also atomic.
+        write_atomic(&path, "goodbye\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "goodbye\n");
+        assert!(!tmp_path(&path).exists());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn uncommitted_atomic_file_leaves_destination_untouched() {
+        let path = scratch("abandoned.txt");
+        fs::write(&path, "original").unwrap();
+        {
+            let mut f = AtomicFile::create(&path).unwrap();
+            f.write_all(b"half-writ").unwrap();
+            // Dropped without commit.
+        }
+        assert_eq!(fs::read_to_string(&path).unwrap(), "original");
+        assert!(!tmp_path(&path).exists());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn atomic_file_commit_publishes_streamed_writes() {
+        let path = scratch("streamed.txt");
+        let mut f = AtomicFile::create(&path).unwrap();
+        f.write_all(b"part one, ").unwrap();
+        f.write_all(b"part two\n").unwrap();
+        f.commit().unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "part one, part two\n");
+        assert!(!tmp_path(&path).exists());
+        fs::remove_file(&path).unwrap();
+    }
+}

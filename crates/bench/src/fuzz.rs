@@ -266,44 +266,74 @@ fn fingerprint_report(mut h: u64, r: &Report) -> u64 {
     h
 }
 
+/// Runs one case under one policy: the plain run, the audited rerun, and
+/// the differential checks. Returns what went wrong (empty when clean)
+/// plus the plain report for fingerprinting.
+fn run_policy(case: &FuzzCase, kind: PolicyKind) -> (Vec<String>, Report) {
+    let plain = simulate(&case.trace, kind, &case.config);
+    let (audited, outcome) = simulate_audited(&case.trace, kind, &case.config);
+    let mut details: Vec<String> = outcome.violations.iter().map(|v| v.to_string()).collect();
+    if outcome.suppressed > 0 {
+        details.push(format!("... and {} suppressed", outcome.suppressed));
+    }
+    if audited != plain {
+        details.push(format!(
+            "audited report diverged: elapsed {} vs {}, fetches {} vs {}",
+            audited.elapsed, plain.elapsed, audited.fetches, plain.fetches
+        ));
+    }
+    // Stall provenance conservation, checked directly on the plain
+    // (unprobed) report too: the audit enforces it against the event
+    // stream, but the property must hold with no probe attached.
+    let attributed = plain.stall_by_cause.total();
+    if attributed != plain.stall {
+        details.push(format!(
+            "per-cause stall {attributed} != report stall {} on the unprobed run",
+            plain.stall
+        ));
+    }
+    (details, plain)
+}
+
 /// Runs one case under every policy; returns the failures plus the
 /// case's report fingerprint contribution (seeded with `FNV_OFFSET` so
 /// per-case hashes can be folded associatively by the caller in index
 /// order).
+///
+/// Each policy-run sits behind its own `catch_unwind`: a panicking
+/// simulation becomes a recorded [`FuzzFailure`] (with the panic payload
+/// folded into the fingerprint, deterministically), and the remaining
+/// policies and cases keep running — a 10,000-case campaign reports one
+/// poisoned combination instead of dying on it.
 fn run_case(case: &FuzzCase) -> (Vec<FuzzFailure>, u64) {
     let mut failures = Vec::new();
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for kind in PolicyKind::ALL {
-        let plain = simulate(&case.trace, kind, &case.config);
-        let (audited, outcome) = simulate_audited(&case.trace, kind, &case.config);
-        let mut details: Vec<String> = outcome.violations.iter().map(|v| v.to_string()).collect();
-        if outcome.suppressed > 0 {
-            details.push(format!("... and {} suppressed", outcome.suppressed));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_policy(case, kind)));
+        match result {
+            Ok((details, plain)) => {
+                if !details.is_empty() {
+                    failures.push(FuzzFailure {
+                        case: case.index,
+                        policy: kind,
+                        details,
+                    });
+                }
+                h = fingerprint_report(h, &plain);
+            }
+            Err(payload) => {
+                let msg = crate::runner::panic_message(payload.as_ref());
+                for b in msg.bytes() {
+                    h = mix(h, b as u64);
+                }
+                failures.push(FuzzFailure {
+                    case: case.index,
+                    policy: kind,
+                    details: vec![format!("policy run panicked: {msg}")],
+                });
+            }
         }
-        if audited != plain {
-            details.push(format!(
-                "audited report diverged: elapsed {} vs {}, fetches {} vs {}",
-                audited.elapsed, plain.elapsed, audited.fetches, plain.fetches
-            ));
-        }
-        // Stall provenance conservation, checked directly on the plain
-        // (unprobed) report too: the audit enforces it against the event
-        // stream, but the property must hold with no probe attached.
-        let attributed = plain.stall_by_cause.total();
-        if attributed != plain.stall {
-            details.push(format!(
-                "per-cause stall {attributed} != report stall {} on the unprobed run",
-                plain.stall
-            ));
-        }
-        if !details.is_empty() {
-            failures.push(FuzzFailure {
-                case: case.index,
-                policy: kind,
-                details,
-            });
-        }
-        h = fingerprint_report(h, &plain);
     }
     (failures, h)
 }

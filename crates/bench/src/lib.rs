@@ -11,7 +11,9 @@
 
 pub mod bench;
 pub mod experiments;
+pub mod fsio;
 pub mod fuzz;
+pub mod manifest;
 pub mod paper;
 pub mod prof;
 pub mod report;
@@ -24,18 +26,25 @@ pub use bench::{
     SCALING_EFFICIENCY_FLOOR, SCALING_GATE_THREADS,
 };
 pub use experiments::{comparison, comparison_on, comparison_with, Algo};
+pub use fsio::{write_atomic, AtomicFile};
 pub use fuzz::{fuzz, FuzzCase, FuzzFailure, FuzzReport};
+pub use manifest::{
+    grid_hash, plan_resume, ManifestCell, ManifestError, ManifestStatus, ResumePlan, SweepManifest,
+    MANIFEST_SCHEMA,
+};
 pub use paper::{paper_cells, paper_elapsed};
 pub use prof::{detect_parallelism, EffectiveParallelism, NoopProf, Prof, WallProf, WorkerStats};
-pub use report::{breakdown_table, explain_table, percent, BreakdownRow};
+pub use report::{breakdown_table, explain_table, failsoft_summary, percent, BreakdownRow};
 pub use runner::{
     best_reverse, best_reverse_search, paper_disk_counts, run, trace, trace_cache_stats, try_trace,
     TraceError, DISK_COUNTS, SEED,
 };
 pub use sha256::{sha256, sha256_hex};
 pub use sweep::{
-    default_threads, run_indexed, run_indexed_measured, run_indexed_profiled, run_sweep,
-    run_sweep_audited, run_sweep_cells_audited, run_sweep_cells_audited_profiled,
-    run_sweep_cells_profiled, run_sweep_probed, sweep_csv, sweep_csv_explain, sweep_json,
-    CellOutcome, SweepCell, SweepEntry, SweepSpec, ThreadAllocSampler,
+    default_threads, run_cells_failsoft, run_indexed, run_indexed_measured, run_indexed_observed,
+    run_indexed_profiled, run_sweep, run_sweep_audited, run_sweep_cells, run_sweep_cells_audited,
+    run_sweep_cells_audited_profiled, run_sweep_cells_profiled, run_sweep_probed, sweep_csv,
+    sweep_csv_explain, sweep_csv_gated, sweep_json, CellExecution, CellOutcome, CellRow, CsvGates,
+    FailSoft, FailSoftRun, Injection, InjectionKind, SweepCell, SweepEntry, SweepSpec,
+    ThreadAllocSampler,
 };

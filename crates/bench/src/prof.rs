@@ -266,6 +266,15 @@ pub struct WorkerStats {
     /// bookkeeping, result collection — so summed over workers it is a
     /// pure function of the item set, identical at any thread count.
     pub work_allocs: u64,
+    /// Items this worker ran that ended in failure (panicked or timed
+    /// out) under the fail-soft executor. 0 on plain executors, where a
+    /// failure aborts the run instead of being counted.
+    pub failed: u64,
+    /// Items this worker drained as skipped after a fail-fast halt.
+    pub skipped: u64,
+    /// Extra attempts this worker spent retrying failed items (an item
+    /// that succeeds on its third attempt contributes 2).
+    pub retries: u64,
 }
 
 impl WorkerStats {
@@ -278,12 +287,15 @@ impl WorkerStats {
     /// These stats as a JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            r#"{{"items":{},"busy_us":{},"idle_us":{},"wall_us":{},"work_allocs":{}}}"#,
+            r#"{{"items":{},"busy_us":{},"idle_us":{},"wall_us":{},"work_allocs":{},"failed":{},"skipped":{},"retries":{}}}"#,
             self.items,
             self.busy_us,
             self.idle_us(),
             self.wall_us,
-            self.work_allocs
+            self.work_allocs,
+            self.failed,
+            self.skipped,
+            self.retries
         )
     }
 }
@@ -490,11 +502,14 @@ mod tests {
             busy_us: 40,
             wall_us: 100,
             work_allocs: 12,
+            failed: 1,
+            skipped: 2,
+            retries: 4,
         };
         assert_eq!(w.idle_us(), 60);
         assert_eq!(
             w.to_json(),
-            r#"{"items":3,"busy_us":40,"idle_us":60,"wall_us":100,"work_allocs":12}"#
+            r#"{"items":3,"busy_us":40,"idle_us":60,"wall_us":100,"work_allocs":12,"failed":1,"skipped":2,"retries":4}"#
         );
     }
 }

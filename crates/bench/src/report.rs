@@ -1,5 +1,6 @@
 //! Table formatting in the shape of the paper's figures and appendices.
 
+use crate::sweep::{CellExecution, SweepCell};
 use parcache_core::engine::Report;
 use parcache_types::Nanos;
 
@@ -109,6 +110,61 @@ pub fn explain_table(title: &str, rows: &[BreakdownRow]) -> String {
             cols,
         );
     }
+    out
+}
+
+/// The stderr summary of a fail-soft sweep: one line per failed or
+/// skipped cell, naming the grid point and the diagnosis, then a totals
+/// line. Empty when every cell finished — the clean path prints nothing.
+pub fn failsoft_summary(cells: &[SweepCell], executions: &[CellExecution]) -> String {
+    use crate::sweep::CellOutcome;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let (mut ok, mut panicked, mut timed_out, mut skipped, mut retries) = (0, 0, 0, 0, 0u64);
+    for e in executions {
+        retries += u64::from(e.attempts.saturating_sub(1));
+        let cell = cells.get(e.index);
+        let point = |c: Option<&SweepCell>| match c {
+            Some(c) => format!("{}/{}/{} disks", c.trace.name, c.algo.name(), c.disks),
+            None => "?".to_string(),
+        };
+        match &e.outcome {
+            CellOutcome::Ok(_) => ok += 1,
+            CellOutcome::Panicked { msg } => {
+                panicked += 1;
+                let _ = writeln!(
+                    out,
+                    "cell {} ({}): panicked after {} attempt(s): {}",
+                    e.index,
+                    point(cell),
+                    e.attempts,
+                    msg.lines().next().unwrap_or(""),
+                );
+            }
+            CellOutcome::TimedOut { limit } => {
+                timed_out += 1;
+                let _ = writeln!(
+                    out,
+                    "cell {} ({}): timed out after {} attempt(s) of {:?} each",
+                    e.index,
+                    point(cell),
+                    e.attempts,
+                    limit,
+                );
+            }
+            CellOutcome::Skipped => skipped += 1,
+        }
+    }
+    if panicked + timed_out + skipped == 0 {
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "fail-soft: {ok}/{} cells ok, {panicked} panicked, {timed_out} timed out, \
+         {skipped} skipped, {retries} retr{}",
+        executions.len(),
+        if retries == 1 { "y" } else { "ies" },
+    );
     out
 }
 

@@ -116,8 +116,9 @@ pub fn try_trace(name: &str) -> Result<Arc<Trace>, TraceError> {
     result
 }
 
-/// Best-effort text of a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Best-effort text of a caught panic payload. Shared with the sweep's
+/// fail-soft executor and the fuzzer's per-case isolation.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -16,7 +16,7 @@
 
 use crate::experiments::Algo;
 use crate::prof::WorkerStats;
-use crate::runner::{best_reverse_search, trace};
+use crate::runner::{best_reverse_search, panic_message, try_trace, TraceError};
 use parcache_core::audit::{simulate_audited, AuditOutcome, AuditViolation};
 use parcache_core::engine::{simulate_probed, Report};
 use parcache_core::metrics::{Counters, Histogram, MetricsProbe, RunMetrics, Unit};
@@ -25,15 +25,22 @@ use parcache_core::predict::HintMode;
 use parcache_core::SimConfig;
 use parcache_disk::FaultPlan;
 use parcache_trace::Trace;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// The worker count used when the caller does not specify one: the
-/// machine's available parallelism (1 when it cannot be determined).
+/// machine's *effective* parallelism — available cores capped by the
+/// cgroup CPU quota (see [`crate::prof::detect_parallelism`]), floored
+/// so a fractional quota never oversubscribes, and at least 1.
+///
+/// A container limited to `200000 100000` (2 CPUs) on a 16-core host
+/// gets 2 workers, not 16: extra workers past the quota only add
+/// scheduler churn and skew per-worker telemetry.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    let p = crate::prof::detect_parallelism();
+    (p.effective.floor() as usize).max(1)
 }
 
 /// Runs `run(0..n)` on `threads` scoped workers pulling indices from a
@@ -129,29 +136,45 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_observed(n, threads, sampler, run, |_, _| {})
+}
+
+/// [`run_indexed_measured`] with a per-item observer: after each item is
+/// produced (and its time/allocation windows closed), `observe` may fold
+/// item-derived counts into the worker's own [`WorkerStats`]. The
+/// fail-soft executor attributes ok/failed/skipped/retry counts to the
+/// worker that ran each cell this way; plain callers pass a no-op.
+pub fn run_indexed_observed<T, F, O>(
+    n: usize,
+    threads: usize,
+    sampler: ThreadAllocSampler,
+    run: F,
+    observe: O,
+) -> (Vec<T>, Vec<WorkerStats>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    O: Fn(&T, &mut WorkerStats) + Sync,
+{
     use std::time::Instant;
     let sample = move || sampler.map_or(0, |f| f());
     let threads = threads.max(1).min(n.max(1));
     if threads == 1 {
         let from = Instant::now();
-        let mut busy_us = 0u64;
-        let mut work_allocs = 0u64;
+        let mut stats = WorkerStats::default();
         let out: Vec<T> = (0..n)
             .map(|i| {
                 let t0 = Instant::now();
                 let a0 = sample();
                 let r = run(i);
-                work_allocs += sample().saturating_sub(a0);
-                busy_us += t0.elapsed().as_micros() as u64;
+                stats.work_allocs += sample().saturating_sub(a0);
+                stats.busy_us += t0.elapsed().as_micros() as u64;
+                stats.items += 1;
+                observe(&r, &mut stats);
                 r
             })
             .collect();
-        let stats = WorkerStats {
-            items: n as u64,
-            busy_us,
-            wall_us: from.elapsed().as_micros() as u64,
-            work_allocs,
-        };
+        stats.wall_us = from.elapsed().as_micros() as u64;
         return (out, vec![stats]);
     }
     let next = AtomicUsize::new(0);
@@ -175,6 +198,7 @@ where
                         stats.work_allocs += sample().saturating_sub(a0);
                         stats.busy_us += t0.elapsed().as_micros() as u64;
                         stats.items += 1;
+                        observe(&r, &mut stats);
                         local.push((i, r));
                     }
                     stats.wall_us = from.elapsed().as_micros() as u64;
@@ -236,7 +260,7 @@ pub struct SweepCell {
 /// One finished cell: the cell, its report, and (for probed sweeps) the
 /// run's metrics.
 #[derive(Debug, Clone)]
-pub struct CellOutcome {
+pub struct CellRow {
     /// The grid point.
     pub cell: SweepCell,
     /// The simulation report.
@@ -261,31 +285,50 @@ impl SweepSpec {
 
     /// A grid over named paper traces. `disks` of `None` selects each
     /// trace's published appendix-A array sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a trace is unknown or fails to generate; callers that
+    /// want the failure as a value use [`SweepSpec::try_named`].
     pub fn named(
         names: &[&str],
         algos: &[Algo],
         disks: Option<&[usize]>,
         threads: usize,
     ) -> SweepSpec {
+        Self::try_named(names, algos, disks, threads).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`SweepSpec::named`] with trace resolution failures returned as
+    /// typed [`TraceError`]s instead of panicking a worker thread — an
+    /// unknown name or a generator panic surfaces as a value the CLI can
+    /// turn into a diagnostic and an exit code. The first failing name
+    /// (in input order) wins.
+    pub fn try_named(
+        names: &[&str],
+        algos: &[Algo],
+        disks: Option<&[usize]>,
+        threads: usize,
+    ) -> Result<SweepSpec, TraceError> {
         // Resolve (generate) distinct traces in parallel; the per-name
-        // cache in `runner::trace` hands every worker the same Arc.
-        let traces = run_indexed(names.len(), threads, |i| trace(names[i]));
-        let entries = names
-            .iter()
-            .zip(traces)
-            .map(|(name, t)| SweepEntry {
+        // cache in `runner::try_trace` hands every worker the same Arc,
+        // and caches failures too, so no worker ever unwinds here.
+        let traces = run_indexed(names.len(), threads, |i| try_trace(names[i]));
+        let mut entries = Vec::with_capacity(names.len());
+        for (name, t) in names.iter().zip(traces) {
+            entries.push(SweepEntry {
                 disks: disks
                     .map(<[usize]>::to_vec)
                     .or_else(|| crate::paper::paper_cells(name).map(<[usize]>::to_vec))
                     .unwrap_or_else(|| crate::runner::DISK_COUNTS.to_vec()),
-                trace: t,
-            })
-            .collect();
-        SweepSpec {
+                trace: t?,
+            });
+        }
+        Ok(SweepSpec {
             entries,
             algos: algos.to_vec(),
             hints: Vec::new(),
-        }
+        })
     }
 
     /// Expands the grid into indexed cells: traces outermost, then hint
@@ -325,7 +368,7 @@ fn run_cell_inner(
     cell: &SweepCell,
     probed: bool,
     faults: &FaultPlan,
-) -> (CellOutcome, PolicyKind, SimConfig) {
+) -> (CellRow, PolicyKind, SimConfig) {
     let cfg = SimConfig::for_trace(cell.disks, &cell.trace).with_hint_mode(cell.hints);
     // An empty plan leaves the config untouched, so healthy sweeps stay
     // byte-identical to builds without fault support.
@@ -364,7 +407,7 @@ fn run_cell_inner(
             }
         }
     };
-    let outcome = CellOutcome {
+    let outcome = CellRow {
         cell: cell.clone(),
         report,
         metrics,
@@ -375,7 +418,7 @@ fn run_cell_inner(
 /// Executes one cell. Tuned reverse aggressive runs its parameter search
 /// serially here — the sweep already owns the machine's parallelism, and
 /// nested worker pools would oversubscribe it.
-fn run_cell(cell: &SweepCell, probed: bool, faults: &FaultPlan) -> CellOutcome {
+fn run_cell(cell: &SweepCell, probed: bool, faults: &FaultPlan) -> CellRow {
     run_cell_inner(cell, probed, faults).0
 }
 
@@ -386,11 +429,7 @@ fn run_cell(cell: &SweepCell, probed: bool, faults: &FaultPlan) -> CellOutcome {
 /// as an audit violation: the audit must never perturb the simulation.
 ///
 /// [`AuditProbe`]: parcache_core::audit::AuditProbe
-fn run_cell_audited(
-    cell: &SweepCell,
-    probed: bool,
-    faults: &FaultPlan,
-) -> (CellOutcome, AuditOutcome) {
+fn run_cell_audited(cell: &SweepCell, probed: bool, faults: &FaultPlan) -> (CellRow, AuditOutcome) {
     let (outcome, kind, cfg) = run_cell_inner(cell, probed, faults);
     let (audited_report, mut audit) = simulate_audited(&cell.trace, kind, &cfg);
     if audited_report != outcome.report {
@@ -408,14 +447,14 @@ fn run_cell_audited(
 
 /// Runs every cell of `spec` on `threads` workers and returns the
 /// outcomes in cell-index order.
-pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Vec<CellOutcome> {
+pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Vec<CellRow> {
     run_sweep_cells(&spec.cells(), threads, false, &FaultPlan::default())
 }
 
 /// [`run_sweep`] with a metrics probe attached to every cell, so the
 /// outcomes carry [`RunMetrics`] (and can be folded into a
 /// [`SweepAggregate`]).
-pub fn run_sweep_probed(spec: &SweepSpec, threads: usize) -> Vec<CellOutcome> {
+pub fn run_sweep_probed(spec: &SweepSpec, threads: usize) -> Vec<CellRow> {
     run_sweep_cells(&spec.cells(), threads, true, &FaultPlan::default())
 }
 
@@ -427,7 +466,7 @@ pub fn run_sweep_cells(
     threads: usize,
     probed: bool,
     faults: &FaultPlan,
-) -> Vec<CellOutcome> {
+) -> Vec<CellRow> {
     run_indexed(cells.len(), threads, |i| {
         run_cell(&cells[i], probed, faults)
     })
@@ -441,7 +480,7 @@ pub fn run_sweep_cells_audited(
     threads: usize,
     probed: bool,
     faults: &FaultPlan,
-) -> (Vec<CellOutcome>, Vec<AuditOutcome>) {
+) -> (Vec<CellRow>, Vec<AuditOutcome>) {
     let pairs = run_indexed(cells.len(), threads, |i| {
         run_cell_audited(&cells[i], probed, faults)
     });
@@ -457,7 +496,7 @@ pub fn run_sweep_cells_profiled(
     probed: bool,
     faults: &FaultPlan,
     sampler: ThreadAllocSampler,
-) -> (Vec<CellOutcome>, Vec<WorkerStats>) {
+) -> (Vec<CellRow>, Vec<WorkerStats>) {
     run_indexed_measured(cells.len(), threads, sampler, |i| {
         run_cell(&cells[i], probed, faults)
     })
@@ -470,7 +509,7 @@ pub fn run_sweep_cells_audited_profiled(
     probed: bool,
     faults: &FaultPlan,
     sampler: ThreadAllocSampler,
-) -> (Vec<CellOutcome>, Vec<AuditOutcome>, Vec<WorkerStats>) {
+) -> (Vec<CellRow>, Vec<AuditOutcome>, Vec<WorkerStats>) {
     let (pairs, workers) = run_indexed_measured(cells.len(), threads, sampler, |i| {
         run_cell_audited(&cells[i], probed, faults)
     });
@@ -479,11 +518,365 @@ pub fn run_sweep_cells_audited_profiled(
 }
 
 /// [`run_sweep`] with every cell audited.
-pub fn run_sweep_audited(
-    spec: &SweepSpec,
-    threads: usize,
-) -> (Vec<CellOutcome>, Vec<AuditOutcome>) {
+pub fn run_sweep_audited(spec: &SweepSpec, threads: usize) -> (Vec<CellRow>, Vec<AuditOutcome>) {
     run_sweep_cells_audited(&spec.cells(), threads, false, &FaultPlan::default())
+}
+
+// ---------------------------------------------------------------------------
+// Fail-soft execution
+// ---------------------------------------------------------------------------
+
+/// Fail-soft execution policy for a sweep. The default — no timeout, no
+/// retries, no fail-fast, no injection — runs every cell exactly once,
+/// inline on its worker, behind a `catch_unwind` boundary; a clean grid
+/// produces byte-identical output to the historical executor.
+#[derive(Debug, Clone, Default)]
+pub struct FailSoft {
+    /// Wall-clock deadline per cell attempt. When set, each attempt runs
+    /// on a dedicated watchdog thread; an attempt that overruns is
+    /// recorded as [`CellOutcome::TimedOut`] and its thread is detached
+    /// (Rust cannot kill a thread, so a truly hung cell parks one thread
+    /// until it finishes or the process exits — its allocations and CPU
+    /// time are no longer attributed to the sweep's workers).
+    pub cell_timeout: Option<Duration>,
+    /// How many times a failed (panicked or timed-out) attempt is
+    /// retried before the failure is recorded. 0 = one attempt.
+    pub max_retries: u32,
+    /// Stop dispatching new cells after the first failure, restoring the
+    /// historical abort semantics. Cells never dispatched are recorded
+    /// as [`CellOutcome::Skipped`]. With more than one worker, *which*
+    /// cells are skipped depends on scheduling; at one thread the cut is
+    /// deterministic.
+    pub fail_fast: bool,
+    /// Deterministic crash injection, for exercising the machinery.
+    pub inject: Option<Injection>,
+}
+
+/// A deterministic, index-addressed fault injected *inside* the
+/// isolation boundary, so tests and CI exercise the real
+/// catch/watchdog/retry paths rather than a simulation of them. The CLI
+/// parses one from the `PARCACHE_FAIL_CELL` environment hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Grid index of the cell to sabotage.
+    pub cell: usize,
+    /// What the sabotage does.
+    pub kind: InjectionKind,
+    /// How many attempts fail before the cell is allowed to succeed;
+    /// `u32::MAX` (the parse default) means every attempt fails.
+    pub times: u32,
+}
+
+/// The kinds of injected failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectionKind {
+    /// Panic before running the cell.
+    Panic,
+    /// Sleep this long before running the cell (trips the watchdog).
+    Hang(Duration),
+}
+
+impl Injection {
+    /// Parses an injection spec: `panic:<cell>[:<times>]` or
+    /// `hang:<cell>:<ms>[:<times>]`.
+    pub fn parse(spec: &str) -> Result<Injection, String> {
+        let int = |s: &str, what: &str| {
+            s.parse::<u64>()
+                .map_err(|_| format!("bad {what} {s:?} in injection spec {spec:?}"))
+        };
+        let parts: Vec<&str> = spec.split(':').collect();
+        match parts.as_slice() {
+            ["panic", cell] | ["panic", cell, ""] => Ok(Injection {
+                cell: int(cell, "cell index")? as usize,
+                kind: InjectionKind::Panic,
+                times: u32::MAX,
+            }),
+            ["panic", cell, times] => Ok(Injection {
+                cell: int(cell, "cell index")? as usize,
+                kind: InjectionKind::Panic,
+                times: int(times, "attempt count")?.min(u32::MAX as u64) as u32,
+            }),
+            ["hang", cell, ms] => Ok(Injection {
+                cell: int(cell, "cell index")? as usize,
+                kind: InjectionKind::Hang(Duration::from_millis(int(ms, "hang millis")?)),
+                times: u32::MAX,
+            }),
+            ["hang", cell, ms, times] => Ok(Injection {
+                cell: int(cell, "cell index")? as usize,
+                kind: InjectionKind::Hang(Duration::from_millis(int(ms, "hang millis")?)),
+                times: int(times, "attempt count")?.min(u32::MAX as u64) as u32,
+            }),
+            _ => Err(format!(
+                "bad injection spec {spec:?}: expected panic:<cell>[:<times>] or hang:<cell>:<ms>[:<times>]"
+            )),
+        }
+    }
+
+    /// Reads the `PARCACHE_FAIL_CELL` environment hook. `Ok(None)` when
+    /// unset; a set-but-malformed value is an error, never a silent
+    /// no-op (a typo must not quietly disable a CI crash test).
+    pub fn from_env() -> Result<Option<Injection>, String> {
+        match std::env::var("PARCACHE_FAIL_CELL") {
+            Ok(v) => Injection::parse(&v).map(Some),
+            Err(_) => Ok(None),
+        }
+    }
+}
+
+/// How one cell ended: the outcome lattice of the fail-soft executor.
+/// `Ok` carries the finished row; `Panicked` and `TimedOut` record a
+/// failure after all attempts; `Skipped` means the executor never
+/// dispatched the cell (fail-fast halt). Everything but `Ok` is re-run
+/// by `--resume`.
+///
+/// `Ok` dwarfs the failure variants, but it is also the variant nearly
+/// every instance holds — boxing the row would buy nothing and cost an
+/// allocation per healthy cell.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// The cell finished and produced its row.
+    Ok(CellRow),
+    /// Every attempt panicked; the last panic payload, as a string.
+    Panicked {
+        /// The rendered panic payload.
+        msg: String,
+    },
+    /// Every attempt overran the watchdog deadline.
+    TimedOut {
+        /// The deadline each attempt overran.
+        limit: Duration,
+    },
+    /// Never dispatched: a fail-fast halt landed first.
+    Skipped,
+}
+
+impl CellOutcome {
+    /// The finished row, when the cell completed.
+    pub fn row(&self) -> Option<&CellRow> {
+        match self {
+            CellOutcome::Ok(row) => Some(row),
+            _ => None,
+        }
+    }
+
+    /// Whether a resumed run must re-execute this cell (anything that
+    /// did not produce a row).
+    pub fn needs_rerun(&self) -> bool {
+        self.row().is_none()
+    }
+}
+
+/// One cell's trip through the fail-soft executor.
+#[derive(Debug, Clone)]
+pub struct CellExecution {
+    /// Grid index of the cell.
+    pub index: usize,
+    /// Attempts consumed (0 for a skipped cell).
+    pub attempts: u32,
+    /// How the cell ended.
+    pub outcome: CellOutcome,
+    /// The audit verdict, for audited runs whose cell produced a row.
+    pub audit: Option<AuditOutcome>,
+}
+
+/// A fail-soft run: per-cell executions in grid order, plus per-worker
+/// telemetry carrying the outcome counters.
+#[derive(Debug, Clone)]
+pub struct FailSoftRun {
+    /// One execution per dispatched grid cell, in cell-index order.
+    pub executions: Vec<CellExecution>,
+    /// Per-worker telemetry (`failed`/`skipped`/`retries` populated).
+    pub workers: Vec<WorkerStats>,
+}
+
+impl FailSoftRun {
+    /// How many cells did not produce a row.
+    pub fn failures(&self) -> usize {
+        self.executions
+            .iter()
+            .filter(|e| e.outcome.needs_rerun())
+            .count()
+    }
+
+    /// The finished rows, in cell-index order.
+    pub fn rows(&self) -> impl Iterator<Item = &CellRow> {
+        self.executions.iter().filter_map(|e| e.outcome.row())
+    }
+}
+
+/// Runs pre-expanded cells under a fail-soft `policy`: every attempt is
+/// isolated behind `catch_unwind` (and, with a timeout, a watchdog
+/// thread), failures are retried up to `policy.max_retries` times, and
+/// the executor keeps draining the queue — one poisoned cell costs that
+/// cell, not the sweep. Results come back in cell-index order, so the
+/// surviving rows render byte-identically to the same cells of a clean
+/// run at any thread count.
+pub fn run_cells_failsoft(
+    cells: &[SweepCell],
+    threads: usize,
+    probed: bool,
+    audited: bool,
+    faults: &FaultPlan,
+    policy: &FailSoft,
+    sampler: ThreadAllocSampler,
+) -> FailSoftRun {
+    let halt = AtomicBool::new(false);
+    let (executions, workers) = run_indexed_observed(
+        cells.len(),
+        threads,
+        sampler,
+        |i| {
+            let cell = &cells[i];
+            if policy.fail_fast && halt.load(Ordering::Relaxed) {
+                return CellExecution {
+                    index: cell.index,
+                    attempts: 0,
+                    outcome: CellOutcome::Skipped,
+                    audit: None,
+                };
+            }
+            let exec = run_cell_failsoft(cell, probed, audited, faults, policy);
+            if policy.fail_fast && exec.outcome.needs_rerun() {
+                halt.store(true, Ordering::Relaxed);
+            }
+            exec
+        },
+        |exec: &CellExecution, stats: &mut WorkerStats| {
+            match exec.outcome {
+                CellOutcome::Ok(_) => {}
+                CellOutcome::Skipped => stats.skipped += 1,
+                CellOutcome::Panicked { .. } | CellOutcome::TimedOut { .. } => stats.failed += 1,
+            }
+            stats.retries += u64::from(exec.attempts.saturating_sub(1));
+        },
+    );
+    FailSoftRun {
+        executions,
+        workers,
+    }
+}
+
+/// One cell through the bounded-retry loop.
+fn run_cell_failsoft(
+    cell: &SweepCell,
+    probed: bool,
+    audited: bool,
+    faults: &FaultPlan,
+    policy: &FailSoft,
+) -> CellExecution {
+    let max_attempts = policy.max_retries.saturating_add(1);
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let injected = policy
+            .inject
+            .filter(|inj| inj.cell == cell.index && attempts <= inj.times);
+        let result = attempt_cell(cell, probed, audited, faults, policy.cell_timeout, injected);
+        let outcome = match result {
+            AttemptResult::Finished(row, audit) => {
+                return CellExecution {
+                    index: cell.index,
+                    attempts,
+                    outcome: CellOutcome::Ok(row),
+                    audit,
+                }
+            }
+            AttemptResult::Panicked(msg) => CellOutcome::Panicked { msg },
+            AttemptResult::TimedOut(limit) => CellOutcome::TimedOut { limit },
+        };
+        if attempts >= max_attempts {
+            return CellExecution {
+                index: cell.index,
+                attempts,
+                outcome,
+                audit: None,
+            };
+        }
+    }
+}
+
+/// One isolated attempt at a cell. (`Finished` is near-universal, so —
+/// as with [`CellOutcome`] — boxing the row is not worth an allocation
+/// per healthy cell.)
+#[allow(clippy::large_enum_variant)]
+enum AttemptResult {
+    /// The attempt produced a row (and, when audited, a verdict).
+    Finished(CellRow, Option<AuditOutcome>),
+    /// The attempt panicked; the rendered payload.
+    Panicked(String),
+    /// The attempt overran the watchdog deadline.
+    TimedOut(Duration),
+}
+
+fn attempt_cell(
+    cell: &SweepCell,
+    probed: bool,
+    audited: bool,
+    faults: &FaultPlan,
+    timeout: Option<Duration>,
+    injected: Option<Injection>,
+) -> AttemptResult {
+    match timeout {
+        None => {
+            // No deadline: run inline on the worker behind the unwind
+            // boundary alone — the zero-cost clean path.
+            match catch_unwind(AssertUnwindSafe(|| {
+                cell_body(cell, probed, audited, faults, injected)
+            })) {
+                Ok((row, audit)) => AttemptResult::Finished(row, audit),
+                Err(payload) => AttemptResult::Panicked(panic_message(payload.as_ref())),
+            }
+        }
+        Some(limit) => {
+            // Watchdog: the attempt runs on its own thread and reports
+            // over a channel; the worker waits at most `limit`. On
+            // timeout the thread is detached, never joined — the cell
+            // may still be spinning, but the sweep moves on.
+            let (tx, rx) = mpsc::channel();
+            let cell = cell.clone();
+            let faults = faults.clone();
+            std::thread::spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    cell_body(&cell, probed, audited, &faults, injected)
+                }));
+                // The receiver may have given up on us; that's fine.
+                let _ = tx.send(result);
+            });
+            match rx.recv_timeout(limit) {
+                Ok(Ok((row, audit))) => AttemptResult::Finished(row, audit),
+                Ok(Err(payload)) => AttemptResult::Panicked(panic_message(payload.as_ref())),
+                Err(mpsc::RecvTimeoutError::Timeout) => AttemptResult::TimedOut(limit),
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    AttemptResult::Panicked("cell worker vanished without reporting".to_string())
+                }
+            }
+        }
+    }
+}
+
+/// The work inside the isolation boundary: the injection point, then the
+/// real cell. Injection fires in here — not in the dispatch loop — so an
+/// injected panic unwinds through exactly the machinery a real one would.
+fn cell_body(
+    cell: &SweepCell,
+    probed: bool,
+    audited: bool,
+    faults: &FaultPlan,
+    injected: Option<Injection>,
+) -> (CellRow, Option<AuditOutcome>) {
+    if let Some(inj) = injected {
+        match inj.kind {
+            InjectionKind::Panic => panic!("injected failure in cell {}", cell.index),
+            InjectionKind::Hang(d) => std::thread::sleep(d),
+        }
+    }
+    if audited {
+        let (row, audit) = run_cell_audited(cell, probed, faults);
+        (row, Some(audit))
+    } else {
+        (run_cell(cell, probed, faults), None)
+    }
 }
 
 /// Shape-independent metrics folded across every probed cell of a sweep
@@ -507,7 +900,7 @@ impl SweepAggregate {
     /// Folds the probed outcomes (in the order given — callers pass
     /// cell-index order for deterministic output). Returns `None` when no
     /// outcome carries metrics.
-    pub fn fold(outcomes: &[CellOutcome]) -> Option<SweepAggregate> {
+    pub fn fold(outcomes: &[CellRow]) -> Option<SweepAggregate> {
         let mut agg: Option<SweepAggregate> = None;
         for m in outcomes.iter().filter_map(|o| o.metrics.as_ref()) {
             let a = agg.get_or_insert_with(SweepAggregate::default);
@@ -562,38 +955,114 @@ impl SweepAggregate {
 /// Whether any outcome ran under a predicted hint source. Gates the
 /// `hints` CSV columns the same way fault accounting gates the fault
 /// columns: oracle-only sweeps keep the exact historical bytes.
-fn any_hinted(outcomes: &[CellOutcome]) -> bool {
+fn any_hinted(outcomes: &[CellRow]) -> bool {
     outcomes
         .iter()
         .any(|o| o.cell.hints != HintMode::Oracle || o.report.hints.is_some())
 }
 
+/// The column gates of a sweep CSV document: which optional column
+/// groups the header and every row carry. Fault columns appear iff the
+/// run carries fault accounting; hint columns iff any cell runs a
+/// predicted source. Both are **pure functions of the grid**:
+/// [`Report::fault`] is `Some` exactly when the fault plan was
+/// non-empty, and a cell's hint column depends only on its own
+/// [`SweepCell::hints`]. [`CsvGates::for_grid`] therefore renders any
+/// *subset* of a grid's rows with the same bytes the full run would
+/// produce — the fact that makes a resumed sweep's spliced CSV
+/// byte-identical to an uninterrupted run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsvGates {
+    /// Append the fault accounting columns.
+    pub faulted: bool,
+    /// Append the hint-source column (plus accuracy, with `explain`).
+    pub hinted: bool,
+    /// Render the `--explain` flavor (per-cause stall columns).
+    pub explain: bool,
+}
+
+impl CsvGates {
+    /// The gates a grid will render under, before any cell has run.
+    pub fn for_grid(cells: &[SweepCell], faults: &FaultPlan, explain: bool) -> CsvGates {
+        CsvGates {
+            faulted: !faults.is_empty() && !cells.is_empty(),
+            hinted: cells.iter().any(|c| c.hints != HintMode::Oracle),
+            explain,
+        }
+    }
+
+    /// The gates a finished row set renders under — the historical,
+    /// outcome-driven computation. Identical to [`CsvGates::for_grid`]
+    /// of the cells the rows came from (pinned by test).
+    pub fn for_rows(rows: &[CellRow], explain: bool) -> CsvGates {
+        CsvGates {
+            faulted: rows.iter().any(|o| o.report.fault.is_some()),
+            hinted: any_hinted(rows),
+            explain,
+        }
+    }
+
+    /// The header line (with trailing newline).
+    pub fn header(&self) -> String {
+        let mut out = String::new();
+        if self.explain {
+            out.push_str(&Report::csv_header_explain(self.faulted));
+            if self.hinted {
+                out.push_str(",hints,hint_precision,hint_recall");
+            }
+        } else {
+            // Fault columns appear only when a cell carries fault
+            // accounting, so healthy sweeps keep the exact historical
+            // header and row bytes.
+            if self.faulted {
+                out.push_str(Report::csv_header_faulted());
+            } else {
+                out.push_str(Report::csv_header());
+            }
+            if self.hinted {
+                out.push_str(",hints");
+            }
+        }
+        out.push('\n');
+        out
+    }
+
+    /// One row (with trailing newline), rendered under these gates.
+    pub fn row(&self, o: &CellRow) -> String {
+        let mut out = if self.explain {
+            o.report.to_csv_row_explain()
+        } else {
+            o.report.to_csv_row()
+        };
+        if self.hinted {
+            if self.explain {
+                // The oracle source is by definition perfectly precise
+                // and complete; predicted cells report measured figures.
+                let (precision, recall) = match &o.report.hints {
+                    Some(stats) => (stats.precision(), stats.recall()),
+                    None => (1.0, 1.0),
+                };
+                out.push_str(&format!(
+                    ",{},{:.4},{:.4}",
+                    o.cell.hints.name(),
+                    precision,
+                    recall
+                ));
+            } else {
+                out.push(',');
+                out.push_str(o.cell.hints.name());
+            }
+        }
+        out.push('\n');
+        out
+    }
+}
+
 /// The outcomes as a CSV document (header plus one row per cell, in cell
 /// order). Identical input produces identical bytes, whatever the thread
 /// count that computed it.
-pub fn sweep_csv(outcomes: &[CellOutcome]) -> String {
-    let hinted = any_hinted(outcomes);
-    let mut out = String::with_capacity(outcomes.len() * 96 + 128);
-    // Fault columns appear only when a cell carries fault accounting, so
-    // healthy sweeps keep the exact historical header and row bytes.
-    if outcomes.iter().any(|o| o.report.fault.is_some()) {
-        out.push_str(Report::csv_header_faulted());
-    } else {
-        out.push_str(Report::csv_header());
-    }
-    if hinted {
-        out.push_str(",hints");
-    }
-    out.push('\n');
-    for o in outcomes {
-        out.push_str(&o.report.to_csv_row());
-        if hinted {
-            out.push(',');
-            out.push_str(o.cell.hints.name());
-        }
-        out.push('\n');
-    }
-    out
+pub fn sweep_csv(outcomes: &[CellRow]) -> String {
+    sweep_csv_gated(CsvGates::for_rows(outcomes, false), outcomes)
 }
 
 /// [`sweep_csv`] with the five per-cause stall columns appended to every
@@ -601,32 +1070,19 @@ pub fn sweep_csv(outcomes: &[CellOutcome]) -> String {
 /// hint source and its prediction precision/recall. A separate function,
 /// not a flag on [`sweep_csv`]: the default document's bytes are
 /// golden-pinned and must not change.
-pub fn sweep_csv_explain(outcomes: &[CellOutcome]) -> String {
-    let faulted = outcomes.iter().any(|o| o.report.fault.is_some());
-    let hinted = any_hinted(outcomes);
-    let mut out = String::with_capacity(outcomes.len() * 128 + 160);
-    out.push_str(&Report::csv_header_explain(faulted));
-    if hinted {
-        out.push_str(",hints,hint_precision,hint_recall");
-    }
-    out.push('\n');
+pub fn sweep_csv_explain(outcomes: &[CellRow]) -> String {
+    sweep_csv_gated(CsvGates::for_rows(outcomes, true), outcomes)
+}
+
+/// Renders rows under explicit `gates` — the building block the resume
+/// path uses to splice stored and freshly-computed rows into one
+/// document with a grid-determined shape.
+pub fn sweep_csv_gated(gates: CsvGates, outcomes: &[CellRow]) -> String {
+    let per_row = if gates.explain { 128 } else { 96 };
+    let mut out = String::with_capacity(outcomes.len() * per_row + 160);
+    out.push_str(&gates.header());
     for o in outcomes {
-        out.push_str(&o.report.to_csv_row_explain());
-        if hinted {
-            // The oracle source is by definition perfectly precise and
-            // complete; predicted cells report measured figures.
-            let (precision, recall) = match &o.report.hints {
-                Some(stats) => (stats.precision(), stats.recall()),
-                None => (1.0, 1.0),
-            };
-            out.push_str(&format!(
-                ",{},{:.4},{:.4}",
-                o.cell.hints.name(),
-                precision,
-                recall
-            ));
-        }
-        out.push('\n');
+        out.push_str(&gates.row(o));
     }
     out
 }
@@ -634,7 +1090,7 @@ pub fn sweep_csv_explain(outcomes: &[CellOutcome]) -> String {
 /// The outcomes as one JSON document: `{"cells":[...]}`, each cell's
 /// report (and metrics, when probed) in cell order, plus the aggregate
 /// over probed cells when present.
-pub fn sweep_json(outcomes: &[CellOutcome]) -> String {
+pub fn sweep_json(outcomes: &[CellRow]) -> String {
     let cells: Vec<String> = outcomes
         .iter()
         .map(|o| match &o.metrics {
