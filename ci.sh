@@ -34,6 +34,10 @@ echo "== differential fuzz smoke (500 cases, every policy) =="
 cargo run --release -q -p parcache-bench --bin parcache-run -- \
     --fuzz 500 --seed 1996 --threads 2 > /dev/null
 
+echo "== forestall differential fuzz (300 cases, incremental vs naive predictor) =="
+cargo run --release -q -p parcache-bench --bin parcache-run -- \
+    --fuzz 300 --differential --seed 1996 --threads 2 > /dev/null
+
 echo "== fault-enabled fuzz smoke (500 cases; ~half run under a fault plan) =="
 cargo run --release -q -p parcache-bench --bin parcache-run -- \
     --fuzz 500 --seed 2026 --threads 2 > /dev/null
@@ -172,6 +176,15 @@ else
     echo "== bench smoke vs committed baseline (>25% regression or <0.75 scaling efficiency fails) =="
     cargo run --release -q -p parcache-bench --bin parcache-run -- \
         --bench-smoke --baseline BENCH_sweep.json > /dev/null
+
+    # Per-policy engine throughput floors: each policy's single-threaded
+    # events/sec must stay within 25% of the committed BENCH_engine.json,
+    # steady-state allocations must stay under ENGINE_ALLOC_CEILING, and
+    # forestall must stay within ENGINE_FORESTALL_DEMAND_RATIO of demand
+    # in the same run (the stall predictor's hot-path budget).
+    echo "== engine bench vs committed baseline (per-policy floors + alloc ceiling) =="
+    cargo run --release -q -p parcache-bench --bin parcache-run -- \
+        --bench-engine --baseline BENCH_engine.json > /dev/null
 fi
 
 echo "CI OK"

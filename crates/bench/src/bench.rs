@@ -68,6 +68,20 @@ pub const SCALING_EFFICIENCY_FLOOR: f64 = 0.75;
 /// every algorithm including the 8-configuration tuned-reverse search.
 pub const SMOKE_TRACES: [&str; 3] = ["dinero", "cscope1", "ld"];
 
+/// Per-policy allocation ceiling for one engine-bench run. Every policy
+/// sits near ~130 steady-state allocations; reverse-aggressive once
+/// carried ~19k from a heap-allocated queue per scheduled block. The
+/// ceiling is machine-independent (allocation counts are deterministic),
+/// so it is enforced whenever a counting allocator is installed.
+pub const ENGINE_ALLOC_CEILING: u64 = 1_000;
+
+/// Ceiling on how many times slower than demand paging the forestall
+/// policy may simulate. Wall-clock rates vary machine to machine, but
+/// the *gap between policies on the same machine* is a property of the
+/// code: forestall's stall predictor was a full window rescan per
+/// decision (10.9x slower than demand) before it became incremental.
+pub const ENGINE_FORESTALL_DEMAND_RATIO: f64 = 4.0;
+
 /// Stress-trace shape for the engine bench: passes over a sequential
 /// loop, sized well past any trace in the paper's suite.
 pub const STRESS_PASSES: usize = 60;
@@ -304,6 +318,9 @@ pub fn run_engine_bench(alloc: AllocReader<'_>) -> EngineBench {
                 units: probe.events,
                 wall,
                 allocations: allocs,
+                // Engine stages run single-threaded with nothing around
+                // the simulate call; there is no separate harness share.
+                // The engine schema (v2) carries no such field.
                 harness_allocations: None,
             },
         ));
@@ -381,21 +398,37 @@ pub fn sweep_bench_json(b: &SweepBench) -> String {
     )
 }
 
-/// Serializes an [`EngineBench`] as the `BENCH_engine.json` document.
+/// Serializes an [`EngineBench`] as the `BENCH_engine.json` document
+/// (schema v2).
+///
+/// v2 drops v1's `harness_allocations` field, which was `null` on every
+/// row: engine stages are single-threaded with nothing around the
+/// simulate call, so there is no harness share to split out, and a
+/// permanently-null column invites a downstream parser to key on it.
 pub fn engine_bench_json(b: &EngineBench) -> String {
     let runs: Vec<String> = b
         .runs
         .iter()
         .map(|(name, s)| {
+            let allocs = match s.allocations {
+                Some(a) => a.to_string(),
+                None => "null".to_string(),
+            };
+            // Field order is a compatibility surface:
+            // `baseline_engine_events_per_sec` splits on `"policy":"…"`
+            // then takes the next `"events_per_sec":`, so the rate must
+            // stay inside its policy's row.
             format!(
-                r#"{{"policy":"{}",{}"#,
+                r#"{{"policy":"{}","events":{},"wall_secs":{:.3},"events_per_sec":{:.3},"allocations":{allocs}}}"#,
                 json_escape(name),
-                &stage_json(s, "events")[1..]
+                s.units,
+                s.wall.as_secs_f64(),
+                s.per_sec(),
             )
         })
         .collect();
     format!(
-        "{{\"schema\":\"parcache-bench-engine-v1\",\"trace\":\"synth-stress\",\
+        "{{\"schema\":\"parcache-bench-engine-v2\",\"trace\":\"synth-stress\",\
          \"passes\":{},\"loop_blocks\":{},\"disks\":{},\"requests\":{},\"runs\":[{}]}}",
         STRESS_PASSES,
         STRESS_LOOP_BLOCKS,
@@ -442,6 +475,99 @@ pub fn check_regression(current: &Stage, baseline_json: &str) -> Result<String, 
         ))
     } else {
         Ok(verdict)
+    }
+}
+
+/// Pulls `"events_per_sec":<number>` for one policy's row out of a
+/// `BENCH_engine.json` document (v1 or v2 — the row shape it relies on
+/// is shared). Positional, like [`baseline_smoke_cells_per_sec`]: it
+/// parses only the documents this module writes. The quoted
+/// `"policy":"name"` pattern cannot match inside another policy's name
+/// (`aggressive` never matches `reverse-aggressive`'s row: the leading
+/// quote anchors the full name).
+pub fn baseline_engine_events_per_sec(json: &str, policy: &str) -> Option<f64> {
+    let row = json
+        .split(&format!("\"policy\":\"{}\"", json_escape(policy)))
+        .nth(1)?;
+    let field = row.split("\"events_per_sec\":").nth(1)?;
+    let end = field
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(field.len());
+    field[..end].parse().ok()
+}
+
+/// Applies the per-policy engine gates to a fresh engine bench against a
+/// committed `BENCH_engine.json` baseline.
+///
+/// Three gates, `Err` on any violation (all violations are reported):
+///
+/// * **Throughput floor** — each policy's events/sec must stay within
+///   [`REGRESSION_TOLERANCE`] of its own baseline row. A policy missing
+///   from the baseline is an error: a silently unguarded policy is how
+///   the forestall gap went unnoticed.
+/// * **Allocation ceiling** — each policy's allocation count (when a
+///   counting allocator is installed) must stay under
+///   [`ENGINE_ALLOC_CEILING`]. Deterministic, so no tolerance.
+/// * **Relative gap** — forestall's rate must stay within
+///   [`ENGINE_FORESTALL_DEMAND_RATIO`] of demand's *from the same run*,
+///   which holds even when the machine differs from the baseline's.
+pub fn check_engine(b: &EngineBench, baseline_json: &str) -> Result<String, String> {
+    let mut lines = Vec::new();
+    let mut errors = Vec::new();
+    let mut demand_rate = None;
+    let mut forestall_rate = None;
+    for (name, s) in &b.runs {
+        let cur = s.per_sec();
+        match *name {
+            "demand" => demand_rate = Some(cur),
+            "forestall" => forestall_rate = Some(cur),
+            _ => {}
+        }
+        match baseline_engine_events_per_sec(baseline_json, name) {
+            Some(base) if base > 0.0 => {
+                let ratio = cur / base;
+                let verdict = format!(
+                    "engine {name}: {cur:.0} events/sec vs baseline {base:.0} ({:+.1}%)",
+                    (ratio - 1.0) * 100.0
+                );
+                if ratio < 1.0 - REGRESSION_TOLERANCE {
+                    errors.push(format!(
+                        "{verdict} — exceeds the {:.0}% regression tolerance",
+                        REGRESSION_TOLERANCE * 100.0
+                    ));
+                } else {
+                    lines.push(verdict);
+                }
+            }
+            _ => errors.push(format!(
+                "baseline JSON has no positive events_per_sec for policy {name}"
+            )),
+        }
+        if let Some(a) = s.allocations {
+            if a > ENGINE_ALLOC_CEILING {
+                errors.push(format!(
+                    "engine {name}: {a} allocations exceed the {ENGINE_ALLOC_CEILING} ceiling"
+                ));
+            }
+        }
+    }
+    if let (Some(d), Some(f)) = (demand_rate, forestall_rate) {
+        if f > 0.0 {
+            let gap = d / f;
+            let verdict = format!(
+                "engine forestall/demand gap: {gap:.2}x (ceiling {ENGINE_FORESTALL_DEMAND_RATIO:.1}x)"
+            );
+            if gap > ENGINE_FORESTALL_DEMAND_RATIO {
+                errors.push(format!("{verdict} — forestall fell out of its band"));
+            } else {
+                lines.push(verdict);
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(lines.join("\n"))
+    } else {
+        Err(errors.join("\n"))
     }
 }
 
@@ -687,6 +813,138 @@ mod tests {
         let s = stage(1, 1000);
         assert!(check_regression(&s, "{}").is_err());
         assert!(check_regression(&s, "not json at all").is_err());
+    }
+
+    /// An engine bench with the given (policy, events, millis, allocs)
+    /// rows.
+    fn engine(rows: &[(&'static str, u64, u64, Option<u64>)]) -> EngineBench {
+        EngineBench {
+            requests: 240_000,
+            runs: rows
+                .iter()
+                .map(|&(name, units, millis, allocations)| {
+                    (
+                        name,
+                        Stage {
+                            units,
+                            wall: Duration::from_millis(millis),
+                            allocations,
+                            harness_allocations: None,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn engine_json_is_v2_without_harness_allocations() {
+        let b = engine(&[
+            ("demand", 16_000, 1000, Some(111)),
+            ("forestall", 8_000, 1000, None),
+        ]);
+        let json = engine_bench_json(&b);
+        assert!(
+            json.contains("\"schema\":\"parcache-bench-engine-v2\""),
+            "{json}"
+        );
+        assert!(!json.contains("harness_allocations"), "{json}");
+        assert!(json.contains("\"policy\":\"demand\",\"events\":16000"));
+        assert!(json.contains("\"allocations\":111"));
+        assert!(json.contains("\"allocations\":null"));
+        assert_eq!(
+            baseline_engine_events_per_sec(&json, "demand"),
+            Some(16000.0)
+        );
+        assert_eq!(
+            baseline_engine_events_per_sec(&json, "forestall"),
+            Some(8000.0)
+        );
+        assert_eq!(baseline_engine_events_per_sec(&json, "aggressive"), None);
+    }
+
+    #[test]
+    fn engine_baseline_parse_anchors_full_policy_names() {
+        // "aggressive" must not match inside reverse-aggressive's row.
+        let b = engine(&[
+            ("aggressive", 7_000, 1000, Some(131)),
+            ("reverse-aggressive", 5_000, 1000, Some(150)),
+        ]);
+        let json = engine_bench_json(&b);
+        assert_eq!(
+            baseline_engine_events_per_sec(&json, "aggressive"),
+            Some(7000.0)
+        );
+        assert_eq!(
+            baseline_engine_events_per_sec(&json, "reverse-aggressive"),
+            Some(5000.0)
+        );
+    }
+
+    #[test]
+    fn engine_gate_enforces_per_policy_floors() {
+        let base = engine(&[
+            ("demand", 16_000, 1000, Some(111)),
+            ("forestall", 8_000, 1000, Some(132)),
+        ]);
+        let baseline = engine_bench_json(&base);
+        // Within tolerance on both policies: passes, verdict names both.
+        let ok = engine(&[
+            ("demand", 14_000, 1000, Some(111)),
+            ("forestall", 7_000, 1000, Some(132)),
+        ]);
+        let verdict = check_engine(&ok, &baseline).unwrap();
+        assert!(verdict.contains("engine demand"), "{verdict}");
+        assert!(verdict.contains("engine forestall"), "{verdict}");
+        assert!(verdict.contains("gap"), "{verdict}");
+        // One policy regressing past tolerance fails even when the
+        // others improve.
+        let bad = engine(&[
+            ("demand", 20_000, 1000, Some(111)),
+            ("forestall", 5_000, 1000, Some(132)),
+        ]);
+        let err = check_engine(&bad, &baseline).unwrap_err();
+        assert!(err.contains("engine forestall"), "{err}");
+        assert!(err.contains("regression tolerance"), "{err}");
+    }
+
+    #[test]
+    fn engine_gate_enforces_the_allocation_ceiling_and_gap() {
+        let base = engine(&[
+            ("demand", 16_000, 1000, Some(111)),
+            ("forestall", 8_000, 1000, Some(132)),
+        ]);
+        let baseline = engine_bench_json(&base);
+        // The old reverse-aggressive shape: allocations far past the
+        // ceiling fail deterministically.
+        let alloc_heavy = engine(&[
+            ("demand", 16_000, 1000, Some(19_400)),
+            ("forestall", 8_000, 1000, Some(132)),
+        ]);
+        let err = check_engine(&alloc_heavy, &baseline).unwrap_err();
+        assert!(err.contains("allocations exceed"), "{err}");
+        // The old forestall shape: 10.9x slower than demand on the same
+        // machine fails the relative gap even if the baseline row is met.
+        let gapped = engine(&[
+            ("demand", 87_200, 1000, Some(111)),
+            ("forestall", 8_000, 1000, Some(132)),
+        ]);
+        let err = check_engine(&gapped, &baseline).unwrap_err();
+        assert!(err.contains("fell out of its band"), "{err}");
+        // No allocator installed: the ceiling is simply not judged.
+        let uncounted = engine(&[
+            ("demand", 16_000, 1000, None),
+            ("forestall", 8_000, 1000, None),
+        ]);
+        assert!(check_engine(&uncounted, &baseline).is_ok());
+        // A policy missing from the baseline is an error, not a skip.
+        let extra = engine(&[
+            ("demand", 16_000, 1000, None),
+            ("aggressive", 7_000, 1000, None),
+            ("forestall", 8_000, 1000, None),
+        ]);
+        let err = check_engine(&extra, &baseline).unwrap_err();
+        assert!(err.contains("no positive events_per_sec"), "{err}");
     }
 
     #[test]

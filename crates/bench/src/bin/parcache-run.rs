@@ -279,9 +279,11 @@ usage: parcache-run <trace> [policy] [disks] [--json] [--hist] [--audit]
                     [--faults <spec>] [--hints <list>] [--profile <path>]
                     [--out <path>] [--resume <manifest>] [--cell-timeout <ms>]
                     [--max-cell-retries <n>] [--fail-fast]
-       parcache-run --fuzz <n> [--seed <s>] [--threads N] [--profile <path>]
+       parcache-run --fuzz <n> [--seed <s>] [--threads N] [--differential]
+                    [--profile <path>]
        parcache-run --bench [--profile <path>]
        parcache-run --bench-smoke [--baseline <BENCH_sweep.json>]
+       parcache-run --bench-engine [--baseline <BENCH_engine.json>]
 
 traces:  paper trace names (or `all`), or a path to a trace file
 faults:  comma-separated flaky:<disk|*>:<p>, slow:<disk|*>:<from_ms>:<until_ms>:<factor>,
@@ -352,8 +354,14 @@ struct Options {
     audit: bool,
     explain: bool,
     fuzz: Option<usize>,
+    /// `--differential`: the fuzzer additionally replays every forestall
+    /// case on the naive full-rescan predictor and compares reports.
+    differential: bool,
     bench: bool,
     bench_smoke: bool,
+    /// `--bench-engine`: the engine stress bench alone, JSON to stdout,
+    /// optionally gated against a committed `BENCH_engine.json`.
+    bench_engine: bool,
     baseline: Option<String>,
     /// `--seed` as given; `None` means the flag was absent, so the
     /// fuzzer falls back to its default stream.
@@ -387,8 +395,10 @@ fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
         audit: false,
         explain: false,
         fuzz: None,
+        differential: false,
         bench: false,
         bench_smoke: false,
+        bench_engine: false,
         baseline: None,
         seed: None,
         threads: None,
@@ -421,11 +431,13 @@ fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
             },
             "--bench" => opts.bench = true,
             "--bench-smoke" => opts.bench_smoke = true,
+            "--bench-engine" => opts.bench_engine = true,
+            "--differential" => opts.differential = true,
             "--baseline" => match it.next() {
                 Some(p) => opts.baseline = Some(p),
                 None => {
                     return Err(CliError::Usage(
-                        "--baseline requires a path to a BENCH_sweep.json".to_string(),
+                        "--baseline requires a path to a committed bench JSON".to_string(),
                     ))
                 }
             },
@@ -525,7 +537,8 @@ fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
             f if f.starts_with("--") => {
                 return Err(CliError::Usage(format!(
                     "unknown flag {f}; known flags: --json --hist --sweep --audit \
-                     --explain --fuzz <n> --bench --bench-smoke --baseline <path> \
+                     --explain --fuzz <n> --differential --bench --bench-smoke \
+                     --bench-engine --baseline <path> \
                      --seed <s> --threads <n> --events <path> --faults <spec> \
                      --hints <list> --profile <path> --out <path> \
                      --resume <manifest> --cell-timeout <ms> \
@@ -546,26 +559,38 @@ fn parse_args(args: Vec<String>) -> Result<Options, CliError> {
 /// malformed command line.
 fn validate(opts: &Options) -> Result<(), CliError> {
     let usage = |msg: &str| Err(CliError::Usage(msg.to_string()));
-    let bench_mode = opts.bench || opts.bench_smoke;
+    let bench_mode = opts.bench || opts.bench_smoke || opts.bench_engine;
     let fuzzing = opts.fuzz.is_some();
-    if opts.bench && opts.bench_smoke {
-        return usage("--bench and --bench-smoke are mutually exclusive; pick one");
+    if [opts.bench, opts.bench_smoke, opts.bench_engine]
+        .iter()
+        .filter(|&&b| b)
+        .count()
+        > 1
+    {
+        return usage(
+            "--bench, --bench-smoke, and --bench-engine are mutually exclusive; pick one",
+        );
     }
     if bench_mode && opts.sweep {
         return usage(
-            "--bench/--bench-smoke and --sweep are mutually exclusive; run one mode at a time",
+            "--bench/--bench-smoke/--bench-engine and --sweep are mutually exclusive; \
+             run one mode at a time",
         );
     }
     if bench_mode && fuzzing {
         return usage(
-            "--bench/--bench-smoke and --fuzz are mutually exclusive; run one mode at a time",
+            "--bench/--bench-smoke/--bench-engine and --fuzz are mutually exclusive; \
+             run one mode at a time",
         );
     }
     if fuzzing && opts.sweep {
         return usage("--fuzz and --sweep are mutually exclusive; run one mode at a time");
     }
-    if opts.baseline.is_some() && !opts.bench_smoke {
-        return usage("--baseline only applies to --bench-smoke");
+    if opts.baseline.is_some() && !opts.bench_smoke && !opts.bench_engine {
+        return usage("--baseline only applies to --bench-smoke and --bench-engine");
+    }
+    if opts.differential && !fuzzing {
+        return usage("--differential only applies to --fuzz");
     }
     if opts.seed.is_some() && !fuzzing {
         return usage("--seed only applies to --fuzz; sweeps and single runs are deterministic");
@@ -975,7 +1000,11 @@ fn fuzz_main<P: Prof>(opts: &Options, cases: usize, prof: &P) {
     let threads = opts.threads.unwrap_or_else(sweep::default_threads);
     let wall = Instant::now();
     let seed = opts.seed.unwrap_or(parcache_bench::SEED);
-    let report = parcache_bench::fuzz(seed, cases, threads);
+    let report = if opts.differential {
+        parcache_bench::fuzz_differential(seed, cases, threads)
+    } else {
+        parcache_bench::fuzz(seed, cases, threads)
+    };
     println!("{report}");
     eprintln!("({} runs in {:.2?})", report.runs, wall.elapsed());
     if !report.is_clean() {
@@ -989,18 +1018,55 @@ fn fuzz_main<P: Prof>(opts: &Options, cases: usize, prof: &P) {
     }
 }
 
-/// `--bench` / `--bench-smoke`: the continuous benchmark harness.
+/// `--bench` / `--bench-smoke` / `--bench-engine`: the continuous
+/// benchmark harness.
 ///
 /// Smoke mode prints the smoke-sweep JSON to stdout and, when
 /// `--baseline` names a committed `BENCH_sweep.json`, applies the 25%
-/// cells/sec regression gate. Full mode additionally replays the
-/// complete appendix-A grid at 1/2/4 threads and the engine stress
-/// trace, writing `BENCH_sweep.json` and `BENCH_engine.json`. Both
-/// modes apply the scaling-efficiency gate on machines with at least
-/// two effective cores (elsewhere it skips with a note).
+/// cells/sec regression gate. Engine mode runs only the per-policy
+/// stress bench, prints the engine JSON (schema v2) to stdout, and with
+/// `--baseline <BENCH_engine.json>` applies the per-policy throughput,
+/// allocation-ceiling, and forestall/demand-gap gates. Full mode
+/// additionally replays the complete appendix-A grid at 1/2/4 threads
+/// and the engine stress trace, writing `BENCH_sweep.json` and
+/// `BENCH_engine.json`. Sweep-based modes apply the scaling-efficiency
+/// gate on machines with at least two effective cores (elsewhere it
+/// skips with a note).
 fn bench_main<P: Prof>(opts: &Options, prof: &P) -> Result<(), CliError> {
     let _span = prof.span("bench");
     let alloc: &dyn Fn() -> u64 = &alloc_count;
+    if opts.bench_engine {
+        eprintln!(
+            "benchmarking: engine stress trace ({} passes x {} blocks, {} disks)...",
+            bench::STRESS_PASSES,
+            bench::STRESS_LOOP_BLOCKS,
+            bench::STRESS_DISKS
+        );
+        let engine_span = prof.span("engine-bench");
+        let engine_bench = bench::run_engine_bench(Some(alloc));
+        drop(engine_span);
+        for (policy, stage) in &engine_bench.runs {
+            eprintln!(
+                "{policy}: {} events in {:.2}s ({:.0} events/sec)",
+                stage.units,
+                stage.wall.as_secs_f64(),
+                stage.per_sec()
+            );
+        }
+        if let Some(path) = opts.baseline.as_deref() {
+            let baseline = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Io(format!("failed to read baseline {path}: {e}")))?;
+            match bench::check_engine(&engine_bench, &baseline) {
+                Ok(verdict) => eprintln!("{verdict}"),
+                Err(verdict) => {
+                    eprintln!("BENCH ENGINE: {verdict}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!("{}", bench::engine_bench_json(&engine_bench));
+        return Ok(());
+    }
     let full = opts.bench;
     eprintln!(
         "benchmarking: smoke sweep ({} traces)...",
@@ -1165,7 +1231,7 @@ fn dispatch<P: Prof>(opts: &Options, prof: &P, extras: &mut ProfileExtras) -> Re
         fuzz_main(opts, cases, prof);
         return Ok(());
     }
-    if opts.bench || opts.bench_smoke {
+    if opts.bench || opts.bench_smoke || opts.bench_engine {
         return bench_main(opts, prof);
     }
     if opts.sweep {
@@ -1430,10 +1496,18 @@ mod tests {
         assert_usage(&["--bench", "--sweep"]);
         assert_usage(&["--bench-smoke", "--sweep"]);
         assert_usage(&["--bench", "--bench-smoke"]);
+        assert_usage(&["--bench", "--bench-engine"]);
+        assert_usage(&["--bench-smoke", "--bench-engine"]);
+        assert_usage(&["--bench-engine", "--sweep"]);
+        assert_usage(&["--bench-engine", "--fuzz", "10"]);
         assert_usage(&["--bench", "--fuzz", "10"]);
         assert_usage(&["--fuzz", "10", "--sweep"]);
         // Flags that only make sense for one mode.
         assert_usage(&["--sweep", "--baseline", "BENCH_sweep.json"]);
+        assert_usage(&["--bench", "--baseline", "BENCH_sweep.json"]);
+        assert_usage(&["--sweep", "--differential"]);
+        assert_usage(&["--bench", "--differential"]);
+        assert_usage(&["synth", "all", "4", "--differential"]);
         assert_usage(&["--sweep", "--seed", "7"]);
         assert_usage(&["synth", "all", "4", "--seed", "7"]);
         assert_usage(&["synth", "--threads", "4"]);
@@ -1474,7 +1548,10 @@ mod tests {
             &["--sweep", "--threads", "4", "--hints", "seq,markov"][..],
             &["--sweep", "synth", "all", "1,2", "--audit", "--explain"],
             &["--fuzz", "10", "--seed", "7", "--threads", "2"],
+            &["--fuzz", "300", "--differential", "--threads", "2"],
             &["--bench-smoke", "--baseline", "BENCH_sweep.json"],
+            &["--bench-engine", "--baseline", "BENCH_engine.json"],
+            &["--bench-engine"],
             &["synth", "forestall", "4", "--hints", "mithril", "--json"],
             &["synth", "all", "1,2", "--faults", "flaky:*:0.01,seed:7"],
             &["--sweep", "--out", "sweep.csv", "--cell-timeout", "5000"],

@@ -269,7 +269,14 @@ fn fingerprint_report(mut h: u64, r: &Report) -> u64 {
 /// Runs one case under one policy: the plain run, the audited rerun, and
 /// the differential checks. Returns what went wrong (empty when clean)
 /// plus the plain report for fingerprinting.
-fn run_policy(case: &FuzzCase, kind: PolicyKind) -> (Vec<String>, Report) {
+///
+/// With `differential`, forestall cases run a third time on the naive
+/// full-rescan stall predictor (`SimConfig::forestall_naive_scan`) and
+/// any report divergence from the incremental predictor is a failure.
+/// The extra run consumes no rng draws (case generation is untouched)
+/// and is excluded from the fingerprint, so a differential campaign
+/// reproduces the exact cases — and fingerprint — of a plain one.
+fn run_policy(case: &FuzzCase, kind: PolicyKind, differential: bool) -> (Vec<String>, Report) {
     let plain = simulate(&case.trace, kind, &case.config);
     let (audited, outcome) = simulate_audited(&case.trace, kind, &case.config);
     let mut details: Vec<String> = outcome.violations.iter().map(|v| v.to_string()).collect();
@@ -281,6 +288,23 @@ fn run_policy(case: &FuzzCase, kind: PolicyKind) -> (Vec<String>, Report) {
             "audited report diverged: elapsed {} vs {}, fetches {} vs {}",
             audited.elapsed, plain.elapsed, audited.fetches, plain.fetches
         ));
+    }
+    if differential && kind == PolicyKind::Forestall {
+        let mut naive_config = case.config.clone();
+        naive_config.forestall_naive_scan = true;
+        let naive = simulate(&case.trace, kind, &naive_config);
+        if naive != plain {
+            details.push(format!(
+                "naive stall predictor diverged from incremental: \
+                 elapsed {} vs {}, fetches {} vs {}, stall {} vs {}",
+                naive.elapsed,
+                plain.elapsed,
+                naive.fetches,
+                plain.fetches,
+                naive.stall,
+                plain.stall
+            ));
+        }
     }
     // Stall provenance conservation, checked directly on the plain
     // (unprobed) report too: the audit enforces it against the event
@@ -305,12 +329,13 @@ fn run_policy(case: &FuzzCase, kind: PolicyKind) -> (Vec<String>, Report) {
 /// folded into the fingerprint, deterministically), and the remaining
 /// policies and cases keep running — a 10,000-case campaign reports one
 /// poisoned combination instead of dying on it.
-fn run_case(case: &FuzzCase) -> (Vec<FuzzFailure>, u64) {
+fn run_case(case: &FuzzCase, differential: bool) -> (Vec<FuzzFailure>, u64) {
     let mut failures = Vec::new();
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for kind in PolicyKind::ALL {
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_policy(case, kind)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_policy(case, kind, differential)
+        }));
         match result {
             Ok((details, plain)) => {
                 if !details.is_empty() {
@@ -342,8 +367,22 @@ fn run_case(case: &FuzzCase) -> (Vec<FuzzFailure>, u64) {
 /// executed across `threads` workers. The result is a pure function of
 /// `(seed, cases)` — the thread count only changes wall-clock time.
 pub fn fuzz(seed: u64, cases: usize, threads: usize) -> FuzzReport {
+    fuzz_impl(seed, cases, threads, false)
+}
+
+/// [`fuzz`], additionally replaying every forestall case on the naive
+/// full-rescan stall predictor and failing on any divergence from the
+/// incremental one. Cases, runs accounting, and the fingerprint are
+/// identical to a plain [`fuzz`] with the same arguments.
+pub fn fuzz_differential(seed: u64, cases: usize, threads: usize) -> FuzzReport {
+    fuzz_impl(seed, cases, threads, true)
+}
+
+fn fuzz_impl(seed: u64, cases: usize, threads: usize, differential: bool) -> FuzzReport {
     let case_list = gen_cases(seed, cases);
-    let results = run_indexed(case_list.len(), threads, |i| run_case(&case_list[i]));
+    let results = run_indexed(case_list.len(), threads, |i| {
+        run_case(&case_list[i], differential)
+    });
     let mut failures = Vec::new();
     let mut fingerprint = 0xcbf2_9ce4_8422_2325u64;
     for (fails, h) in results {
@@ -454,12 +493,33 @@ mod tests {
         // skips a pair whose block has no remaining disclosed use.
         for (seed, index) in [(424242u64, 648usize), (2, 3235), (31337, 4689)] {
             let case = gen_cases(seed, index + 1).pop().expect("case exists");
-            let (failures, _) = run_case(&case);
+            let (failures, _) = run_case(&case, false);
             assert!(
                 failures.is_empty(),
                 "seed {seed} case {index}: {failures:?}"
             );
         }
+    }
+
+    #[test]
+    fn differential_mode_is_clean_and_fingerprint_neutral() {
+        // The naive-vs-incremental replay must neither fail nor perturb
+        // anything a plain run records: same cases (no rng draws added),
+        // same fingerprint (the extra run is excluded from the fold).
+        let plain = fuzz(1996, 16, 2);
+        let diff = fuzz_differential(1996, 16, 2);
+        assert!(diff.is_clean(), "{diff}\n{:#?}", diff.failures.first());
+        assert_eq!(plain, diff);
+    }
+
+    #[test]
+    fn differential_replay_agrees_on_a_pinned_reproducer() {
+        // The pinned stale-pair reproducer seeds double as predictor
+        // fixtures: run one directly through run_policy with the
+        // differential replay on and require byte-agreement.
+        let case = gen_cases(424242, 5).pop().expect("case exists");
+        let (details, _) = run_policy(&case, PolicyKind::Forestall, true);
+        assert!(details.is_empty(), "{details:?}");
     }
 
     #[test]

@@ -22,12 +22,13 @@ pub mod sha256;
 pub mod sweep;
 
 pub use bench::{
-    check_scaling, run_engine_bench, run_sweep_bench, EngineBench, SweepBench,
-    SCALING_EFFICIENCY_FLOOR, SCALING_GATE_THREADS,
+    check_engine, check_scaling, run_engine_bench, run_sweep_bench, EngineBench, SweepBench,
+    ENGINE_ALLOC_CEILING, ENGINE_FORESTALL_DEMAND_RATIO, SCALING_EFFICIENCY_FLOOR,
+    SCALING_GATE_THREADS,
 };
 pub use experiments::{comparison, comparison_on, comparison_with, Algo};
 pub use fsio::{write_atomic, AtomicFile};
-pub use fuzz::{fuzz, FuzzCase, FuzzFailure, FuzzReport};
+pub use fuzz::{fuzz, fuzz_differential, FuzzCase, FuzzFailure, FuzzReport};
 pub use manifest::{
     grid_hash, plan_resume, ManifestCell, ManifestError, ManifestStatus, ResumePlan, SweepManifest,
     MANIFEST_SCHEMA,

@@ -80,8 +80,18 @@ pub struct ReverseAggressive {
     consumed: Vec<bool>,
     /// Pending pair indexes per disk, in key order.
     per_disk: Vec<VecDeque<usize>>,
-    /// Pending pair indexes per block (for demand misses).
-    by_block: FastMap<BlockId, VecDeque<usize>>,
+    /// Pending pair indexes per block (for demand misses), in CSR form:
+    /// [`block_slot`](Self::block_slot) maps a block to a slot `s`, and
+    /// `by_block_idx[by_block_off[s] .. by_block_off[s + 1]]` lists the
+    /// slot's pair indexes in key order. Three flat arrays plus one map
+    /// instead of a heap-allocated queue per distinct block — the queues
+    /// were the policy's entire ~19k-allocation footprint.
+    block_slot: FastMap<BlockId, u32>,
+    by_block_off: Vec<u32>,
+    by_block_idx: Vec<u32>,
+    /// Per slot: consume cursor into its `by_block_idx` range. Entries
+    /// behind the cursor are spent (popped by earlier demand misses).
+    by_block_head: Vec<u32>,
     batch_size: usize,
     /// Scratch for unreleased pairs pulled during a decide scan; reused
     /// across decision points to avoid a per-disk allocation.
@@ -113,20 +123,53 @@ impl ReverseAggressive {
             config.reverse_batch_size,
             &config.hints,
         );
+        assert!(
+            schedule.len() <= u32::MAX as usize,
+            "schedule too large for u32 pair indexes"
+        );
         let mut per_disk: Vec<VecDeque<usize>> = vec![VecDeque::new(); config.disks];
-        let mut by_block: FastMap<BlockId, VecDeque<usize>> = FastMap::default();
         let mut pair_disk: Vec<u32> = Vec::with_capacity(schedule.len());
+        // First pass: assign slots in first-seen order and count each
+        // slot's pairs.
+        let mut block_slot: FastMap<BlockId, u32> = FastMap::default();
+        let mut counts: Vec<u32> = Vec::new();
         for (i, p) in schedule.iter().enumerate() {
             let d = layout.disk_of(p.block).index();
             per_disk[d].push_back(i);
-            by_block.entry(p.block).or_default().push_back(i);
             pair_disk.push(d as u32);
+            let next = counts.len() as u32;
+            let s = *block_slot.entry(p.block).or_insert(next);
+            if s == next {
+                counts.push(0);
+            }
+            counts[s as usize] += 1;
+        }
+        // Prefix sums, then a second pass scatters the pair indexes into
+        // their slot ranges (schedule order is key order, preserved
+        // within each slot).
+        let mut by_block_off: Vec<u32> = Vec::with_capacity(counts.len() + 1);
+        by_block_off.push(0);
+        let mut acc = 0u32;
+        for &c in &counts {
+            acc += c;
+            by_block_off.push(acc);
+        }
+        let by_block_head: Vec<u32> = by_block_off[..counts.len()].to_vec();
+        let mut write = by_block_head.clone();
+        let mut by_block_idx: Vec<u32> = vec![0; schedule.len()];
+        for (i, p) in schedule.iter().enumerate() {
+            let s = block_slot[&p.block] as usize;
+            by_block_idx[write[s] as usize] = i as u32;
+            write[s] += 1;
         }
         ReverseAggressive {
             consumed: vec![false; schedule.len()],
             schedule,
             per_disk,
-            by_block,
+            block_slot,
+            by_block_off,
+            by_block_idx,
+            by_block_head,
             batch_size: config.reverse_batch_size,
             requeue: Vec::new(),
             pair_disk,
@@ -250,8 +293,13 @@ impl Policy for ReverseAggressive {
 
     fn on_miss(&mut self, ctx: &mut Ctx<'_>, block: BlockId) {
         // Consume the block's next scheduled pair, if any, then fetch.
-        if let Some(queue) = self.by_block.get_mut(&block) {
-            while let Some(i) = queue.pop_front() {
+        if let Some(&slot) = self.block_slot.get(&block) {
+            let s = slot as usize;
+            let end = self.by_block_off[s + 1];
+            let mut head = self.by_block_head[s];
+            while head < end {
+                let i = self.by_block_idx[head as usize] as usize;
+                head += 1;
                 if !self.consumed[i] {
                     self.consumed[i] = true;
                     // Consuming a pair widens another scan's probe
@@ -260,6 +308,7 @@ impl Policy for ReverseAggressive {
                     break;
                 }
             }
+            self.by_block_head[s] = head;
         }
         demand_fetch(ctx, block);
     }

@@ -258,15 +258,43 @@ pub struct MissingTracker {
     global: PosSet,
     /// The same positions partitioned by disk.
     per_disk: Vec<PosSet>,
+    /// Per-disk insertion epochs: bumped on every insert that actually
+    /// adds a position to that disk's set. Consumers (forestall's
+    /// incremental stall predictor) cache derived verdicts keyed by the
+    /// two direction-split epochs; no-stall verdicts are insensitive to
+    /// removals (fewer missing blocks can only weaken a stall), so they
+    /// key on this counter alone, plus the positions in `recent_ins`.
+    /// Queries and `NEVER`-position no-ops never bump.
+    ins_epochs: Vec<u64>,
+    /// Per-disk removal epochs: the mirror of `ins_epochs` for removes.
+    /// Stall-predicted verdicts are insensitive to insertions (more
+    /// missing blocks can only strengthen a stall) and key on this.
+    rem_epochs: Vec<u64>,
+    /// Per-disk ring of the last [`RECENT_INS`] inserted positions, slot
+    /// `epoch % RECENT_INS` holding the insert that bumped `ins_epochs`
+    /// to `epoch`. Lets [`MissingTracker::inserts_all_at_or_beyond`]
+    /// re-validate a cached verdict across a few insertions when they
+    /// all landed beyond the verdict's horizon (the common case:
+    /// evicted blocks re-enter at far-future next occurrences).
+    recent_ins: Vec<[usize; RECENT_INS]>,
 }
+
+/// Ring capacity of [`MissingTracker::recent_ins`]: enough to span the
+/// insertions a policy's whole fetch batch causes between two decision
+/// points.
+const RECENT_INS: usize = 32;
 
 impl MissingTracker {
     /// Builds the tracker for a cold cache: every distinct block is
     /// missing at its first occurrence.
     pub fn new(oracle: &Oracle) -> MissingTracker {
+        let disks = oracle.layout().disks();
         let mut t = MissingTracker {
             global: PosSet::new(oracle.len()),
-            per_disk: vec![PosSet::new(oracle.len()); oracle.layout().disks()],
+            per_disk: vec![PosSet::new(oracle.len()); disks],
+            ins_epochs: vec![0; disks],
+            rem_epochs: vec![0; disks],
+            recent_ins: vec![[0; RECENT_INS]; disks],
         };
         for (block, pos) in oracle.first_occurrences() {
             t.insert(block, pos, oracle);
@@ -274,13 +302,56 @@ impl MissingTracker {
         t
     }
 
+    /// The insertion epoch of `disk`'s position set.
+    #[inline]
+    pub fn ins_epoch(&self, disk: usize) -> u64 {
+        self.ins_epochs[disk]
+    }
+
+    /// The removal epoch of `disk`'s position set.
+    #[inline]
+    pub fn rem_epoch(&self, disk: usize) -> u64 {
+        self.rem_epochs[disk]
+    }
+
+    /// Whether every position inserted on `disk` since insertion epoch
+    /// `since` landed at or beyond `guard`. Returns `None` when more
+    /// than [`RECENT_INS`] insertions happened since and the ring no
+    /// longer remembers them all.
+    #[inline]
+    pub fn inserts_all_at_or_beyond(&self, disk: usize, since: u64, guard: usize) -> Option<bool> {
+        let now = self.ins_epochs[disk];
+        debug_assert!(since <= now, "insertion epochs only grow");
+        if now - since > RECENT_INS as u64 {
+            return None;
+        }
+        let ring = &self.recent_ins[disk];
+        let mut e = since;
+        while e < now {
+            e += 1;
+            if ring[(e % RECENT_INS as u64) as usize] < guard {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+
+    #[inline]
+    fn record_insert(&mut self, disk: usize, pos: usize) {
+        let e = self.ins_epochs[disk] + 1;
+        self.ins_epochs[disk] = e;
+        self.recent_ins[disk][(e % RECENT_INS as u64) as usize] = pos;
+    }
+
     fn insert(&mut self, block: BlockId, pos: usize, oracle: &Oracle) {
         if pos == NEVER {
             return;
         }
         debug_assert_eq!(oracle.block_at(pos), block);
+        let d = oracle.disk_of(block).index();
         self.global.insert(pos);
-        self.per_disk[oracle.disk_of(block).index()].insert(pos);
+        self.per_disk[d].insert(pos);
+        self.record_insert(d, pos);
     }
 
     /// [`MissingTracker::insert`] by compact index (no hashing).
@@ -289,8 +360,10 @@ impl MissingTracker {
             return;
         }
         debug_assert_eq!(oracle.block_at(pos), oracle.block_of(idx));
+        let d = oracle.disk_of(oracle.block_of(idx)).index();
         self.global.insert(pos);
-        self.per_disk[oracle.disk_of(oracle.block_of(idx)).index()].insert(pos);
+        self.per_disk[d].insert(pos);
+        self.record_insert(d, pos);
     }
 
     /// A fetch of `block` was issued: it is no longer missing.
@@ -299,8 +372,10 @@ impl MissingTracker {
         if pos == NEVER {
             return;
         }
+        let d = oracle.disk_of(block).index();
         self.global.remove(pos);
-        self.per_disk[oracle.disk_of(block).index()].remove(pos);
+        self.per_disk[d].remove(pos);
+        self.rem_epochs[d] += 1;
     }
 
     /// [`MissingTracker::on_fetch_issued`] by compact index (no hashing).
@@ -309,8 +384,10 @@ impl MissingTracker {
         if pos == NEVER {
             return;
         }
+        let d = oracle.disk_of(oracle.block_of(idx)).index();
         self.global.remove(pos);
-        self.per_disk[oracle.disk_of(oracle.block_of(idx)).index()].remove(pos);
+        self.per_disk[d].remove(pos);
+        self.rem_epochs[d] += 1;
     }
 
     /// `block` was evicted at cursor position `cursor`: it is missing
@@ -342,6 +419,21 @@ impl MissingTracker {
     /// Positions of missing blocks in `[from, to)`, globally, ascending.
     pub fn missing_in_window(&self, from: usize, to: usize) -> impl Iterator<Item = usize> + '_ {
         self.global.iter_from(from).take_while(move |&p| p < to)
+    }
+
+    /// Positions of missing blocks at or after `from` on `disk`,
+    /// ascending, as the concrete [`PosSet`] iterator. Unlike
+    /// [`MissingTracker::missing_on_disk_in_window`] the window bound is
+    /// the caller's job; in exchange the iterator's popcount-skipping
+    /// `nth` stays reachable (an adapter like `take_while` would hide it
+    /// behind the one-step default).
+    #[inline]
+    pub fn missing_on_disk_from(
+        &self,
+        disk: usize,
+        from: usize,
+    ) -> parcache_types::posset::Iter<'_> {
+        self.per_disk[disk].iter_from(from)
     }
 
     /// Positions of missing blocks in `[from, to)` on `disk`, ascending.
@@ -614,5 +706,130 @@ mod tests {
         let t = MissingTracker::new(&o);
         let w: Vec<usize> = t.missing_in_window(1, 4).collect();
         assert_eq!(w, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn epochs_bump_exactly_on_per_disk_mutation() {
+        // Striped over 2 disks: blocks 0,2 on disk 0; 1,3 on disk 1.
+        let o = oracle_of(&[0, 1, 2, 3, 0], 2);
+        let mut t = MissingTracker::new(&o);
+        let (i0, r0) = (t.ins_epoch(0), t.rem_epoch(0));
+        let (i1, r1) = (t.ins_epoch(1), t.rem_epoch(1));
+        // Queries never bump.
+        let _ = t.first_missing_on_disk(0, 0);
+        let _: Vec<usize> = t.missing_on_disk_in_window(1, 0, 5).collect();
+        assert_eq!((t.ins_epoch(0), t.rem_epoch(0)), (i0, r0));
+        // A fetch on disk 0 bumps only disk 0's removal epoch.
+        t.on_fetch_issued(BlockId(0), 0, &o);
+        assert_eq!((t.ins_epoch(0), t.rem_epoch(0)), (i0, r0 + 1));
+        assert_eq!((t.ins_epoch(1), t.rem_epoch(1)), (i1, r1));
+        // An eviction re-registering block 0 at its next use (position 4)
+        // bumps only disk 0's insertion epoch.
+        t.on_evicted(BlockId(0), 1, &o);
+        assert_eq!((t.ins_epoch(0), t.rem_epoch(0)), (i0 + 1, r0 + 1));
+        assert_eq!((t.ins_epoch(1), t.rem_epoch(1)), (i1, r1));
+        // A `NEVER`-position no-op (block 1 evicted past its last use)
+        // leaves the set untouched and must not bump.
+        t.on_fetch_issued(BlockId(1), 0, &o);
+        let (i1b, r1b) = (t.ins_epoch(1), t.rem_epoch(1));
+        t.on_evicted(BlockId(1), 2, &o);
+        assert_eq!((t.ins_epoch(1), t.rem_epoch(1)), (i1b, r1b));
+    }
+
+    #[test]
+    fn insert_ring_answers_guard_queries() {
+        // Disk 0 owns every block (1-disk layout); the ring remembers
+        // the positions of recent insertions for guard re-validation.
+        let blocks: Vec<u64> = (0..80).collect();
+        let o = oracle_of(&blocks, 1);
+        let t = MissingTracker::new(&o);
+        let base = t.ins_epoch(0);
+        // Two evictions re-register blocks 0 and 1 at their (never)
+        // next use -- pick re-referenced blocks instead.
+        let blocks2: Vec<u64> = (0..40).chain(0..40).collect();
+        let o = oracle_of(&blocks2, 1);
+        let mut t2 = MissingTracker::new(&o);
+        let base2 = t2.ins_epoch(0);
+        // Evicting block 3 at cursor 10 re-inserts position 43; block 7
+        // re-inserts position 47.
+        t2.on_fetch_issued(BlockId(3), 0, &o);
+        t2.on_fetch_issued(BlockId(7), 0, &o);
+        let since = t2.ins_epoch(0);
+        t2.on_evicted(BlockId(3), 10, &o);
+        t2.on_evicted(BlockId(7), 10, &o);
+        assert_eq!(t2.ins_epoch(0), since + 2);
+        // Both landed at or beyond 43.
+        assert_eq!(t2.inserts_all_at_or_beyond(0, since, 43), Some(true));
+        // ...but not beyond 44 (position 43 is below that guard).
+        assert_eq!(t2.inserts_all_at_or_beyond(0, since, 44), Some(false));
+        // An unchanged epoch passes any guard vacuously.
+        assert_eq!(
+            t2.inserts_all_at_or_beyond(0, t2.ins_epoch(0), usize::MAX),
+            Some(true)
+        );
+        // Exhausting the ring reports None rather than guessing.
+        for _ in 0..2 {
+            for b in 0..40u64 {
+                t2.on_fetch_issued(BlockId(b), 0, &o);
+                t2.on_evicted(BlockId(b), 0, &o);
+            }
+        }
+        assert_eq!(t2.inserts_all_at_or_beyond(0, since, 0), None);
+        // Quiet tracker: the cold-start epoch still answers.
+        assert_eq!(t.ins_epoch(0), base);
+        let _ = base2;
+        assert_eq!(t.inserts_all_at_or_beyond(0, base, usize::MAX), Some(true));
+    }
+
+    #[test]
+    fn missing_on_disk_in_window_matches_naive_filter() {
+        // Boundary property test for the iterator the incremental stall
+        // predictor's invalidation contract depends on: `[from, to)`
+        // semantics (inclusive start, exclusive end), a cursor sitting
+        // exactly on a missing position, disks with no missing entries at
+        // all, and empty (`from >= to`) windows — all against a naive
+        // filter over the full per-disk missing set.
+        let mut rng = parcache_types::rng::Rng::seed_from_u64(0x5eed_2026);
+        for case in 0..100 {
+            let len = rng.gen_range(1usize..=40);
+            let universe = rng.gen_range(1u64..=12);
+            let disks = rng.gen_range(1usize..=4);
+            let blocks: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..universe)).collect();
+            let o = oracle_of(&blocks, disks);
+            let mut t = MissingTracker::new(&o);
+            // Mutate a little so the set is not just first occurrences.
+            for _ in 0..rng.gen_range(0usize..4) {
+                let b = BlockId(rng.gen_range(0..universe));
+                if o.index_of(b).is_some() {
+                    let at = rng.gen_range(0usize..=len);
+                    t.on_fetch_issued(b, at, &o);
+                    t.on_evicted(b, at, &o);
+                }
+            }
+            // The full per-disk ground truth via an unbounded window.
+            for d in 0..disks {
+                let all: Vec<usize> = t.missing_on_disk_in_window(d, 0, usize::MAX).collect();
+                // Every edge combination, including from == to and
+                // from > to (empty), from on a missing position
+                // (inclusive), and to on a missing position (exclusive).
+                let mut edges: Vec<usize> = vec![0, len, len + 1];
+                edges.extend(all.iter().copied());
+                edges.extend(all.iter().map(|&p| p + 1));
+                for &from in &edges {
+                    for &to in &edges {
+                        let got: Vec<usize> = t.missing_on_disk_in_window(d, from, to).collect();
+                        let naive: Vec<usize> = all
+                            .iter()
+                            .copied()
+                            .filter(|&p| p >= from && p < to)
+                            .collect();
+                        assert_eq!(
+                            got, naive,
+                            "case {case}: disk {d} window [{from}, {to}) over {blocks:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -19,6 +19,33 @@ pub enum DiskModelKind {
     Uniform(Nanos),
 }
 
+/// A structurally invalid [`SimConfig`], rejected at construction.
+///
+/// The sizes these variants guard are load-bearing well past the
+/// constructor: forestall's stall-prediction window is `2 * cache_blocks`
+/// and its scan subtracts one from it (`window - 1`), so a zero-capacity
+/// cache would underflow deep inside a decision point; a zero-disk array
+/// has no layout to stripe over. A typed error lets embedders surface the
+/// problem to their own users instead of catching a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `disks == 0`: an array needs at least one disk.
+    ZeroDisks,
+    /// `cache_blocks == 0`: the cache must hold at least one block.
+    ZeroCache,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroDisks => write!(f, "an array needs at least one disk"),
+            ConfigError::ZeroCache => write!(f, "cache must hold at least one block"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// The paper's default aggressive/forestall batch sizes by array size
 /// (Table 6): 80, 40, 40, 16, 16, 8, 8, then 4 beyond seven disks.
 pub fn default_batch_size(disks: usize) -> usize {
@@ -59,6 +86,13 @@ pub struct SimConfig {
     /// `None` the dynamic rule of §5 is used (F' = F for fast disks, 4F
     /// for slow ones).
     pub forestall_static_f: Option<f64>,
+    /// Forces forestall's stall predictor onto the naive full-window
+    /// rescan instead of the incremental cached-verdict path. The two are
+    /// byte-identical by construction; this switch exists so the
+    /// differential fuzzer (and anyone bisecting a suspected divergence)
+    /// can run both sides in release builds, where the `debug_assert!`
+    /// oracle is compiled out.
+    pub forestall_naive_scan: bool,
     /// How much of the access sequence the application disclosed (the
     /// paper's main setting is full disclosure; see `crate::hints`).
     pub hints: crate::hints::HintSpec,
@@ -145,10 +179,25 @@ impl RetryPolicy {
 impl SimConfig {
     /// A configuration with the paper's defaults for a given array size
     /// and cache capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a structurally invalid size; use [`SimConfig::try_new`]
+    /// to get a [`ConfigError`] instead.
     pub fn new(disks: usize, cache_blocks: usize) -> SimConfig {
-        assert!(disks > 0, "an array needs at least one disk");
-        assert!(cache_blocks > 0, "cache must hold at least one block");
-        SimConfig {
+        SimConfig::try_new(disks, cache_blocks).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects zero disks and a zero-block cache
+    /// with a typed [`ConfigError`] rather than a panic.
+    pub fn try_new(disks: usize, cache_blocks: usize) -> Result<SimConfig, ConfigError> {
+        if disks == 0 {
+            return Err(ConfigError::ZeroDisks);
+        }
+        if cache_blocks == 0 {
+            return Err(ConfigError::ZeroCache);
+        }
+        Ok(SimConfig {
             disks,
             cache_blocks,
             discipline: Discipline::Cscan,
@@ -159,12 +208,13 @@ impl SimConfig {
             reverse_fetch_estimate: 16,
             reverse_batch_size: default_batch_size(disks),
             forestall_static_f: None,
+            forestall_naive_scan: false,
             hints: crate::hints::HintSpec::Full,
             hint_mode: crate::predict::HintMode::Oracle,
             write_behind_period: None,
             faults: FaultPlan::default(),
             retry: RetryPolicy::default(),
-        }
+        })
     }
 
     /// A configuration using the trace's paper-specified cache size.
@@ -329,6 +379,29 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn zero_cache_rejected() {
         SimConfig::new(1, 0);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        // The fallible constructor rejects the sizes whose downstream
+        // effect would otherwise be a `window - 1` underflow inside
+        // forestall's stall predictor (window = 2 * cache_blocks) or a
+        // diskless layout — with a typed error, not a panic.
+        assert_eq!(SimConfig::try_new(0, 512), Err(ConfigError::ZeroDisks));
+        assert_eq!(SimConfig::try_new(1, 0), Err(ConfigError::ZeroCache));
+        assert_eq!(SimConfig::try_new(0, 0), Err(ConfigError::ZeroDisks));
+        let ok = SimConfig::try_new(2, 64).expect("valid sizes construct");
+        assert_eq!((ok.disks, ok.cache_blocks), (2, 64));
+        assert_eq!(ok, SimConfig::new(2, 64));
+        // The panicking constructor reuses the typed error's message.
+        assert_eq!(
+            ConfigError::ZeroDisks.to_string(),
+            "an array needs at least one disk"
+        );
+        assert_eq!(
+            ConfigError::ZeroCache.to_string(),
+            "cache must hold at least one block"
+        );
     }
 
     #[test]

@@ -157,6 +157,51 @@ pub struct Iter<'a> {
 impl Iterator for Iter<'_> {
     type Item = usize;
 
+    /// Skips `n` members and returns the one after, without visiting the
+    /// skipped members one by one: whole words are consumed with a single
+    /// `count_ones` each, so skipping a long run costs one popcount per
+    /// 64 positions instead of one bit-strip per member. Rank-jumping
+    /// scans (forestall's stall predictor) rely on this being cheap.
+    fn nth(&mut self, mut n: usize) -> Option<usize> {
+        loop {
+            let in_word = self.bits.count_ones() as usize;
+            if n < in_word {
+                break;
+            }
+            n -= in_word;
+            // Hop to the next non-empty word via the summary bitmap.
+            let next = self.word_idx + 1;
+            if next >= self.set.words.len() {
+                self.bits = 0;
+                self.word_idx = self.set.words.len();
+                return None;
+            }
+            let mut sw = next >> 6;
+            let mut s = self.set.summary[sw] & (!0u64 << (next & 63));
+            loop {
+                if s != 0 {
+                    self.word_idx = (sw << 6) + s.trailing_zeros() as usize;
+                    self.bits = self.set.words[self.word_idx];
+                    break;
+                }
+                sw += 1;
+                if sw >= self.set.summary.len() {
+                    self.bits = 0;
+                    self.word_idx = self.set.words.len();
+                    return None;
+                }
+                s = self.set.summary[sw];
+            }
+        }
+        // The target is the n-th set bit of the current word.
+        for _ in 0..n {
+            self.bits &= self.bits - 1;
+        }
+        let b = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some((self.word_idx << 6) + b)
+    }
+
     #[inline]
     fn next(&mut self) -> Option<usize> {
         while self.bits == 0 {
@@ -265,6 +310,54 @@ mod tests {
             }
             assert_eq!(s.len(), reference.len());
         }
+    }
+
+    #[test]
+    fn nth_matches_step_by_step_iteration() {
+        use crate::rng::Rng;
+        let mut rng = Rng::seed_from_u64(2026);
+        let cap = 5000;
+        let mut s = PosSet::new(cap);
+        for _ in 0..800 {
+            s.insert(rng.gen_range(0usize..cap));
+        }
+        for _ in 0..500 {
+            let from = rng.gen_range(0usize..=cap);
+            let n = rng.gen_range(0usize..40);
+            let via_nth = s.iter_from(from).nth(n);
+            let via_next = {
+                let mut it = s.iter_from(from);
+                let mut last = None;
+                for _ in 0..=n {
+                    last = it.next();
+                    if last.is_none() {
+                        break;
+                    }
+                }
+                last
+            };
+            assert_eq!(via_nth, via_next, "nth({n}) from {from}");
+            // And the iterator keeps working after an nth call.
+            let mut a = s.iter_from(from);
+            let mut b = s.iter_from(from);
+            let _ = a.nth(n);
+            for _ in 0..=n {
+                if b.next().is_none() {
+                    break;
+                }
+            }
+            assert_eq!(a.next(), b.next(), "continuation after nth({n})");
+        }
+        // Dense edge: every position set, skipping across word boundaries.
+        let mut d = PosSet::new(300);
+        for p in 0..300 {
+            d.insert(p);
+        }
+        assert_eq!(d.iter_from(0).nth(63), Some(63));
+        assert_eq!(d.iter_from(0).nth(64), Some(64));
+        assert_eq!(d.iter_from(5).nth(200), Some(205));
+        assert_eq!(d.iter_from(0).nth(299), Some(299));
+        assert_eq!(d.iter_from(0).nth(300), None);
     }
 
     #[test]
